@@ -1,0 +1,58 @@
+// E9 — Table 6: ablation of the contrastive relational features (Eq. 2) on
+// Music-3K artist and album: shared-only vs unique-only vs shared & unique,
+// for AdaMEL-base and AdaMEL-hyb.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  eval::ResultTable table(
+      "Table 6 — contrastive-feature ablation (Music-3K, PRAUC)",
+      {"entity_type", "method", "shared_only", "unique_only",
+       "shared_and_unique"});
+
+  for (const datagen::MusicEntityType type :
+       {datagen::MusicEntityType::kArtist,
+        datagen::MusicEntityType::kAlbum}) {
+    auto make_task = [&](uint64_t seed) {
+      datagen::MusicTaskOptions task_options;
+      task_options.entity_type = type;
+      task_options.scenario = datagen::MelScenario::kOverlapping;
+      task_options.seed = seed;
+      return datagen::MakeMusicTask(task_options);
+    };
+    for (const char* method : {"AdaMEL-base", "AdaMEL-hyb"}) {
+      std::fprintf(stderr, "[ablation] %s %s...\n",
+                   datagen::MusicEntityTypeName(type), method);
+      std::vector<std::string> cells = {datagen::MusicEntityTypeName(type),
+                                        method};
+      for (const core::FeatureMode mode :
+           {core::FeatureMode::kSharedOnly, core::FeatureMode::kUniqueOnly,
+            core::FeatureMode::kSharedAndUnique}) {
+        core::AdamelConfig config;
+        config.feature_mode = mode;
+        cells.push_back(eval::FormatStats(
+            bench::RunRepeated(method, options.seeds, make_task, config)));
+      }
+      table.AddRow(std::move(cells));
+    }
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 6): shared & unique beats either alone by "
+      "0.41%%-6.72%%; unique-only is weakest on album (0.5520 base vs "
+      "0.7204 with both).\n");
+  const Status status =
+      table.WriteCsv(options.output_dir + "/ablation_features.csv");
+  return status.ok() ? 0 : 1;
+}

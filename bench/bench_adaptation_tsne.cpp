@@ -1,0 +1,94 @@
+// E3 — Figure 7: do the source- and target-domain feature-attention vectors
+// align under adaptation? Trains AdaMEL-zero and AdaMEL-hyb at lambda = 0
+// and lambda = 0.98 on Music-3K artist, embeds the attention vectors of D_S
+// and D_T pairs with t-SNE (coordinates written to CSV for re-plotting),
+// and reports the quantitative domain-alignment score (mean kNN domain
+// purity: 1.0 = fully separated domains, ~0.5 = indistinguishable).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+#include "eval/tsne.h"
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  datagen::MusicTaskOptions task_options;
+  task_options.entity_type = datagen::MusicEntityType::kArtist;
+  task_options.scenario = datagen::MelScenario::kOverlapping;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+
+  // Subsample pairs for the embedding (t-SNE is O(n^2)).
+  Rng rng(5);
+  const data::PairDataset source_sample = task.source_train.Sample(250, &rng);
+  const data::PairDataset target_sample =
+      task.target_unlabeled.Sample(250, &rng);
+
+  eval::ResultTable table(
+      "Figure 7 — domain alignment of attention vectors (kNN domain purity; "
+      "lower = better aligned)",
+      {"variant", "lambda", "alignment_score"});
+
+  for (const core::AdamelVariant variant :
+       {core::AdamelVariant::kZero, core::AdamelVariant::kHyb}) {
+    for (const float lambda : {0.0f, 0.98f}) {
+      std::fprintf(stderr, "[tsne] %s lambda=%.2f...\n",
+                   core::AdamelVariantName(variant), lambda);
+      core::AdamelConfig config;
+      config.lambda = lambda;
+      config.seed = 42;
+      const core::AdamelTrainer trainer(config);
+      const core::TrainedAdamel model = trainer.Fit(variant, inputs);
+
+      // Attention vectors + domain tags (0 = source, 1 = target).
+      std::vector<std::vector<float>> points =
+          model.AttentionVectors(source_sample);
+      std::vector<int> domains(points.size(), 0);
+      for (std::vector<float>& row :
+           model.AttentionVectors(target_sample)) {
+        points.push_back(std::move(row));
+        domains.push_back(1);
+      }
+
+      const double alignment = eval::DomainAlignmentScore(points, domains);
+      table.AddRow({core::AdamelVariantName(variant),
+                    FormatDouble(lambda, 2), FormatDouble(alignment, 4)});
+
+      // 2-D t-SNE coordinates for re-plotting the figure.
+      const auto coords = eval::Tsne(points);
+      eval::ResultTable tsne_csv("tsne", {"x", "y", "domain"});
+      for (size_t i = 0; i < coords.size(); ++i) {
+        tsne_csv.AddRow({FormatDouble(coords[i][0], 4),
+                         FormatDouble(coords[i][1], 4),
+                         std::to_string(domains[i])});
+      }
+      char path[256];
+      std::snprintf(path, sizeof(path), "%s/tsne_%s_lambda_%02d.csv",
+                    options.output_dir.c_str(),
+                    variant == core::AdamelVariant::kZero ? "zero" : "hyb",
+                    static_cast<int>(lambda * 100));
+      (void)tsne_csv.WriteCsv(path);
+    }
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper reference (Fig. 7): attention vectors from D_S and D_T align "
+      "better at lambda=0.98 than lambda=0; AdaMEL-hyb aligns best "
+      "(domains nearly indistinguishable).\n");
+  const Status status =
+      table.WriteCsv(options.output_dir + "/adaptation_alignment.csv");
+  return status.ok() ? 0 : 1;
+}

@@ -1,0 +1,174 @@
+// E5 + E6 — Table 4 (learned top-5 feature attention scores) and Table 5
+// (PRAUC with top attributes only vs the other attributes vs all).
+//
+// Trains AdaMEL-hyb with the best configuration (lambda=0.98, phi=1.0),
+// reports the learned feature importance, then retrains on attribute
+// subsets chosen by that importance (top-k per the paper's counts).
+
+#include <algorithm>
+#include <cstring>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/monitor_world.h"
+#include "datagen/music_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+namespace {
+
+using adamel::datagen::MelTask;
+
+// Projects every dataset of a task onto the given attributes.
+MelTask ProjectTask(const MelTask& task,
+                    const std::vector<std::string>& attributes) {
+  MelTask projected;
+  projected.name = task.name;
+  projected.source_train = task.source_train.ProjectAttributes(attributes);
+  projected.target_unlabeled =
+      task.target_unlabeled.ProjectAttributes(attributes);
+  projected.support = task.support.ProjectAttributes(attributes);
+  projected.test = task.test.ProjectAttributes(attributes);
+  return projected;
+}
+
+// Mean attention per *attribute* (max over its shared/unique features),
+// sorted descending.
+std::vector<std::pair<std::string, double>> AttributeImportance(
+    const std::vector<std::pair<std::string, double>>& feature_importance) {
+  std::map<std::string, double> by_attribute;
+  for (const auto& [feature, score] : feature_importance) {
+    std::string attribute = feature;
+    for (const char* suffix : {"_shared", "_unique"}) {
+      const size_t pos = attribute.rfind(suffix);
+      if (pos != std::string::npos &&
+          pos + std::strlen(suffix) == attribute.size()) {
+        attribute = attribute.substr(0, pos);
+        break;
+      }
+    }
+    by_attribute[attribute] = std::max(by_attribute[attribute], score);
+  }
+  std::vector<std::pair<std::string, double>> sorted(by_attribute.begin(),
+                                                     by_attribute.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return sorted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  struct DatasetSpec {
+    std::string name;
+    MelTask task;
+    int top_k;  // paper's top-attribute count (Table 5)
+  };
+  std::vector<DatasetSpec> datasets;
+  {
+    datagen::MonitorTaskOptions monitor_options;
+    monitor_options.seed = 11;
+    datasets.push_back(
+        {"monitor", datagen::MakeMonitorTask(monitor_options), 3});
+  }
+  const std::map<datagen::MusicEntityType, int> music_top_k = {
+      {datagen::MusicEntityType::kArtist, 4},
+      {datagen::MusicEntityType::kAlbum, 4},
+      {datagen::MusicEntityType::kTrack, 3}};
+  for (const auto& [type, top_k] : music_top_k) {
+    datagen::MusicTaskOptions task_options;
+    task_options.entity_type = type;
+    task_options.scenario = datagen::MelScenario::kOverlapping;
+    task_options.seed = 11;
+    datasets.push_back(
+        {std::string("music-3k-") + datagen::MusicEntityTypeName(type),
+         datagen::MakeMusicTask(task_options), top_k});
+  }
+
+  eval::ResultTable top5_table(
+      "Table 4 — learned importance of top-5 features (AdaMEL-hyb)",
+      {"dataset", "rank", "feature", "score"});
+  eval::ResultTable subset_table(
+      "Table 5 — PRAUC with top vs other vs all attributes (AdaMEL-hyb)",
+      {"dataset", "top_attributes", "other_attributes", "all_attributes"});
+
+  const core::AdamelConfig config;  // lambda=0.98, phi=1.0 defaults
+  const core::AdamelTrainer trainer(config);
+
+  for (const DatasetSpec& spec : datasets) {
+    std::fprintf(stderr, "[attention] %s...\n", spec.name.c_str());
+    core::MelInputs inputs;
+    inputs.source_train = &spec.task.source_train;
+    inputs.target_unlabeled = &spec.task.target_unlabeled;
+    inputs.support = &spec.task.support;
+
+    const core::TrainedAdamel model =
+        trainer.Fit(core::AdamelVariant::kHyb, inputs);
+    const auto importance = model.MeanAttention(spec.task.test);
+    for (size_t i = 0; i < importance.size() && i < 5; ++i) {
+      top5_table.AddRow({spec.name, std::to_string(i + 1),
+                         importance[i].first,
+                         FormatDouble(importance[i].second, 4)});
+    }
+
+    // Attribute subsets from the learned importance.
+    const auto attribute_rank = AttributeImportance(importance);
+    std::vector<std::string> top_attributes;
+    std::vector<std::string> other_attributes;
+    for (size_t i = 0; i < attribute_rank.size(); ++i) {
+      if (static_cast<int>(i) < spec.top_k) {
+        top_attributes.push_back(attribute_rank[i].first);
+      } else {
+        other_attributes.push_back(attribute_rank[i].first);
+      }
+    }
+
+    auto score_subset = [&](const std::vector<std::string>& attributes) {
+      const MelTask projected = ProjectTask(spec.task, attributes);
+      core::MelInputs subset_inputs;
+      subset_inputs.source_train = &projected.source_train;
+      subset_inputs.target_unlabeled = &projected.target_unlabeled;
+      subset_inputs.support = &projected.support;
+      const core::TrainedAdamel subset_model =
+          trainer.Fit(core::AdamelVariant::kHyb, subset_inputs);
+      return eval::AveragePrecision(subset_model.Predict(projected.test),
+                                    bench::TestLabels(projected.test));
+    };
+    const double top_score = score_subset(top_attributes);
+    const double other_score = score_subset(other_attributes);
+    const double all_score = eval::AveragePrecision(
+        model.Predict(spec.task.test), bench::TestLabels(spec.task.test));
+    char top_cell[64];
+    char other_cell[64];
+    char all_cell[64];
+    std::snprintf(top_cell, sizeof(top_cell), "%.4f (%d)", top_score,
+                  static_cast<int>(top_attributes.size()));
+    std::snprintf(other_cell, sizeof(other_cell), "%.4f (%d)", other_score,
+                  static_cast<int>(other_attributes.size()));
+    std::snprintf(all_cell, sizeof(all_cell), "%.4f (%d)", all_score,
+                  static_cast<int>(attribute_rank.size()));
+    subset_table.AddRow({spec.name, top_cell, other_cell, all_cell});
+  }
+
+  top5_table.Print();
+  std::printf(
+      "\nPaper reference (Table 4): Monitor top feature Page_title_shared "
+      "(0.1635, long-tail distribution); Music artist top features are all "
+      "name-related (more uniform distribution).\n");
+  subset_table.Print();
+  std::printf(
+      "\nPaper reference (Table 5): top attributes alone match or beat all "
+      "attributes (e.g. monitor 0.9479 with 3 vs 0.9258 with 13); the "
+      "'other' attributes alone are far worse.\n");
+  (void)top5_table.WriteCsv(options.output_dir + "/attention_top5.csv");
+  (void)subset_table.WriteCsv(options.output_dir +
+                              "/attention_subsets.csv");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E11 + E12 — Figures 11 and 12: data-challenge analysis of the Monitor
+// dataset. Figure 11: per-attribute percentage of pairs with both values
+// present, source vs target domain (C1 + C2). Figure 12: frequency of the
+// top-10 `prod_type` tokens, source vs target domain (C3).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "datagen/monitor_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+#include "text/tokenizer.h"
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  datagen::MonitorTaskOptions task_options;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMonitorTask(task_options);
+  // Target-domain statistics need pairs whose BOTH sides come from target
+  // sources (the overlapping test always has one seen-source record, which
+  // would zero out the target-only attributes at the pair level).
+  datagen::MonitorTaskOptions disjoint_options;
+  disjoint_options.seed = 11;
+  disjoint_options.scenario = datagen::MelScenario::kDisjoint;
+  const datagen::MelTask disjoint_task =
+      datagen::MakeMonitorTask(disjoint_options);
+  const data::Schema& schema = task.source_train.schema();
+
+  // Figure 11: fraction of pairs with both values non-missing, per
+  // attribute, per domain.
+  auto non_missing_fraction = [&](const data::PairDataset& dataset, int a) {
+    int complete = 0;
+    for (const data::LabeledPair& pair : dataset.pairs()) {
+      if (!pair.left.IsMissing(a) && !pair.right.IsMissing(a)) {
+        ++complete;
+      }
+    }
+    return static_cast<double>(complete) / std::max(1, dataset.size());
+  };
+
+  eval::ResultTable fig11(
+      "Figure 11 — % of pairs without missing values per attribute "
+      "(Monitor)",
+      {"attribute", "source_domain", "target_domain", "target_only"});
+  const auto target_only = datagen::MonitorTargetOnlyAttributes();
+  int target_only_confirmed = 0;
+  for (int a = 0; a < schema.size(); ++a) {
+    const double source_fraction =
+        non_missing_fraction(task.source_train, a);
+    const double target_fraction =
+        non_missing_fraction(disjoint_task.test, a);
+    const bool is_target_only =
+        std::find(target_only.begin(), target_only.end(),
+                  schema.attribute(a)) != target_only.end();
+    if (is_target_only && source_fraction == 0.0 && target_fraction > 0.0) {
+      ++target_only_confirmed;
+    }
+    fig11.AddRow({schema.attribute(a), FormatDouble(source_fraction, 3),
+                  FormatDouble(target_fraction, 3),
+                  is_target_only ? "yes" : "no"});
+  }
+  fig11.Print();
+  std::printf(
+      "\nPaper reference (Fig. 11): only page_title and source are "
+      "close-to-1; most attributes < 50%%; 5 of 13 attributes have "
+      "non-missing pairs only in the target domain (reproduced for %d/5 "
+      "attributes here).\n",
+      target_only_confirmed);
+
+  // Figure 12: top-10 prod_type token frequency per domain.
+  const int prod_type = schema.IndexOf("prod_type");
+  const text::Tokenizer tokenizer;
+  auto token_frequencies = [&](const data::PairDataset& dataset) {
+    std::map<std::string, int> counts;
+    for (const data::LabeledPair& pair : dataset.pairs()) {
+      for (const data::Record* record : {&pair.left, &pair.right}) {
+        for (const std::string& token :
+             tokenizer.Tokenize(record->value(prod_type))) {
+          ++counts[token];
+        }
+      }
+    }
+    std::vector<std::pair<std::string, int>> sorted(counts.begin(),
+                                                    counts.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    return sorted;
+  };
+  const auto source_tokens = token_frequencies(task.source_train);
+  const auto target_tokens = token_frequencies(disjoint_task.test);
+
+  eval::ResultTable fig12(
+      "Figure 12 — top-10 prod_type tokens per domain (Monitor)",
+      {"rank", "source_token", "source_count", "target_token",
+       "target_count"});
+  for (int i = 0; i < 10; ++i) {
+    fig12.AddRow({
+        std::to_string(i + 1),
+        i < static_cast<int>(source_tokens.size()) ? source_tokens[i].first
+                                                   : "-",
+        i < static_cast<int>(source_tokens.size())
+            ? std::to_string(source_tokens[i].second)
+            : "-",
+        i < static_cast<int>(target_tokens.size()) ? target_tokens[i].first
+                                                   : "-",
+        i < static_cast<int>(target_tokens.size())
+            ? std::to_string(target_tokens[i].second)
+            : "-",
+    });
+  }
+  fig12.Print();
+  std::printf(
+      "\nPaper reference (Fig. 12): the top-10 token distributions of "
+      "prod_type differ significantly between the source and target "
+      "domain.\n");
+
+  (void)fig11.WriteCsv(options.output_dir + "/data_missing_values.csv");
+  (void)fig12.WriteCsv(options.output_dir + "/data_token_freq.csv");
+  return 0;
+}

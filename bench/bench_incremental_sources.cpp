@@ -1,0 +1,94 @@
+// E7 — Figure 9 + Section 5.5: stability and runtime as the number of
+// target-domain data sources grows 7 -> 23 on Monitor. Compares AdaMEL-hyb
+// (retrained per step so it adapts to the new sources, as in the paper)
+// against the best-performing baseline (EntityMatcher) and the fastest
+// (CorDel-Attention), recording PRAUC per step and total training runtime.
+// Also reports learnable-parameter counts (Section 4.5 / 5.5).
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/cordel.h"
+#include "baselines/entitymatcher.h"
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/monitor_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  const datagen::MonitorIncrementalSeries series =
+      datagen::MakeMonitorIncrementalSeries(11);
+
+  eval::ResultTable table(
+      "Figure 9 — PRAUC as |D_T*| grows (Monitor, incremental sources)",
+      {"num_target_sources", "AdaMEL-hyb", "EntityMatcher",
+       "CorDel-Attention"});
+
+  const std::vector<std::string> models = {"AdaMEL-hyb", "EntityMatcher",
+                                           "CorDel-Attention"};
+  std::vector<double> total_runtime(models.size(), 0.0);
+  std::vector<int64_t> parameters(models.size(), 0);
+  std::vector<double> min_prauc(models.size(), 1.0);
+  std::vector<double> max_prauc(models.size(), 0.0);
+
+  const size_t steps =
+      options.quick ? std::min<size_t>(3, series.step_tests.size())
+                    : series.step_tests.size();
+  for (size_t step = 0; step < steps; ++step) {
+    const data::PairDataset& test = series.step_tests[step];
+    const data::PairDataset target_unlabeled = test.WithoutLabels();
+    const std::vector<int> labels = bench::TestLabels(test);
+    std::fprintf(stderr, "[incremental] |D_T*|=%zu (%d pairs)...\n",
+                 series.step_sources[step].size(), test.size());
+
+    std::vector<std::string> row = {
+        std::to_string(series.step_sources[step].size())};
+    for (size_t m = 0; m < models.size(); ++m) {
+      std::unique_ptr<core::EntityLinkageModel> model =
+          bench::MakeModel(models[m], 42);
+      core::MelInputs inputs;
+      inputs.source_train = &series.train;
+      inputs.target_unlabeled = &target_unlabeled;
+      inputs.support = &series.support;
+      const auto start = std::chrono::steady_clock::now();
+      model->Fit(inputs);
+      total_runtime[m] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double prauc =
+          eval::AveragePrecision(model->PredictScores(test), labels);
+      min_prauc[m] = std::min(min_prauc[m], prauc);
+      max_prauc[m] = std::max(max_prauc[m], prauc);
+      parameters[m] = model->ParameterCount();
+      row.push_back(FormatDouble(prauc, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.Print();
+
+  eval::ResultTable summary(
+      "Figure 9 (right) — training runtime, stability, and parameters",
+      {"method", "total_train_time_s", "prauc_range", "parameters"});
+  for (size_t m = 0; m < models.size(); ++m) {
+    summary.AddRow({models[m], FormatDouble(total_runtime[m], 2),
+                    FormatDouble(min_prauc[m], 4) + " - " +
+                        FormatDouble(max_prauc[m], 4),
+                    std::to_string(parameters[m])});
+  }
+  summary.Print();
+  std::printf(
+      "\nPaper reference (Fig. 9): AdaMEL-hyb stays in 0.9219-0.9750 across "
+      "steps and trains in 319s vs CorDel 906s and EntityMatcher 2500s; "
+      "AdaMEL has ~2.2M parameters vs EntityMatcher ~123M (ratio, not "
+      "absolute scale, is the reproduced quantity).\n");
+  (void)table.WriteCsv(options.output_dir + "/incremental_sources.csv");
+  (void)summary.WriteCsv(options.output_dir + "/incremental_summary.csv");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate pieces: token embedding, pair featurization, AdaMEL forward
+// pass, and PRAUC computation. These guard the training-loop hot paths the
+// experiment harness depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/features.h"
+#include "core/model.h"
+#include "datagen/music_world.h"
+#include "eval/metrics.h"
+#include "nn/ops.h"
+#include "text/embedding.h"
+
+namespace {
+
+using namespace adamel;
+
+const datagen::MelTask& ArtistTask() {
+  static const datagen::MelTask* task = [] {
+    datagen::MusicTaskOptions options;
+    options.seed = 11;
+    return new datagen::MelTask(datagen::MakeMusicTask(options));
+  }();
+  return *task;
+}
+
+void BM_EmbedToken(benchmark::State& state) {
+  text::HashTextEmbedding embedding;
+  int i = 0;
+  for (auto _ : state) {
+    // Vary the token so the memoization cache does not trivialize the loop.
+    benchmark::DoNotOptimize(
+        embedding.EmbedToken("token" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_EmbedToken);
+
+void BM_EmbedTokenCached(benchmark::State& state) {
+  text::HashTextEmbedding embedding;
+  (void)embedding.EmbedToken("warm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.EmbedToken("warm"));
+  }
+}
+BENCHMARK(BM_EmbedTokenCached);
+
+void BM_FeaturizePair(benchmark::State& state) {
+  const datagen::MelTask& task = ArtistTask();
+  const core::FeatureExtractor extractor(
+      task.source_train.schema(), core::FeatureMode::kSharedAndUnique, 48);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.FeaturizePair(
+        task.source_train.pair(i++ % task.source_train.size())));
+  }
+}
+BENCHMARK(BM_FeaturizePair);
+
+void BM_AdamelForward(benchmark::State& state) {
+  const datagen::MelTask& task = ArtistTask();
+  const core::AdamelConfig config;
+  const core::FeatureExtractor extractor(
+      task.source_train.schema(), config.feature_mode, config.embed_dim);
+  const core::FeaturizedPairs features =
+      extractor.Featurize(task.source_train);
+  Rng rng(1);
+  const core::AdamelModel model(extractor.feature_count(), config, &rng);
+  const int batch = static_cast<int>(state.range(0));
+  const nn::Tensor h = nn::SliceRows(features.matrix, 0, batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(h).logits);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_AdamelForward)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const nn::Tensor a = nn::Tensor::RandomNormal(n, n, 1.0f, &rng);
+  const nn::Tensor b = nn::Tensor::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+void BM_AveragePrecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<float> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::AveragePrecision(scores, labels));
+  }
+}
+BENCHMARK(BM_AveragePrecision)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E13 — parameter-complexity comparison (Section 4.5 / 5.5). Reports the
+// learnable-parameter count of every model at the reduced experiment scale
+// and of AdaMEL at the paper's published dimensions (D=300, H=64, H'=256,
+// H_hidden=256), where the paper reports ~2,219,520 parameters for
+// AdaMEL-hyb vs ~123,119,104 for EntityMatcher.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "datagen/monitor_world.h"
+#include "datagen/music_world.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace adamel;
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  // A small artist task provides the schema (F = 2 * 9 = 18 features).
+  datagen::MusicTaskOptions task_options;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+
+  eval::ResultTable table(
+      "Section 4.5 / 5.5 — learnable parameter counts",
+      {"model", "scale", "parameters"});
+
+  // All comparison models at the experiment scale.
+  for (const std::string& name : bench::ComparisonModelNames()) {
+    std::unique_ptr<core::EntityLinkageModel> model =
+        bench::MakeModel(name, 42);
+    core::MelInputs inputs;
+    inputs.source_train = &task.source_train;
+    inputs.target_unlabeled = &task.target_unlabeled;
+    inputs.support = &task.support;
+    // TLER/Ditto and friends size their networks during Fit.
+    model->Fit(inputs);
+    table.AddRow({name, "experiment",
+                  std::to_string(model->ParameterCount())});
+  }
+
+  // AdaMEL at the paper's dimensions: O(FDH + HH' + F H' H_hidden).
+  {
+    // Paper scale is quoted for Monitor (13 attributes -> F = 26).
+    Rng rng(1);
+    const core::AdamelConfig paper = core::AdamelConfig::PaperScale();
+    const int features =
+        2 * static_cast<int>(datagen::MakeMonitorWorld(1).schema().size());
+    const core::AdamelModel model(features, paper, &rng);
+    table.AddRow({"AdaMEL (paper dims D=300,H=64,H'=256,Hh=256, F=26)",
+                  "paper", std::to_string(model.ParameterCount())});
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper reference: AdaMEL-hyb ~2,219,520 parameters, EntityMatcher "
+      "~123,119,104 (~55x). The reproduced quantity is the ordering and "
+      "ratio: AdaMEL is one-to-two orders of magnitude smaller than the "
+      "EntityMatcher-style hierarchical matcher.\n");
+  const Status status =
+      table.WriteCsv(options.output_dir + "/param_count.csv");
+  return status.ok() ? 0 : 1;
+}

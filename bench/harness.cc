@@ -1,0 +1,115 @@
+#include "bench/harness.h"
+
+#include <cstring>
+#include <functional>
+
+#include "baselines/cordel.h"
+#include "baselines/deepmatcher.h"
+#include "baselines/ditto_like.h"
+#include "baselines/entitymatcher.h"
+#include "baselines/tler.h"
+#include "common/check.h"
+#include "core/trainer.h"
+
+namespace adamel::bench {
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      options.seeds = std::atoi(argv[++i]);
+      ADAMEL_CHECK_GT(options.seeds, 0);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.output_dir = argv[++i];
+    }
+  }
+  return options;
+}
+
+std::vector<std::string> ComparisonModelNames() {
+  return {"TLER",        "DeepMatcher", "EntityMatcher",
+          "Ditto-like",  "CorDel-Attention",
+          "AdaMEL-base", "AdaMEL-zero", "AdaMEL-few", "AdaMEL-hyb"};
+}
+
+std::unique_ptr<core::EntityLinkageModel> MakeModel(
+    const std::string& name, uint64_t seed,
+    const core::AdamelConfig& adamel_config,
+    const baselines::BaselineConfig& baseline_config) {
+  baselines::BaselineConfig bc = baseline_config;
+  bc.seed = seed;
+  core::AdamelConfig ac = adamel_config;
+  ac.seed = seed;
+  if (name == "TLER") {
+    return std::make_unique<baselines::TlerModel>(bc);
+  }
+  if (name == "DeepMatcher") {
+    return std::make_unique<baselines::DeepMatcherModel>(bc);
+  }
+  if (name == "EntityMatcher") {
+    return std::make_unique<baselines::EntityMatcherModel>(bc);
+  }
+  if (name == "Ditto-like") {
+    return std::make_unique<baselines::DittoLikeModel>(bc);
+  }
+  if (name == "CorDel-Attention") {
+    return std::make_unique<baselines::CorDelModel>(bc);
+  }
+  if (name == "AdaMEL-base") {
+    return std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kBase,
+                                                 ac);
+  }
+  if (name == "AdaMEL-zero") {
+    return std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kZero,
+                                                 ac);
+  }
+  if (name == "AdaMEL-few") {
+    return std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kFew,
+                                                 ac);
+  }
+  if (name == "AdaMEL-hyb") {
+    return std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kHyb,
+                                                 ac);
+  }
+  ADAMEL_CHECK(false) << "unknown model " << name;
+  return nullptr;
+}
+
+std::vector<int> TestLabels(const data::PairDataset& dataset) {
+  std::vector<int> labels;
+  labels.reserve(dataset.size());
+  for (const data::LabeledPair& pair : dataset.pairs()) {
+    labels.push_back(pair.label == data::kMatch ? 1 : 0);
+  }
+  return labels;
+}
+
+double FitAndScore(core::EntityLinkageModel* model,
+                   const datagen::MelTask& task) {
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  model->Fit(inputs);
+  return eval::AveragePrecision(model->PredictScores(task.test),
+                                TestLabels(task.test));
+}
+
+eval::RunStats RunRepeated(
+    const std::string& model_name, int seeds,
+    const std::function<datagen::MelTask(uint64_t)>& make_task,
+    const core::AdamelConfig& adamel_config) {
+  std::vector<double> praucs;
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 41 + s;
+    const datagen::MelTask task = make_task(seed);
+    std::unique_ptr<core::EntityLinkageModel> model =
+        MakeModel(model_name, seed, adamel_config);
+    praucs.push_back(FitAndScore(model.get(), task));
+  }
+  return eval::Aggregate(praucs);
+}
+
+}  // namespace adamel::bench

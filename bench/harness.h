@@ -1,0 +1,59 @@
+#ifndef ADAMEL_BENCH_HARNESS_H_
+#define ADAMEL_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/config.h"
+#include "core/linkage_model.h"
+#include "datagen/mel_task.h"
+#include "eval/metrics.h"
+
+namespace adamel::bench {
+
+/// Command-line options shared by every experiment binary.
+struct BenchOptions {
+  /// Number of repeated runs (seeds) per configuration. The paper runs 3;
+  /// the default here is 2 to keep the full suite CPU-friendly (override
+  /// with --seeds N).
+  int seeds = 2;
+  /// Quick mode trims the configuration grid (--quick).
+  bool quick = false;
+  /// Output directory for CSVs (--out DIR).
+  std::string output_dir = "bench_results";
+};
+
+/// Parses --seeds/--quick/--out; ignores unknown flags.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// The model roster of the Figure 6 / Table 8 / Table 9 comparison, in the
+/// paper's row order.
+std::vector<std::string> ComparisonModelNames();
+
+/// Instantiates a model by roster name with the given seed. AdaMEL variants
+/// accept a config override.
+std::unique_ptr<core::EntityLinkageModel> MakeModel(
+    const std::string& name, uint64_t seed,
+    const core::AdamelConfig& adamel_config = {},
+    const baselines::BaselineConfig& baseline_config = {});
+
+/// Integer labels of a labeled dataset (kMatch -> 1, else 0).
+std::vector<int> TestLabels(const data::PairDataset& dataset);
+
+/// Fits `model` on the task and returns test PRAUC.
+double FitAndScore(core::EntityLinkageModel* model,
+                   const datagen::MelTask& task);
+
+/// Runs one model name for `seeds` repetitions on a task-generating
+/// function and aggregates PRAUC. `make_task(seed)` regenerates the task so
+/// data sampling noise is included in the spread, as in the paper.
+eval::RunStats RunRepeated(
+    const std::string& model_name, int seeds,
+    const std::function<datagen::MelTask(uint64_t)>& make_task,
+    const core::AdamelConfig& adamel_config = {});
+
+}  // namespace adamel::bench
+
+#endif  // ADAMEL_BENCH_HARNESS_H_

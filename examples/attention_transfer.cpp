@@ -1,0 +1,75 @@
+// Inspecting the transferable knowledge K: how domain adaptation moves the
+// learned attribute importance from source-domain habits to target-domain
+// reality (the Section 5.4 analysis as a runnable walkthrough).
+//
+// Trains AdaMEL-base (no adaptation) and AdaMEL-hyb (full adaptation) on
+// the track-linkage task, where the `version` attribute (original / remix /
+// cover) is decisive in the unseen websites but almost never populated in
+// the seen ones — the paper's C2 challenge.
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "eval/metrics.h"
+
+namespace {
+
+void PrintImportance(
+    const char* title,
+    const std::vector<std::pair<std::string, double>>& importance) {
+  std::printf("%s\n", title);
+  for (size_t i = 0; i < importance.size() && i < 6; ++i) {
+    std::printf("  %2zu. %-28s %.4f\n", i + 1, importance[i].first.c_str(),
+                importance[i].second);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace adamel;
+
+  datagen::MusicTaskOptions options;
+  options.entity_type = datagen::MusicEntityType::kTrack;
+  options.scenario = datagen::MelScenario::kDisjoint;
+  options.seed = 17;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+
+  std::vector<int> labels;
+  for (const data::LabeledPair& pair : task.test.pairs()) {
+    labels.push_back(pair.label == data::kMatch ? 1 : 0);
+  }
+
+  const core::AdamelTrainer trainer((core::AdamelConfig{}));
+
+  const core::TrainedAdamel base =
+      trainer.Fit(core::AdamelVariant::kBase, inputs);
+  const core::TrainedAdamel hyb =
+      trainer.Fit(core::AdamelVariant::kHyb, inputs);
+
+  std::printf("Task: %s (unseen websites only in the test set)\n\n",
+              task.name.c_str());
+  PrintImportance("AdaMEL-base attention on target pairs (no adaptation):",
+                  base.MeanAttention(task.test));
+  std::printf("\n");
+  PrintImportance("AdaMEL-hyb attention on target pairs (adapted):",
+                  hyb.MeanAttention(task.test));
+
+  const double base_prauc =
+      eval::AveragePrecision(base.Predict(task.test), labels);
+  const double hyb_prauc =
+      eval::AveragePrecision(hyb.Predict(task.test), labels);
+  std::printf("\nPRAUC: base %.4f -> hyb %.4f (adaptation gain %+0.4f)\n",
+              base_prauc, hyb_prauc, hyb_prauc - base_prauc);
+  std::printf(
+      "Watch the `version_*` and `name_native_language_*` features: they "
+      "carry little weight without adaptation (absent in D_S) and rise "
+      "once the target domain and support set inform the attention.\n");
+  return 0;
+}

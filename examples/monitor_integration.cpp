@@ -1,0 +1,58 @@
+// Incremental knowledge integration on the Monitor catalog (the Section 5.5
+// scenario): new shopping sites arrive in batches, and the deployed model
+// must stay accurate without hand-labeling each new site.
+//
+// Shows how AdaMEL-hyb is retrained per integration step against the
+// growing unlabeled target domain, how its PRAUC stays stable, and how the
+// learned attribute importance (the transferable knowledge K) shifts as the
+// source mix changes.
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "datagen/monitor_world.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace adamel;
+
+  const datagen::MonitorIncrementalSeries series =
+      datagen::MakeMonitorIncrementalSeries(31);
+  std::printf(
+      "Fixed training set: %d pairs from 5 seen shops; support set: %d "
+      "human-labeled pairs.\n\n",
+      series.train.size(), series.support.size());
+
+  const core::AdamelTrainer trainer((core::AdamelConfig{}));
+  std::printf("%-8s %-10s %-8s %s\n", "shops", "test_pairs", "prauc",
+              "top attribute (attention)");
+
+  for (size_t step = 0; step < series.step_tests.size(); step += 2) {
+    const data::PairDataset& test = series.step_tests[step];
+    const data::PairDataset unlabeled = test.WithoutLabels();
+
+    core::MelInputs inputs;
+    inputs.source_train = &series.train;
+    inputs.target_unlabeled = &unlabeled;
+    inputs.support = &series.support;
+    const core::TrainedAdamel model =
+        trainer.Fit(core::AdamelVariant::kHyb, inputs);
+
+    std::vector<int> labels;
+    for (const data::LabeledPair& pair : test.pairs()) {
+      labels.push_back(pair.label == data::kMatch ? 1 : 0);
+    }
+    const double prauc =
+        eval::AveragePrecision(model.Predict(test), labels);
+    const auto importance = model.MeanAttention(test);
+    std::printf("%-8zu %-10d %-8.4f %s (%.4f)\n",
+                series.step_sources[step].size(), test.size(), prauc,
+                importance[0].first.c_str(), importance[0].second);
+  }
+
+  std::printf(
+      "\nThe model is retrained per step against the new unlabeled sources "
+      "(Algorithm 3); PRAUC stays within a narrow band as |D_T*| grows — "
+      "the Figure 9 stability result.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// End-to-end multi-source music linkage: the full production-style pipeline
+// the paper motivates (Figure 1).
+//
+//   1. records arrive from 7 music websites (3 well-labeled, 4 unseen),
+//   2. blocking proposes candidate pairs instead of the quadratic all-pairs,
+//   3. AdaMEL-hyb is trained with labeled source-domain pairs, the unlabeled
+//      target pool, and a 100-pair human-labeled support set,
+//   4. candidates are scored and high-confidence links emitted,
+//   5. the linked pairs are exported to CSV for downstream consumption.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/blocking.h"
+#include "data/csv.h"
+#include "datagen/music_world.h"
+#include "eval/metrics.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace adamel;
+
+  // --- 1. Data arrival: render a small record feed from all 7 websites.
+  const datagen::World world =
+      datagen::MakeMusicWorld(datagen::MusicEntityType::kArtist, 99);
+  Rng rng(4);
+  std::vector<data::Record> feed;
+  for (int entity = 0; entity < 120; ++entity) {
+    for (const std::string& site : datagen::MusicAllSources()) {
+      if (rng.Bernoulli(0.35)) {  // each site covers a subset of artists
+        feed.push_back(world.Render(entity, site, &rng));
+      }
+    }
+  }
+  std::printf("Feed: %zu records from %zu websites\n", feed.size(),
+              datagen::MusicAllSources().size());
+
+  // --- 2. Blocking: candidate generation via shared-token inverted index.
+  const text::Tokenizer tokenizer;
+  data::BlockingOptions blocking;
+  blocking.key_attributes = {"name", "main_performer",
+                             "name_native_language"};
+  blocking.min_shared_tokens = 1;
+  const std::vector<data::CandidatePair> candidates =
+      data::GenerateCandidates(feed, world.schema(), tokenizer, blocking);
+  const double all_pairs =
+      static_cast<double>(feed.size()) * (feed.size() - 1) / 2.0;
+  std::printf("Blocking: %zu candidates (%.2f%% of %.0f possible pairs)\n",
+              candidates.size(), 100.0 * candidates.size() / all_pairs,
+              all_pairs);
+
+  // --- 3. Train AdaMEL-hyb on the standard MEL task roles.
+  datagen::MusicTaskOptions task_options;
+  task_options.entity_type = datagen::MusicEntityType::kArtist;
+  task_options.seed = 99;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  const core::AdamelTrainer trainer((core::AdamelConfig{}));
+  const core::TrainedAdamel model =
+      trainer.Fit(core::AdamelVariant::kHyb, inputs);
+
+  // --- 4. Score the blocked candidates.
+  data::PairDataset candidate_pairs(world.schema());
+  for (const data::CandidatePair& candidate : candidates) {
+    data::LabeledPair pair;
+    pair.left = feed[candidate.left];
+    pair.right = feed[candidate.right];
+    candidate_pairs.Add(std::move(pair));
+  }
+  const std::vector<float> scores = model.Predict(candidate_pairs);
+
+  // Quality accounting against the generator's ground truth.
+  int emitted = 0;
+  int correct = 0;
+  int true_links = 0;
+  data::PairDataset links(world.schema());
+  for (int i = 0; i < candidate_pairs.size(); ++i) {
+    const auto& pair = candidate_pairs.pair(i);
+    const bool same_entity = pair.left.entity_id == pair.right.entity_id;
+    true_links += same_entity ? 1 : 0;
+    if (scores[i] >= 0.9f) {  // high-confidence links only
+      ++emitted;
+      correct += same_entity ? 1 : 0;
+      data::LabeledPair link = pair;
+      link.label = data::kMatch;
+      links.Add(std::move(link));
+    }
+  }
+  std::printf(
+      "Linking: emitted %d links, precision %.3f, recall %.3f "
+      "(%d true co-references among candidates)\n",
+      emitted, emitted > 0 ? static_cast<double>(correct) / emitted : 0.0,
+      true_links > 0 ? static_cast<double>(correct) / true_links : 0.0,
+      true_links);
+
+  // --- 5. Export.
+  const std::string out_path = "music_links.csv";
+  const Status status =
+      data::WriteCsvFile(out_path, data::PairDatasetToCsv(links));
+  if (!status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Exported %d links to %s\n", links.size(), out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: train AdaMEL on a synthetic multi-source music-linkage task
+// and evaluate all four variants on unseen data sources.
+//
+// Demonstrates the core public API:
+//   1. build a MEL task (labeled D_S, unlabeled D_T, support S_U, test set),
+//   2. train an AdaMEL variant with AdamelTrainer,
+//   3. score unseen pairs and compute PRAUC,
+//   4. inspect the learned attribute importance (transferable knowledge K).
+
+#include <cstdio>
+
+#include "core/config.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace adamel;
+
+  // 1. A multi-source entity-linkage task: websites 1-3 are labeled (source
+  //    domain), websites 4-7 are unseen and unlabeled (target domain).
+  datagen::MusicTaskOptions task_options;
+  task_options.entity_type = datagen::MusicEntityType::kArtist;
+  task_options.scenario = datagen::MelScenario::kOverlapping;
+  task_options.seed = 7;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+
+  std::printf("Task %s: |D_S|=%d labeled, |D_T|=%d unlabeled, |S_U|=%d, "
+              "test=%d pairs\n",
+              task.name.c_str(), task.source_train.size(),
+              task.target_unlabeled.size(), task.support.size(),
+              task.test.size());
+
+  // 2. Train each variant.
+  core::AdamelConfig config;
+  config.seed = 42;
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+
+  std::vector<int> test_labels;
+  for (const data::LabeledPair& pair : task.test.pairs()) {
+    test_labels.push_back(pair.label == data::kMatch ? 1 : 0);
+  }
+
+  const core::AdamelTrainer trainer(config);
+  core::TrainedAdamel hyb =
+      trainer.Fit(core::AdamelVariant::kHyb, inputs);
+  for (const core::AdamelVariant variant :
+       {core::AdamelVariant::kBase, core::AdamelVariant::kZero,
+        core::AdamelVariant::kFew, core::AdamelVariant::kHyb}) {
+    const core::TrainedAdamel model = trainer.Fit(variant, inputs);
+    // 3. Score the unseen pairs.
+    const std::vector<float> scores = model.Predict(task.test);
+    const double prauc = eval::AveragePrecision(scores, test_labels);
+    std::printf("%-12s PRAUC = %.4f   (%lld parameters)\n",
+                core::AdamelVariantName(variant), prauc,
+                static_cast<long long>(model.ParameterCount()));
+  }
+
+  // 4. The transferable knowledge K: learned attribute importance.
+  std::printf("\nTop-5 features by learned attention (AdaMEL-hyb):\n");
+  const auto importance = hyb.MeanAttention(task.test);
+  for (size_t i = 0; i < importance.size() && i < 5; ++i) {
+    std::printf("  %-28s %.4f\n", importance[i].first.c_str(),
+                importance[i].second);
+  }
+  return 0;
+}

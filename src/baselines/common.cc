@@ -1,0 +1,54 @@
+#include "baselines/common.h"
+
+#include "common/check.h"
+
+namespace adamel::baselines {
+
+std::vector<TokenizedPair> TokenizeDataset(const data::PairDataset& dataset,
+                                           int token_crop) {
+  text::TokenizerOptions options;
+  options.crop_size = token_crop;
+  const text::Tokenizer tokenizer(options);
+  const int attrs = dataset.schema().size();
+  std::vector<TokenizedPair> result;
+  result.reserve(dataset.size());
+  for (const data::LabeledPair& pair : dataset.pairs()) {
+    TokenizedPair tokenized;
+    tokenized.left_tokens.resize(attrs);
+    tokenized.right_tokens.resize(attrs);
+    for (int a = 0; a < attrs; ++a) {
+      tokenized.left_tokens[a] = tokenizer.Tokenize(pair.left.value(a));
+      tokenized.right_tokens[a] = tokenizer.Tokenize(pair.right.value(a));
+    }
+    tokenized.label = pair.label == data::kMatch ? 1.0f : 0.0f;
+    result.push_back(std::move(tokenized));
+  }
+  return result;
+}
+
+nn::Tensor EmbedSequence(const text::HashTextEmbedding& embedding,
+                         const std::vector<std::string>& tokens) {
+  const int d = embedding.dim();
+  if (tokens.empty()) {
+    return nn::Tensor::FromVector(1, d, embedding.missing_value_vector());
+  }
+  std::vector<float> values;
+  values.reserve(tokens.size() * d);
+  for (const std::string& token : tokens) {
+    const std::vector<float> v = embedding.EmbedToken(token);
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  return nn::Tensor::FromVector(static_cast<int>(tokens.size()), d,
+                                std::move(values));
+}
+
+data::PairDataset CapTrainingPairs(const data::PairDataset& dataset,
+                                   int max_pairs, Rng* rng) {
+  if (max_pairs <= 0 || dataset.size() <= max_pairs) {
+    return dataset;
+  }
+  ADAMEL_CHECK(rng != nullptr);
+  return dataset.Sample(max_pairs, rng);
+}
+
+}  // namespace adamel::baselines

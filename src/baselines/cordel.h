@@ -1,0 +1,48 @@
+#ifndef ADAMEL_BASELINES_CORDEL_H_
+#define ADAMEL_BASELINES_CORDEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/linkage_model.h"
+#include "nn/layers.h"
+#include "text/embedding.h"
+
+namespace adamel::baselines {
+
+/// CorDel-Attention (Wang et al., 2020): compare-and-contrast *before*
+/// embedding. For every attribute the token lists are split into shared and
+/// unique groups (filtering out minor deviations), each group is summarized
+/// by *word-level* attention over its token embeddings, and a feed-forward
+/// classifier consumes the per-attribute group summaries. Unlike AdaMEL,
+/// the attention here is within-attribute over words — there is no
+/// attribute-level importance and no domain adaptation; the contrast with
+/// AdaMEL's attribute-level attention is exactly what the paper's CorDel
+/// comparison probes.
+class CorDelModel : public core::EntityLinkageModel {
+ public:
+  explicit CorDelModel(BaselineConfig config = {});
+  ~CorDelModel() override;
+
+  std::string Name() const override { return "CorDel-Attention"; }
+  void Fit(const core::MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+ private:
+  struct Network;
+
+  nn::Tensor PairLogit(const TokenizedPair& pair) const;
+
+  BaselineConfig config_;
+  data::Schema schema_;
+  std::unique_ptr<text::HashTextEmbedding> embedding_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace adamel::baselines
+
+#endif  // ADAMEL_BASELINES_CORDEL_H_

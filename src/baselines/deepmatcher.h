@@ -1,0 +1,51 @@
+#ifndef ADAMEL_BASELINES_DEEPMATCHER_H_
+#define ADAMEL_BASELINES_DEEPMATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/linkage_model.h"
+#include "nn/layers.h"
+#include "text/embedding.h"
+
+namespace adamel::baselines {
+
+/// DeepMatcher-hybrid (Mudgal et al., 2018), reduced scale.
+///
+/// Faithful structure: per-attribute token sequences are summarized by a
+/// shared bidirectional GRU with learned attention pooling ("attribute
+/// embedding" + "attribute similarity representation"), the per-attribute
+/// similarity vector is [|s_l - s_r| ; s_l ⊙ s_r], and a highway layer +
+/// linear head classifies the concatenation. Purely supervised on D_S — the
+/// paper's representative deep EL baseline that overfits the seen sources in
+/// the MEL setting.
+class DeepMatcherModel : public core::EntityLinkageModel {
+ public:
+  explicit DeepMatcherModel(BaselineConfig config = {});
+  ~DeepMatcherModel() override;
+
+  std::string Name() const override { return "DeepMatcher"; }
+  void Fit(const core::MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+ private:
+  struct Network;
+
+  /// Summarizes one token sequence: BiGRU states + attention pooling.
+  nn::Tensor Summarize(const nn::Tensor& sequence) const;
+  /// Builds the pair logit (1x1) from tokenized attribute sequences.
+  nn::Tensor PairLogit(const TokenizedPair& pair) const;
+
+  BaselineConfig config_;
+  data::Schema schema_;
+  std::unique_ptr<text::HashTextEmbedding> embedding_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace adamel::baselines
+
+#endif  // ADAMEL_BASELINES_DEEPMATCHER_H_

@@ -1,0 +1,67 @@
+#ifndef ADAMEL_BASELINES_DITTO_LIKE_H_
+#define ADAMEL_BASELINES_DITTO_LIKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/linkage_model.h"
+#include "nn/layers.h"
+#include "text/embedding.h"
+#include "text/tfidf.h"
+
+namespace adamel::baselines {
+
+/// Ditto-like (Li et al., VLDB 2020) with the pretrained language model
+/// replaced by the shared HashText embedding (BERT is not available
+/// offline; DESIGN.md documents the substitution).
+///
+/// The reproduced Ditto pipeline pieces are:
+///  - pair serialization: "[COL] attr [VAL] tokens ..." per attribute per
+///    record;
+///  - text summarization: retain the highest TF-IDF tokens (the
+///    configuration the paper selected for Ditto in Section 5.1);
+///  - data augmentation: random span deletion on the serialized sequence
+///    during training (the paper's chosen augmentation operator);
+///  - a deeper MLP head over the pooled pair representation standing in for
+///    the fine-tuned transformer encoder.
+class DittoLikeModel : public core::EntityLinkageModel {
+ public:
+  explicit DittoLikeModel(BaselineConfig config = {});
+  ~DittoLikeModel() override;
+
+  std::string Name() const override { return "Ditto-like"; }
+  void Fit(const core::MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+  /// Serialized token stream of one record ("col <attr> val <tokens>").
+  static std::vector<std::string> Serialize(
+      const data::Record& record, const data::Schema& schema,
+      const text::Tokenizer& tokenizer);
+
+ private:
+  struct Network;
+
+  /// Pools a serialized token list into a fixed vector (mean of embeddings
+  /// of the TF-IDF-retained tokens). Optional span deletion for
+  /// augmentation.
+  std::vector<float> PoolTokens(const std::vector<std::string>& tokens,
+                                bool augment, Rng* rng) const;
+  /// Pair representation: [left ; right ; |diff| ; product].
+  std::vector<float> PairVector(const std::vector<std::string>& left,
+                                const std::vector<std::string>& right,
+                                bool augment, Rng* rng) const;
+
+  BaselineConfig config_;
+  data::Schema schema_;
+  std::unique_ptr<text::HashTextEmbedding> embedding_;
+  text::TfIdfModel tfidf_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace adamel::baselines
+
+#endif  // ADAMEL_BASELINES_DITTO_LIKE_H_

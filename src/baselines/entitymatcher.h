@@ -1,0 +1,57 @@
+#ifndef ADAMEL_BASELINES_ENTITYMATCHER_H_
+#define ADAMEL_BASELINES_ENTITYMATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/linkage_model.h"
+#include "nn/layers.h"
+#include "text/embedding.h"
+
+namespace adamel::baselines {
+
+/// EntityMatcher-like (Fu et al., IJCAI 2020): hierarchical matching at the
+/// token, attribute, and entity level with *cross-attribute token
+/// alignment*.
+///
+/// Token level: every token of one record is aligned to its best
+/// cosine-matching token anywhere in the other record (cross-attribute) and
+/// within the same attribute. Attribute level: alignment statistics per
+/// attribute pass through per-attribute projections. Entity level: a wide
+/// MLP aggregates all attributes. The wide aggregation layers mirror the
+/// original's heavy parameterization (the paper reports ~123M parameters vs
+/// AdaMEL's ~2.2M; this reproduction keeps the ratio, not the absolute
+/// count).
+class EntityMatcherModel : public core::EntityLinkageModel {
+ public:
+  explicit EntityMatcherModel(BaselineConfig config = {});
+  ~EntityMatcherModel() override;
+
+  std::string Name() const override { return "EntityMatcher"; }
+  void Fit(const core::MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+  /// Alignment statistics per attribute per direction.
+  static constexpr int kAlignFeatures = 6;
+
+ private:
+  struct Network;
+
+  /// Token-level alignment features for one pair (attrs * 2 * kAlignFeatures
+  /// floats).
+  std::vector<float> AlignmentFeatures(const TokenizedPair& pair) const;
+  nn::Tensor FeaturizeDataset(const std::vector<TokenizedPair>& pairs) const;
+
+  BaselineConfig config_;
+  data::Schema schema_;
+  std::unique_ptr<text::HashTextEmbedding> embedding_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace adamel::baselines
+
+#endif  // ADAMEL_BASELINES_ENTITYMATCHER_H_

@@ -1,0 +1,46 @@
+#ifndef ADAMEL_BASELINES_TLER_H_
+#define ADAMEL_BASELINES_TLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/linkage_model.h"
+#include "nn/layers.h"
+
+namespace adamel::baselines {
+
+/// TLER (Thirumuruganathan et al., 2018): transfer for entity resolution via
+/// a *standard feature space* — a fixed vector of classic string-similarity
+/// measures per attribute (so any source's model applies to any target) —
+/// with a shallow learner on top, reusing the seen labeled data. This
+/// reproduction uses per-attribute {Jaccard, Levenshtein, Monge-Elkan,
+/// 3-gram, exact-match, both-present} features and logistic regression.
+class TlerModel : public core::EntityLinkageModel {
+ public:
+  explicit TlerModel(BaselineConfig config = {});
+
+  std::string Name() const override { return "TLER"; }
+  void Fit(const core::MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+  /// Number of similarity features per attribute.
+  static constexpr int kFeaturesPerAttribute = 6;
+
+  /// Exposed for tests: the standard feature vector of one pair.
+  static std::vector<float> SimilarityFeatures(const data::LabeledPair& pair,
+                                               int attribute_count,
+                                               int token_crop);
+
+ private:
+  BaselineConfig config_;
+  data::Schema schema_;
+  std::unique_ptr<nn::Linear> weights_;
+};
+
+}  // namespace adamel::baselines
+
+#endif  // ADAMEL_BASELINES_TLER_H_

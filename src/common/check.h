@@ -1,0 +1,65 @@
+#ifndef ADAMEL_COMMON_CHECK_H_
+#define ADAMEL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace adamel::internal_check {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+///
+/// This is the implementation detail behind the `ADAMEL_CHECK*` macros.
+/// Library code uses these macros for programming errors (contract
+/// violations); recoverable conditions use `adamel::Status` instead.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "ADAMEL_CHECK failure: (" << condition << ") at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace adamel::internal_check
+
+/// Aborts with a diagnostic when `condition` is false. Additional context may
+/// be streamed: `ADAMEL_CHECK(i < n) << "index " << i;`
+#define ADAMEL_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::adamel::internal_check::CheckFailureStream(#condition, __FILE__, \
+                                                 __LINE__)
+
+/// Binary comparison checks that print both operands on failure.
+#define ADAMEL_CHECK_EQ(a, b) \
+  ADAMEL_CHECK((a) == (b)) << "[" << (a) << " vs " << (b) << "] "
+#define ADAMEL_CHECK_NE(a, b) \
+  ADAMEL_CHECK((a) != (b)) << "[" << (a) << " vs " << (b) << "] "
+#define ADAMEL_CHECK_LT(a, b) \
+  ADAMEL_CHECK((a) < (b)) << "[" << (a) << " vs " << (b) << "] "
+#define ADAMEL_CHECK_LE(a, b) \
+  ADAMEL_CHECK((a) <= (b)) << "[" << (a) << " vs " << (b) << "] "
+#define ADAMEL_CHECK_GT(a, b) \
+  ADAMEL_CHECK((a) > (b)) << "[" << (a) << " vs " << (b) << "] "
+#define ADAMEL_CHECK_GE(a, b) \
+  ADAMEL_CHECK((a) >= (b)) << "[" << (a) << " vs " << (b) << "] "
+
+#endif  // ADAMEL_COMMON_CHECK_H_

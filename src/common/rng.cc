@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adamel {
+namespace {
+
+// SplitMix64: expands one 64-bit seed into a well-mixed stream; used only to
+// initialize the xoshiro state.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**.
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa yields uniform doubles in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  ADAMEL_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int Rng::UniformInt(int n) {
+  ADAMEL_CHECK_GT(n, 0);
+  return static_cast<int>(Next() % static_cast<uint64_t>(n));
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  ADAMEL_CHECK_LE(lo, hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = Uniform();
+  while (u1 <= 1e-300) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  ADAMEL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    ADAMEL_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  ADAMEL_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::Zipf(int n, double s) {
+  ADAMEL_CHECK_GT(n, 0);
+  // Direct inversion over the (small) support; the generators use n <= a few
+  // thousand, so the linear scan is fine and exact.
+  double norm = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  double target = Uniform() * norm;
+  for (int k = 1; k <= n; ++k) {
+    target -= 1.0 / std::pow(static_cast<double>(k), s);
+    if (target < 0.0) {
+      return k - 1;
+    }
+  }
+  return n - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  ADAMEL_CHECK_GE(n, k);
+  ADAMEL_CHECK_GE(k, 0);
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) {
+    indices[i] = i;
+  }
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (int i = 0; i < k; ++i) {
+    const int j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace adamel

@@ -1,0 +1,80 @@
+#ifndef ADAMEL_COMMON_RNG_H_
+#define ADAMEL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adamel {
+
+/// Deterministic pseudo-random number generator used throughout the library.
+///
+/// Wraps a SplitMix64-seeded xoshiro256** engine so that every experiment is
+/// reproducible from a single integer seed, independent of the platform's
+/// standard-library distributions (std::normal_distribution etc. are not
+/// guaranteed to produce identical streams across standard libraries, so the
+/// distribution transforms are implemented here).
+class Rng {
+ public:
+  /// Seeds the generator. Two `Rng` instances with the same seed produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a double uniform in [0, 1).
+  double Uniform();
+
+  /// Returns a double uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniform in [0, n). `n` must be positive.
+  int UniformInt(int n);
+
+  /// Returns an integer uniform in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Returns a standard normal sample (Box-Muller).
+  double Normal();
+
+  /// Returns a normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p);
+
+  /// Returns an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Returns a sample from Zipf(s) over {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+  /// Used by the data generators to produce realistic skewed token
+  /// frequencies.
+  int Zipf(int n, double s);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (int i = static_cast<int>(values.size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap(values[i], values[j]);
+    }
+  }
+
+  /// Returns `k` distinct indices drawn uniformly from [0, n). `k` <= `n`.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Forks a child generator whose stream is independent of (but
+  /// deterministically derived from) this one. Useful to give each data
+  /// source / trial its own stream while keeping global reproducibility.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace adamel
+
+#endif  // ADAMEL_COMMON_RNG_H_

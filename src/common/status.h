@@ -1,0 +1,116 @@
+#ifndef ADAMEL_COMMON_STATUS_H_
+#define ADAMEL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace adamel {
+
+/// Error category for recoverable failures surfaced to callers.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kIoError = 6,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error result, modeled after absl::Status.
+///
+/// The library never throws; every fallible operation (I/O, parsing,
+/// user-supplied configuration) returns a `Status` or `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given error code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Accessing the value of a non-OK `StatusOr` is a checked programming error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
+
+  /// Constructs from an error status; `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {
+    ADAMEL_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ADAMEL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    ADAMEL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    ADAMEL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates an error status to the caller: `ADAMEL_RETURN_IF_ERROR(expr);`
+#define ADAMEL_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::adamel::Status adamel_status_ = (expr);   \
+    if (!adamel_status_.ok()) {                 \
+      return adamel_status_;                    \
+    }                                           \
+  } while (false)
+
+}  // namespace adamel
+
+#endif  // ADAMEL_COMMON_STATUS_H_

@@ -1,0 +1,96 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace adamel {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view input) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      parts.emplace_back(input.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      result.append(separator);
+    }
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc < 0x80) {
+      c = static_cast<char>(std::tolower(uc));
+    }
+  }
+  return result;
+}
+
+std::string StripAsciiWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return std::string(input.substr(begin, end - begin));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return std::string(buffer);
+}
+
+}  // namespace adamel

@@ -1,0 +1,38 @@
+#ifndef ADAMEL_COMMON_STRING_UTIL_H_
+#define ADAMEL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adamel {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Splits `input` on any ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Lowercases ASCII characters in place-copy; bytes >= 0x80 pass through so
+/// UTF-8 content survives untouched.
+std::string ToLowerAscii(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StripAsciiWhitespace(std::string_view input);
+
+/// Returns true when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Returns true when `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace adamel
+
+#endif  // ADAMEL_COMMON_STRING_UTIL_H_

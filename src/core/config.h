@@ -1,0 +1,83 @@
+#ifndef ADAMEL_CORE_CONFIG_H_
+#define ADAMEL_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace adamel::core {
+
+/// Which contrastive relational features are extracted per attribute
+/// (Eq. (2) of the paper). kSharedAndUnique is the paper's default
+/// (F = 2|A|); the other two modes exist for the Table 6 ablation.
+enum class FeatureMode {
+  kSharedAndUnique,
+  kSharedOnly,
+  kUniqueOnly,
+};
+
+/// Hyperparameters of the AdaMEL model and its training loop.
+///
+/// Paper values (Section 5.1): FastText D=300, H=64, H'=256,
+/// H_hidden=256, Adam lr=1e-4, 100 epochs, batch 16, lambda=0.98, phi=1.0.
+/// The library defaults below shrink D/H'/H_hidden and raise the learning
+/// rate so a full experiment grid runs on one CPU in minutes; every value is
+/// overridable, and `PaperScale()` restores the paper's dimensions (used by
+/// the parameter-count benchmark).
+struct AdamelConfig {
+  // Architecture.
+  int embed_dim = 48;      // D: token-embedding width
+  int latent_dim = 32;     // H: per-feature latent width (Eq. 4)
+  int attention_dim = 32;  // H': attention hidden width (Eq. 5)
+  int hidden_dim = 64;     // classifier Theta's hidden width (Eq. 7)
+  FeatureMode feature_mode = FeatureMode::kSharedAndUnique;
+
+  // Optimization.
+  int epochs = 30;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+
+  // Domain adaptation.
+  float lambda = 0.98f;  // Eq. (9)/(14): weight of L_target
+  float phi = 1.0f;      // Eq. (13)/(14): weight of L_support
+  /// Number of unlabeled target pairs sampled per step to estimate the mean
+  /// target attention (the paper's batched D_T, Section 4.4.1).
+  int target_batch = 48;
+  /// Use Eq. (12)'s centroid-deviation example weights in L_support (true =
+  /// paper behaviour; false = plain BCE, used by ablations).
+  bool support_deviation_weights = true;
+  /// Apply L_support every k-th mini-batch (1 = every batch as in
+  /// Algorithm 2; larger values reduce how often the small S_U is revisited).
+  int support_every = 1;
+  /// L2 weight decay applied through Adam.
+  float weight_decay = 0.0f;
+
+  uint64_t seed = 17;
+
+  /// Returns a config with the paper's full dimensions.
+  static AdamelConfig PaperScale() {
+    AdamelConfig config;
+    config.embed_dim = 300;
+    config.latent_dim = 64;
+    config.attention_dim = 256;
+    config.hidden_dim = 256;
+    config.learning_rate = 1e-4f;
+    config.epochs = 100;
+    config.batch_size = 16;
+    return config;
+  }
+};
+
+/// The four AdaMEL variants of Section 4.4.
+enum class AdamelVariant {
+  kBase,  // supervised on D_S only (Figure 4)
+  kZero,  // + unsupervised domain adaptation via KL on D_T (Algorithm 1)
+  kFew,   // + semi-supervised support-set loss (Algorithm 2)
+  kHyb,   // both adaptation terms (Algorithm 3)
+};
+
+/// Stable display name ("AdaMEL-base", ...).
+const char* AdamelVariantName(AdamelVariant variant);
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_CONFIG_H_

@@ -1,0 +1,114 @@
+#include "core/features.h"
+
+#include "common/check.h"
+
+namespace adamel::core {
+
+const char* AdamelVariantName(AdamelVariant variant) {
+  switch (variant) {
+    case AdamelVariant::kBase:
+      return "AdaMEL-base";
+    case AdamelVariant::kZero:
+      return "AdaMEL-zero";
+    case AdamelVariant::kFew:
+      return "AdaMEL-few";
+    case AdamelVariant::kHyb:
+      return "AdaMEL-hyb";
+  }
+  return "AdaMEL-?";
+}
+
+FeatureExtractor::FeatureExtractor(data::Schema schema, FeatureMode mode,
+                                   int embedding_dim,
+                                   text::TokenizerOptions tokenizer_options)
+    : schema_(std::move(schema)),
+      mode_(mode),
+      tokenizer_(tokenizer_options),
+      embedding_(text::EmbeddingOptions{.dim = embedding_dim}) {
+  ADAMEL_CHECK_GT(schema_.size(), 0);
+  for (int a = 0; a < schema_.size(); ++a) {
+    if (mode_ != FeatureMode::kUniqueOnly) {
+      feature_names_.push_back(schema_.attribute(a) + "_shared");
+    }
+    if (mode_ != FeatureMode::kSharedOnly) {
+      feature_names_.push_back(schema_.attribute(a) + "_unique");
+    }
+  }
+}
+
+std::vector<float> FeatureExtractor::FeaturizePair(
+    const data::LabeledPair& pair) const {
+  const int d = embed_dim();
+  std::vector<float> row;
+  row.reserve(feature_count() * d);
+  auto append = [&row](const std::vector<float>& v) {
+    row.insert(row.end(), v.begin(), v.end());
+  };
+  for (int a = 0; a < schema_.size(); ++a) {
+    const bool left_missing = pair.left.IsMissing(a);
+    const bool right_missing = pair.right.IsMissing(a);
+    if (left_missing || right_missing) {
+      // Either side missing: both relational features degrade to the fixed
+      // missing-value vector (Section 4.3's initialization rule). Using the
+      // same constant for sim and uni keeps missingness itself visible to
+      // the attention module without leaking which side was empty.
+      if (mode_ != FeatureMode::kUniqueOnly) {
+        append(embedding_.missing_value_vector());
+      }
+      if (mode_ != FeatureMode::kSharedOnly) {
+        append(embedding_.missing_value_vector());
+      }
+      continue;
+    }
+    const text::TokenContrast contrast =
+        text::ContrastTokens(tokenizer_.Tokenize(pair.left.value(a)),
+                             tokenizer_.Tokenize(pair.right.value(a)));
+    // An empty contrast set when both values are PRESENT is evidence, not
+    // absence: zero shared tokens is a strong non-match signal and zero
+    // unique tokens a strong match signal. Embed those as the zero vector —
+    // distinct from the fixed non-zero missing-value vector, which Section
+    // 4.3 reserves for genuinely missing values.
+    const std::vector<float> zero(embed_dim(), 0.0f);
+    if (mode_ != FeatureMode::kUniqueOnly) {
+      if (contrast.shared.empty()) {
+        append(zero);
+      } else {
+        append(embedding_.EmbedTokens(contrast.shared));
+      }
+    }
+    if (mode_ != FeatureMode::kSharedOnly) {
+      if (contrast.unique.empty()) {
+        append(zero);
+      } else {
+        append(embedding_.EmbedTokens(contrast.unique));
+      }
+    }
+  }
+  ADAMEL_CHECK_EQ(static_cast<int>(row.size()), feature_count() * d);
+  return row;
+}
+
+FeaturizedPairs FeatureExtractor::Featurize(
+    const data::PairDataset& dataset) const {
+  ADAMEL_CHECK(dataset.schema() == schema_)
+      << "dataset schema does not match extractor schema";
+  FeaturizedPairs result;
+  result.pair_count = dataset.size();
+  result.feature_count = feature_count();
+  result.embed_dim = embed_dim();
+  const int width = result.feature_count * result.embed_dim;
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(dataset.size()) * width);
+  for (const data::LabeledPair& pair : dataset.pairs()) {
+    const std::vector<float> row = FeaturizePair(pair);
+    values.insert(values.end(), row.begin(), row.end());
+    result.labels.push_back(pair.label == data::kMatch ? 1.0f : 0.0f);
+    result.int_labels.push_back(pair.label);
+  }
+  ADAMEL_CHECK_GT(dataset.size(), 0) << "cannot featurize an empty dataset";
+  result.matrix =
+      nn::Tensor::FromVector(dataset.size(), width, std::move(values));
+  return result;
+}
+
+}  // namespace adamel::core

@@ -1,0 +1,66 @@
+#ifndef ADAMEL_CORE_FEATURES_H_
+#define ADAMEL_CORE_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/pair_dataset.h"
+#include "nn/tensor.h"
+#include "text/embedding.h"
+#include "text/tokenizer.h"
+
+namespace adamel::core {
+
+/// A featurized pair dataset: the token-embedding matrix h of Eq. (3) for
+/// every pair, plus labels. Row i holds the F feature embeddings of pair i
+/// concatenated: [h_1 | h_2 | ... | h_F], each of width D.
+struct FeaturizedPairs {
+  nn::Tensor matrix;             // N x (F * D), constant leaf
+  std::vector<float> labels;     // N entries in {0,1}; unlabeled -> 0
+  std::vector<int> int_labels;   // N entries; unlabeled -> -1
+  int pair_count = 0;
+  int feature_count = 0;  // F
+  int embed_dim = 0;      // D
+};
+
+/// Implements the feature representation of Section 4.2: each attribute A is
+/// parsed into the contrastive relational features sim(A) and uni(A)
+/// (Eq. (2)), each summarized as the sum of its token embeddings (Eq. (3)),
+/// with missing values mapped to the fixed normalized non-zero vector.
+class FeatureExtractor {
+ public:
+  /// `schema` fixes the attribute order; `embedding_dim` is D.
+  FeatureExtractor(data::Schema schema, FeatureMode mode, int embedding_dim,
+                   text::TokenizerOptions tokenizer_options = {});
+
+  /// Feature names in matrix order, e.g. "name_shared", "name_unique", ...
+  /// (shared/unique interleaved per attribute in kSharedAndUnique mode).
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  int feature_count() const {
+    return static_cast<int>(feature_names_.size());
+  }
+  int embed_dim() const { return embedding_.dim(); }
+  const data::Schema& schema() const { return schema_; }
+  FeatureMode mode() const { return mode_; }
+
+  /// Featurizes one pair: F*D floats.
+  std::vector<float> FeaturizePair(const data::LabeledPair& pair) const;
+
+  /// Featurizes a whole dataset (schema must match).
+  FeaturizedPairs Featurize(const data::PairDataset& dataset) const;
+
+ private:
+  data::Schema schema_;
+  FeatureMode mode_;
+  text::Tokenizer tokenizer_;
+  text::HashTextEmbedding embedding_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_FEATURES_H_

@@ -1,0 +1,44 @@
+#ifndef ADAMEL_CORE_LINKAGE_MODEL_H_
+#define ADAMEL_CORE_LINKAGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/pair_dataset.h"
+
+namespace adamel::core {
+
+/// The three data roles a MEL learner may consume (Section 3.2). Only
+/// `source_train` is mandatory; models ignore the roles they do not use
+/// (e.g. purely supervised baselines ignore both optional sets).
+struct MelInputs {
+  const data::PairDataset* source_train = nullptr;      // D_S (labeled)
+  const data::PairDataset* target_unlabeled = nullptr;  // D_T (unlabeled)
+  const data::PairDataset* support = nullptr;           // S_U (labeled)
+};
+
+/// Common interface for every entity-linkage learner in this repository
+/// (AdaMEL variants and all baselines), so the benchmark harness can run
+/// them uniformly.
+class EntityLinkageModel {
+ public:
+  virtual ~EntityLinkageModel() = default;
+
+  /// Display name used in result tables ("AdaMEL-hyb", "DeepMatcher", ...).
+  virtual std::string Name() const = 0;
+
+  /// Trains the model. May be called once per instance.
+  virtual void Fit(const MelInputs& inputs) = 0;
+
+  /// Match probabilities in [0,1] for every pair of `dataset`, in order.
+  virtual std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const = 0;
+
+  /// Number of learnable parameters (Section 4.5 / 5.5 comparison).
+  virtual int64_t ParameterCount() const = 0;
+};
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_LINKAGE_MODEL_H_

@@ -1,0 +1,85 @@
+#include "core/model.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace adamel::core {
+
+AdamelModel::AdamelModel(int feature_count, const AdamelConfig& config,
+                         Rng* rng)
+    : config_(config),
+      feature_count_(feature_count),
+      attention_w_(nn::Tensor::XavierUniform(config.latent_dim,
+                                             config.attention_dim, rng)),
+      attention_a_(nn::Tensor::XavierUniform(config.attention_dim, 1, rng)),
+      classifier_(
+          {feature_count * config.latent_dim, config.hidden_dim, 1},
+          nn::Activation::kRelu, rng) {
+  ADAMEL_CHECK_GT(feature_count_, 0);
+  projections_.reserve(feature_count_);
+  for (int j = 0; j < feature_count_; ++j) {
+    projections_.emplace_back(config.embed_dim, config.latent_dim, rng);
+  }
+}
+
+std::vector<nn::Tensor> AdamelModel::ComputeLatents(
+    const nn::Tensor& h_batch) const {
+  ADAMEL_CHECK_EQ(h_batch.cols(), feature_count_ * config_.embed_dim);
+  std::vector<nn::Tensor> latents;
+  latents.reserve(feature_count_);
+  for (int j = 0; j < feature_count_; ++j) {
+    const nn::Tensor h_j =
+        nn::SliceCols(h_batch, j * config_.embed_dim, config_.embed_dim);
+    latents.push_back(nn::Relu(projections_[j].Forward(h_j)));  // Eq. (4)
+  }
+  return latents;
+}
+
+nn::Tensor AdamelModel::AttentionFromLatents(
+    const std::vector<nn::Tensor>& latents) const {
+  // Eq. (5): e_j = a^T tanh(W x_j) per feature, then row-softmax (Eq. 6).
+  std::vector<nn::Tensor> energies;
+  energies.reserve(feature_count_);
+  for (const nn::Tensor& x_j : latents) {
+    energies.push_back(
+        nn::MatMul(nn::Tanh(nn::MatMul(x_j, attention_w_)), attention_a_));
+  }
+  return nn::Softmax(nn::ConcatCols(energies));
+}
+
+AdamelModel::Output AdamelModel::Forward(const nn::Tensor& h_batch) const {
+  const std::vector<nn::Tensor> latents = ComputeLatents(h_batch);
+  Output output;
+  output.attention = AttentionFromLatents(latents);
+  // Eq. (7): gate each feature latent by its attention score, apply the
+  // nonlinearity, concatenate, classify.
+  std::vector<nn::Tensor> gated;
+  gated.reserve(feature_count_);
+  for (int j = 0; j < feature_count_; ++j) {
+    const nn::Tensor score_j = nn::SliceCols(output.attention, j, 1);
+    gated.push_back(nn::Relu(nn::Mul(score_j, latents[j])));
+  }
+  output.logits = classifier_.Forward(nn::ConcatCols(gated));
+  return output;
+}
+
+nn::Tensor AdamelModel::ForwardAttention(const nn::Tensor& h_batch) const {
+  return AttentionFromLatents(ComputeLatents(h_batch));
+}
+
+std::vector<nn::Tensor> AdamelModel::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Linear& projection : projections_) {
+    for (const nn::Tensor& p : projection.Parameters()) {
+      params.push_back(p);
+    }
+  }
+  params.push_back(attention_w_);
+  params.push_back(attention_a_);
+  for (const nn::Tensor& p : classifier_.Parameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace adamel::core

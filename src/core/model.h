@@ -1,0 +1,68 @@
+#ifndef ADAMEL_CORE_MODEL_H_
+#define ADAMEL_CORE_MODEL_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace adamel::core {
+
+/// The AdaMEL network of Section 4 (Figure 4):
+///  - per-feature non-linear affine projection x_j = relu(V_j h_j + b_j)
+///    (Eq. 4),
+///  - shared feature-attention embedding f with parameters W, a:
+///    g(x_j) = softmax_j(a^T tanh(W x_j)) (Eq. 5-6),
+///  - classifier Theta over the attention-gated features
+///    y_hat = Theta(relu(f(x) ⊙ x)) (Eq. 7).
+///
+/// The attention vector f(x) is the transferable knowledge K; the trainer's
+/// adaptation losses act on it.
+class AdamelModel : public nn::Module {
+ public:
+  /// `feature_count` is F = 2|A| (or |A| in the ablation modes).
+  AdamelModel(int feature_count, const AdamelConfig& config, Rng* rng);
+
+  /// Output of one forward pass over a batch of token-embedding rows
+  /// (batch x F*D).
+  struct Output {
+    nn::Tensor attention;  // batch x F, rows sum to 1 (the knowledge K)
+    nn::Tensor logits;     // batch x 1 (pre-sigmoid match scores)
+  };
+
+  /// Full forward pass; builds the autograd graph when parameters require
+  /// gradients (they always do; callers drop the graph after use).
+  Output Forward(const nn::Tensor& h_batch) const;
+
+  /// Computes only the attention vectors f(x) for a batch (used for the
+  /// adaptation losses and the attention-analysis experiments).
+  nn::Tensor ForwardAttention(const nn::Tensor& h_batch) const;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+  int feature_count() const { return feature_count_; }
+  const AdamelConfig& config() const { return config_; }
+
+ private:
+  /// Computes the per-feature latents x_j for a batch; out[j] is batch x H.
+  std::vector<nn::Tensor> ComputeLatents(const nn::Tensor& h_batch) const;
+
+  /// Computes attention from latents (shared by Forward/ForwardAttention).
+  nn::Tensor AttentionFromLatents(const std::vector<nn::Tensor>& latents) const;
+
+  AdamelConfig config_;
+  int feature_count_;
+
+  // Eq. (4): per-feature affine projections.
+  std::vector<nn::Linear> projections_;
+  // Eq. (5): shared W (H x H') and attention vector a (H' x 1).
+  nn::Tensor attention_w_;
+  nn::Tensor attention_a_;
+  // Eq. (7): 2-layer MLP Theta over the concatenated gated features.
+  nn::Mlp classifier_;
+};
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_MODEL_H_

@@ -1,0 +1,360 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace adamel::core {
+namespace {
+
+constexpr int kPredictBatch = 512;
+constexpr float kProbEps = 1e-8f;
+
+// Euclidean distance between two equal-length float vectors.
+double Distance(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+// Source-domain attention centroids and mean distances of Eq. (11)-(12),
+// recomputed per epoch on a detached subsample of D_S.
+struct SourceCentroids {
+  std::vector<float> positive;
+  std::vector<float> negative;
+  double mean_distance_positive = 1.0;
+  double mean_distance_negative = 1.0;
+  bool valid = false;
+};
+
+SourceCentroids ComputeCentroids(const AdamelModel& model,
+                                 const FeaturizedPairs& source, Rng* rng) {
+  SourceCentroids result;
+  const int n = source.pair_count;
+  const int sample = std::min(n, 256);
+  std::vector<int> indices = rng->SampleWithoutReplacement(n, sample);
+  const nn::Tensor h = nn::SelectRows(source.matrix, indices);
+  const nn::Tensor attention = model.ForwardAttention(h).Detach();
+  const int f = attention.cols();
+
+  std::vector<std::vector<float>> rows_positive;
+  std::vector<std::vector<float>> rows_negative;
+  for (int i = 0; i < attention.rows(); ++i) {
+    std::vector<float> row(f);
+    for (int j = 0; j < f; ++j) {
+      row[j] = attention.At(i, j);
+    }
+    if (source.labels[indices[i]] > 0.5f) {
+      rows_positive.push_back(std::move(row));
+    } else {
+      rows_negative.push_back(std::move(row));
+    }
+  }
+  if (rows_positive.empty() || rows_negative.empty()) {
+    return result;
+  }
+  auto centroid = [f](const std::vector<std::vector<float>>& rows) {
+    std::vector<float> c(f, 0.0f);
+    for (const auto& row : rows) {
+      for (int j = 0; j < f; ++j) {
+        c[j] += row[j];
+      }
+    }
+    for (float& v : c) {
+      v /= static_cast<float>(rows.size());
+    }
+    return c;
+  };
+  result.positive = centroid(rows_positive);
+  result.negative = centroid(rows_negative);
+  auto mean_distance = [](const std::vector<std::vector<float>>& rows,
+                          const std::vector<float>& c) {
+    double acc = 0.0;
+    for (const auto& row : rows) {
+      acc += Distance(row, c);
+    }
+    return std::max(acc / rows.size(), 1e-6);
+  };
+  result.mean_distance_positive =
+      mean_distance(rows_positive, result.positive);
+  result.mean_distance_negative =
+      mean_distance(rows_negative, result.negative);
+  result.valid = true;
+  return result;
+}
+
+// Per-example support weights of Eq. (12): d(f(x_i), c^{y_i}) / d_bar^{y_i},
+// computed from detached support attentions. Clamped for stability.
+std::vector<float> SupportWeights(const nn::Tensor& support_attention,
+                                  const std::vector<float>& labels,
+                                  const SourceCentroids& centroids) {
+  const int n = support_attention.rows();
+  const int f = support_attention.cols();
+  std::vector<float> weights(n, 1.0f);
+  if (!centroids.valid) {
+    return weights;
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> row(f);
+    for (int j = 0; j < f; ++j) {
+      row[j] = support_attention.At(i, j);
+    }
+    const bool positive = labels[i] > 0.5f;
+    const double d = Distance(row, positive ? centroids.positive
+                                            : centroids.negative);
+    const double d_bar = positive ? centroids.mean_distance_positive
+                                  : centroids.mean_distance_negative;
+    weights[i] = static_cast<float>(std::clamp(d / d_bar, 0.25, 4.0));
+  }
+  return weights;
+}
+
+}  // namespace
+
+TrainedAdamel::TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
+                             std::shared_ptr<AdamelModel> model)
+    : extractor_(std::move(extractor)), model_(std::move(model)) {
+  ADAMEL_CHECK(extractor_ != nullptr);
+  ADAMEL_CHECK(model_ != nullptr);
+}
+
+std::vector<float> TrainedAdamel::Predict(
+    const data::PairDataset& dataset) const {
+  const FeaturizedPairs features = extractor_->Featurize(dataset);
+  std::vector<float> scores;
+  scores.reserve(dataset.size());
+  for (int start = 0; start < features.pair_count; start += kPredictBatch) {
+    const int count = std::min(kPredictBatch, features.pair_count - start);
+    const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
+    const nn::Tensor probs = nn::Sigmoid(model_->Forward(h).logits);
+    for (int i = 0; i < count; ++i) {
+      scores.push_back(probs.At(i, 0));
+    }
+  }
+  return scores;
+}
+
+std::vector<std::vector<float>> TrainedAdamel::AttentionVectors(
+    const data::PairDataset& dataset) const {
+  const FeaturizedPairs features = extractor_->Featurize(dataset);
+  std::vector<std::vector<float>> vectors;
+  vectors.reserve(dataset.size());
+  for (int start = 0; start < features.pair_count; start += kPredictBatch) {
+    const int count = std::min(kPredictBatch, features.pair_count - start);
+    const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
+    const nn::Tensor attention = model_->ForwardAttention(h);
+    for (int i = 0; i < count; ++i) {
+      std::vector<float> row(attention.cols());
+      for (int j = 0; j < attention.cols(); ++j) {
+        row[j] = attention.At(i, j);
+      }
+      vectors.push_back(std::move(row));
+    }
+  }
+  return vectors;
+}
+
+std::vector<std::pair<std::string, double>> TrainedAdamel::MeanAttention(
+    const data::PairDataset& dataset) const {
+  const std::vector<std::vector<float>> vectors = AttentionVectors(dataset);
+  ADAMEL_CHECK(!vectors.empty());
+  const std::vector<std::string>& names = extractor_->feature_names();
+  std::vector<std::pair<std::string, double>> result;
+  for (size_t j = 0; j < names.size(); ++j) {
+    double mean = 0.0;
+    for (const auto& row : vectors) {
+      mean += row[j];
+    }
+    result.emplace_back(names[j], mean / vectors.size());
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return result;
+}
+
+AdamelTrainer::AdamelTrainer(AdamelConfig config) : config_(config) {}
+
+TrainedAdamel AdamelTrainer::Fit(AdamelVariant variant,
+                                 const MelInputs& inputs,
+                                 std::vector<EpochStats>* history) const {
+  ADAMEL_CHECK(inputs.source_train != nullptr);
+  ADAMEL_CHECK(!inputs.source_train->empty());
+  const bool use_target = variant == AdamelVariant::kZero ||
+                          variant == AdamelVariant::kHyb;
+  const bool use_support = variant == AdamelVariant::kFew ||
+                           variant == AdamelVariant::kHyb;
+  if (use_target) {
+    ADAMEL_CHECK(inputs.target_unlabeled != nullptr &&
+                 !inputs.target_unlabeled->empty())
+        << AdamelVariantName(variant) << " requires target-domain data";
+  }
+  if (use_support) {
+    ADAMEL_CHECK(inputs.support != nullptr && !inputs.support->empty())
+        << AdamelVariantName(variant) << " requires a support set";
+  }
+
+  auto extractor = std::make_shared<FeatureExtractor>(
+      inputs.source_train->schema(), config_.feature_mode, config_.embed_dim);
+  const FeaturizedPairs source = extractor->Featurize(*inputs.source_train);
+  FeaturizedPairs target;
+  if (use_target) {
+    target = extractor->Featurize(
+        inputs.target_unlabeled->Reproject(extractor->schema()));
+  }
+  FeaturizedPairs support;
+  if (use_support) {
+    support =
+        extractor->Featurize(inputs.support->Reproject(extractor->schema()));
+  }
+
+  Rng rng(config_.seed);
+  auto model = std::make_shared<AdamelModel>(extractor->feature_count(),
+                                             config_, &rng);
+  nn::Adam optimizer(model->Parameters(), config_.learning_rate, 0.9f,
+                     0.999f, 1e-8f, config_.weight_decay);
+
+  // The lambda mix of Eq. (9)/(14): at lambda=1 no label supervision remains
+  // and the model collapses to distribution matching — the paper's Figure 8
+  // shows exactly this cliff, and the lambda-sweep bench reproduces it.
+  const float base_weight = use_target ? (1.0f - config_.lambda) : 1.0f;
+  const float target_weight = use_target ? config_.lambda : 0.0f;
+
+  const int n = source.pair_count;
+  std::vector<int> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0);
+
+  SourceCentroids centroids;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(permutation);
+    if (use_support) {
+      centroids = ComputeCentroids(*model, source, &rng);
+    }
+    EpochStats stats;
+    int batches = 0;
+    for (int start = 0; start < n; start += config_.batch_size) {
+      const int count = std::min(config_.batch_size, n - start);
+      std::vector<int> batch(permutation.begin() + start,
+                             permutation.begin() + start + count);
+      const nn::Tensor h = nn::SelectRows(source.matrix, batch);
+      const AdamelModel::Output out = model->Forward(h);
+      std::vector<float> targets(count);
+      for (int i = 0; i < count; ++i) {
+        targets[i] = source.labels[batch[i]];
+      }
+      // Eq. (8).
+      nn::Tensor base_loss = nn::BceWithLogits(out.logits, targets);
+      nn::Tensor loss = nn::MulScalar(base_loss, base_weight);
+
+      if (use_target) {
+        // Eq. (10): KL between each source pair's attention and the mean
+        // attention over a batch of unlabeled target pairs. Gradients flow
+        // through both sides, jointly updating W and a for the two domains.
+        const int t_count =
+            std::min(config_.target_batch, target.pair_count);
+        std::vector<int> t_batch =
+            rng.SampleWithoutReplacement(target.pair_count, t_count);
+        const nn::Tensor h_t = nn::SelectRows(target.matrix, t_batch);
+        const nn::Tensor target_attention = model->ForwardAttention(h_t);
+        const nn::Tensor mean_target =
+            nn::AddScalar(nn::MeanCols(target_attention), kProbEps);
+        const nn::Tensor source_attention =
+            nn::AddScalar(out.attention, kProbEps);
+        const nn::Tensor kl = nn::Sum(nn::Mul(
+            mean_target,
+            nn::Log(nn::Div(mean_target, source_attention))));
+        const nn::Tensor target_loss =
+            nn::MulScalar(kl, 1.0f / static_cast<float>(count));
+        loss = nn::Add(loss, nn::MulScalar(target_loss, target_weight));
+        stats.target_loss += target_loss.At(0, 0);
+      }
+
+      const bool support_step =
+          use_support && (batches % std::max(1, config_.support_every)) == 0;
+      if (support_step) {
+        // Eq. (12)-(13): weighted BCE over a support mini-batch, weights
+        // from the distance of each support attention vector to the
+        // matching source centroid. Subsampling the support set per step
+        // keeps the number of gradient updates per support pair comparable
+        // to the source pairs (the full set every step would overfit S_U).
+        const int s_count = std::min(config_.batch_size, support.pair_count);
+        std::vector<int> s_batch =
+            rng.SampleWithoutReplacement(support.pair_count, s_count);
+        const nn::Tensor h_s = nn::SelectRows(support.matrix, s_batch);
+        std::vector<float> s_labels(s_count);
+        for (int i = 0; i < s_count; ++i) {
+          s_labels[i] = support.labels[s_batch[i]];
+        }
+        const AdamelModel::Output support_out = model->Forward(h_s);
+        std::vector<float> weights(s_count, 1.0f);
+        if (config_.support_deviation_weights) {
+          weights = SupportWeights(support_out.attention.Detach(), s_labels,
+                                   centroids);
+        }
+        nn::Tensor support_loss =
+            nn::BceWithLogits(support_out.logits, s_labels, weights);
+        // Mixing rule: kFew uses Eq. (13), L_base + phi * L_support. For
+        // kHyb, Eq. (14) as printed would keep L_support at full strength
+        // when lambda -> 1, but the paper's own Figure 8 discussion states
+        // that at lambda = 1 "the only term in the loss function is the
+        // regularization" for AdaMEL-hyb as well — so the supervised pair
+        // (L_base + phi * L_support) must jointly carry the (1 - lambda)
+        // factor. We follow that reading:
+        //   L_hyb = (1-lambda) * (L_base + phi * L_support)
+        //           + lambda * L_target.
+        const float support_weight = config_.phi * base_weight;
+        loss = nn::Add(loss, nn::MulScalar(support_loss, support_weight));
+        stats.support_loss += support_loss.At(0, 0);
+      }
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
+      optimizer.Step();
+      stats.base_loss += base_loss.At(0, 0);
+      ++batches;
+    }
+    if (history != nullptr && batches > 0) {
+      stats.base_loss /= batches;
+      stats.target_loss /= batches;
+      stats.support_loss /= batches;
+      history->push_back(stats);
+    }
+  }
+  return TrainedAdamel(std::move(extractor), std::move(model));
+}
+
+AdamelLinkage::AdamelLinkage(AdamelVariant variant, AdamelConfig config)
+    : variant_(variant), trainer_(config) {}
+
+std::string AdamelLinkage::Name() const {
+  return AdamelVariantName(variant_);
+}
+
+void AdamelLinkage::Fit(const MelInputs& inputs) {
+  trained_ = std::make_unique<TrainedAdamel>(trainer_.Fit(variant_, inputs));
+}
+
+std::vector<float> AdamelLinkage::PredictScores(
+    const data::PairDataset& dataset) const {
+  ADAMEL_CHECK(trained_ != nullptr) << "PredictScores before Fit";
+  return trained_->Predict(dataset);
+}
+
+int64_t AdamelLinkage::ParameterCount() const {
+  ADAMEL_CHECK(trained_ != nullptr) << "ParameterCount before Fit";
+  return trained_->ParameterCount();
+}
+
+const TrainedAdamel& AdamelLinkage::trained() const {
+  ADAMEL_CHECK(trained_ != nullptr);
+  return *trained_;
+}
+
+}  // namespace adamel::core

@@ -1,0 +1,96 @@
+#ifndef ADAMEL_CORE_TRAINER_H_
+#define ADAMEL_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/features.h"
+#include "core/linkage_model.h"
+#include "core/model.h"
+#include "data/pair_dataset.h"
+
+namespace adamel::core {
+
+/// A trained AdaMEL model bound to its feature extractor.
+class TrainedAdamel {
+ public:
+  TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
+                std::shared_ptr<AdamelModel> model);
+
+  /// Match probabilities for every pair (sigmoid of Eq. (7) logits).
+  std::vector<float> Predict(const data::PairDataset& dataset) const;
+
+  /// Attention vector f(x_i) per pair — the transferable knowledge K. Used
+  /// by the adaptation visualization (Figure 7) and attention analysis
+  /// (Table 4).
+  std::vector<std::vector<float>> AttentionVectors(
+      const data::PairDataset& dataset) const;
+
+  /// Mean attention score per feature, sorted descending (Table 4's learned
+  /// feature importance).
+  std::vector<std::pair<std::string, double>> MeanAttention(
+      const data::PairDataset& dataset) const;
+
+  int64_t ParameterCount() const { return model_->ParameterCount(); }
+  const FeatureExtractor& extractor() const { return *extractor_; }
+  const AdamelModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<FeatureExtractor> extractor_;
+  std::shared_ptr<AdamelModel> model_;
+};
+
+/// Training diagnostics (one entry per epoch).
+struct EpochStats {
+  double base_loss = 0.0;
+  double target_loss = 0.0;
+  double support_loss = 0.0;
+};
+
+/// Trains AdaMEL per Algorithms 1-3: mini-batch Adam over D_S with, per
+/// variant, the KL adaptation term against the mean target-domain attention
+/// (Eq. 9-10) and/or the centroid-weighted support loss (Eq. 11-13).
+class AdamelTrainer {
+ public:
+  explicit AdamelTrainer(AdamelConfig config = {});
+
+  /// Trains the given variant. Requirements:
+  ///  - kZero/kHyb need `inputs.target_unlabeled`,
+  ///  - kFew/kHyb need `inputs.support`.
+  /// `history` (optional) receives per-epoch loss diagnostics.
+  TrainedAdamel Fit(AdamelVariant variant, const MelInputs& inputs,
+                    std::vector<EpochStats>* history = nullptr) const;
+
+  const AdamelConfig& config() const { return config_; }
+
+ private:
+  AdamelConfig config_;
+};
+
+/// EntityLinkageModel adapter so AdaMEL variants run in the shared bench
+/// harness alongside the baselines.
+class AdamelLinkage : public EntityLinkageModel {
+ public:
+  AdamelLinkage(AdamelVariant variant, AdamelConfig config = {});
+
+  std::string Name() const override;
+  void Fit(const MelInputs& inputs) override;
+  std::vector<float> PredictScores(
+      const data::PairDataset& dataset) const override;
+  int64_t ParameterCount() const override;
+
+  /// Access to the trained model (after Fit) for attention analysis.
+  const TrainedAdamel& trained() const;
+
+ private:
+  AdamelVariant variant_;
+  AdamelTrainer trainer_;
+  std::unique_ptr<TrainedAdamel> trained_;
+};
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_TRAINER_H_

@@ -1,0 +1,93 @@
+#include "data/blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace adamel::data {
+
+std::vector<CandidatePair> GenerateCandidates(
+    const std::vector<Record>& records, const Schema& schema,
+    const text::Tokenizer& tokenizer, const BlockingOptions& options) {
+  // Resolve key attribute indices.
+  std::vector<int> key_indices;
+  if (options.key_attributes.empty()) {
+    for (int i = 0; i < schema.size(); ++i) {
+      key_indices.push_back(i);
+    }
+  } else {
+    for (const std::string& name : options.key_attributes) {
+      const int index = schema.IndexOf(name);
+      ADAMEL_CHECK_GE(index, 0) << "unknown blocking attribute " << name;
+      key_indices.push_back(index);
+    }
+  }
+
+  // Tokenize each record's key attributes into a token set.
+  const int n = static_cast<int>(records.size());
+  std::vector<std::set<std::string>> record_tokens(n);
+  std::unordered_map<std::string, int> token_document_frequency;
+  for (int r = 0; r < n; ++r) {
+    ADAMEL_CHECK_EQ(static_cast<int>(records[r].values.size()), schema.size());
+    for (int attr : key_indices) {
+      for (std::string& token : tokenizer.Tokenize(records[r].values[attr])) {
+        record_tokens[r].insert(std::move(token));
+      }
+    }
+    for (const std::string& token : record_tokens[r]) {
+      ++token_document_frequency[token];
+    }
+  }
+
+  // Inverted index over non-stop-word tokens.
+  const int stop_threshold = std::max(
+      1, static_cast<int>(options.max_token_frequency * n));
+  std::unordered_map<std::string, std::vector<int>> inverted_index;
+  for (int r = 0; r < n; ++r) {
+    for (const std::string& token : record_tokens[r]) {
+      if (token_document_frequency[token] <= stop_threshold) {
+        inverted_index[token].push_back(r);
+      }
+    }
+  }
+
+  // Count shared index tokens per pair.
+  std::map<std::pair<int, int>, int> overlap;
+  for (const auto& [token, posting] : inverted_index) {
+    for (size_t i = 0; i < posting.size(); ++i) {
+      for (size_t j = i + 1; j < posting.size(); ++j) {
+        ++overlap[{posting[i], posting[j]}];
+      }
+    }
+  }
+
+  // Emit candidates, capped per record by overlap rank.
+  std::vector<CandidatePair> all;
+  all.reserve(overlap.size());
+  for (const auto& [key, shared] : overlap) {
+    if (shared >= options.min_shared_tokens) {
+      all.push_back({key.first, key.second, shared});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.shared_tokens > b.shared_tokens;
+  });
+  std::vector<int> emitted_per_record(n, 0);
+  std::vector<CandidatePair> result;
+  for (const CandidatePair& cand : all) {
+    if (emitted_per_record[cand.left] >= options.max_candidates_per_record ||
+        emitted_per_record[cand.right] >= options.max_candidates_per_record) {
+      continue;
+    }
+    ++emitted_per_record[cand.left];
+    ++emitted_per_record[cand.right];
+    result.push_back(cand);
+  }
+  return result;
+}
+
+}  // namespace adamel::data

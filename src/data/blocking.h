@@ -1,0 +1,44 @@
+#ifndef ADAMEL_DATA_BLOCKING_H_
+#define ADAMEL_DATA_BLOCKING_H_
+
+#include <vector>
+
+#include "data/record.h"
+#include "text/tokenizer.h"
+
+namespace adamel::data {
+
+/// Options for token-based candidate blocking.
+struct BlockingOptions {
+  /// Attributes (by name) whose tokens key the inverted index; empty = all.
+  std::vector<std::string> key_attributes;
+  /// Minimum number of shared index tokens for a candidate pair.
+  int min_shared_tokens = 1;
+  /// Tokens occurring in more than this fraction of records are treated as
+  /// stop words and excluded from the index.
+  double max_token_frequency = 0.2;
+  /// Cap on candidates emitted per record (highest-overlap first).
+  int max_candidates_per_record = 50;
+};
+
+/// A candidate record pair produced by blocking (indices into the record
+/// list given to `GenerateCandidates`, left < right).
+struct CandidatePair {
+  int left;
+  int right;
+  int shared_tokens;
+};
+
+/// Token-overlap blocking: builds an inverted index over the key attributes'
+/// tokens and emits pairs that share at least `min_shared_tokens`
+/// non-stop-word tokens. Classic pre-matching step (Section 2 of the paper:
+/// "techniques such as blocking or hashing are normally applied to merge the
+/// candidate entities"); used by the end-to-end examples to avoid the
+/// quadratic all-pairs comparison.
+std::vector<CandidatePair> GenerateCandidates(
+    const std::vector<Record>& records, const Schema& schema,
+    const text::Tokenizer& tokenizer, const BlockingOptions& options = {});
+
+}  // namespace adamel::data
+
+#endif  // ADAMEL_DATA_BLOCKING_H_

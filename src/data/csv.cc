@@ -1,0 +1,235 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace adamel::data {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      out->push_back('"');
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+StatusOr<CsvTable> ParseCsv(const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current_row;
+  std::string current_field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && content[i + 1] == '"') {
+          current_field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current_field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        ++i;
+        break;
+      case ',':
+        current_row.push_back(std::move(current_field));
+        current_field.clear();
+        row_has_content = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (row_has_content || !current_field.empty() ||
+            !current_row.empty()) {
+          current_row.push_back(std::move(current_field));
+          current_field.clear();
+          rows.push_back(std::move(current_row));
+          current_row.clear();
+          row_has_content = false;
+        }
+        ++i;
+        break;
+      default:
+        current_field.push_back(c);
+        row_has_content = true;
+        ++i;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted field");
+  }
+  if (row_has_content || !current_field.empty() || !current_row.empty()) {
+    current_row.push_back(std::move(current_field));
+    rows.push_back(std::move(current_row));
+  }
+  if (rows.empty()) {
+    return InvalidArgumentError("empty CSV content");
+  }
+
+  CsvTable table;
+  table.header = std::move(rows.front());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != table.header.size()) {
+      std::ostringstream message;
+      message << "row " << r << " has " << rows[r].size()
+              << " fields, header has " << table.header.size();
+      return InvalidArgumentError(message.str());
+    }
+    table.rows.push_back(std::move(rows[r]));
+  }
+  return table;
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string FormatCsv(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) {
+    append_row(row);
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  file << FormatCsv(table);
+  if (!file) {
+    return IoError("write failure on " + path);
+  }
+  return OkStatus();
+}
+
+CsvTable PairDatasetToCsv(const PairDataset& dataset) {
+  CsvTable table;
+  table.header = {"label", "left_id", "left_source", "right_id",
+                  "right_source"};
+  for (const std::string& attr : dataset.schema().attributes()) {
+    table.header.push_back("left_" + attr);
+  }
+  for (const std::string& attr : dataset.schema().attributes()) {
+    table.header.push_back("right_" + attr);
+  }
+  for (const LabeledPair& pair : dataset.pairs()) {
+    std::vector<std::string> row;
+    row.push_back(pair.label == kUnlabeled ? ""
+                                           : std::to_string(pair.label));
+    row.push_back(pair.left.id);
+    row.push_back(pair.left.source);
+    row.push_back(pair.right.id);
+    row.push_back(pair.right.source);
+    for (const std::string& value : pair.left.values) {
+      row.push_back(value);
+    }
+    for (const std::string& value : pair.right.values) {
+      row.push_back(value);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+StatusOr<PairDataset> PairDatasetFromCsv(const CsvTable& table) {
+  constexpr int kFixedColumns = 5;
+  if (table.header.size() < kFixedColumns ||
+      table.header[0] != "label" || table.header[1] != "left_id") {
+    return InvalidArgumentError("not a pair-dataset CSV (bad header)");
+  }
+  const size_t value_columns = table.header.size() - kFixedColumns;
+  if (value_columns % 2 != 0) {
+    return InvalidArgumentError("odd number of value columns");
+  }
+  const size_t attr_count = value_columns / 2;
+  std::vector<std::string> attributes;
+  for (size_t i = 0; i < attr_count; ++i) {
+    const std::string& name = table.header[kFixedColumns + i];
+    if (!StartsWith(name, "left_")) {
+      return InvalidArgumentError("expected left_ column, got " + name);
+    }
+    attributes.push_back(name.substr(5));
+  }
+  for (size_t i = 0; i < attr_count; ++i) {
+    const std::string& name = table.header[kFixedColumns + attr_count + i];
+    if (name != "right_" + attributes[i]) {
+      return InvalidArgumentError("left/right column mismatch at " + name);
+    }
+  }
+  PairDataset dataset((Schema(attributes)));
+  for (const auto& row : table.rows) {
+    LabeledPair pair;
+    if (row[0].empty()) {
+      pair.label = kUnlabeled;
+    } else if (row[0] == "0") {
+      pair.label = kNonMatch;
+    } else if (row[0] == "1") {
+      pair.label = kMatch;
+    } else {
+      return InvalidArgumentError("bad label value: " + row[0]);
+    }
+    pair.left.id = row[1];
+    pair.left.source = row[2];
+    pair.right.id = row[3];
+    pair.right.source = row[4];
+    pair.left.values.assign(row.begin() + kFixedColumns,
+                            row.begin() + kFixedColumns + attr_count);
+    pair.right.values.assign(row.begin() + kFixedColumns + attr_count,
+                             row.end());
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+}  // namespace adamel::data

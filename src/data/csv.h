@@ -1,0 +1,42 @@
+#ifndef ADAMEL_DATA_CSV_H_
+#define ADAMEL_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/pair_dataset.h"
+
+namespace adamel::data {
+
+/// A parsed CSV file: one header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV (quoted fields, embedded commas/quotes/newlines)
+/// from a string.
+StatusOr<CsvTable> ParseCsv(const std::string& content);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV, quoting fields as needed.
+std::string FormatCsv(const CsvTable& table);
+
+/// Writes a table to a file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// Serializes a PairDataset as CSV with columns:
+///   label,left_id,left_source,right_id,right_source,
+///   left_<attr>...,right_<attr>...
+/// Unlabeled pairs carry an empty label field.
+CsvTable PairDatasetToCsv(const PairDataset& dataset);
+
+/// Inverse of PairDatasetToCsv; validates the column layout.
+StatusOr<PairDataset> PairDatasetFromCsv(const CsvTable& table);
+
+}  // namespace adamel::data
+
+#endif  // ADAMEL_DATA_CSV_H_

@@ -1,0 +1,175 @@
+#include "data/pair_dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adamel::data {
+
+void PairDataset::Add(LabeledPair pair) {
+  ADAMEL_CHECK_EQ(static_cast<int>(pair.left.values.size()), schema_.size());
+  ADAMEL_CHECK_EQ(static_cast<int>(pair.right.values.size()), schema_.size());
+  pairs_.push_back(std::move(pair));
+}
+
+void PairDataset::Append(const PairDataset& other) {
+  ADAMEL_CHECK(schema_ == other.schema_) << "schema mismatch in Append";
+  pairs_.insert(pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+}
+
+const LabeledPair& PairDataset::pair(int index) const {
+  ADAMEL_CHECK_GE(index, 0);
+  ADAMEL_CHECK_LT(index, size());
+  return pairs_[index];
+}
+
+int PairDataset::CountLabel(int label) const {
+  int count = 0;
+  for (const LabeledPair& p : pairs_) {
+    if (p.label == label) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double PairDataset::PositiveRate() const {
+  const int pos = CountLabel(kMatch);
+  const int neg = CountLabel(kNonMatch);
+  if (pos + neg == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(pos) / (pos + neg);
+}
+
+std::set<std::string> PairDataset::Sources() const {
+  std::set<std::string> sources;
+  for (const LabeledPair& p : pairs_) {
+    sources.insert(p.left.source);
+    sources.insert(p.right.source);
+  }
+  return sources;
+}
+
+std::vector<float> PairDataset::LabelsAsFloat() const {
+  std::vector<float> labels;
+  labels.reserve(pairs_.size());
+  for (const LabeledPair& p : pairs_) {
+    labels.push_back(p.label == kMatch ? 1.0f : 0.0f);
+  }
+  return labels;
+}
+
+PairDataset PairDataset::Filter(const std::vector<int>& indices) const {
+  PairDataset result(schema_);
+  for (int index : indices) {
+    result.Add(pair(index));
+  }
+  return result;
+}
+
+PairDataset PairDataset::Sample(int max_pairs, Rng* rng) const {
+  ADAMEL_CHECK(rng != nullptr);
+  if (size() <= max_pairs) {
+    return *this;
+  }
+  return Filter(rng->SampleWithoutReplacement(size(), max_pairs));
+}
+
+PairDataset PairDataset::WithoutLabels() const {
+  PairDataset result(schema_);
+  for (LabeledPair p : pairs_) {
+    p.label = kUnlabeled;
+    result.Add(std::move(p));
+  }
+  return result;
+}
+
+PairDataset PairDataset::Reproject(const Schema& target) const {
+  PairDataset result(target);
+  for (const LabeledPair& p : pairs_) {
+    LabeledPair projected;
+    projected.left = ReprojectRecord(p.left, schema_, target);
+    projected.right = ReprojectRecord(p.right, schema_, target);
+    projected.label = p.label;
+    result.Add(std::move(projected));
+  }
+  return result;
+}
+
+PairDataset PairDataset::ProjectAttributes(
+    const std::vector<std::string>& attributes) const {
+  for (const std::string& attr : attributes) {
+    ADAMEL_CHECK(schema_.Contains(attr)) << "unknown attribute " << attr;
+  }
+  return Reproject(Schema(attributes));
+}
+
+std::pair<PairDataset, PairDataset> StratifiedSplit(const PairDataset& dataset,
+                                                    double train_fraction,
+                                                    Rng* rng) {
+  ADAMEL_CHECK(rng != nullptr);
+  ADAMEL_CHECK_GE(train_fraction, 0.0);
+  ADAMEL_CHECK_LE(train_fraction, 1.0);
+  std::vector<int> positives;
+  std::vector<int> negatives;
+  std::vector<int> unlabeled;
+  for (int i = 0; i < dataset.size(); ++i) {
+    switch (dataset.pair(i).label) {
+      case kMatch:
+        positives.push_back(i);
+        break;
+      case kNonMatch:
+        negatives.push_back(i);
+        break;
+      default:
+        unlabeled.push_back(i);
+    }
+  }
+  rng->Shuffle(positives);
+  rng->Shuffle(negatives);
+  rng->Shuffle(unlabeled);
+  std::vector<int> train_indices;
+  std::vector<int> test_indices;
+  auto assign = [&](const std::vector<int>& group) {
+    const int train_count =
+        static_cast<int>(group.size() * train_fraction + 0.5);
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (static_cast<int>(i) < train_count) {
+        train_indices.push_back(group[i]);
+      } else {
+        test_indices.push_back(group[i]);
+      }
+    }
+  };
+  assign(positives);
+  assign(negatives);
+  assign(unlabeled);
+  return {dataset.Filter(train_indices), dataset.Filter(test_indices)};
+}
+
+PairDataset SampleSupportSet(const PairDataset& dataset, int positives,
+                             int negatives, Rng* rng) {
+  ADAMEL_CHECK(rng != nullptr);
+  std::vector<int> pos_indices;
+  std::vector<int> neg_indices;
+  for (int i = 0; i < dataset.size(); ++i) {
+    if (dataset.pair(i).label == kMatch) {
+      pos_indices.push_back(i);
+    } else if (dataset.pair(i).label == kNonMatch) {
+      neg_indices.push_back(i);
+    }
+  }
+  ADAMEL_CHECK_GE(static_cast<int>(pos_indices.size()), positives)
+      << "not enough positive pairs for support set";
+  ADAMEL_CHECK_GE(static_cast<int>(neg_indices.size()), negatives)
+      << "not enough negative pairs for support set";
+  rng->Shuffle(pos_indices);
+  rng->Shuffle(neg_indices);
+  std::vector<int> chosen(pos_indices.begin(), pos_indices.begin() + positives);
+  chosen.insert(chosen.end(), neg_indices.begin(),
+                neg_indices.begin() + negatives);
+  return dataset.Filter(chosen);
+}
+
+}  // namespace adamel::data

@@ -1,0 +1,98 @@
+#ifndef ADAMEL_DATA_PAIR_DATASET_H_
+#define ADAMEL_DATA_PAIR_DATASET_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+
+namespace adamel::data {
+
+/// Pair label values. The analysis unit of the whole pipeline is the entity
+/// pair (r, r'), per Section 3.1 of the paper.
+enum PairLabel : int {
+  kNonMatch = 0,
+  kMatch = 1,
+  kUnlabeled = -1,
+};
+
+/// A labeled (or unlabeled) entity pair.
+struct LabeledPair {
+  Record left;
+  Record right;
+  int label = kUnlabeled;
+};
+
+/// A collection of entity pairs sharing one (aligned) schema.
+///
+/// Serves as D_S (labeled source domain), D_T (unlabeled target domain), and
+/// S_U (labeled support set) throughout the library.
+class PairDataset {
+ public:
+  PairDataset() = default;
+  explicit PairDataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+  void Add(LabeledPair pair);
+  void Append(const PairDataset& other);
+
+  int size() const { return static_cast<int>(pairs_.size()); }
+  bool empty() const { return pairs_.empty(); }
+  const LabeledPair& pair(int index) const;
+  const std::vector<LabeledPair>& pairs() const { return pairs_; }
+  std::vector<LabeledPair>& mutable_pairs() { return pairs_; }
+
+  /// Number of pairs with the given label.
+  int CountLabel(int label) const;
+
+  /// Fraction of pairs labeled kMatch among labeled pairs.
+  double PositiveRate() const;
+
+  /// Every data source name appearing on either side (D* in the paper).
+  std::set<std::string> Sources() const;
+
+  /// Labels as floats (for loss functions); unlabeled pairs map to 0.
+  std::vector<float> LabelsAsFloat() const;
+
+  /// Returns a copy containing only pairs whose index passes `keep`.
+  PairDataset Filter(const std::vector<int>& indices) const;
+
+  /// Returns a uniformly down-sampled copy of at most `max_pairs` pairs.
+  PairDataset Sample(int max_pairs, Rng* rng) const;
+
+  /// Returns a copy with all labels removed (for building D_T from labeled
+  /// pools in the experiments).
+  PairDataset WithoutLabels() const;
+
+  /// Re-projects every record onto `target` (ontology alignment).
+  PairDataset Reproject(const Schema& target) const;
+
+  /// Returns a copy whose records keep only the given attributes (used by
+  /// the Table 5 top/other/all-attribute experiment).
+  PairDataset ProjectAttributes(const std::vector<std::string>& attributes) const;
+
+ private:
+  Schema schema_;
+  std::vector<LabeledPair> pairs_;
+};
+
+/// Splits `dataset` into (train, test) with `train_fraction` of the pairs in
+/// train, stratified by label so both splits keep the class balance.
+std::pair<PairDataset, PairDataset> StratifiedSplit(const PairDataset& dataset,
+                                                    double train_fraction,
+                                                    Rng* rng);
+
+/// Draws a support set of `positives` + `negatives` labeled pairs (the
+/// paper's S_U: "100 samples (50 positive and 50 negative)"), removing them
+/// from consideration is the caller's business. Pairs are sampled without
+/// replacement; fails a check when the dataset has too few of either class.
+PairDataset SampleSupportSet(const PairDataset& dataset, int positives,
+                             int negatives, Rng* rng);
+
+}  // namespace adamel::data
+
+#endif  // ADAMEL_DATA_PAIR_DATASET_H_

@@ -1,0 +1,57 @@
+#include "data/record.h"
+
+#include "common/check.h"
+
+namespace adamel::data {
+
+Schema::Schema(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    for (size_t j = i + 1; j < attributes_.size(); ++j) {
+      ADAMEL_CHECK_NE(attributes_[i], attributes_[j])
+          << "duplicate attribute in schema";
+    }
+  }
+}
+
+const std::string& Schema::attribute(int index) const {
+  ADAMEL_CHECK_GE(index, 0);
+  ADAMEL_CHECK_LT(index, size());
+  return attributes_[index];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Schema AlignSchemas(const Schema& a, const Schema& b) {
+  std::vector<std::string> merged = a.attributes();
+  for (const std::string& attr : b.attributes()) {
+    if (!a.Contains(attr)) {
+      merged.push_back(attr);
+    }
+  }
+  return Schema(std::move(merged));
+}
+
+Record ReprojectRecord(const Record& record, const Schema& from,
+                       const Schema& to) {
+  ADAMEL_CHECK_EQ(static_cast<int>(record.values.size()), from.size());
+  Record result;
+  result.id = record.id;
+  result.source = record.source;
+  result.entity_id = record.entity_id;
+  result.values.resize(to.size());
+  for (int i = 0; i < to.size(); ++i) {
+    const int src_index = from.IndexOf(to.attribute(i));
+    result.values[i] = src_index >= 0 ? record.values[src_index] : "";
+  }
+  return result;
+}
+
+}  // namespace adamel::data

@@ -1,0 +1,65 @@
+#ifndef ADAMEL_DATA_RECORD_H_
+#define ADAMEL_DATA_RECORD_H_
+
+#include <string>
+#include <vector>
+
+namespace adamel::data {
+
+/// An ordered attribute list (the paper's schema A = {A_i}).
+///
+/// Attribute names are unique; values are positional. Missing values are
+/// represented by the empty string, matching the paper's r[A] = "" convention
+/// for challenges C1/C2.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes);
+
+  int size() const { return static_cast<int>(attributes_.size()); }
+  const std::string& attribute(int index) const;
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Index of `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+/// One entity record: values aligned with a schema, tagged with the data
+/// source it was sampled from (r* in the paper) and the latent entity it
+/// renders (used only by the synthetic generators for labeling; real
+/// pipelines leave it empty).
+struct Record {
+  std::string id;
+  std::string source;
+  std::string entity_id;
+  std::vector<std::string> values;
+
+  const std::string& value(int attribute_index) const {
+    return values[attribute_index];
+  }
+  bool IsMissing(int attribute_index) const {
+    return values[attribute_index].empty();
+  }
+};
+
+/// Returns the union schema of `a` and `b`, preserving `a`'s order and
+/// appending `b`-only attributes. This is the paper's ontology alignment:
+/// "aligning the union of ontology A ∪ A' with blank dummy attributes".
+Schema AlignSchemas(const Schema& a, const Schema& b);
+
+/// Re-projects `record` from `from` onto `to`, filling attributes absent in
+/// `from` with the empty string (missing).
+Record ReprojectRecord(const Record& record, const Schema& from,
+                       const Schema& to);
+
+}  // namespace adamel::data
+
+#endif  // ADAMEL_DATA_RECORD_H_

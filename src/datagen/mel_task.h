@@ -1,0 +1,40 @@
+#ifndef ADAMEL_DATAGEN_MEL_TASK_H_
+#define ADAMEL_DATAGEN_MEL_TASK_H_
+
+#include <string>
+
+#include "data/pair_dataset.h"
+
+namespace adamel::datagen {
+
+/// One multi-source entity linkage task instance, packaging the four data
+/// roles of the paper (Section 3.2):
+///   - source_train: the labeled source domain D_S,
+///   - target_unlabeled: the unlabeled target domain D_T,
+///   - support: the small labeled support set S_U from target sources,
+///   - test: held-out labeled target pairs used only for evaluation.
+/// All four share one aligned schema.
+struct MelTask {
+  std::string name;
+  data::PairDataset source_train;
+  data::PairDataset target_unlabeled;
+  data::PairDataset support;
+  data::PairDataset test;
+};
+
+/// Evaluation scenario of Section 5.2: whether target pairs may include a
+/// record from a seen source (S1, D_S* x D_T*) or only unseen sources
+/// (S2, D_T* x D_T*).
+enum class MelScenario {
+  kOverlapping,
+  kDisjoint,
+};
+
+/// Human-readable scenario name ("overlapping" / "disjoint").
+inline const char* MelScenarioName(MelScenario scenario) {
+  return scenario == MelScenario::kOverlapping ? "overlapping" : "disjoint";
+}
+
+}  // namespace adamel::datagen
+
+#endif  // ADAMEL_DATAGEN_MEL_TASK_H_

@@ -1,0 +1,310 @@
+#include "datagen/monitor_world.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adamel::datagen {
+namespace {
+
+enum MonitorAttr {
+  kPageTitle = 0,
+  kSource,
+  kManufacturer,
+  kProdType,
+  kScreenSize,
+  kResolution,
+  kCondition,
+  kPrice,
+  kRefreshRate,
+  kColor,
+  kPorts,
+  kWeight,
+  kWarranty,
+  kMonitorAttrCount,
+};
+
+std::vector<AttributeSpec> MonitorAttributeSpecs() {
+  std::vector<AttributeSpec> specs(kMonitorAttrCount);
+  specs[kPageTitle] = {.name = "page_title",
+                       .kind = AttributeKind::kComposite,
+                       .filler_tokens = 6,
+                       .vocab_seed = 201};
+  specs[kSource] = {.name = "source", .kind = AttributeKind::kSourceTag};
+  specs[kManufacturer] = {.name = "manufacturer",
+                          .kind = AttributeKind::kFamilyName};
+  specs[kProdType] = {.name = "prod_type",
+                      .kind = AttributeKind::kCategory,
+                      .category_cardinality = 10,
+                      .vocab_seed = 202};
+  specs[kScreenSize] = {.name = "screen_size",
+                        .kind = AttributeKind::kNumeric,
+                        .numeric_lo = 19,
+                        .numeric_hi = 49};
+  specs[kResolution] = {.name = "resolution",
+                        .kind = AttributeKind::kCategory,
+                        .category_cardinality = 8,
+                        .vocab_seed = 203};
+  specs[kCondition] = {.name = "condition",
+                       .kind = AttributeKind::kCategory,
+                       .category_cardinality = 4,
+                       .vocab_seed = 204};
+  specs[kPrice] = {.name = "price",
+                   .kind = AttributeKind::kNumeric,
+                   .numeric_lo = 80,
+                   .numeric_hi = 2000};
+  specs[kRefreshRate] = {.name = "refresh_rate",
+                         .kind = AttributeKind::kCategory,
+                         .category_cardinality = 6,
+                         .vocab_seed = 205};
+  specs[kColor] = {.name = "color",
+                   .kind = AttributeKind::kCategory,
+                   .category_cardinality = 8,
+                   .vocab_seed = 206};
+  specs[kPorts] = {.name = "ports",
+                   .kind = AttributeKind::kCategory,
+                   .category_cardinality = 10,
+                   .vocab_seed = 207};
+  specs[kWeight] = {.name = "weight",
+                    .kind = AttributeKind::kNumeric,
+                    .numeric_lo = 2,
+                    .numeric_hi = 15};
+  specs[kWarranty] = {.name = "warranty",
+                      .kind = AttributeKind::kCategory,
+                      .category_cardinality = 5,
+                      .vocab_seed = 208};
+  return specs;
+}
+
+// Seen sources: page_title and source near-complete, most spec attributes
+// sparse, and the 5 target-only attributes entirely unsupported (C2).
+std::vector<AttributeRendering> SeenShopRendering() {
+  std::vector<AttributeRendering> r(kMonitorAttrCount);
+  r[kPageTitle] = {.missing_prob = 0.02,
+                   .typo_prob = 0.02,
+                   .token_drop_prob = 0.10,
+                   .decoration_prob = 0.35};
+  r[kSource] = {};
+  r[kManufacturer] = {.missing_prob = 0.45};
+  r[kProdType] = {.missing_prob = 0.50, .decoration_prob = 0.30};
+  r[kScreenSize] = {.missing_prob = 0.55};
+  r[kResolution] = {.missing_prob = 0.60};
+  r[kCondition] = {.missing_prob = 0.55};
+  r[kPrice] = {.missing_prob = 0.50};
+  r[kRefreshRate] = {.supported = false};
+  r[kColor] = {.supported = false};
+  r[kPorts] = {.supported = false};
+  r[kWeight] = {.supported = false};
+  r[kWarranty] = {.supported = false};
+  return r;
+}
+
+// Unseen sources: same backbone, different sparsity, target-only attributes
+// present (but still sparse), heavier decoration.
+std::vector<AttributeRendering> UnseenShopRendering() {
+  std::vector<AttributeRendering> r(kMonitorAttrCount);
+  r[kPageTitle] = {.missing_prob = 0.03,
+                   .typo_prob = 0.06,
+                   .token_drop_prob = 0.30,
+                   .decoration_prob = 0.60};
+  r[kSource] = {};
+  r[kManufacturer] = {.missing_prob = 0.55, .abbrev_prob = 0.30};
+  // Unseen shops render spec values in site-local vocabularies (synonyms):
+  // attributes that match reliably within the seen shops become misleading
+  // across the unseen ones (C3).
+  r[kProdType] = {.missing_prob = 0.55,
+                  .decoration_prob = 0.45,
+                  .synonym_prob = 0.50};
+  r[kScreenSize] = {.missing_prob = 0.65, .synonym_prob = 0.40};
+  r[kResolution] = {.missing_prob = 0.70, .synonym_prob = 0.50};
+  r[kCondition] = {.missing_prob = 0.70, .synonym_prob = 0.50};
+  r[kPrice] = {.missing_prob = 0.60, .synonym_prob = 0.40};
+  r[kRefreshRate] = {.missing_prob = 0.45};
+  r[kColor] = {.missing_prob = 0.50};
+  r[kPorts] = {.missing_prob = 0.55};
+  r[kWeight] = {.missing_prob = 0.60};
+  r[kWarranty] = {.missing_prob = 0.60};
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> MonitorSeenSources() {
+  return {"ebay.com", "catalog.com", "best-deal-items.com", "cleverboxes.com",
+          "ca.pcpartpicker.com"};
+}
+
+std::vector<std::string> MonitorUnseenSources() {
+  return {"shopmania.com",    "yikus.com",        "getprice.com",
+          "pricehunt.net",    "dealgrabber.com",  "techbay.org",
+          "screenstore.net",  "displaydepot.com", "pixelmart.net",
+          "visiondeal.com",   "monitorhub.org",   "flatpanelpro.com",
+          "officedisplays.net", "gamerscreens.com", "budgetmonitors.org",
+          "ultrawide.store",  "panelplanet.com",  "viewpoint.deals",
+          "brightpixels.net"};
+}
+
+std::vector<std::string> MonitorAllSources() {
+  std::vector<std::string> all = MonitorSeenSources();
+  for (const std::string& s : MonitorUnseenSources()) {
+    all.push_back(s);
+  }
+  return all;
+}
+
+std::vector<std::string> MonitorTargetOnlyAttributes() {
+  return {"refresh_rate", "color", "ports", "weight", "warranty"};
+}
+
+World MakeMonitorWorld(uint64_t seed) {
+  WorldConfig config;
+  config.attributes = MonitorAttributeSpecs();
+  config.num_entities = 1200;
+  config.family_size = 4;  // monitor lines of one manufacturer
+  config.seed = seed ^ 0xDEADBEEFull;
+  World world(std::move(config));
+
+  uint64_t shop_seed = seed * 104729 + 17;
+  for (const std::string& name : MonitorSeenSources()) {
+    SourceProfile profile;
+    profile.name = name;
+    profile.decoration_vocab_seed = ++shop_seed;
+    profile.attributes = SeenShopRendering();
+    world.AddSource(std::move(profile));
+  }
+  // Unseen shops share two platform-wide decoration vocabularies ("free
+  // shipping", "best price" boilerplate): cross-shop non-matches share
+  // these tokens, so page-title similarity becomes misleading outside the
+  // seen shops.
+  const uint64_t platform_a = seed * 48611 + 3;
+  const uint64_t platform_b = seed * 48611 + 4;
+  int shop_index = 0;
+  for (const std::string& name : MonitorUnseenSources()) {
+    SourceProfile profile;
+    profile.name = name;
+    profile.decoration_vocab_seed =
+        (shop_index++ % 2 == 0) ? platform_a : platform_b;
+    profile.decoration_vocab_size = 15;
+    profile.attributes = UnseenShopRendering();
+    world.AddSource(std::move(profile));
+  }
+  return world;
+}
+
+MelTask MakeMonitorTask(const MonitorTaskOptions& options) {
+  const World world = MakeMonitorWorld(options.seed);
+  Rng rng(options.seed * 0x8badf00d + 5);
+
+  MelTask task;
+  task.name = std::string("monitor-") + MelScenarioName(options.scenario);
+
+  // D_S: heavily imbalanced training pool from the 5 seen sources.
+  PairSamplingOptions train_options;
+  train_options.left_sources = MonitorSeenSources();
+  train_options.right_sources = MonitorSeenSources();
+  train_options.positives =
+      std::max(1, static_cast<int>(options.train_pairs *
+                                   options.train_positive_rate));
+  train_options.negatives = options.train_pairs - train_options.positives;
+  train_options.hard_negative_fraction = 0.7;
+  task.source_train = SamplePairs(world, train_options, &rng);
+
+  PairSamplingOptions target_options;
+  if (options.scenario == MelScenario::kOverlapping) {
+    target_options.left_sources = MonitorSeenSources();
+    target_options.right_sources = MonitorAllSources();
+  } else {
+    target_options.left_sources = MonitorUnseenSources();
+    target_options.right_sources = MonitorUnseenSources();
+  }
+  // Test/target negatives are "randomly selected" in the paper
+  // (Appendix A.1), i.e. milder than the blocking-heavy training pool.
+  target_options.hard_negative_fraction = 0.5;
+
+  // Test: all-positives-plus-1000-negatives composition of Appendix A.1.
+  target_options.positives = options.test_positives;
+  target_options.negatives = options.test_negatives;
+  task.test = SamplePairs(world, target_options, &rng);
+
+  // Unlabeled D_T.
+  target_options.positives = options.target_unlabeled_pairs / 4;
+  target_options.negatives =
+      options.target_unlabeled_pairs - target_options.positives;
+  task.target_unlabeled =
+      SamplePairs(world, target_options, &rng).WithoutLabels();
+
+  // Support set.
+  target_options.positives = options.support_positives;
+  target_options.negatives = options.support_negatives;
+  task.support = SamplePairs(world, target_options, &rng);
+
+  return task;
+}
+
+MonitorIncrementalSeries MakeMonitorIncrementalSeries(uint64_t seed) {
+  const World world = MakeMonitorWorld(seed);
+  Rng rng(seed * 0xfeedface + 9);
+
+  MonitorIncrementalSeries series;
+
+  // Fixed training set: 1500 pairs from the 5 seen sources (Section 5.5).
+  PairSamplingOptions train_options;
+  train_options.left_sources = MonitorSeenSources();
+  train_options.right_sources = MonitorSeenSources();
+  train_options.positives = 300;
+  train_options.negatives = 1200;
+  train_options.hard_negative_fraction = 0.5;
+  series.train = SamplePairs(world, train_options, &rng);
+
+  // Initial target domain: the 5 seen sources + 2 unseen, 200 pairs per
+  // source (1400 pairs).
+  const std::vector<std::string> unseen = MonitorUnseenSources();
+  std::vector<std::string> target_sources = MonitorSeenSources();
+  target_sources.push_back(unseen[0]);
+  target_sources.push_back(unseen[1]);
+
+  PairSamplingOptions base_options;
+  base_options.left_sources = target_sources;
+  base_options.right_sources = target_sources;
+  base_options.positives = 500;
+  base_options.negatives = 900;
+  base_options.hard_negative_fraction = 0.5;
+  data::PairDataset cumulative = SamplePairs(world, base_options, &rng);
+
+  series.step_sources.push_back(target_sources);
+  series.step_tests.push_back(cumulative);
+
+  // Fixed support set sampled across all sources (the paper fixes it per
+  // run so the impact of S_U is consistent).
+  PairSamplingOptions support_options;
+  support_options.left_sources = MonitorAllSources();
+  support_options.right_sources = MonitorAllSources();
+  support_options.positives = 50;
+  support_options.negatives = 50;
+  series.support = SamplePairs(world, support_options, &rng);
+
+  // Add 2 new sources (+200 pairs touching them) per step: 7 -> 23 sources.
+  size_t next_unseen = 2;
+  while (next_unseen + 1 < unseen.size() &&
+         target_sources.size() + 2 <= 23) {
+    std::vector<std::string> added = {unseen[next_unseen],
+                                      unseen[next_unseen + 1]};
+    next_unseen += 2;
+    for (const std::string& s : added) {
+      target_sources.push_back(s);
+    }
+    PairSamplingOptions step_options;
+    step_options.left_sources = target_sources;
+    step_options.right_sources = target_sources;
+    step_options.positives = 70;
+    step_options.negatives = 130;
+    step_options.hard_negative_fraction = 0.5;
+    step_options.require_one_from = added;
+    cumulative.Append(SamplePairs(world, step_options, &rng));
+    series.step_sources.push_back(target_sources);
+    series.step_tests.push_back(cumulative);
+  }
+  return series;
+}
+
+}  // namespace adamel::datagen

@@ -1,0 +1,267 @@
+#include "datagen/music_world.h"
+
+#include "common/check.h"
+
+namespace adamel::datagen {
+namespace {
+
+// Schema attribute indices (fixed order).
+enum MusicAttr {
+  kName = 0,
+  kMainPerformer,
+  kNameNativeLanguage,
+  kSource,
+  kTitleText,
+  kVersion,
+  kGenre,
+  kCountry,
+  kYear,
+  kMusicAttrCount,
+};
+
+std::vector<AttributeSpec> MusicAttributeSpecs() {
+  std::vector<AttributeSpec> specs(kMusicAttrCount);
+  specs[kName] = {.name = "name", .kind = AttributeKind::kEntityName};
+  specs[kMainPerformer] = {.name = "main_performer",
+                           .kind = AttributeKind::kFamilyName};
+  specs[kNameNativeLanguage] = {.name = "name_native_language",
+                                .kind = AttributeKind::kAliasNative};
+  specs[kSource] = {.name = "source", .kind = AttributeKind::kSourceTag};
+  specs[kTitleText] = {.name = "title_text",
+                       .kind = AttributeKind::kComposite,
+                       .filler_tokens = 5,
+                       .vocab_seed = 101};
+  specs[kVersion] = {.name = "version",
+                     .kind = AttributeKind::kCategory,
+                     .category_cardinality = 5,
+                     .vocab_seed = 102};
+  specs[kGenre] = {.name = "genre",
+                   .kind = AttributeKind::kCategory,
+                   .category_cardinality = 12,
+                   .family_level = true,
+                   .vocab_seed = 103};
+  specs[kCountry] = {.name = "country",
+                     .kind = AttributeKind::kCategory,
+                     .category_cardinality = 25,
+                     .family_level = true,
+                     .vocab_seed = 104};
+  specs[kYear] = {.name = "year",
+                  .kind = AttributeKind::kNumeric,
+                  .numeric_lo = 1960,
+                  .numeric_hi = 2024};
+  return specs;
+}
+
+// Rendering profile of a seen (source-domain) website: clean names, but the
+// native-language alias and the track version are essentially absent here
+// (they become informative only in the target domain -> C2).
+std::vector<AttributeRendering> SeenSiteRendering(MusicEntityType type) {
+  // Every attribute carries mild cross-source formatting noise (typos,
+  // dropped tokens): real web values are rarely byte-identical across
+  // websites, so exact-string equality is a weak signal even in D_S.
+  std::vector<AttributeRendering> r(kMusicAttrCount);
+  r[kName] = {.missing_prob = 0.03,
+              .abbrev_prob = 0.05,
+              .typo_prob = 0.10,
+              .token_drop_prob = 0.08};
+  r[kMainPerformer] = {.missing_prob = 0.05,
+                       .abbrev_prob = 0.05,
+                       .typo_prob = 0.10,
+                       .token_drop_prob = 0.08};
+  r[kNameNativeLanguage] = {.missing_prob = 0.75, .typo_prob = 0.15};
+  r[kSource] = {};
+  r[kTitleText] = {.missing_prob = 0.20,
+                   .typo_prob = 0.08,
+                   .token_drop_prob = 0.15,
+                   .decoration_prob = 0.30};
+  r[kVersion] = {.missing_prob = type == MusicEntityType::kTrack ? 0.95
+                                                                 : 0.98};
+  r[kGenre] = {.missing_prob = 0.30, .typo_prob = 0.12};
+  r[kCountry] = {.missing_prob = 0.40, .typo_prob = 0.12};
+  r[kYear] = {.missing_prob = 0.30};
+  return r;
+}
+
+// Rendering profile of an unseen website: abbreviated names, missing
+// performers, typos, heavy decoration — but the native alias and version are
+// well populated.
+std::vector<AttributeRendering> UnseenSiteRendering(MusicEntityType type) {
+  std::vector<AttributeRendering> r(kMusicAttrCount);
+  r[kName] = {.missing_prob = 0.12,
+              .abbrev_prob = 0.70,
+              .typo_prob = 0.12,
+              .token_drop_prob = 0.18,
+              .decoration_prob = 0.35};
+  r[kMainPerformer] = {.missing_prob = 0.40,
+                       .abbrev_prob = 0.75,
+                       .typo_prob = 0.10};
+  r[kNameNativeLanguage] = {.missing_prob = 0.25, .typo_prob = 0.18};
+  r[kSource] = {};
+  r[kTitleText] = {.missing_prob = 0.40,
+                   .token_drop_prob = 0.25,
+                   .decoration_prob = 0.75};
+  r[kVersion] = {.missing_prob = type == MusicEntityType::kTrack ? 0.10
+                                                                 : 0.95};
+  // The unseen websites render categories/years in site-local formats
+  // (synonyms): attributes that were reliable match evidence in D_S become
+  // misleading in D_T — the hard face of challenge C3.
+  r[kGenre] = {.missing_prob = 0.50,
+               .decoration_prob = 0.10,
+               .synonym_prob = 0.55};
+  r[kCountry] = {.missing_prob = 0.60, .synonym_prob = 0.55};
+  r[kYear] = {.missing_prob = 0.60, .synonym_prob = 0.55};
+  return r;
+}
+
+int FamilySize(MusicEntityType type) {
+  switch (type) {
+    case MusicEntityType::kArtist:
+      return 3;
+    case MusicEntityType::kAlbum:
+      return 4;
+    case MusicEntityType::kTrack:
+      return 5;  // many versions of the same song -> hardest negatives
+  }
+  return 3;
+}
+
+}  // namespace
+
+const char* MusicEntityTypeName(MusicEntityType type) {
+  switch (type) {
+    case MusicEntityType::kArtist:
+      return "artist";
+    case MusicEntityType::kAlbum:
+      return "album";
+    case MusicEntityType::kTrack:
+      return "track";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> MusicSeenSources() {
+  return {"website1", "website2", "website3"};
+}
+
+std::vector<std::string> MusicUnseenSources() {
+  return {"website4", "website5", "website6", "website7"};
+}
+
+std::vector<std::string> MusicAllSources() {
+  std::vector<std::string> all = MusicSeenSources();
+  for (const std::string& s : MusicUnseenSources()) {
+    all.push_back(s);
+  }
+  return all;
+}
+
+World MakeMusicWorld(MusicEntityType type, uint64_t seed) {
+  WorldConfig config;
+  config.attributes = MusicAttributeSpecs();
+  config.num_entities = 900;
+  config.family_size = FamilySize(type);
+  config.seed = seed ^ (static_cast<uint64_t>(type) << 32);
+  World world(std::move(config));
+
+  uint64_t site_seed = seed * 7919 + 11;
+  for (const std::string& name : MusicSeenSources()) {
+    SourceProfile profile;
+    profile.name = name;
+    profile.decoration_vocab_seed = ++site_seed;
+    profile.attributes = SeenSiteRendering(type);
+    world.AddSource(std::move(profile));
+  }
+  // The unseen websites share one decoration vocabulary (they run on the
+  // same aggregator platform): cross-source non-matches in the target
+  // domain therefore share boilerplate tokens — spurious similarity that
+  // fools source-trained similarity weighting and must be attended away.
+  const uint64_t shared_platform_seed = seed * 31337 + 7;
+  for (const std::string& name : MusicUnseenSources()) {
+    SourceProfile profile;
+    profile.name = name;
+    profile.decoration_vocab_seed = shared_platform_seed;
+    profile.decoration_vocab_size = 15;
+    profile.attributes = UnseenSiteRendering(type);
+    world.AddSource(std::move(profile));
+  }
+  return world;
+}
+
+MelTask MakeMusicTask(const MusicTaskOptions& options) {
+  const World world = MakeMusicWorld(options.entity_type, options.seed);
+  Rng rng(options.seed * 0x51eddeed + 3);
+
+  // Table 3 train/test sizes for Music-3K.
+  int train_pairs = 0;
+  int test_pairs = 0;
+  switch (options.entity_type) {
+    case MusicEntityType::kArtist:
+      train_pairs = 374;
+      test_pairs = 541;
+      break;
+    case MusicEntityType::kAlbum:
+      train_pairs = 490;
+      test_pairs = 509;
+      break;
+    case MusicEntityType::kTrack:
+      train_pairs = 314;
+      test_pairs = 542;
+      break;
+  }
+
+  MelTask task;
+  task.name = std::string("music-") +
+              (options.scale == MusicScale::k3K ? "3k" : "1m") + "-" +
+              MusicEntityTypeName(options.entity_type) + "-" +
+              MelScenarioName(options.scenario);
+
+  // D_S: both sides from the seen websites.
+  PairSamplingOptions train_options;
+  train_options.left_sources = MusicSeenSources();
+  train_options.right_sources = MusicSeenSources();
+  if (options.scale == MusicScale::k3K) {
+    train_options.positives = train_pairs / 2;
+    train_options.negatives = train_pairs - train_pairs / 2;
+  } else {
+    train_options.positives = options.weak_train_pairs / 2;
+    train_options.negatives =
+        options.weak_train_pairs - options.weak_train_pairs / 2;
+    train_options.weak_label_noise = options.weak_label_noise;
+  }
+  train_options.hard_negative_fraction = 0.75;
+  task.source_train = SamplePairs(world, train_options, &rng);
+
+  // Target-domain pair distribution per scenario (Section 5.2): S1 pairs one
+  // seen-source record with one from any of the 7 sites; S2 draws both sides
+  // from the 4 unseen sites.
+  PairSamplingOptions target_options;
+  if (options.scenario == MelScenario::kOverlapping) {
+    target_options.left_sources = MusicSeenSources();
+    target_options.right_sources = MusicAllSources();
+  } else {
+    target_options.left_sources = MusicUnseenSources();
+    target_options.right_sources = MusicUnseenSources();
+  }
+  target_options.hard_negative_fraction = 0.75;
+
+  // Test set (clean labels in both scales; Music-1M shares Music-3K's test).
+  target_options.positives = static_cast<int>(test_pairs * 0.45);
+  target_options.negatives = test_pairs - target_options.positives;
+  task.test = SamplePairs(world, target_options, &rng);
+
+  // Unlabeled D_T.
+  target_options.positives = options.target_unlabeled_pairs / 3;
+  target_options.negatives =
+      options.target_unlabeled_pairs - target_options.positives;
+  task.target_unlabeled =
+      SamplePairs(world, target_options, &rng).WithoutLabels();
+
+  // Support set S_U: labeled pairs from the target distribution.
+  target_options.positives = options.support_positives;
+  target_options.negatives = options.support_negatives;
+  task.support = SamplePairs(world, target_options, &rng);
+
+  return task;
+}
+
+}  // namespace adamel::datagen

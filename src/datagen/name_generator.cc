@@ -1,0 +1,135 @@
+#include "datagen/name_generator.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace adamel::datagen {
+
+const std::vector<std::string>& NameGenerator::Onsets() {
+  static const std::vector<std::string>* kOnsets = new std::vector<std::string>{
+      "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h",  "j", "k",
+      "kl", "l", "m", "n", "p", "pr", "r", "s", "sh", "st", "t", "tr",
+      "v", "w", "z", ""};
+  return *kOnsets;
+}
+
+const std::vector<std::string>& NameGenerator::Nuclei() {
+  static const std::vector<std::string>* kNuclei = new std::vector<std::string>{
+      "a", "e", "i", "o", "u", "ai", "ea", "ie", "ou", "oa"};
+  return *kNuclei;
+}
+
+const std::vector<std::string>& NameGenerator::Codas() {
+  static const std::vector<std::string>* kCodas = new std::vector<std::string>{
+      "", "", "n", "m", "r", "l", "s", "t", "k", "x", "nd", "st"};
+  return *kCodas;
+}
+
+std::string NameGenerator::MakeToken(int syllables, Rng* rng) const {
+  ADAMEL_CHECK_GT(syllables, 0);
+  std::string token;
+  for (int i = 0; i < syllables; ++i) {
+    token += Onsets()[rng->UniformInt(static_cast<int>(Onsets().size()))];
+    token += Nuclei()[rng->UniformInt(static_cast<int>(Nuclei().size()))];
+    if (i + 1 == syllables) {
+      token += Codas()[rng->UniformInt(static_cast<int>(Codas().size()))];
+    }
+  }
+  if (token.empty()) {
+    token = "a";
+  }
+  return token;
+}
+
+std::string NameGenerator::MakeName(int tokens, Rng* rng) const {
+  ADAMEL_CHECK_GT(tokens, 0);
+  std::vector<std::string> parts;
+  for (int i = 0; i < tokens; ++i) {
+    std::string token = MakeToken(rng->UniformInt(2, 3), rng);
+    token[0] = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(token[0])));
+    parts.push_back(std::move(token));
+  }
+  return Join(parts, " ");
+}
+
+std::string NameGenerator::MakeFamilyVariant(const std::string& name,
+                                             Rng* rng) const {
+  std::vector<std::string> parts = SplitWhitespace(name);
+  ADAMEL_CHECK(!parts.empty());
+  // Keep the leading tokens (family surface overlap), replace or append the
+  // tail so the variant denotes a different entity.
+  std::string tail = MakeToken(rng->UniformInt(2, 3), rng);
+  tail[0] =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(tail[0])));
+  if (parts.size() > 1 && rng->Bernoulli(0.5)) {
+    parts.back() = tail;
+  } else {
+    parts.push_back(tail);
+  }
+  return Join(parts, " ");
+}
+
+std::string NameGenerator::Abbreviate(const std::string& name) {
+  std::vector<std::string> parts = SplitWhitespace(name);
+  std::vector<std::string> initials;
+  for (const std::string& part : parts) {
+    if (part.empty()) {
+      continue;
+    }
+    std::string initial(1, part[0]);
+    initial += ".";
+    initials.push_back(std::move(initial));
+  }
+  return Join(initials, " ");
+}
+
+std::string NameGenerator::Transliterate(const std::string& name) {
+  // Deterministic consonant/vowel remapping plus a marker suffix. The
+  // output shares no tokens with the input, yet is stable per entity —
+  // exactly how a native-language attribute behaves across websites.
+  std::string result;
+  for (char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc)) {
+      const char base = static_cast<char>(std::tolower(uc));
+      const char mapped = static_cast<char>('a' + (base - 'a' + 7) % 26);
+      result.push_back(std::isupper(uc)
+                           ? static_cast<char>(std::toupper(
+                                 static_cast<unsigned char>(mapped)))
+                           : mapped);
+    } else {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::string NameGenerator::InjectTypo(const std::string& value, Rng* rng) {
+  if (value.size() < 2) {
+    return value;
+  }
+  std::string result = value;
+  const int pos = rng->UniformInt(static_cast<int>(result.size() - 1));
+  switch (rng->UniformInt(3)) {
+    case 0:  // substitution
+      result[pos] = static_cast<char>('a' + rng->UniformInt(26));
+      break;
+    case 1:  // deletion
+      result.erase(result.begin() + pos);
+      break;
+    default:  // transposition
+      std::swap(result[pos], result[pos + 1]);
+  }
+  return result;
+}
+
+std::string NameGenerator::VocabToken(uint64_t vocab_seed, int index) {
+  Rng rng(vocab_seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(index));
+  NameGenerator gen;
+  return gen.MakeToken(rng.UniformInt(2, 3), &rng);
+}
+
+}  // namespace adamel::datagen

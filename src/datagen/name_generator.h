@@ -1,0 +1,56 @@
+#ifndef ADAMEL_DATAGEN_NAME_GENERATOR_H_
+#define ADAMEL_DATAGEN_NAME_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace adamel::datagen {
+
+/// Generates pronounceable synthetic tokens and names.
+///
+/// The generators in this module never embed real-world text; every name is
+/// synthesized from syllables so the corpus statistics (token lengths,
+/// prefix sharing within entity families, abbreviation behaviour) are fully
+/// controlled. Determinism comes from the caller-supplied Rng.
+class NameGenerator {
+ public:
+  NameGenerator() = default;
+
+  /// One pronounceable token of `syllables` syllables (e.g. "zarimo").
+  std::string MakeToken(int syllables, Rng* rng) const;
+
+  /// A multi-token name, capitalized ("Zarimo Kelet").
+  std::string MakeName(int tokens, Rng* rng) const;
+
+  /// A variation of `name` sharing its leading tokens: used to build entity
+  /// *families* whose members are hard negatives for one another.
+  std::string MakeFamilyVariant(const std::string& name, Rng* rng) const;
+
+  /// Initials abbreviation: "Paul McCartney" -> "P. M." — the paper's
+  /// motivating example of a target-domain format shift (Figure 1).
+  static std::string Abbreviate(const std::string& name);
+
+  /// A "native language" rendering: deterministic per-token transliteration
+  /// so that the same entity's native name is stable across sources but
+  /// shares no surface tokens with the latin name.
+  static std::string Transliterate(const std::string& name);
+
+  /// Applies a single random character edit (substitution, deletion, or
+  /// transposition) to one token of `value`.
+  static std::string InjectTypo(const std::string& value, Rng* rng);
+
+  /// A fixed-size vocabulary of category-like tokens ("rock", "jazz", ...):
+  /// token i is deterministic in (vocab_seed, i).
+  static std::string VocabToken(uint64_t vocab_seed, int index);
+
+ private:
+  static const std::vector<std::string>& Onsets();
+  static const std::vector<std::string>& Nuclei();
+  static const std::vector<std::string>& Codas();
+};
+
+}  // namespace adamel::datagen
+
+#endif  // ADAMEL_DATAGEN_NAME_GENERATOR_H_

@@ -1,0 +1,326 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "datagen/name_generator.h"
+
+namespace adamel::datagen {
+namespace {
+
+std::vector<std::string> SchemaNames(const std::vector<AttributeSpec>& specs) {
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const AttributeSpec& spec : specs) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(std::move(config)), schema_(SchemaNames(config_.attributes)) {
+  ADAMEL_CHECK_GT(config_.num_entities, 0);
+  ADAMEL_CHECK_GT(config_.family_size, 0);
+  Rng rng(config_.seed);
+  NameGenerator names;
+
+  const int num_attrs = static_cast<int>(config_.attributes.size());
+  entities_.reserve(config_.num_entities);
+  std::string family_base_name;
+  for (int e = 0; e < config_.num_entities; ++e) {
+    Entity entity;
+    entity.id = "e" + std::to_string(e);
+    entity.family = e / config_.family_size;
+    entity.tokens.resize(num_attrs);
+
+    // The entity's primary name: the first family member establishes the
+    // family base, later members are near-variants of it.
+    std::string primary_name;
+    if (e % config_.family_size == 0) {
+      family_base_name = names.MakeName(rng.UniformInt(2, 3), &rng);
+      primary_name = family_base_name;
+    } else {
+      primary_name = names.MakeFamilyVariant(family_base_name, &rng);
+    }
+
+    for (int a = 0; a < num_attrs; ++a) {
+      const AttributeSpec& spec = config_.attributes[a];
+      std::vector<std::string>& tokens = entity.tokens[a];
+      switch (spec.kind) {
+        case AttributeKind::kEntityName:
+          tokens = SplitWhitespace(primary_name);
+          break;
+        case AttributeKind::kAliasNative:
+          tokens =
+              SplitWhitespace(NameGenerator::Transliterate(primary_name));
+          break;
+        case AttributeKind::kFamilyName:
+          tokens = SplitWhitespace(family_base_name);
+          break;
+        case AttributeKind::kCategory: {
+          int index;
+          if (spec.family_level) {
+            // Deterministic per family so all members share the value.
+            Rng family_rng(config_.seed ^ spec.vocab_seed ^
+                           (static_cast<uint64_t>(entity.family) * 0x9e37ULL));
+            index = family_rng.Zipf(spec.category_cardinality, 1.1);
+          } else {
+            index = rng.Zipf(spec.category_cardinality, 1.1);
+          }
+          tokens = {NameGenerator::VocabToken(
+              spec.vocab_seed ^ 0xCA7ull, index)};
+          break;
+        }
+        case AttributeKind::kNumeric: {
+          ADAMEL_CHECK_LE(spec.numeric_lo, spec.numeric_hi);
+          tokens = {std::to_string(
+              rng.UniformInt(spec.numeric_lo, spec.numeric_hi))};
+          break;
+        }
+        case AttributeKind::kComposite: {
+          // Name tokens embedded in filler text.
+          tokens = SplitWhitespace(primary_name);
+          for (int t = 0; t < spec.filler_tokens; ++t) {
+            const int index = rng.Zipf(200, 1.05);
+            tokens.push_back(
+                NameGenerator::VocabToken(spec.vocab_seed ^ 0xF117ull,
+                                          index));
+          }
+          break;
+        }
+        case AttributeKind::kSourceTag:
+          // Filled at render time.
+          tokens.clear();
+          break;
+      }
+    }
+    entities_.push_back(std::move(entity));
+  }
+}
+
+const Entity& World::entity(int index) const {
+  ADAMEL_CHECK_GE(index, 0);
+  ADAMEL_CHECK_LT(index, num_entities());
+  return entities_[index];
+}
+
+void World::AddSource(SourceProfile profile) {
+  ADAMEL_CHECK(!profile.name.empty());
+  if (profile.attributes.empty()) {
+    profile.attributes.resize(schema_.size());
+  }
+  ADAMEL_CHECK_EQ(static_cast<int>(profile.attributes.size()), schema_.size());
+  ADAMEL_CHECK(sources_.find(profile.name) == sources_.end())
+      << "duplicate source " << profile.name;
+  sources_.emplace(profile.name, std::move(profile));
+}
+
+bool World::HasSource(const std::string& name) const {
+  return sources_.find(name) != sources_.end();
+}
+
+const SourceProfile& World::source(const std::string& name) const {
+  const auto it = sources_.find(name);
+  ADAMEL_CHECK(it != sources_.end()) << "unknown source " << name;
+  return it->second;
+}
+
+std::vector<std::string> World::source_names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, profile] : sources_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+data::Record World::Render(int entity_index, const std::string& source_name,
+                           Rng* rng) const {
+  ADAMEL_CHECK(rng != nullptr);
+  const Entity& entity = this->entity(entity_index);
+  const SourceProfile& profile = source(source_name);
+
+  data::Record record;
+  record.id = entity.id + "@" + source_name;
+  record.source = source_name;
+  record.entity_id = entity.id;
+  record.values.resize(schema_.size());
+
+  for (int a = 0; a < schema_.size(); ++a) {
+    const AttributeSpec& spec = config_.attributes[a];
+    const AttributeRendering& rendering = profile.attributes[a];
+    if (!rendering.supported || rng->Bernoulli(rendering.missing_prob)) {
+      record.values[a] = "";
+      continue;
+    }
+    if (spec.kind == AttributeKind::kSourceTag) {
+      record.values[a] = source_name;
+      continue;
+    }
+    std::vector<std::string> tokens = entity.tokens[a];
+    const bool value_like = spec.kind == AttributeKind::kCategory ||
+                            spec.kind == AttributeKind::kNumeric;
+    if (value_like && rng->Bernoulli(rendering.synonym_prob)) {
+      // Deterministic per (value, source): hash the canonical token into the
+      // source's synonym namespace.
+      for (std::string& token : tokens) {
+        uint64_t h = 1469598103934665603ULL;
+        for (char c : token) {
+          h ^= static_cast<unsigned char>(c);
+          h *= 1099511628211ULL;
+        }
+        token = NameGenerator::VocabToken(
+            h ^ (profile.decoration_vocab_seed * 0x51ede5ULL), 0);
+      }
+    }
+    const bool name_like = spec.kind == AttributeKind::kEntityName ||
+                           spec.kind == AttributeKind::kAliasNative;
+    if (name_like && rng->Bernoulli(rendering.abbrev_prob)) {
+      tokens = SplitWhitespace(NameGenerator::Abbreviate(Join(tokens, " ")));
+    } else {
+      // Token dropout (keep at least the first token).
+      if (rendering.token_drop_prob > 0.0 && tokens.size() > 1) {
+        std::vector<std::string> kept;
+        kept.push_back(tokens[0]);
+        for (size_t t = 1; t < tokens.size(); ++t) {
+          if (!rng->Bernoulli(rendering.token_drop_prob)) {
+            kept.push_back(tokens[t]);
+          }
+        }
+        tokens = std::move(kept);
+      }
+      // Typos.
+      if (rendering.typo_prob > 0.0) {
+        for (std::string& token : tokens) {
+          if (rng->Bernoulli(rendering.typo_prob)) {
+            token = NameGenerator::InjectTypo(token, rng);
+          }
+        }
+      }
+    }
+    // Source-specific decoration tokens (Zipf-distributed within the
+    // source's own vocabulary -> per-source token frequency shift).
+    if (rng->Bernoulli(rendering.decoration_prob)) {
+      const int count = rng->UniformInt(1, 3);
+      for (int d = 0; d < count; ++d) {
+        const int index =
+            rng->Zipf(profile.decoration_vocab_size, 1.2);
+        tokens.push_back(
+            NameGenerator::VocabToken(profile.decoration_vocab_seed, index));
+      }
+    }
+    record.values[a] = Join(tokens, " ");
+  }
+  return record;
+}
+
+data::PairDataset SamplePairs(const World& world,
+                              const PairSamplingOptions& options, Rng* rng) {
+  ADAMEL_CHECK(rng != nullptr);
+  ADAMEL_CHECK(!options.left_sources.empty());
+  ADAMEL_CHECK(!options.right_sources.empty());
+  for (const std::string& s : options.left_sources) {
+    ADAMEL_CHECK(world.HasSource(s)) << "unknown left source " << s;
+  }
+  for (const std::string& s : options.right_sources) {
+    ADAMEL_CHECK(world.HasSource(s)) << "unknown right source " << s;
+  }
+
+  const int family_size = world.config().family_size;
+  const int num_entities = world.num_entities();
+
+  auto pick_sources = [&](std::string* left, std::string* right) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      *left = options.left_sources[rng->UniformInt(
+          static_cast<int>(options.left_sources.size()))];
+      *right = options.right_sources[rng->UniformInt(
+          static_cast<int>(options.right_sources.size()))];
+      if (*left == *right &&
+          (options.left_sources.size() > 1 ||
+           options.right_sources.size() > 1)) {
+        continue;  // prefer cross-source pairs
+      }
+      if (!options.require_one_from.empty()) {
+        const bool ok =
+            std::find(options.require_one_from.begin(),
+                      options.require_one_from.end(),
+                      *left) != options.require_one_from.end() ||
+            std::find(options.require_one_from.begin(),
+                      options.require_one_from.end(),
+                      *right) != options.require_one_from.end();
+        if (!ok) {
+          continue;
+        }
+      }
+      return;
+    }
+  };
+
+  data::PairDataset dataset(world.schema());
+
+  // Positives: two renderings of the same entity.
+  for (int i = 0; i < options.positives; ++i) {
+    const int entity = rng->UniformInt(num_entities);
+    std::string left_source;
+    std::string right_source;
+    pick_sources(&left_source, &right_source);
+    data::LabeledPair pair;
+    int right_entity = entity;
+    int label = data::kMatch;
+    if (options.weak_label_noise > 0.0 &&
+        rng->Bernoulli(options.weak_label_noise)) {
+      // Weak "hyperlink" labeling error: the pair is labeled positive but
+      // actually points at a same-family sibling (e.g. artist vs her album).
+      const int family_start = (entity / family_size) * family_size;
+      const int family_end =
+          std::min(family_start + family_size, num_entities);
+      if (family_end - family_start > 1) {
+        do {
+          right_entity = rng->UniformInt(family_start, family_end - 1);
+        } while (right_entity == entity);
+      }
+    }
+    pair.left = world.Render(entity, left_source, rng);
+    pair.right = world.Render(right_entity, right_source, rng);
+    pair.label = label;
+    dataset.Add(std::move(pair));
+  }
+
+  // Negatives: hard (same family) or random entity pairs.
+  for (int i = 0; i < options.negatives; ++i) {
+    const int left_entity = rng->UniformInt(num_entities);
+    int right_entity = left_entity;
+    if (rng->Bernoulli(options.hard_negative_fraction)) {
+      const int family_start = (left_entity / family_size) * family_size;
+      const int family_end =
+          std::min(family_start + family_size, num_entities);
+      if (family_end - family_start > 1) {
+        do {
+          right_entity = rng->UniformInt(family_start, family_end - 1);
+        } while (right_entity == left_entity);
+      }
+    }
+    if (right_entity == left_entity) {
+      do {
+        right_entity = rng->UniformInt(num_entities);
+      } while (right_entity == left_entity);
+    }
+    std::string left_source;
+    std::string right_source;
+    pick_sources(&left_source, &right_source);
+    data::LabeledPair pair;
+    pair.left = world.Render(left_entity, left_source, rng);
+    pair.right = world.Render(right_entity, right_source, rng);
+    pair.label = (options.weak_label_noise > 0.0 &&
+                  rng->Bernoulli(options.weak_label_noise))
+                     ? data::kMatch
+                     : data::kNonMatch;
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+}  // namespace adamel::datagen

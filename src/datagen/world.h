@@ -1,0 +1,175 @@
+#ifndef ADAMEL_DATAGEN_WORLD_H_
+#define ADAMEL_DATAGEN_WORLD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/pair_dataset.h"
+#include "data/record.h"
+
+namespace adamel::datagen {
+
+/// How an attribute's canonical (ground-truth) value is generated.
+enum class AttributeKind {
+  /// Discriminative multi-token name drawn from an entity family, so that
+  /// same-family entities are hard negatives (share leading tokens).
+  kEntityName,
+  /// Deterministic transliteration of the entity name: stable per entity,
+  /// zero surface overlap with the latin name (the paper's
+  /// Name_Native_Language attribute).
+  kAliasNative,
+  /// The family's shared base name: identical for all entities in a family
+  /// (e.g. the performing artist shared by an artist's albums, or a
+  /// monitor line's manufacturer). Makes family negatives realistically
+  /// hard — they agree on this attribute.
+  kFamilyName,
+  /// Low-cardinality categorical token (genre, country, condition): shared
+  /// by many entities, weakly discriminative.
+  kCategory,
+  /// Numeric token (year, price, screen size): moderately discriminative.
+  kNumeric,
+  /// Entity-name tokens mixed with filler text (page_title, description):
+  /// long, noisy, but containing the discriminative tokens.
+  kComposite,
+  /// Filled with the data-source name at render time (the "Source"
+  /// attribute that appears in the paper's Table 4 top features).
+  kSourceTag,
+};
+
+/// Specification of one schema attribute's generative process.
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kCategory;
+  /// kCategory: number of distinct category tokens.
+  int category_cardinality = 20;
+  /// kCategory only: when true the category is drawn once per family
+  /// (all family members share it), otherwise per entity.
+  bool family_level = false;
+  /// kNumeric: inclusive value range.
+  int numeric_lo = 1960;
+  int numeric_hi = 2020;
+  /// kComposite: number of filler tokens around the name tokens.
+  int filler_tokens = 4;
+  /// Seed namespace for this attribute's vocabulary (distinct attributes get
+  /// distinct vocabularies).
+  uint64_t vocab_seed = 0;
+};
+
+/// A ground-truth entity: canonical token values per schema attribute.
+struct Entity {
+  std::string id;
+  int family = 0;
+  /// tokens[a] = canonical word tokens of attribute a.
+  std::vector<std::vector<std::string>> tokens;
+};
+
+/// Per-source, per-attribute rendering behaviour. These knobs *are* the
+/// paper's challenges: missing_prob drives C1, supported=false on
+/// source-domain profiles drives C2 (attribute exists only in target
+/// sources), and abbreviation/typos/decoration drive C3 (value-distribution
+/// shift).
+struct AttributeRendering {
+  bool supported = true;
+  double missing_prob = 0.0;
+  /// For kEntityName/kAliasNative: replace the value with initials
+  /// ("Paul McCartney" -> "P. M.", the Figure 1 example).
+  double abbrev_prob = 0.0;
+  double typo_prob = 0.0;
+  /// Each non-leading token is dropped with this probability.
+  double token_drop_prob = 0.0;
+  /// Append 1-3 source-specific decoration tokens with this probability
+  /// (e.g. "cheap buy online" on shopping sites) — shifts the token
+  /// frequency distribution per source (Figure 12).
+  double decoration_prob = 0.0;
+  /// For kCategory/kNumeric values: replace the token by a *source-local
+  /// synonym* with this probability ("1080p" on one site, "full-hd" on
+  /// another). Deterministic per (value, source), so records within one
+  /// source stay self-consistent while cross-source positives mismatch —
+  /// the strongest form of C3: an attribute that is a reliable match signal
+  /// in the source domain becomes misleading in the target domain.
+  double synonym_prob = 0.0;
+};
+
+/// A data source (website): how it renders entities.
+struct SourceProfile {
+  std::string name;
+  /// Seed of this source's decoration vocabulary; different sources get
+  /// different decoration token distributions.
+  uint64_t decoration_vocab_seed = 0;
+  int decoration_vocab_size = 30;
+  /// Aligned with the world schema.
+  std::vector<AttributeRendering> attributes;
+};
+
+/// Configuration of a synthetic world.
+struct WorldConfig {
+  std::vector<AttributeSpec> attributes;
+  int num_entities = 1000;
+  /// Entities per hard-negative family.
+  int family_size = 4;
+  uint64_t seed = 7;
+};
+
+/// A generative world: ground-truth entities + source profiles. Rendering an
+/// entity through a source profile yields a Record; sampling pairs of
+/// renderings yields the labeled/unlabeled PairDatasets the experiments run
+/// on.
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  const data::Schema& schema() const { return schema_; }
+  int num_entities() const { return static_cast<int>(entities_.size()); }
+  const Entity& entity(int index) const;
+  const WorldConfig& config() const { return config_; }
+
+  /// Registers a source profile; `profile.attributes` must match the schema
+  /// size (or be empty, in which case default rendering is used for all).
+  void AddSource(SourceProfile profile);
+
+  bool HasSource(const std::string& name) const;
+  const SourceProfile& source(const std::string& name) const;
+  std::vector<std::string> source_names() const;
+
+  /// Renders entity `entity_index` as seen by `source`.
+  data::Record Render(int entity_index, const std::string& source,
+                      Rng* rng) const;
+
+ private:
+  WorldConfig config_;
+  data::Schema schema_;
+  std::vector<Entity> entities_;
+  std::map<std::string, SourceProfile> sources_;
+};
+
+/// Options for labeled/unlabeled pair sampling.
+struct PairSamplingOptions {
+  /// Source pools for the two sides of each pair. A pair takes its left
+  /// record from `left_sources` and right from `right_sources` (distinct
+  /// source names when both pools allow it).
+  std::vector<std::string> left_sources;
+  std::vector<std::string> right_sources;
+  int positives = 100;
+  int negatives = 100;
+  /// Fraction of negatives drawn from the same entity family (hard
+  /// negatives sharing name tokens); the rest are random entity pairs.
+  double hard_negative_fraction = 0.6;
+  /// Probability that a pair's label is corrupted (weak "hyperlink"
+  /// labeling, Music-1M style): positives are re-pointed at a same-family
+  /// sibling entity (so the records no longer co-refer) and negatives are
+  /// flipped to positive.
+  double weak_label_noise = 0.0;
+  /// When non-empty, every sampled pair has at least one side from these
+  /// sources (used by the incremental-data-sources experiment, Section 5.5).
+  std::vector<std::string> require_one_from;
+};
+
+/// Samples a labeled PairDataset from the world.
+data::PairDataset SamplePairs(const World& world,
+                              const PairSamplingOptions& options, Rng* rng);
+
+}  // namespace adamel::datagen
+
+#endif  // ADAMEL_DATAGEN_WORLD_H_

@@ -1,0 +1,195 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace adamel::eval {
+namespace {
+
+// Indices sorted by score descending (stable for reproducibility).
+std::vector<int> RankDescending(const std::vector<float>& scores) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace
+
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<float>& scores,
+                                          const std::vector<int>& labels) {
+  ADAMEL_CHECK_EQ(scores.size(), labels.size());
+  const int total_positives =
+      static_cast<int>(std::count(labels.begin(), labels.end(), 1));
+  std::vector<PrPoint> curve;
+  if (total_positives == 0) {
+    return curve;
+  }
+  const std::vector<int> order = RankDescending(scores);
+  int true_positives = 0;
+  int predicted = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ++predicted;
+    if (labels[order[i]] == 1) {
+      ++true_positives;
+    }
+    // Emit one point per distinct threshold (i.e. at the last of a tie run).
+    const bool last_of_ties =
+        i + 1 == order.size() || scores[order[i + 1]] < scores[order[i]];
+    if (last_of_ties) {
+      curve.push_back({static_cast<double>(scores[order[i]]),
+                       static_cast<double>(true_positives) / predicted,
+                       static_cast<double>(true_positives) / total_positives});
+    }
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<float>& scores,
+                        const std::vector<int>& labels) {
+  const std::vector<PrPoint> curve = PrecisionRecallCurve(scores, labels);
+  if (curve.empty()) {
+    return 0.0;
+  }
+  double ap = 0.0;
+  double previous_recall = 0.0;
+  for (const PrPoint& point : curve) {
+    ap += (point.recall - previous_recall) * point.precision;
+    previous_recall = point.recall;
+  }
+  return ap;
+}
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int>& labels) {
+  ADAMEL_CHECK_EQ(scores.size(), labels.size());
+  // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+  const size_t n = scores.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = midrank;
+    }
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  int positives = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  const int negatives = static_cast<int>(n) - positives;
+  if (positives == 0 || negatives == 0) {
+    return 0.5;
+  }
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+double F1AtThreshold(const std::vector<float>& scores,
+                     const std::vector<int>& labels, float threshold) {
+  ADAMEL_CHECK_EQ(scores.size(), labels.size());
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (predicted && labels[i] == 1) {
+      ++true_positives;
+    } else if (predicted && labels[i] == 0) {
+      ++false_positives;
+    } else if (!predicted && labels[i] == 1) {
+      ++false_negatives;
+    }
+  }
+  const double denom =
+      2.0 * true_positives + false_positives + false_negatives;
+  return denom == 0.0 ? 0.0 : 2.0 * true_positives / denom;
+}
+
+double BestF1(const std::vector<float>& scores,
+              const std::vector<int>& labels) {
+  ADAMEL_CHECK_EQ(scores.size(), labels.size());
+  const int total_positives =
+      static_cast<int>(std::count(labels.begin(), labels.end(), 1));
+  if (total_positives == 0) {
+    return 0.0;
+  }
+  const std::vector<int> order = RankDescending(scores);
+  int true_positives = 0;
+  int predicted = 0;
+  double best = 0.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ++predicted;
+    if (labels[order[i]] == 1) {
+      ++true_positives;
+    }
+    const bool last_of_ties =
+        i + 1 == order.size() || scores[order[i + 1]] < scores[order[i]];
+    if (last_of_ties && true_positives > 0) {
+      const double precision = static_cast<double>(true_positives) / predicted;
+      const double recall =
+          static_cast<double>(true_positives) / total_positives;
+      best = std::max(best, 2.0 * precision * recall / (precision + recall));
+    }
+  }
+  return best;
+}
+
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<int>& labels) {
+  ADAMEL_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) {
+    return 0.0;
+  }
+  int correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int predicted = scores[i] >= 0.5f ? 1 : 0;
+    if (predicted == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / scores.size();
+}
+
+RunStats Aggregate(const std::vector<double>& values) {
+  RunStats stats;
+  stats.runs = static_cast<int>(values.size());
+  if (values.empty()) {
+    return stats;
+  }
+  stats.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+               values.size();
+  if (values.size() > 1) {
+    double sum_sq = 0.0;
+    for (double v : values) {
+      sum_sq += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev = std::sqrt(sum_sq / (values.size() - 1));
+  }
+  return stats;
+}
+
+std::string FormatStats(const RunStats& stats) {
+  return FormatDouble(stats.mean, 4) + " ± " + FormatDouble(stats.stddev, 4);
+}
+
+}  // namespace adamel::eval

@@ -1,0 +1,59 @@
+#ifndef ADAMEL_EVAL_METRICS_H_
+#define ADAMEL_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace adamel::eval {
+
+/// One point on the precision-recall curve.
+struct PrPoint {
+  double threshold;
+  double precision;
+  double recall;
+};
+
+/// Precision-recall curve in decreasing threshold order. `labels` in {0,1};
+/// higher `scores` mean "more likely match".
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<float>& scores,
+                                          const std::vector<int>& labels);
+
+/// PRAUC as average precision, the sklearn `average_precision_score`
+/// definition used by the paper's evaluation (Section 5.1):
+///   AP = sum_n (R_n - R_{n-1}) * P_n.
+/// Returns 0 when there are no positive labels.
+double AveragePrecision(const std::vector<float>& scores,
+                        const std::vector<int>& labels);
+
+/// Area under the ROC curve (probability a random positive outranks a random
+/// negative, ties counted half). Returns 0.5 when degenerate.
+double RocAuc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// F1 at a fixed decision threshold.
+double F1AtThreshold(const std::vector<float>& scores,
+                     const std::vector<int>& labels, float threshold);
+
+/// Best F1 over all thresholds (the protocol behind Table 7's F1 numbers:
+/// deep EL papers tune the threshold on validation data; with our synthetic
+/// splits the best-threshold F1 on test is the standard proxy).
+double BestF1(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Classification accuracy at threshold 0.5.
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<int>& labels);
+
+/// Mean and (sample) standard deviation over runs.
+struct RunStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int runs = 0;
+};
+
+RunStats Aggregate(const std::vector<double>& values);
+
+/// Formats "0.9211 ± 0.0040" with 4 decimals (the paper's table style).
+std::string FormatStats(const RunStats& stats);
+
+}  // namespace adamel::eval
+
+#endif  // ADAMEL_EVAL_METRICS_H_

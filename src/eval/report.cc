@@ -1,0 +1,116 @@
+#include "eval/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.h"
+
+namespace adamel::eval {
+namespace {
+
+// Escapes a CSV cell (quotes when needed).
+std::string CsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  ADAMEL_CHECK(!columns_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  ADAMEL_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::ToMarkdown() const {
+  // Compute column widths for aligned output.
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string out = "\n### " + title_ + "\n\n";
+  out += render_row(columns_);
+  std::string sep = "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string ResultTable::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += CsvCell(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += CsvCell(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void ResultTable::Print() const { std::cout << ToMarkdown() << std::flush; }
+
+Status ResultTable::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  file << ToCsv();
+  if (!file) {
+    return IoError("write failure on " + path);
+  }
+  return OkStatus();
+}
+
+Status EnsureDirectory(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return IoError("cannot create " + directory + ": " + ec.message());
+  }
+  return OkStatus();
+}
+
+}  // namespace adamel::eval

@@ -1,0 +1,48 @@
+#ifndef ADAMEL_EVAL_REPORT_H_
+#define ADAMEL_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adamel::eval {
+
+/// A rectangular results table rendered to Markdown (for stdout, matching
+/// the paper's table layout) and CSV (for re-plotting).
+class ResultTable {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders a GitHub-flavored Markdown table.
+  std::string ToMarkdown() const;
+
+  /// Renders CSV (header + rows).
+  std::string ToCsv() const;
+
+  /// Prints the Markdown rendering to stdout.
+  void Print() const;
+
+  /// Writes the CSV rendering to `path` (creating parent dirs is the
+  /// caller's business; benches write into bench_results/).
+  Status WriteCsv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Ensures `directory` exists (mkdir -p semantics).
+Status EnsureDirectory(const std::string& directory);
+
+}  // namespace adamel::eval
+
+#endif  // ADAMEL_EVAL_REPORT_H_

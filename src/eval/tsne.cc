@@ -1,0 +1,202 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace adamel::eval {
+namespace {
+
+// Squared Euclidean distance matrix.
+std::vector<std::vector<double>> SquaredDistances(
+    const std::vector<std::vector<float>>& points) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < points[i].size(); ++k) {
+        const double diff =
+            static_cast<double>(points[i][k]) - points[j][k];
+        acc += diff * diff;
+      }
+      d[i][j] = acc;
+      d[j][i] = acc;
+    }
+  }
+  return d;
+}
+
+// Binary-searches the Gaussian bandwidth of row i to hit the target
+// perplexity, then writes conditional probabilities p_{j|i}.
+void RowProbabilities(const std::vector<double>& distances, size_t i,
+                      double perplexity, std::vector<double>* row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_min = -1e30;
+  double beta_max = 1e30;
+  const size_t n = distances.size();
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        (*row)[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-distances[j] * beta);
+      (*row)[j] = p;
+      sum += p;
+      weighted += distances[j] * p;
+    }
+    if (sum <= 0.0) {
+      sum = 1e-12;
+    }
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    for (size_t j = 0; j < n; ++j) {
+      (*row)[j] /= sum;
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) {
+      return;
+    }
+    if (diff > 0) {
+      beta_min = beta;
+      beta = beta_max > 1e29 ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = beta_min < -1e29 ? beta / 2.0 : (beta + beta_min) / 2.0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> Tsne(
+    const std::vector<std::vector<float>>& points, const TsneOptions& options) {
+  const size_t n = points.size();
+  ADAMEL_CHECK_GT(n, 2u);
+  for (const auto& p : points) {
+    ADAMEL_CHECK_EQ(p.size(), points[0].size());
+  }
+
+  // Symmetrized joint probabilities P with early exaggeration.
+  const auto distances = SquaredDistances(points);
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+  {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      RowProbabilities(distances[i], i, perplexity, &row);
+      for (size_t j = 0; j < n; ++j) {
+        p[i][j] = row[j];
+      }
+    }
+  }
+  double p_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double sym = (p[i][j] + p[j][i]);
+      p[i][j] = sym;
+      p[j][i] = sym;
+      p_sum += 2.0 * sym;
+    }
+  }
+  for (auto& row : p) {
+    for (double& v : row) {
+      v = std::max(v / p_sum, 1e-12);
+    }
+  }
+
+  // Gradient descent on the output coordinates.
+  Rng rng(options.seed);
+  const int dim = options.output_dim;
+  std::vector<std::vector<double>> y(n, std::vector<double>(dim));
+  std::vector<std::vector<double>> velocity(n, std::vector<double>(dim, 0.0));
+  for (auto& row : y) {
+    for (double& v : row) {
+      v = rng.Normal() * 1e-2;
+    }
+  }
+
+  std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum
+                                : options.final_momentum;
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dist = 0.0;
+        for (int k = 0; k < dim; ++k) {
+          const double diff = y[i][k] - y[j][k];
+          dist += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + dist);
+        q[i][j] = w;
+        q[j][i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    // Gradient and update.
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(dim, 0.0);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) {
+          continue;
+        }
+        const double q_ij = std::max(q[i][j] / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p[i][j] - q_ij) * q[i][j];
+        for (int k = 0; k < dim; ++k) {
+          grad[k] += coeff * (y[i][k] - y[j][k]);
+        }
+      }
+      for (int k = 0; k < dim; ++k) {
+        velocity[i][k] =
+            momentum * velocity[i][k] - options.learning_rate * grad[k];
+        y[i][k] += velocity[i][k];
+      }
+    }
+  }
+  return y;
+}
+
+double DomainAlignmentScore(const std::vector<std::vector<float>>& points,
+                            const std::vector<int>& domains, int k) {
+  ADAMEL_CHECK_EQ(points.size(), domains.size());
+  const size_t n = points.size();
+  ADAMEL_CHECK_GT(static_cast<int>(n), k);
+  const auto distances = SquaredDistances(points);
+  double purity_sum = 0.0;
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + k + 1, order.end(),
+                     [&](int a, int b) {
+                       return distances[i][a] < distances[i][b];
+                     });
+    int same = 0;
+    int counted = 0;
+    for (int j = 0; counted < k && j < static_cast<int>(n); ++j) {
+      const int neighbor = order[j];
+      if (neighbor == static_cast<int>(i)) {
+        continue;
+      }
+      if (domains[neighbor] == domains[i]) {
+        ++same;
+      }
+      ++counted;
+    }
+    purity_sum += static_cast<double>(same) / k;
+  }
+  return purity_sum / static_cast<double>(n);
+}
+
+}  // namespace adamel::eval

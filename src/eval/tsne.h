@@ -1,0 +1,42 @@
+#ifndef ADAMEL_EVAL_TSNE_H_
+#define ADAMEL_EVAL_TSNE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace adamel::eval {
+
+/// Options for the exact t-SNE embedding (van der Maaten & Hinton, 2008).
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 10.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 80;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 120;
+  uint64_t seed = 3;
+};
+
+/// Computes a t-SNE embedding of `points` (n rows of equal dimension).
+/// Exact O(n^2) implementation — intended for the n <= ~2000 attention
+/// vectors visualized in Figure 7 of the paper. Returns n rows of
+/// `options.output_dim` coordinates.
+std::vector<std::vector<double>> Tsne(
+    const std::vector<std::vector<float>>& points,
+    const TsneOptions& options = {});
+
+/// Domain alignment score for Figure 7's claim made quantitative: the mean
+/// fraction of each point's k nearest neighbours (in the given space) that
+/// come from the *same* domain. 1.0 = domains fully separated; values near
+/// max(0.5, class prior) = domains indistinguishable (well-aligned).
+/// `domains` holds 0/1 domain ids aligned with `points`.
+double DomainAlignmentScore(const std::vector<std::vector<float>>& points,
+                            const std::vector<int>& domains, int k = 10);
+
+}  // namespace adamel::eval
+
+#endif  // ADAMEL_EVAL_TSNE_H_

@@ -1,0 +1,47 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adamel::nn {
+
+GradCheckResult CheckGradient(const std::function<Tensor()>& loss_fn,
+                              Tensor parameter, double epsilon) {
+  ADAMEL_CHECK(parameter.defined());
+  ADAMEL_CHECK(parameter.requires_grad());
+
+  // Analytic pass.
+  parameter.ZeroGrad();
+  Tensor loss = loss_fn();
+  ADAMEL_CHECK_EQ(loss.size(), 1);
+  loss.Backward();
+  const std::vector<float> analytic = parameter.grad();
+
+  GradCheckResult result;
+  std::vector<float>& values = parameter.mutable_data();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const float original = values[i];
+    values[i] = original + static_cast<float>(epsilon);
+    const double loss_plus = loss_fn().At(0, 0);
+    values[i] = original - static_cast<float>(epsilon);
+    const double loss_minus = loss_fn().At(0, 0);
+    values[i] = original;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    const double denom =
+        std::max({1.0, std::fabs(static_cast<double>(analytic[i])),
+                  std::fabs(numeric)});
+    const double rel_error =
+        std::fabs(static_cast<double>(analytic[i]) - numeric) / denom;
+    if (rel_error > result.max_relative_error) {
+      result.max_relative_error = rel_error;
+      result.worst_index = static_cast<int>(i);
+      result.worst_analytic = analytic[i];
+      result.worst_numeric = numeric;
+    }
+  }
+  return result;
+}
+
+}  // namespace adamel::nn

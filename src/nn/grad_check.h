@@ -1,0 +1,32 @@
+#ifndef ADAMEL_NN_GRAD_CHECK_H_
+#define ADAMEL_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+
+/// Result of a numerical gradient check.
+struct GradCheckResult {
+  /// max_ij |analytic - numeric| / max(1, |analytic|, |numeric|).
+  double max_relative_error = 0.0;
+  /// Index (into the flattened parameter) of the worst element.
+  int worst_index = -1;
+  double worst_analytic = 0.0;
+  double worst_numeric = 0.0;
+};
+
+/// Verifies the analytic gradient of `loss_fn` with central finite
+/// differences.
+///
+/// `loss_fn` must rebuild the forward graph from scratch on every call and
+/// return a scalar tensor. `parameter` is perturbed in place. This is a test
+/// utility: O(size(parameter)) forward passes.
+GradCheckResult CheckGradient(const std::function<Tensor()>& loss_fn,
+                              Tensor parameter, double epsilon = 1e-3);
+
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_GRAD_CHECK_H_

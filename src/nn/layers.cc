@@ -1,0 +1,178 @@
+#include "nn/layers.h"
+
+#include "common/check.h"
+
+namespace adamel::nn {
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const Tensor& p : Parameters()) {
+    count += p.size();
+  }
+  return count;
+}
+
+void Module::ZeroGrad() {
+  // Tensor is a shared handle, so zeroing the copies zeroes the parameters.
+  for (Tensor p : Parameters()) {
+    p.ZeroGrad();
+  }
+}
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : weight_(Tensor::XavierUniform(in_features, out_features, rng)),
+      bias_(Tensor::Zeros(1, out_features, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  ADAMEL_CHECK_EQ(x.cols(), weight_.rows());
+  return Add(MatMul(x, weight_), bias_);
+}
+
+std::vector<Tensor> Linear::Parameters() const { return {weight_, bias_}; }
+
+Tensor Activate(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  ADAMEL_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Activation activation, Rng* rng)
+    : activation_(activation) {
+  ADAMEL_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = Activate(h, activation_);
+    }
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Linear& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+HighwayLayer::HighwayLayer(int dim, Rng* rng)
+    : transform_(dim, dim, rng), carry_gate_(dim, dim, rng) {}
+
+Tensor HighwayLayer::Forward(const Tensor& x) const {
+  const Tensor t = Sigmoid(carry_gate_.Forward(x));
+  const Tensor h = Relu(transform_.Forward(x));
+  // y = t ⊙ h + (1 - t) ⊙ x
+  return Add(Mul(t, h), Mul(Sub(Tensor::Full(1, 1, 1.0f), t), x));
+}
+
+std::vector<Tensor> HighwayLayer::Parameters() const {
+  std::vector<Tensor> params = transform_.Parameters();
+  for (const Tensor& p : carry_gate_.Parameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+GruCell::GruCell(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      update_x_(input_dim, hidden_dim, rng),
+      update_h_(hidden_dim, hidden_dim, rng),
+      reset_x_(input_dim, hidden_dim, rng),
+      reset_h_(hidden_dim, hidden_dim, rng),
+      cand_x_(input_dim, hidden_dim, rng),
+      cand_h_(hidden_dim, hidden_dim, rng) {}
+
+Tensor GruCell::Forward(const Tensor& x_t, const Tensor& h_prev) const {
+  ADAMEL_CHECK_EQ(x_t.cols(), input_dim_);
+  ADAMEL_CHECK_EQ(h_prev.cols(), hidden_dim_);
+  const Tensor z = Sigmoid(Add(update_x_.Forward(x_t), update_h_.Forward(h_prev)));
+  const Tensor r = Sigmoid(Add(reset_x_.Forward(x_t), reset_h_.Forward(h_prev)));
+  const Tensor h_cand =
+      Tanh(Add(cand_x_.Forward(x_t), cand_h_.Forward(Mul(r, h_prev))));
+  // h_t = (1 - z) ⊙ h_prev + z ⊙ h_cand
+  return Add(Mul(Sub(Tensor::Full(1, 1, 1.0f), z), h_prev), Mul(z, h_cand));
+}
+
+std::vector<Tensor> GruCell::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Module* m : std::initializer_list<const Module*>{
+           &update_x_, &update_h_, &reset_x_, &reset_h_, &cand_x_, &cand_h_}) {
+    for (const Tensor& p : m->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+Gru::Gru(int input_dim, int hidden_dim, Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {}
+
+Tensor Gru::Forward(const Tensor& sequence) const {
+  ADAMEL_CHECK_EQ(sequence.cols(), cell_.input_dim());
+  Tensor h = Tensor::Zeros(1, cell_.hidden_dim());
+  std::vector<Tensor> states;
+  states.reserve(sequence.rows());
+  for (int t = 0; t < sequence.rows(); ++t) {
+    h = cell_.Forward(SliceRows(sequence, t, 1), h);
+    states.push_back(h);
+  }
+  return ConcatRows(states);
+}
+
+Tensor Gru::ForwardLast(const Tensor& sequence) const {
+  ADAMEL_CHECK_EQ(sequence.cols(), cell_.input_dim());
+  Tensor h = Tensor::Zeros(1, cell_.hidden_dim());
+  for (int t = 0; t < sequence.rows(); ++t) {
+    h = cell_.Forward(SliceRows(sequence, t, 1), h);
+  }
+  return h;
+}
+
+std::vector<Tensor> Gru::Parameters() const { return cell_.Parameters(); }
+
+BiGru::BiGru(int input_dim, int hidden_dim, Rng* rng)
+    : forward_(input_dim, hidden_dim, rng),
+      backward_(input_dim, hidden_dim, rng) {}
+
+Tensor BiGru::Forward(const Tensor& sequence) const {
+  const Tensor fwd = forward_.Forward(sequence);
+  // Reverse the sequence, run the backward GRU, then restore time order.
+  const int t_len = sequence.rows();
+  std::vector<int> reversed(t_len);
+  for (int t = 0; t < t_len; ++t) {
+    reversed[t] = t_len - 1 - t;
+  }
+  const Tensor bwd_rev = backward_.Forward(SelectRows(sequence, reversed));
+  const Tensor bwd = SelectRows(bwd_rev, reversed);
+  return ConcatCols({fwd, bwd});
+}
+
+std::vector<Tensor> BiGru::Parameters() const {
+  std::vector<Tensor> params = forward_.Parameters();
+  for (const Tensor& p : backward_.Parameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace adamel::nn

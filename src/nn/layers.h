@@ -1,0 +1,152 @@
+#ifndef ADAMEL_NN_LAYERS_H_
+#define ADAMEL_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+
+/// Base class for anything holding learnable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Returns handles to every learnable tensor (shared storage, so an
+  /// optimizer updating them updates the module).
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Total number of learnable scalars; used to reproduce the parameter
+  /// complexity analysis of Section 4.5 / Section 5.5 of the paper.
+  int64_t ParameterCount() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+};
+
+/// Fully connected layer: y = x W + b with x of shape batch x in_features.
+class Linear : public Module {
+ public:
+  /// Xavier-uniform weight init, zero bias.
+  Linear(int in_features, int out_features, Rng* rng);
+
+  /// Applies the affine map; `x` is batch x in_features.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int in_features() const { return weight_.rows(); }
+  int out_features() const { return weight_.cols(); }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;  // in x out
+  Tensor bias_;    // 1 x out
+};
+
+/// Nonlinearity selector shared by the MLP-style layers.
+enum class Activation { kRelu, kTanh, kSigmoid, kNone };
+
+/// Applies the chosen activation.
+Tensor Activate(const Tensor& x, Activation activation);
+
+/// Multi-layer perceptron: Linear -> activation per hidden layer, plus a
+/// final Linear with no activation (logit output).
+class Mlp : public Module {
+ public:
+  /// `dims` = {input, hidden..., output}; at least {in, out}.
+  Mlp(const std::vector<int>& dims, Activation activation, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation activation_;
+};
+
+/// Highway layer (Srivastava et al.), used by the DeepMatcher-like baseline's
+/// classifier head: y = t ⊙ h + (1 - t) ⊙ x with t = σ(x W_t + b_t) and
+/// h = relu(x W_h + b_h).
+class HighwayLayer : public Module {
+ public:
+  HighwayLayer(int dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  Linear transform_;
+  Linear carry_gate_;
+};
+
+/// Single GRU cell. Input x_t is batch x input_dim, hidden h is
+/// batch x hidden_dim.
+class GruCell : public Module {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng* rng);
+
+  /// One step: returns the next hidden state.
+  Tensor Forward(const Tensor& x_t, const Tensor& h_prev) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Linear update_x_, update_h_;  // z gate
+  Linear reset_x_, reset_h_;    // r gate
+  Linear cand_x_, cand_h_;      // candidate state
+};
+
+/// Unidirectional GRU over a sequence laid out as timesteps x input_dim
+/// (batch of one sequence; the token sequences in this library are short and
+/// per-attribute, so sequence-level batching is unnecessary).
+class Gru : public Module {
+ public:
+  Gru(int input_dim, int hidden_dim, Rng* rng);
+
+  /// Runs the full sequence and returns all hidden states (T x hidden_dim).
+  Tensor Forward(const Tensor& sequence) const;
+
+  /// Runs the full sequence and returns only the last hidden state (1 x H).
+  Tensor ForwardLast(const Tensor& sequence) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int hidden_dim() const { return cell_.hidden_dim(); }
+
+ private:
+  GruCell cell_;
+};
+
+/// Bidirectional GRU: concatenates forward and backward hidden states
+/// (T x 2H). Used by the DeepMatcher-like and EntityMatcher-like baselines.
+class BiGru : public Module {
+ public:
+  BiGru(int input_dim, int hidden_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& sequence) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  /// Output width = 2 * hidden_dim.
+  int output_dim() const { return 2 * forward_.hidden_dim(); }
+
+ private:
+  Gru forward_;
+  Gru backward_;
+};
+
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_LAYERS_H_

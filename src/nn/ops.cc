@@ -1,0 +1,721 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace adamel::nn {
+namespace {
+
+std::shared_ptr<TensorImpl> NewResult(int rows, int cols) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  return impl;
+}
+
+bool AnyRequiresGrad(const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
+  for (const auto& input : inputs) {
+    if (input->requires_grad) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Attaches graph edges when any input requires a gradient.
+void AttachBackward(const std::shared_ptr<TensorImpl>& out,
+                    std::vector<std::shared_ptr<TensorImpl>> inputs,
+                    std::function<void(TensorImpl&)> backward_fn) {
+  if (!AnyRequiresGrad(inputs)) {
+    return;
+  }
+  out->requires_grad = true;
+  out->parents = std::move(inputs);
+  out->backward_fn = std::move(backward_fn);
+}
+
+// Validates broadcast compatibility and returns the output shape.
+std::pair<int, int> BroadcastShape(const TensorImpl& a, const TensorImpl& b) {
+  ADAMEL_CHECK(a.rows == b.rows || a.rows == 1 || b.rows == 1)
+      << "incompatible rows " << a.rows << " vs " << b.rows;
+  ADAMEL_CHECK(a.cols == b.cols || a.cols == 1 || b.cols == 1)
+      << "incompatible cols " << a.cols << " vs " << b.cols;
+  return {std::max(a.rows, b.rows), std::max(a.cols, b.cols)};
+}
+
+inline size_t BroadcastIndex(const TensorImpl& t, int r, int c) {
+  const int tr = t.rows == 1 ? 0 : r;
+  const int tc = t.cols == 1 ? 0 : c;
+  return static_cast<size_t>(tr) * t.cols + tc;
+}
+
+// Generic elementwise binary op with broadcasting.
+//
+// `fwd(av, bv)` computes the output; `dfda(av, bv)` and `dfdb(av, bv)` give
+// the local partial derivatives, multiplied by the upstream gradient and
+// reduced over broadcast dimensions during the backward pass.
+template <typename Fwd, typename Dfda, typename Dfdb>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
+                Dfdb dfdb) {
+  ADAMEL_CHECK(a.defined() && b.defined());
+  const auto& ai = *a.impl();
+  const auto& bi = *b.impl();
+  const auto [rows, cols] = BroadcastShape(ai, bi);
+  auto out = NewResult(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out->data[static_cast<size_t>(r) * cols + c] =
+          fwd(ai.data[BroadcastIndex(ai, r, c)],
+              bi.data[BroadcastIndex(bi, r, c)]);
+    }
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachBackward(out, {a_impl, b_impl},
+                 [a_impl, b_impl, dfda, dfdb](TensorImpl& self) {
+                   const int rows = self.rows;
+                   const int cols = self.cols;
+                   if (a_impl->requires_grad) {
+                     a_impl->EnsureGrad();
+                   }
+                   if (b_impl->requires_grad) {
+                     b_impl->EnsureGrad();
+                   }
+                   for (int r = 0; r < rows; ++r) {
+                     for (int c = 0; c < cols; ++c) {
+                       const float g =
+                           self.grad[static_cast<size_t>(r) * cols + c];
+                       const float av = a_impl->data[BroadcastIndex(*a_impl, r, c)];
+                       const float bv = b_impl->data[BroadcastIndex(*b_impl, r, c)];
+                       if (a_impl->requires_grad) {
+                         a_impl->grad[BroadcastIndex(*a_impl, r, c)] +=
+                             g * dfda(av, bv);
+                       }
+                       if (b_impl->requires_grad) {
+                         b_impl->grad[BroadcastIndex(*b_impl, r, c)] +=
+                             g * dfdb(av, bv);
+                       }
+                     }
+                   }
+                 });
+  return MakeFromImpl(std::move(out));
+}
+
+// Generic elementwise unary op: `fwd(v)` and `dfdv(v, out_v)` where `out_v`
+// is the already-computed forward value (handy for tanh/sigmoid/exp).
+template <typename Fwd, typename Dfdv>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.rows, ai.cols);
+  for (size_t i = 0; i < ai.data.size(); ++i) {
+    out->data[i] = fwd(ai.data[i]);
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, dfdv](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      a_impl->grad[i] += self.grad[i] * dfdv(a_impl->data[i], self.data[i]);
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float value) {
+  return UnaryOp(
+      a, [value](float v) { return v + value; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float value) {
+  return UnaryOp(
+      a, [value](float v) { return v * value; },
+      [value](float, float) { return value; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::tanh(v); },
+      [](float, float out) { return 1.0f - out * out; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float v) {
+        // Branch keeps exp() off large positive arguments.
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float, float out) { return out * (1.0f - out); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::exp(v); },
+      [](float, float out) { return out; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::sqrt(v); },
+      [](float, float out) { return 0.5f / out; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Clip(const Tensor& a, float lo, float hi) {
+  ADAMEL_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a,
+      [lo, hi](float v) { return std::min(std::max(v, lo), hi); },
+      [lo, hi](float v, float) {
+        return (v >= lo && v <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ADAMEL_CHECK(a.defined() && b.defined());
+  const auto& ai = *a.impl();
+  const auto& bi = *b.impl();
+  ADAMEL_CHECK_EQ(ai.cols, bi.rows) << "MatMul inner dimensions";
+  const int rows = ai.rows;
+  const int inner = ai.cols;
+  const int cols = bi.cols;
+  auto out = NewResult(rows, cols);
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  for (int i = 0; i < rows; ++i) {
+    float* out_row = &out->data[static_cast<size_t>(i) * cols];
+    const float* a_row = &ai.data[static_cast<size_t>(i) * inner];
+    for (int k = 0; k < inner; ++k) {
+      const float av = a_row[k];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = &bi.data[static_cast<size_t>(k) * cols];
+      for (int j = 0; j < cols; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachBackward(out, {a_impl, b_impl}, [a_impl, b_impl](TensorImpl& self) {
+    const int rows = self.rows;
+    const int cols = self.cols;
+    const int inner = a_impl->cols;
+    if (a_impl->requires_grad) {
+      // dA = dOut * B^T
+      a_impl->EnsureGrad();
+      for (int i = 0; i < rows; ++i) {
+        const float* g_row = &self.grad[static_cast<size_t>(i) * cols];
+        float* ga_row = &a_impl->grad[static_cast<size_t>(i) * inner];
+        for (int k = 0; k < inner; ++k) {
+          const float* b_row = &b_impl->data[static_cast<size_t>(k) * cols];
+          float acc = 0.0f;
+          for (int j = 0; j < cols; ++j) {
+            acc += g_row[j] * b_row[j];
+          }
+          ga_row[k] += acc;
+        }
+      }
+    }
+    if (b_impl->requires_grad) {
+      // dB = A^T * dOut
+      b_impl->EnsureGrad();
+      for (int k = 0; k < inner; ++k) {
+        float* gb_row = &b_impl->grad[static_cast<size_t>(k) * cols];
+        for (int i = 0; i < rows; ++i) {
+          const float av = a_impl->data[static_cast<size_t>(i) * inner + k];
+          if (av == 0.0f) {
+            continue;
+          }
+          const float* g_row = &self.grad[static_cast<size_t>(i) * cols];
+          for (int j = 0; j < cols; ++j) {
+            gb_row[j] += av * g_row[j];
+          }
+        }
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor Transpose(const Tensor& a) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.cols, ai.rows);
+  for (int r = 0; r < ai.rows; ++r) {
+    for (int c = 0; c < ai.cols; ++c) {
+      out->data[static_cast<size_t>(c) * ai.rows + r] =
+          ai.data[static_cast<size_t>(r) * ai.cols + c];
+    }
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (int r = 0; r < self.rows; ++r) {
+      for (int c = 0; c < self.cols; ++c) {
+        a_impl->grad[static_cast<size_t>(c) * self.rows + r] +=
+            self.grad[static_cast<size_t>(r) * self.cols + c];
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  ADAMEL_CHECK(!parts.empty());
+  const int rows = parts[0].rows();
+  int total_cols = 0;
+  for (const auto& part : parts) {
+    ADAMEL_CHECK_EQ(part.rows(), rows);
+    total_cols += part.cols();
+  }
+  auto out = NewResult(rows, total_cols);
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::vector<int> offsets;
+  int offset = 0;
+  for (const auto& part : parts) {
+    const auto& pi = *part.impl();
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pi.data.begin() + static_cast<size_t>(r) * pi.cols,
+                pi.data.begin() + static_cast<size_t>(r + 1) * pi.cols,
+                out->data.begin() + static_cast<size_t>(r) * total_cols +
+                    offset);
+    }
+    inputs.push_back(part.impl());
+    offsets.push_back(offset);
+    offset += pi.cols;
+  }
+  AttachBackward(out, inputs, [inputs, offsets](TensorImpl& self) {
+    for (size_t p = 0; p < inputs.size(); ++p) {
+      auto& part = *inputs[p];
+      if (!part.requires_grad) {
+        continue;
+      }
+      part.EnsureGrad();
+      for (int r = 0; r < self.rows; ++r) {
+        for (int c = 0; c < part.cols; ++c) {
+          part.grad[static_cast<size_t>(r) * part.cols + c] +=
+              self.grad[static_cast<size_t>(r) * self.cols + offsets[p] + c];
+        }
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  ADAMEL_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const auto& part : parts) {
+    ADAMEL_CHECK_EQ(part.cols(), cols);
+    total_rows += part.rows();
+  }
+  auto out = NewResult(total_rows, cols);
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::vector<int> offsets;
+  int offset = 0;
+  for (const auto& part : parts) {
+    const auto& pi = *part.impl();
+    std::copy(pi.data.begin(), pi.data.end(),
+              out->data.begin() + static_cast<size_t>(offset) * cols);
+    inputs.push_back(part.impl());
+    offsets.push_back(offset);
+    offset += pi.rows;
+  }
+  AttachBackward(out, inputs, [inputs, offsets](TensorImpl& self) {
+    for (size_t p = 0; p < inputs.size(); ++p) {
+      auto& part = *inputs[p];
+      if (!part.requires_grad) {
+        continue;
+      }
+      part.EnsureGrad();
+      const size_t base = static_cast<size_t>(offsets[p]) * self.cols;
+      for (size_t i = 0; i < part.data.size(); ++i) {
+        part.grad[i] += self.grad[base + i];
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor SliceCols(const Tensor& a, int start, int count) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  ADAMEL_CHECK_GE(start, 0);
+  ADAMEL_CHECK_GT(count, 0);
+  ADAMEL_CHECK_LE(start + count, ai.cols);
+  auto out = NewResult(ai.rows, count);
+  for (int r = 0; r < ai.rows; ++r) {
+    std::copy(ai.data.begin() + static_cast<size_t>(r) * ai.cols + start,
+              ai.data.begin() + static_cast<size_t>(r) * ai.cols + start +
+                  count,
+              out->data.begin() + static_cast<size_t>(r) * count);
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, start](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (int r = 0; r < self.rows; ++r) {
+      for (int c = 0; c < self.cols; ++c) {
+        a_impl->grad[static_cast<size_t>(r) * a_impl->cols + start + c] +=
+            self.grad[static_cast<size_t>(r) * self.cols + c];
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor SliceRows(const Tensor& a, int start, int count) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  ADAMEL_CHECK_GE(start, 0);
+  ADAMEL_CHECK_GT(count, 0);
+  ADAMEL_CHECK_LE(start + count, ai.rows);
+  auto out = NewResult(count, ai.cols);
+  std::copy(ai.data.begin() + static_cast<size_t>(start) * ai.cols,
+            ai.data.begin() + static_cast<size_t>(start + count) * ai.cols,
+            out->data.begin());
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, start](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    const size_t base = static_cast<size_t>(start) * a_impl->cols;
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      a_impl->grad[base + i] += self.grad[i];
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor SelectRows(const Tensor& a, const std::vector<int>& indices) {
+  ADAMEL_CHECK(a.defined());
+  ADAMEL_CHECK(!indices.empty());
+  const auto& ai = *a.impl();
+  auto out = NewResult(static_cast<int>(indices.size()), ai.cols);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int row = indices[i];
+    ADAMEL_CHECK_GE(row, 0);
+    ADAMEL_CHECK_LT(row, ai.rows);
+    std::copy(ai.data.begin() + static_cast<size_t>(row) * ai.cols,
+              ai.data.begin() + static_cast<size_t>(row + 1) * ai.cols,
+              out->data.begin() + i * ai.cols);
+  }
+  auto a_impl = a.impl();
+  auto idx = indices;
+  AttachBackward(out, {a_impl}, [a_impl, idx](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const size_t src = i * self.cols;
+      const size_t dst = static_cast<size_t>(idx[i]) * self.cols;
+      for (int c = 0; c < self.cols; ++c) {
+        a_impl->grad[dst + c] += self.grad[src + c];
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor Reshape(const Tensor& a, int rows, int cols) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  ADAMEL_CHECK_EQ(ai.size(), rows * cols);
+  auto out = NewResult(rows, cols);
+  out->data = ai.data;
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      a_impl->grad[i] += self.grad[i];
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor Sum(const Tensor& a) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(1, 1);
+  double acc = 0.0;
+  for (float v : ai.data) {
+    acc += v;
+  }
+  out->data[0] = static_cast<float>(acc);
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    const float g = self.grad[0];
+    for (float& gv : a_impl->grad) {
+      gv += g;
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.size());
+  return MulScalar(Sum(a), inv);
+}
+
+Tensor SumRows(const Tensor& a) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.rows, 1);
+  for (int r = 0; r < ai.rows; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < ai.cols; ++c) {
+      acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
+    }
+    out->data[r] = static_cast<float>(acc);
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (int r = 0; r < a_impl->rows; ++r) {
+      const float g = self.grad[r];
+      for (int c = 0; c < a_impl->cols; ++c) {
+        a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] += g;
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor SumCols(const Tensor& a) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(1, ai.cols);
+  for (int c = 0; c < ai.cols; ++c) {
+    double acc = 0.0;
+    for (int r = 0; r < ai.rows; ++r) {
+      acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
+    }
+    out->data[c] = static_cast<float>(acc);
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (int r = 0; r < a_impl->rows; ++r) {
+      for (int c = 0; c < a_impl->cols; ++c) {
+        a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] +=
+            self.grad[c];
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor MeanCols(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.rows());
+  return MulScalar(SumCols(a), inv);
+}
+
+Tensor Softmax(const Tensor& a) {
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.rows, ai.cols);
+  for (int r = 0; r < ai.rows; ++r) {
+    const size_t base = static_cast<size_t>(r) * ai.cols;
+    float row_max = ai.data[base];
+    for (int c = 1; c < ai.cols; ++c) {
+      row_max = std::max(row_max, ai.data[base + c]);
+    }
+    double denom = 0.0;
+    for (int c = 0; c < ai.cols; ++c) {
+      const float e = std::exp(ai.data[base + c] - row_max);
+      out->data[base + c] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int c = 0; c < ai.cols; ++c) {
+      out->data[base + c] *= inv;
+    }
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+    // dL/dx_j = s_j * (g_j - sum_k g_k s_k), per row.
+    a_impl->EnsureGrad();
+    for (int r = 0; r < self.rows; ++r) {
+      const size_t base = static_cast<size_t>(r) * self.cols;
+      double dot = 0.0;
+      for (int c = 0; c < self.cols; ++c) {
+        dot += self.grad[base + c] * self.data[base + c];
+      }
+      for (int c = 0; c < self.cols; ++c) {
+        a_impl->grad[base + c] +=
+            self.data[base + c] *
+            (self.grad[base + c] - static_cast<float>(dot));
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
+  ADAMEL_CHECK(a.defined());
+  ADAMEL_CHECK_GE(p, 0.0f);
+  ADAMEL_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) {
+    // Identity pass-through that still participates in the graph.
+    return MulScalar(a, 1.0f);
+  }
+  ADAMEL_CHECK(rng != nullptr);
+  const auto& ai = *a.impl();
+  auto mask = std::make_shared<std::vector<float>>(ai.data.size());
+  const float scale = 1.0f / (1.0f - p);
+  for (auto& m : *mask) {
+    m = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  auto out = NewResult(ai.rows, ai.cols);
+  for (size_t i = 0; i < ai.data.size(); ++i) {
+    out->data[i] = ai.data[i] * (*mask)[i];
+  }
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, mask](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      a_impl->grad[i] += self.grad[i] * (*mask)[i];
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
+                     const std::vector<float>& weights) {
+  ADAMEL_CHECK(logits.defined());
+  const auto& li = *logits.impl();
+  ADAMEL_CHECK_EQ(li.cols, 1) << "BceWithLogits expects Rx1 logits";
+  ADAMEL_CHECK_EQ(static_cast<size_t>(li.rows), targets.size());
+  ADAMEL_CHECK(weights.empty() ||
+               weights.size() == targets.size());
+  const int n = li.rows;
+  auto out = NewResult(1, 1);
+  double total = 0.0;
+  double weight_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float z = li.data[i];
+    const float y = targets[i];
+    const float w = weights.empty() ? 1.0f : weights[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|)) is the stable form of
+    // -y log σ(z) - (1-y) log(1-σ(z)).
+    const float loss = std::max(z, 0.0f) - z * y +
+                       std::log1p(std::exp(-std::fabs(z)));
+    total += static_cast<double>(w) * loss;
+    weight_sum += w;
+  }
+  ADAMEL_CHECK_GT(weight_sum, 0.0);
+  out->data[0] = static_cast<float>(total / weight_sum);
+  auto l_impl = logits.impl();
+  auto y_copy = targets;
+  auto w_copy = weights;
+  const float inv_weight_sum = static_cast<float>(1.0 / weight_sum);
+  AttachBackward(out, {l_impl},
+                 [l_impl, y_copy, w_copy, inv_weight_sum](TensorImpl& self) {
+                   l_impl->EnsureGrad();
+                   const float g = self.grad[0];
+                   for (size_t i = 0; i < y_copy.size(); ++i) {
+                     const float z = l_impl->data[i];
+                     const float sig =
+                         z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                                   : std::exp(z) / (1.0f + std::exp(z));
+                     const float w = w_copy.empty() ? 1.0f : w_copy[i];
+                     l_impl->grad[i] +=
+                         g * w * (sig - y_copy[i]) * inv_weight_sum;
+                   }
+                 });
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor RowKlDivergence(const std::vector<float>& p, const Tensor& q) {
+  ADAMEL_CHECK(q.defined());
+  const auto& qi = *q.impl();
+  ADAMEL_CHECK_EQ(static_cast<size_t>(qi.cols), p.size());
+  constexpr float kEps = 1e-8f;
+  auto out = NewResult(1, 1);
+  double total = 0.0;
+  for (int r = 0; r < qi.rows; ++r) {
+    for (int c = 0; c < qi.cols; ++c) {
+      const float pj = p[c];
+      if (pj <= 0.0f) {
+        continue;  // 0 * log(0/q) == 0 by convention
+      }
+      const float qv = std::max(qi.data[static_cast<size_t>(r) * qi.cols + c],
+                                kEps);
+      total += static_cast<double>(pj) * std::log(pj / qv);
+    }
+  }
+  out->data[0] = static_cast<float>(total);
+  auto q_impl = q.impl();
+  auto p_copy = p;
+  AttachBackward(out, {q_impl}, [q_impl, p_copy](TensorImpl& self) {
+    // d/dq_ij [ p_j log(p_j / q_ij) ] = -p_j / q_ij.
+    q_impl->EnsureGrad();
+    const float g = self.grad[0];
+    for (int r = 0; r < q_impl->rows; ++r) {
+      for (int c = 0; c < q_impl->cols; ++c) {
+        const float pj = p_copy[c];
+        if (pj <= 0.0f) {
+          continue;
+        }
+        const float qv = std::max(
+            q_impl->data[static_cast<size_t>(r) * q_impl->cols + c], 1e-8f);
+        q_impl->grad[static_cast<size_t>(r) * q_impl->cols + c] +=
+            g * (-pj / qv);
+      }
+    }
+  });
+  return MakeFromImpl(std::move(out));
+}
+
+}  // namespace adamel::nn

@@ -1,0 +1,110 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adamel::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    ADAMEL_CHECK(p.defined());
+    ADAMEL_CHECK(p.requires_grad()) << "optimizing a frozen tensor";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) {
+    p.ZeroGrad();
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].assign(parameters_[i].size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    const std::vector<float>& g = p.grad();
+    std::vector<float>& v = velocity_[i];
+    std::vector<float>& w = p.mutable_data();
+    for (size_t j = 0; j < w.size(); ++j) {
+      v[j] = momentum_ * v[j] + g[j];
+      w[j] -= learning_rate_ * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  first_moment_.resize(parameters_.size());
+  second_moment_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    first_moment_[i].assign(parameters_[i].size(), 0.0f);
+    second_moment_[i].assign(parameters_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    const std::vector<float>& g = p.grad();
+    std::vector<float>& m = first_moment_[i];
+    std::vector<float>& v = second_moment_[i];
+    std::vector<float>& w = p.mutable_data();
+    for (size_t j = 0; j < w.size(); ++j) {
+      float grad = g[j];
+      if (weight_decay_ != 0.0f) {
+        grad += weight_decay_ * w[j];
+      }
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+  ADAMEL_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Tensor& p : parameters) {
+    for (float g : p.grad()) {
+      total_sq += static_cast<double>(g) * g;
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const Tensor& p : parameters) {
+      // grad() ensures the buffer exists; scale in place via const_cast-free
+      // access by re-fetching through a mutable handle.
+      Tensor handle = p;
+      auto& impl = *handle.impl();
+      for (float& g : impl.grad) {
+        g *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+}  // namespace adamel::nn

@@ -1,0 +1,70 @@
+#ifndef ADAMEL_NN_OPTIM_H_
+#define ADAMEL_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters (as produced by `Tensor::Backward()`).
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients; call before each forward/backward pass.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2014) — the optimizer the paper trains AdaMEL with
+/// (Section 5.1: Adam, lr = 1e-4).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float learning_rate = 1e-4f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+/// Clips each parameter's gradient so that the global L2 norm over all
+/// parameters is at most `max_norm`. Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm);
+
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_OPTIM_H_

@@ -1,0 +1,155 @@
+#include "text/embedding.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adamel::text {
+namespace {
+
+// FNV-1a, mixed with the embedding seed.
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Normalize(std::vector<float>* v) {
+  double norm_sq = 0.0;
+  for (float x : *v) {
+    norm_sq += static_cast<double>(x) * x;
+  }
+  if (norm_sq <= 0.0) {
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : *v) {
+    x *= inv;
+  }
+}
+
+}  // namespace
+
+HashTextEmbedding::HashTextEmbedding(EmbeddingOptions options)
+    : options_(options) {
+  ADAMEL_CHECK_GT(options_.dim, 0);
+  ADAMEL_CHECK_GE(options_.min_ngram, 1);
+  ADAMEL_CHECK_GE(options_.max_ngram, options_.min_ngram);
+  // Fixed normalized non-zero vector for missing values (Section 4.3).
+  missing_vector_.resize(options_.dim);
+  Rng missing_rng(options_.seed + 0x5eedULL);
+  for (float& v : missing_vector_) {
+    v = static_cast<float>(missing_rng.Normal());
+  }
+  Normalize(&missing_vector_);
+}
+
+void HashTextEmbedding::AccumulateNgram(std::string_view ngram,
+                                        std::vector<float>* sum) const {
+  const uint64_t bucket =
+      HashBytes(ngram, options_.seed) % static_cast<uint64_t>(options_.buckets);
+  // The basis vector for a bucket is a unit Gaussian generated from the
+  // bucket id; regenerating on the fly avoids materializing the 2^18 x dim
+  // table while staying fully deterministic.
+  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + bucket);
+  double norm_sq = 0.0;
+  std::vector<float> basis(options_.dim);
+  for (float& v : basis) {
+    v = static_cast<float>(rng.Normal());
+    norm_sq += static_cast<double>(v) * v;
+  }
+  const float inv =
+      norm_sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm_sq)) : 0.0f;
+  for (int i = 0; i < options_.dim; ++i) {
+    (*sum)[i] += basis[i] * inv;
+  }
+}
+
+std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
+  if (token.empty()) {
+    return missing_vector_;
+  }
+  const auto cached = token_cache_.find(std::string(token));
+  if (cached != token_cache_.end()) {
+    return cached->second;
+  }
+  std::vector<float> sum(options_.dim, 0.0f);
+  // FastText-style word boundary markers so that prefixes/suffixes hash
+  // differently from interior n-grams.
+  std::string padded = "<";
+  padded.append(token);
+  padded.push_back('>');
+  int ngram_count = 0;
+  for (int n = options_.min_ngram; n <= options_.max_ngram; ++n) {
+    if (static_cast<int>(padded.size()) < n) {
+      continue;
+    }
+    for (size_t start = 0; start + n <= padded.size(); ++start) {
+      AccumulateNgram(std::string_view(padded).substr(start, n), &sum);
+      ++ngram_count;
+    }
+  }
+  if (ngram_count == 0) {
+    // Token shorter than every n-gram width: hash the whole padded token.
+    AccumulateNgram(padded, &sum);
+  }
+  Normalize(&sum);
+  token_cache_.emplace(std::string(token), sum);
+  return sum;
+}
+
+std::vector<float> HashTextEmbedding::EmbedTokens(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) {
+    return missing_vector_;
+  }
+  std::vector<float> sum(options_.dim, 0.0f);
+  for (const std::string& token : tokens) {
+    const std::vector<float> v = EmbedToken(token);
+    for (int i = 0; i < options_.dim; ++i) {
+      sum[i] += v[i];
+    }
+  }
+  return sum;
+}
+
+std::vector<float> HashTextEmbedding::EmbedTokensWeighted(
+    const std::vector<std::string>& tokens,
+    const std::vector<float>& weights) const {
+  ADAMEL_CHECK_EQ(tokens.size(), weights.size());
+  if (tokens.empty()) {
+    return missing_vector_;
+  }
+  std::vector<float> sum(options_.dim, 0.0f);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const std::vector<float> v = EmbedToken(tokens[t]);
+    for (int i = 0; i < options_.dim; ++i) {
+      sum[i] += weights[t] * v[i];
+    }
+  }
+  return sum;
+}
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  ADAMEL_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) {
+    return 0.0f;
+  }
+  return static_cast<float>(dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
+}
+
+}  // namespace adamel::text

@@ -1,0 +1,127 @@
+#include "text/string_metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace adamel::text {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) {
+    return static_cast<int>(m);
+  }
+  if (m == 0) {
+    return static_cast<int>(n);
+  }
+  std::vector<int> prev(m + 1);
+  std::vector<int> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  const std::set<std::string> sa(a.begin(), a.end());
+  const std::set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) {
+    return 1.0;
+  }
+  size_t intersection = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t) > 0) {
+      ++intersection;
+    }
+  }
+  const size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  const std::set<std::string> sa(a.begin(), a.end());
+  const std::set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() || sb.empty()) {
+    return sa.empty() && sb.empty() ? 1.0 : 0.0;
+  }
+  size_t intersection = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t) > 0) {
+      ++intersection;
+    }
+  }
+  return static_cast<double>(intersection) / std::min(sa.size(), sb.size());
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) {
+    return a.empty() && b.empty() ? 1.0 : 0.0;
+  }
+  double total = 0.0;
+  for (const std::string& ta : a) {
+    double best = 0.0;
+    for (const std::string& tb : b) {
+      best = std::max(best, LevenshteinSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  auto trigrams = [](std::string_view s) {
+    std::set<std::string> grams;
+    if (s.size() < 3) {
+      if (!s.empty()) {
+        grams.insert(std::string(s));
+      }
+      return grams;
+    }
+    for (size_t i = 0; i + 3 <= s.size(); ++i) {
+      grams.insert(std::string(s.substr(i, 3)));
+    }
+    return grams;
+  };
+  const std::set<std::string> ga = trigrams(a);
+  const std::set<std::string> gb = trigrams(b);
+  if (ga.empty() && gb.empty()) {
+    return 1.0;
+  }
+  size_t intersection = 0;
+  for (const std::string& g : ga) {
+    if (gb.count(g) > 0) {
+      ++intersection;
+    }
+  }
+  const size_t uni = ga.size() + gb.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+double ExactMatchScore(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) {
+    return 0.5;
+  }
+  return a == b ? 1.0 : 0.0;
+}
+
+}  // namespace adamel::text

@@ -1,0 +1,42 @@
+#ifndef ADAMEL_TEXT_STRING_METRICS_H_
+#define ADAMEL_TEXT_STRING_METRICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adamel::text {
+
+/// Classic string-similarity measures. These form the "standard feature
+/// space" of the TLER baseline (Thirumuruganathan et al., 2018), which builds
+/// one similarity vector per attribute and trains a shallow model on it.
+
+/// Levenshtein edit distance between two byte strings.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - edit_distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the two token sets; 1.0 for two empty sets.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Dice / overlap coefficient of the two token sets.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Levenshtein similarity
+/// against tokens of `b`. Asymmetric; callers usually average both
+/// directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Jaccard similarity over character 3-grams of the raw strings.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Exact-match indicator that treats two empty strings as a non-signal 0.5.
+double ExactMatchScore(std::string_view a, std::string_view b);
+
+}  // namespace adamel::text
+
+#endif  // ADAMEL_TEXT_STRING_METRICS_H_

@@ -1,0 +1,69 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace adamel::text {
+
+void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& documents) {
+  document_count_ = static_cast<int64_t>(documents.size());
+  document_frequency_.clear();
+  for (const auto& doc : documents) {
+    const std::set<std::string> unique(doc.begin(), doc.end());
+    for (const std::string& token : unique) {
+      ++document_frequency_[token];
+    }
+  }
+}
+
+double TfIdfModel::Idf(const std::string& token) const {
+  const auto it = document_frequency_.find(token);
+  const int64_t df = it == document_frequency_.end() ? 0 : it->second;
+  return std::log(static_cast<double>(1 + document_count_) /
+                  static_cast<double>(1 + df)) +
+         1.0;
+}
+
+std::vector<float> TfIdfModel::Weights(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, int> term_count;
+  for (const std::string& token : tokens) {
+    ++term_count[token];
+  }
+  std::vector<float> weights;
+  weights.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    weights.push_back(
+        static_cast<float>(term_count[token] * Idf(token)));
+  }
+  return weights;
+}
+
+std::vector<std::string> TfIdfModel::Summarize(
+    const std::vector<std::string>& tokens, int max_tokens) const {
+  ADAMEL_CHECK_GT(max_tokens, 0);
+  if (static_cast<int>(tokens.size()) <= max_tokens) {
+    return tokens;
+  }
+  const std::vector<float> weights = Weights(tokens);
+  std::vector<int> order(tokens.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weights[a] > weights[b];
+  });
+  order.resize(max_tokens);
+  std::sort(order.begin(), order.end());  // restore original token order
+  std::vector<std::string> kept;
+  kept.reserve(max_tokens);
+  for (int idx : order) {
+    kept.push_back(tokens[idx]);
+  }
+  return kept;
+}
+
+}  // namespace adamel::text

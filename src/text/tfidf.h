@@ -1,0 +1,43 @@
+#ifndef ADAMEL_TEXT_TFIDF_H_
+#define ADAMEL_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adamel::text {
+
+/// Corpus-level TF-IDF weighting.
+///
+/// Used by the Ditto-like baseline's "retain high TF-IDF tokens" text
+/// summarization (Section 5.1 of the paper): long serialized entity pairs are
+/// trimmed to the most informative tokens before embedding.
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Counts document frequencies; each element of `documents` is one
+  /// record's token list.
+  void Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Smoothed IDF: log((1 + N) / (1 + df)) + 1.
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF weights for the tokens of one document (raw term counts x IDF).
+  std::vector<float> Weights(const std::vector<std::string>& tokens) const;
+
+  /// Keeps the `max_tokens` highest TF-IDF tokens of `tokens`, preserving
+  /// their original order. Returns all tokens when already short enough.
+  std::vector<std::string> Summarize(const std::vector<std::string>& tokens,
+                                     int max_tokens) const;
+
+  int64_t document_count() const { return document_count_; }
+
+ private:
+  int64_t document_count_ = 0;
+  std::unordered_map<std::string, int64_t> document_frequency_;
+};
+
+}  // namespace adamel::text
+
+#endif  // ADAMEL_TEXT_TFIDF_H_

@@ -1,0 +1,66 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace adamel::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view value) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char ch : value) {
+    const auto uc = static_cast<unsigned char>(ch);
+    if (uc < 0x80 && std::isspace(uc)) {
+      flush();
+      continue;
+    }
+    if (options_.split_punctuation && uc < 0x80 && std::ispunct(uc)) {
+      flush();
+      continue;
+    }
+    if (options_.lowercase && uc < 0x80) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      current.push_back(ch);
+    }
+  }
+  flush();
+  if (options_.crop_size > 0 &&
+      static_cast<int>(tokens.size()) > options_.crop_size) {
+    tokens.resize(options_.crop_size);
+  }
+  return tokens;
+}
+
+TokenContrast ContrastTokens(const std::vector<std::string>& left,
+                             const std::vector<std::string>& right) {
+  const std::set<std::string> left_set(left.begin(), left.end());
+  const std::set<std::string> right_set(right.begin(), right.end());
+  TokenContrast contrast;
+  for (const std::string& token : left_set) {
+    if (right_set.count(token) > 0) {
+      contrast.shared.push_back(token);
+    } else {
+      contrast.unique.push_back(token);
+    }
+  }
+  for (const std::string& token : right_set) {
+    if (left_set.count(token) == 0) {
+      contrast.unique.push_back(token);
+    }
+  }
+  return contrast;
+}
+
+}  // namespace adamel::text

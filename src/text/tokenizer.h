@@ -1,0 +1,54 @@
+#ifndef ADAMEL_TEXT_TOKENIZER_H_
+#define ADAMEL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adamel::text {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Lowercase ASCII letters (multi-byte UTF-8 passes through unchanged, so
+  /// non-English attribute values — common in the Music datasets — survive).
+  bool lowercase = true;
+  /// Split on ASCII punctuation in addition to whitespace.
+  bool split_punctuation = true;
+  /// Maximum number of tokens kept per value; 0 = unlimited. The paper crops
+  /// attribute values to 20 tokens ("cropping size = 20", Section 5.1).
+  int crop_size = 20;
+};
+
+/// Splits attribute values into word tokens.
+///
+/// Deliberately simple, mirroring the preprocessing the paper applies before
+/// FastText embedding: lowercase, strip punctuation, whitespace-split, crop.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `value`. Empty input yields an empty vector.
+  std::vector<std::string> Tokenize(std::string_view value) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+/// Token-set algebra for the contrastive relational features of Eq. (2):
+/// `shared` = tokens appearing in both values, `unique` = symmetric
+/// difference. Duplicate tokens within one value are collapsed (set
+/// semantics), matching the paper's set notation.
+struct TokenContrast {
+  std::vector<std::string> shared;
+  std::vector<std::string> unique;
+};
+
+/// Computes sim(A)/uni(A) of Eq. (2) for one attribute's two token lists.
+TokenContrast ContrastTokens(const std::vector<std::string>& left,
+                             const std::vector<std::string>& right);
+
+}  // namespace adamel::text
+
+#endif  // ADAMEL_TEXT_TOKENIZER_H_

@@ -1,0 +1,305 @@
+// Unit tests for src/common: Rng, Status/StatusOr, string utilities.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace adamel {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversSupport) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaleAndShift) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.08);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(14);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardHead) {
+  Rng rng(16);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.Zipf(10, 1.2)];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(18);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleAllReturnsEverything) {
+  Rng rng(19);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  const std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream should not mirror the parent's subsequent stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// Parameterized property: uniform mean ≈ midpoint for several ranges.
+class RngUniformSweep : public ::testing::TestWithParam<std::pair<double,
+                                                                  double>> {};
+
+TEST_P(RngUniformSweep, MeanNearMidpoint) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<uint64_t>(lo * 7 + hi * 13 + 99));
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Uniform(lo, hi);
+  }
+  EXPECT_NEAR(sum / n, (lo + hi) / 2.0, (hi - lo) * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformSweep,
+                         ::testing::Values(std::make_pair(0.0, 1.0),
+                                           std::make_pair(-1.0, 1.0),
+                                           std::make_pair(10.0, 20.0),
+                                           std::make_pair(-5.0, -1.0)));
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllErrorConstructorsSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(NotFoundError("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("hello"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+Status FailsThenPropagates() {
+  ADAMEL_RETURN_IF_ERROR(InternalError("inner"));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const Status status = FailsThenPropagates();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAsciiPreservesUtf8) {
+  EXPECT_EQ(ToLowerAscii("HeLLo"), "hello");
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(ToLowerAscii("Ü"), "Ü");
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("left_name", "left_"));
+  EXPECT_FALSE(StartsWith("lef", "left_"));
+  EXPECT_TRUE(EndsWith("name_shared", "_shared"));
+  EXPECT_FALSE(EndsWith("shared", "_shared_x"));
+}
+
+TEST(StringUtilTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(0.92113, 4), "0.9211");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace adamel

@@ -1,0 +1,333 @@
+// Tests for src/data: schema/record alignment, PairDataset operations,
+// stratified splitting, support sampling, CSV round-trips, and blocking.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/blocking.h"
+#include "data/csv.h"
+#include "data/pair_dataset.h"
+#include "data/record.h"
+
+namespace adamel::data {
+namespace {
+
+Record MakeRecord(const std::string& id, const std::string& source,
+                  std::vector<std::string> values) {
+  Record record;
+  record.id = id;
+  record.source = source;
+  record.values = std::move(values);
+  return record;
+}
+
+PairDataset SmallDataset() {
+  PairDataset dataset(Schema({"name", "year"}));
+  for (int i = 0; i < 10; ++i) {
+    LabeledPair pair;
+    pair.left = MakeRecord("l" + std::to_string(i), "src_a",
+                           {"name " + std::to_string(i), "2000"});
+    pair.right = MakeRecord("r" + std::to_string(i), "src_b",
+                            {"name " + std::to_string(i), "2001"});
+    pair.label = i < 4 ? kMatch : kNonMatch;
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+// ---------------------------------------------------------------- schema
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema schema({"a", "b", "c"});
+  EXPECT_EQ(schema.size(), 3);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("z"), -1);
+  EXPECT_TRUE(schema.Contains("c"));
+}
+
+TEST(SchemaTest, EqualityIsOrderSensitive) {
+  EXPECT_TRUE(Schema({"a", "b"}) == Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a", "b"}) == Schema({"b", "a"}));
+}
+
+TEST(AlignSchemasTest, UnionPreservesLeftOrder) {
+  const Schema merged =
+      AlignSchemas(Schema({"a", "b"}), Schema({"b", "c", "d"}));
+  EXPECT_EQ(merged.attributes(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(ReprojectRecordTest, FillsMissingWithEmpty) {
+  const Schema from({"a", "b"});
+  const Schema to({"b", "c", "a"});
+  const Record record = MakeRecord("r1", "s", {"va", "vb"});
+  const Record projected = ReprojectRecord(record, from, to);
+  EXPECT_EQ(projected.values,
+            (std::vector<std::string>{"vb", "", "va"}));
+  EXPECT_EQ(projected.source, "s");
+}
+
+TEST(RecordTest, IsMissingChecksEmptyString) {
+  const Record record = MakeRecord("r", "s", {"x", ""});
+  EXPECT_FALSE(record.IsMissing(0));
+  EXPECT_TRUE(record.IsMissing(1));
+}
+
+// ------------------------------------------------------------ PairDataset
+
+TEST(PairDatasetTest, CountsAndPositiveRate) {
+  const PairDataset dataset = SmallDataset();
+  EXPECT_EQ(dataset.size(), 10);
+  EXPECT_EQ(dataset.CountLabel(kMatch), 4);
+  EXPECT_EQ(dataset.CountLabel(kNonMatch), 6);
+  EXPECT_DOUBLE_EQ(dataset.PositiveRate(), 0.4);
+}
+
+TEST(PairDatasetTest, SourcesCollectsBothSides) {
+  const PairDataset dataset = SmallDataset();
+  EXPECT_EQ(dataset.Sources(), (std::set<std::string>{"src_a", "src_b"}));
+}
+
+TEST(PairDatasetTest, LabelsAsFloat) {
+  const PairDataset dataset = SmallDataset();
+  const std::vector<float> labels = dataset.LabelsAsFloat();
+  EXPECT_FLOAT_EQ(labels[0], 1.0f);
+  EXPECT_FLOAT_EQ(labels[9], 0.0f);
+}
+
+TEST(PairDatasetTest, FilterSelectsByIndex) {
+  const PairDataset dataset = SmallDataset();
+  const PairDataset filtered = dataset.Filter({0, 5});
+  EXPECT_EQ(filtered.size(), 2);
+  EXPECT_EQ(filtered.pair(0).label, kMatch);
+  EXPECT_EQ(filtered.pair(1).label, kNonMatch);
+}
+
+TEST(PairDatasetTest, SampleCapsSize) {
+  const PairDataset dataset = SmallDataset();
+  Rng rng(1);
+  EXPECT_EQ(dataset.Sample(3, &rng).size(), 3);
+  EXPECT_EQ(dataset.Sample(100, &rng).size(), 10);
+}
+
+TEST(PairDatasetTest, WithoutLabelsUnlabelsEverything) {
+  const PairDataset unlabeled = SmallDataset().WithoutLabels();
+  for (const LabeledPair& pair : unlabeled.pairs()) {
+    EXPECT_EQ(pair.label, kUnlabeled);
+  }
+  EXPECT_EQ(unlabeled.CountLabel(kUnlabeled), 10);
+}
+
+TEST(PairDatasetTest, AppendRequiresSameSchemaAndConcatenates) {
+  PairDataset a = SmallDataset();
+  const PairDataset b = SmallDataset();
+  a.Append(b);
+  EXPECT_EQ(a.size(), 20);
+}
+
+TEST(PairDatasetTest, ReprojectChangesSchema) {
+  const PairDataset dataset = SmallDataset();
+  const PairDataset projected =
+      dataset.Reproject(Schema({"year", "genre"}));
+  EXPECT_EQ(projected.schema().attribute(0), "year");
+  EXPECT_EQ(projected.pair(0).left.values[0], "2000");
+  EXPECT_EQ(projected.pair(0).left.values[1], "");  // new attribute
+}
+
+TEST(PairDatasetTest, ProjectAttributesSubset) {
+  const PairDataset dataset = SmallDataset();
+  const PairDataset projected = dataset.ProjectAttributes({"year"});
+  EXPECT_EQ(projected.schema().size(), 1);
+  EXPECT_EQ(projected.pair(0).right.values[0], "2001");
+  EXPECT_EQ(projected.pair(3).label, kMatch);
+}
+
+TEST(StratifiedSplitTest, KeepsClassBalance) {
+  PairDataset dataset(Schema({"x"}));
+  for (int i = 0; i < 100; ++i) {
+    LabeledPair pair;
+    pair.left = MakeRecord("l", "a", {"v"});
+    pair.right = MakeRecord("r", "b", {"v"});
+    pair.label = i < 30 ? kMatch : kNonMatch;
+    dataset.Add(std::move(pair));
+  }
+  Rng rng(2);
+  const auto [train, test] = StratifiedSplit(dataset, 0.7, &rng);
+  EXPECT_EQ(train.size() + test.size(), 100);
+  EXPECT_EQ(train.CountLabel(kMatch), 21);
+  EXPECT_EQ(test.CountLabel(kMatch), 9);
+}
+
+TEST(StratifiedSplitTest, ExtremeFractions) {
+  const PairDataset dataset = SmallDataset();
+  Rng rng(3);
+  const auto [all_train, empty_test] = StratifiedSplit(dataset, 1.0, &rng);
+  EXPECT_EQ(all_train.size(), 10);
+  EXPECT_EQ(empty_test.size(), 0);
+}
+
+TEST(SampleSupportSetTest, ExactComposition) {
+  const PairDataset dataset = SmallDataset();
+  Rng rng(4);
+  const PairDataset support = SampleSupportSet(dataset, 2, 3, &rng);
+  EXPECT_EQ(support.size(), 5);
+  EXPECT_EQ(support.CountLabel(kMatch), 2);
+  EXPECT_EQ(support.CountLabel(kNonMatch), 3);
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, ParsesQuotedFields) {
+  const auto table = ParseCsv("a,b\n\"x,1\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "x,1");
+  EXPECT_EQ(table->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLfAndEmbeddedNewlines) {
+  const auto table = ParseCsv("a,b\r\n\"line1\nline2\",y\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmpty) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, FormatParseRoundTrip) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"plain", "with,comma"}, {"quo\"te", "new\nline"}};
+  const auto reparsed = ParseCsv(FormatCsv(table));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"x", "1"}};
+  const std::string path = ::testing::TempDir() + "/adamel_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  const auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PairDatasetCsvTest, RoundTripPreservesEverything) {
+  const PairDataset dataset = SmallDataset();
+  const CsvTable table = PairDatasetToCsv(dataset);
+  const auto restored = PairDatasetFromCsv(table);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), dataset.size());
+  EXPECT_TRUE(restored->schema() == dataset.schema());
+  for (int i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(restored->pair(i).label, dataset.pair(i).label);
+    EXPECT_EQ(restored->pair(i).left.values, dataset.pair(i).left.values);
+    EXPECT_EQ(restored->pair(i).right.source, dataset.pair(i).right.source);
+  }
+}
+
+TEST(PairDatasetCsvTest, UnlabeledPairsKeepEmptyLabel) {
+  const PairDataset dataset = SmallDataset().WithoutLabels();
+  const auto restored = PairDatasetFromCsv(PairDatasetToCsv(dataset));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->pair(0).label, kUnlabeled);
+}
+
+TEST(PairDatasetCsvTest, RejectsForeignCsv) {
+  CsvTable table;
+  table.header = {"foo", "bar"};
+  EXPECT_FALSE(PairDatasetFromCsv(table).ok());
+}
+
+// -------------------------------------------------------------- blocking
+
+TEST(BlockingTest, FindsSharedTokenCandidates) {
+  const Schema schema({"title"});
+  std::vector<Record> records = {
+      MakeRecord("0", "a", {"abbey road remaster"}),
+      MakeRecord("1", "b", {"abbey road original"}),
+      MakeRecord("2", "c", {"completely different thing"}),
+  };
+  const text::Tokenizer tokenizer;
+  BlockingOptions options;
+  options.max_token_frequency = 0.9;  // tiny corpus: keep df-2 tokens
+  const auto candidates =
+      GenerateCandidates(records, schema, tokenizer, options);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].left, 0);
+  EXPECT_EQ(candidates[0].right, 1);
+  EXPECT_EQ(candidates[0].shared_tokens, 2);
+}
+
+TEST(BlockingTest, StopWordsExcluded) {
+  const Schema schema({"title"});
+  // "the" appears in every record and must not generate candidates.
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(
+        MakeRecord(std::to_string(i), "s", {"the item" + std::to_string(i)}));
+  }
+  const text::Tokenizer tokenizer;
+  BlockingOptions options;
+  options.max_token_frequency = 0.3;
+  EXPECT_TRUE(GenerateCandidates(records, schema, tokenizer, options)
+                  .empty());
+}
+
+TEST(BlockingTest, MinSharedTokensFilters) {
+  const Schema schema({"title"});
+  std::vector<Record> records = {
+      MakeRecord("0", "a", {"alpha beta"}),
+      MakeRecord("1", "b", {"alpha gamma"}),
+  };
+  const text::Tokenizer tokenizer;
+  BlockingOptions options;
+  options.min_shared_tokens = 2;
+  EXPECT_TRUE(GenerateCandidates(records, schema, tokenizer, options)
+                  .empty());
+}
+
+TEST(BlockingTest, PerRecordCapRespected) {
+  const Schema schema({"title"});
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(MakeRecord(std::to_string(i), "s",
+                                 {"sharedtok uniq" + std::to_string(i)}));
+  }
+  const text::Tokenizer tokenizer;
+  BlockingOptions options;
+  options.max_token_frequency = 1.1;  // keep even the shared token
+  options.max_candidates_per_record = 2;
+  const auto candidates =
+      GenerateCandidates(records, schema, tokenizer, options);
+  std::vector<int> per_record(20, 0);
+  for (const auto& c : candidates) {
+    ++per_record[c.left];
+    ++per_record[c.right];
+  }
+  for (int count : per_record) {
+    EXPECT_LE(count, 2);
+  }
+}
+
+}  // namespace
+}  // namespace adamel::data

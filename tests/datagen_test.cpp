@@ -1,0 +1,444 @@
+// Tests for src/datagen: the generative worlds, source-profile rendering,
+// pair sampling, and the Music/Monitor/Benchmark task builders — verifying
+// that the paper's data challenges (C1-C3) are actually present in the
+// generated data.
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+#include "datagen/benchmark_worlds.h"
+#include "datagen/monitor_world.h"
+#include "datagen/music_world.h"
+#include "datagen/name_generator.h"
+#include "datagen/world.h"
+
+namespace adamel::datagen {
+namespace {
+
+World TinyWorld(uint64_t seed = 3) {
+  WorldConfig config;
+  config.attributes = {
+      {.name = "name", .kind = AttributeKind::kEntityName},
+      {.name = "maker", .kind = AttributeKind::kFamilyName},
+      {.name = "genre",
+       .kind = AttributeKind::kCategory,
+       .category_cardinality = 5,
+       .vocab_seed = 9},
+      {.name = "year",
+       .kind = AttributeKind::kNumeric,
+       .numeric_lo = 2000,
+       .numeric_hi = 2010},
+      {.name = "src", .kind = AttributeKind::kSourceTag},
+  };
+  config.num_entities = 40;
+  config.family_size = 4;
+  config.seed = seed;
+  World world(std::move(config));
+  SourceProfile clean;
+  clean.name = "clean";
+  world.AddSource(clean);
+  SourceProfile other;
+  other.name = "other";
+  world.AddSource(other);
+  return world;
+}
+
+// --------------------------------------------------------- NameGenerator
+
+TEST(NameGeneratorTest, TokensArePronounceableLowercase) {
+  NameGenerator gen;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::string token = gen.MakeToken(2, &rng);
+    EXPECT_FALSE(token.empty());
+    for (char c : token) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << token;
+    }
+  }
+}
+
+TEST(NameGeneratorTest, NamesHaveRequestedTokenCount) {
+  NameGenerator gen;
+  Rng rng(2);
+  const std::string name = gen.MakeName(3, &rng);
+  EXPECT_EQ(SplitWhitespace(name).size(), 3u);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0])));
+}
+
+TEST(NameGeneratorTest, FamilyVariantSharesLeadingToken) {
+  NameGenerator gen;
+  Rng rng(3);
+  const std::string base = "Zarimo Kelet";
+  const std::string variant = gen.MakeFamilyVariant(base, &rng);
+  EXPECT_NE(variant, base);
+  EXPECT_EQ(SplitWhitespace(variant)[0], "Zarimo");
+}
+
+TEST(NameGeneratorTest, AbbreviateToInitials) {
+  EXPECT_EQ(NameGenerator::Abbreviate("Paul McCartney"), "P. M.");
+  EXPECT_EQ(NameGenerator::Abbreviate("Cher"), "C.");
+}
+
+TEST(NameGeneratorTest, TransliterateIsDeterministicAndDisjoint) {
+  const std::string t1 = NameGenerator::Transliterate("Hello World");
+  const std::string t2 = NameGenerator::Transliterate("Hello World");
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, "Hello World");
+  // Shares no surface tokens with the input.
+  EXPECT_EQ(t1.find("Hello"), std::string::npos);
+}
+
+TEST(NameGeneratorTest, TypoChangesString) {
+  Rng rng(4);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (NameGenerator::InjectTypo("monitor", &rng) != "monitor") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 30);  // transposition of equal chars can be a no-op
+}
+
+TEST(NameGeneratorTest, VocabTokenDeterministic) {
+  EXPECT_EQ(NameGenerator::VocabToken(7, 3), NameGenerator::VocabToken(7, 3));
+  EXPECT_NE(NameGenerator::VocabToken(7, 3), NameGenerator::VocabToken(7, 4));
+  EXPECT_NE(NameGenerator::VocabToken(7, 3), NameGenerator::VocabToken(8, 3));
+}
+
+// ------------------------------------------------------------------ World
+
+TEST(WorldTest, DeterministicGivenSeed) {
+  const World a = TinyWorld(5);
+  const World b = TinyWorld(5);
+  for (int e = 0; e < a.num_entities(); ++e) {
+    EXPECT_EQ(a.entity(e).tokens, b.entity(e).tokens);
+  }
+}
+
+TEST(WorldTest, FamilyMembersShareFamilyName) {
+  const World world = TinyWorld();
+  const Entity& first = world.entity(0);
+  const Entity& sibling = world.entity(1);
+  EXPECT_EQ(first.family, sibling.family);
+  EXPECT_EQ(first.tokens[1], sibling.tokens[1]);  // maker = family name
+  EXPECT_NE(first.tokens[0], sibling.tokens[0]);  // name differs
+}
+
+TEST(WorldTest, FamilyMembersShareLeadingNameToken) {
+  const World world = TinyWorld();
+  EXPECT_EQ(world.entity(0).tokens[0][0], world.entity(2).tokens[0][0]);
+}
+
+TEST(WorldTest, NumericValuesInRange) {
+  const World world = TinyWorld();
+  for (int e = 0; e < world.num_entities(); ++e) {
+    const int year = std::stoi(world.entity(e).tokens[3][0]);
+    EXPECT_GE(year, 2000);
+    EXPECT_LE(year, 2010);
+  }
+}
+
+TEST(WorldTest, RenderFillsSourceTag) {
+  const World world = TinyWorld();
+  Rng rng(6);
+  const data::Record record = world.Render(0, "clean", &rng);
+  EXPECT_EQ(record.values[4], "clean");
+  EXPECT_EQ(record.source, "clean");
+  EXPECT_EQ(record.entity_id, "e0");
+}
+
+TEST(WorldTest, UnsupportedAttributeAlwaysMissing) {
+  World world = TinyWorld();
+  SourceProfile sparse;
+  sparse.name = "sparse";
+  sparse.attributes.resize(world.schema().size());
+  sparse.attributes[2].supported = false;
+  world.AddSource(sparse);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(world.Render(i, "sparse", &rng).values[2].empty());
+  }
+}
+
+TEST(WorldTest, MissingProbabilityIsRespected) {
+  World world = TinyWorld();
+  SourceProfile holey;
+  holey.name = "holey";
+  holey.attributes.resize(world.schema().size());
+  holey.attributes[0].missing_prob = 0.5;
+  world.AddSource(holey);
+  Rng rng(8);
+  int missing = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    if (world.Render(i % world.num_entities(), "holey", &rng)
+            .values[0]
+            .empty()) {
+      ++missing;
+    }
+  }
+  EXPECT_NEAR(missing / static_cast<double>(n), 0.5, 0.08);
+}
+
+TEST(WorldTest, AbbreviationProducesInitials) {
+  World world = TinyWorld();
+  SourceProfile abbrev;
+  abbrev.name = "abbrev";
+  abbrev.attributes.resize(world.schema().size());
+  abbrev.attributes[0].abbrev_prob = 1.0;
+  world.AddSource(abbrev);
+  Rng rng(9);
+  const data::Record record = world.Render(0, "abbrev", &rng);
+  // Every name token is a single letter followed by '.'.
+  for (const std::string& token : SplitWhitespace(record.values[0])) {
+    EXPECT_EQ(token.size(), 2u);
+    EXPECT_EQ(token[1], '.');
+  }
+}
+
+TEST(WorldTest, SynonymIsDeterministicPerValueAndSource) {
+  World world = TinyWorld();
+  SourceProfile syn;
+  syn.name = "syn";
+  syn.decoration_vocab_seed = 77;
+  syn.attributes.resize(world.schema().size());
+  syn.attributes[2].synonym_prob = 1.0;
+  world.AddSource(syn);
+  Rng rng1(10);
+  Rng rng2(11);
+  const std::string v1 = world.Render(0, "syn", &rng1).values[2];
+  const std::string v2 = world.Render(0, "syn", &rng2).values[2];
+  EXPECT_EQ(v1, v2);  // same value, same source -> same synonym
+  Rng rng3(12);
+  EXPECT_NE(v1, world.Render(0, "clean", &rng3).values[2]);
+}
+
+TEST(WorldTest, DecorationAddsSourceVocabTokens) {
+  World world = TinyWorld();
+  SourceProfile deco;
+  deco.name = "deco";
+  deco.decoration_vocab_seed = 55;
+  deco.attributes.resize(world.schema().size());
+  deco.attributes[0].decoration_prob = 1.0;
+  world.AddSource(deco);
+  Rng rng(13);
+  const data::Record plain = world.Render(0, "clean", &rng);
+  const data::Record decorated = world.Render(0, "deco", &rng);
+  EXPECT_GT(SplitWhitespace(decorated.values[0]).size(),
+            SplitWhitespace(plain.values[0]).size());
+}
+
+// ------------------------------------------------------------ SamplePairs
+
+TEST(SamplePairsTest, LabelsAndCounts) {
+  const World world = TinyWorld();
+  Rng rng(14);
+  PairSamplingOptions options;
+  options.left_sources = {"clean"};
+  options.right_sources = {"other"};
+  options.positives = 30;
+  options.negatives = 50;
+  const data::PairDataset pairs = SamplePairs(world, options, &rng);
+  EXPECT_EQ(pairs.size(), 80);
+  EXPECT_EQ(pairs.CountLabel(data::kMatch), 30);
+  EXPECT_EQ(pairs.CountLabel(data::kNonMatch), 50);
+}
+
+TEST(SamplePairsTest, PositivesCoRefer) {
+  const World world = TinyWorld();
+  Rng rng(15);
+  PairSamplingOptions options;
+  options.left_sources = {"clean"};
+  options.right_sources = {"other"};
+  options.positives = 40;
+  options.negatives = 0;
+  for (const data::LabeledPair& pair :
+       SamplePairs(world, options, &rng).pairs()) {
+    EXPECT_EQ(pair.left.entity_id, pair.right.entity_id);
+  }
+}
+
+TEST(SamplePairsTest, NegativesDoNotCoRefer) {
+  const World world = TinyWorld();
+  Rng rng(16);
+  PairSamplingOptions options;
+  options.left_sources = {"clean"};
+  options.right_sources = {"other"};
+  options.positives = 0;
+  options.negatives = 40;
+  for (const data::LabeledPair& pair :
+       SamplePairs(world, options, &rng).pairs()) {
+    EXPECT_NE(pair.left.entity_id, pair.right.entity_id);
+  }
+}
+
+TEST(SamplePairsTest, SourcesComeFromPools) {
+  const World world = TinyWorld();
+  Rng rng(17);
+  PairSamplingOptions options;
+  options.left_sources = {"clean"};
+  options.right_sources = {"other"};
+  options.positives = 20;
+  options.negatives = 20;
+  for (const data::LabeledPair& pair :
+       SamplePairs(world, options, &rng).pairs()) {
+    EXPECT_EQ(pair.left.source, "clean");
+    EXPECT_EQ(pair.right.source, "other");
+  }
+}
+
+TEST(SamplePairsTest, WeakLabelNoiseBreaksCoReference) {
+  const World world = TinyWorld();
+  Rng rng(18);
+  PairSamplingOptions options;
+  options.left_sources = {"clean"};
+  options.right_sources = {"other"};
+  options.positives = 200;
+  options.negatives = 0;
+  options.weak_label_noise = 0.3;
+  int mislabeled = 0;
+  for (const data::LabeledPair& pair :
+       SamplePairs(world, options, &rng).pairs()) {
+    EXPECT_EQ(pair.label, data::kMatch);  // label says match...
+    if (pair.left.entity_id != pair.right.entity_id) {
+      ++mislabeled;  // ...but the records don't co-refer
+    }
+  }
+  EXPECT_NEAR(mislabeled / 200.0, 0.3, 0.1);
+}
+
+// --------------------------------------------------------------- catalogs
+
+TEST(MusicWorldTest, SevenSourcesAndNineAttributes) {
+  const World world = MakeMusicWorld(MusicEntityType::kArtist, 1);
+  EXPECT_EQ(world.source_names().size(), 7u);
+  EXPECT_EQ(world.schema().size(), 9);
+  EXPECT_TRUE(world.schema().Contains("name_native_language"));
+}
+
+TEST(MusicWorldTest, TaskSizesMatchTable3) {
+  MusicTaskOptions options;
+  options.entity_type = MusicEntityType::kArtist;
+  options.seed = 2;
+  const MelTask task = MakeMusicTask(options);
+  EXPECT_EQ(task.source_train.size(), 374);
+  EXPECT_EQ(task.test.size(), 541);
+  EXPECT_EQ(task.support.size(), 100);
+  EXPECT_EQ(task.support.CountLabel(data::kMatch), 50);
+}
+
+TEST(MusicWorldTest, TrainUsesOnlySeenSources) {
+  MusicTaskOptions options;
+  options.seed = 3;
+  const MelTask task = MakeMusicTask(options);
+  const std::vector<std::string> seen_sources = MusicSeenSources();
+  const std::set<std::string> seen(seen_sources.begin(), seen_sources.end());
+  for (const std::string& source : task.source_train.Sources()) {
+    EXPECT_TRUE(seen.count(source)) << source;
+  }
+}
+
+TEST(MusicWorldTest, DisjointTestAvoidsSeenSources) {
+  MusicTaskOptions options;
+  options.scenario = MelScenario::kDisjoint;
+  options.seed = 4;
+  const MelTask task = MakeMusicTask(options);
+  const std::vector<std::string> seen_sources = MusicSeenSources();
+  const std::set<std::string> seen(seen_sources.begin(), seen_sources.end());
+  for (const std::string& source : task.test.Sources()) {
+    EXPECT_FALSE(seen.count(source)) << source;
+  }
+}
+
+TEST(MusicWorldTest, TargetUnlabeledHasNoLabels) {
+  MusicTaskOptions options;
+  options.seed = 5;
+  const MelTask task = MakeMusicTask(options);
+  EXPECT_EQ(task.target_unlabeled.CountLabel(data::kUnlabeled),
+            task.target_unlabeled.size());
+}
+
+TEST(MonitorWorldTest, TwentyFourSourcesThirteenAttributes) {
+  const World world = MakeMonitorWorld(1);
+  EXPECT_EQ(world.source_names().size(), 24u);
+  EXPECT_EQ(world.schema().size(), 13);
+}
+
+TEST(MonitorWorldTest, TargetOnlyAttributesAbsentInSeenSources) {
+  const World world = MakeMonitorWorld(2);
+  Rng rng(6);
+  const data::Schema& schema = world.schema();
+  for (const std::string& attr : MonitorTargetOnlyAttributes()) {
+    const int index = schema.IndexOf(attr);
+    ASSERT_GE(index, 0);
+    for (const std::string& source : MonitorSeenSources()) {
+      for (int e = 0; e < 10; ++e) {
+        EXPECT_TRUE(world.Render(e, source, &rng).values[index].empty());
+      }
+    }
+  }
+}
+
+TEST(MonitorWorldTest, TaskIsHeavilyImbalanced) {
+  MonitorTaskOptions options;
+  options.seed = 7;
+  const MelTask task = MakeMonitorTask(options);
+  EXPECT_LT(task.source_train.PositiveRate(), 0.1);
+  EXPECT_EQ(task.test.CountLabel(data::kNonMatch), 1000);
+}
+
+TEST(MonitorIncrementalTest, SourcesGrowByTwoPerStep) {
+  const MonitorIncrementalSeries series = MakeMonitorIncrementalSeries(3);
+  ASSERT_GE(series.step_sources.size(), 2u);
+  EXPECT_EQ(series.step_sources.front().size(), 7u);
+  for (size_t i = 1; i < series.step_sources.size(); ++i) {
+    EXPECT_EQ(series.step_sources[i].size(),
+              series.step_sources[i - 1].size() + 2);
+    EXPECT_GT(series.step_tests[i].size(), series.step_tests[i - 1].size());
+  }
+  EXPECT_EQ(series.step_sources.back().size(), 23u);
+  EXPECT_EQ(series.train.size(), 1500);
+  EXPECT_EQ(series.support.size(), 100);
+}
+
+TEST(BenchmarkWorldsTest, ElevenDatasets) {
+  const auto specs = BenchmarkDatasets();
+  EXPECT_EQ(specs.size(), 11u);
+  int dirty = 0;
+  for (const auto& spec : specs) {
+    dirty += spec.dirty ? 1 : 0;
+  }
+  EXPECT_EQ(dirty, 4);
+}
+
+TEST(BenchmarkWorldsTest, TaskIsSingleDomainTwoSources) {
+  const MelTask task = MakeBenchmarkTask(BenchmarkDatasets()[2], 5);
+  EXPECT_EQ(task.source_train.Sources().size(), 2u);
+  EXPECT_EQ(task.source_train.Sources(), task.test.Sources());
+}
+
+TEST(BenchmarkWorldsTest, DirtyVariantHasMoreMissing) {
+  BenchmarkDatasetSpec clean{"DBLP-ACM", "Citation", false, 0.1};
+  BenchmarkDatasetSpec dirty{"DBLP-ACM", "Citation", true, 0.15};
+  auto missing_fraction = [](const MelTask& task) {
+    int missing = 0;
+    int total = 0;
+    for (const data::LabeledPair& pair : task.source_train.pairs()) {
+      for (int a = 0; a < task.source_train.schema().size(); ++a) {
+        missing += pair.left.IsMissing(a) ? 1 : 0;
+        ++total;
+      }
+    }
+    return static_cast<double>(missing) / total;
+  };
+  EXPECT_GT(missing_fraction(MakeBenchmarkTask(dirty, 5)),
+            missing_fraction(MakeBenchmarkTask(clean, 5)) + 0.1);
+}
+
+}  // namespace
+}  // namespace adamel::datagen

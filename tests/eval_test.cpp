@@ -1,0 +1,259 @@
+// Tests for src/eval: PRAUC / ROC / F1 metrics, aggregation, the report
+// tables, t-SNE, and the domain-alignment score.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/tsne.h"
+
+namespace adamel::eval {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(
+      AveragePrecision({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingEqualsKnownValue) {
+  // Positives ranked last: AP = sum over positives of precision at their
+  // rank = (1/3 + 2/4)/2.
+  EXPECT_NEAR(AveragePrecision({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}),
+              (1.0 / 3.0 + 2.0 / 4.0) / 2.0, 1e-9);
+}
+
+TEST(AveragePrecisionTest, SklearnDocExample) {
+  // sklearn's documentation example: y = [0,0,1,1],
+  // scores = [0.1,0.4,0.35,0.8] -> AP = 0.8333...
+  EXPECT_NEAR(AveragePrecision({0.1f, 0.4f, 0.35f, 0.8f}, {0, 0, 1, 1}),
+              0.8333333, 1e-6);
+}
+
+TEST(AveragePrecisionTest, AllNegativeIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5f, 0.4f}, {0, 0}), 0.0);
+}
+
+TEST(AveragePrecisionTest, RandomScoresApproachPrevalence) {
+  Rng rng(1);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  }
+  EXPECT_NEAR(AveragePrecision(scores, labels), 0.2, 0.03);
+}
+
+TEST(AveragePrecisionTest, InvariantToMonotoneTransform) {
+  const std::vector<int> labels = {1, 0, 1, 0, 0, 1, 0};
+  const std::vector<float> scores = {0.9f, 0.3f, 0.7f, 0.5f,
+                                     0.2f, 0.8f, 0.1f};
+  std::vector<float> transformed;
+  for (float s : scores) {
+    transformed.push_back(std::exp(3.0f * s));
+  }
+  EXPECT_NEAR(AveragePrecision(scores, labels),
+              AveragePrecision(transformed, labels), 1e-9);
+}
+
+TEST(PrecisionRecallCurveTest, EndsAtFullRecall) {
+  const auto curve =
+      PrecisionRecallCurve({0.9f, 0.5f, 0.1f}, {1, 0, 1});
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+}
+
+TEST(PrecisionRecallCurveTest, TiesCollapseToOnePoint) {
+  const auto curve = PrecisionRecallCurve({0.5f, 0.5f}, {1, 0});
+  EXPECT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.5);
+}
+
+TEST(RocAucTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.1f}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.9f}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.5f}, {1, 0}), 0.5);  // tie -> midrank
+  EXPECT_DOUBLE_EQ(RocAuc({0.3f}, {1}), 0.5);           // degenerate
+}
+
+TEST(F1Test, AtThresholdKnownValue) {
+  // threshold 0.5: predictions {1,1,0}; labels {1,0,1} -> tp=1 fp=1 fn=1.
+  EXPECT_NEAR(F1AtThreshold({0.9f, 0.6f, 0.2f}, {1, 0, 1}, 0.5f), 0.5,
+              1e-9);
+}
+
+TEST(F1Test, BestF1AtLeastFixedThreshold) {
+  const std::vector<float> scores = {0.9f, 0.6f, 0.55f, 0.2f};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_GE(BestF1(scores, labels),
+            F1AtThreshold(scores, labels, 0.5f));
+  EXPECT_DOUBLE_EQ(BestF1(scores, labels), 1.0);
+}
+
+TEST(F1Test, BestF1ZeroWithoutPositives) {
+  EXPECT_DOUBLE_EQ(BestF1({0.5f}, {0}), 0.0);
+}
+
+TEST(AccuracyTest, HalfThresholdCounts) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.2f, 0.7f, 0.1f}, {1, 0, 0, 1}), 0.5);
+}
+
+TEST(AggregateTest, MeanAndSampleStddev) {
+  const RunStats stats = Aggregate({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 1.0);
+  EXPECT_EQ(stats.runs, 3);
+}
+
+TEST(AggregateTest, SingleRunHasZeroSpread) {
+  const RunStats stats = Aggregate({0.5});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(FormatStatsTest, PaperStyle) {
+  EXPECT_EQ(FormatStats({0.92113, 0.00402, 3}), "0.9211 ± 0.0040");
+}
+
+// Parameterized: AP/ROC bounds hold across random instances.
+class MetricBoundsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricBoundsSweep, WithinUnitInterval) {
+  Rng rng(GetParam());
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  labels[0] = 1;  // guarantee at least one positive
+  const double ap = AveragePrecision(scores, labels);
+  const double auc = RocAuc(scores, labels);
+  const double f1 = BestF1(scores, labels);
+  for (double v : {ap, auc, f1}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricBoundsSweep,
+                         ::testing::Range(100, 110));
+
+// ----------------------------------------------------------------- report
+
+TEST(ResultTableTest, MarkdownHasHeaderSeparatorRows) {
+  ResultTable table("My title", {"a", "b"});
+  table.AddRow({"1", "22"});
+  const std::string md = table.ToMarkdown();
+  EXPECT_NE(md.find("### My title"), std::string::npos);
+  EXPECT_NE(md.find("| a"), std::string::npos);
+  EXPECT_NE(md.find("|---"), std::string::npos);
+  EXPECT_NE(md.find("| 22"), std::string::npos);
+}
+
+TEST(ResultTableTest, CsvEscapesCommas) {
+  ResultTable table("t", {"x"});
+  table.AddRow({"a,b"});
+  EXPECT_NE(table.ToCsv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(ResultTableTest, WritesFile) {
+  ResultTable table("t", {"x"});
+  table.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/adamel_table.csv";
+  EXPECT_TRUE(table.WriteCsv(path).ok());
+}
+
+TEST(EnsureDirectoryTest, CreatesNested) {
+  const std::string dir = ::testing::TempDir() + "/adamel/a/b";
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());  // idempotent
+}
+
+// ------------------------------------------------------------------ t-SNE
+
+std::vector<std::vector<float>> TwoClusters(int per_cluster, Rng* rng) {
+  std::vector<std::vector<float>> points;
+  for (int i = 0; i < 2 * per_cluster; ++i) {
+    const float center = i < per_cluster ? -5.0f : 5.0f;
+    std::vector<float> p(4);
+    for (float& v : p) {
+      v = center + static_cast<float>(rng->Normal(0.0, 0.3));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  Rng rng(2);
+  const auto points = TwoClusters(15, &rng);
+  TsneOptions options;
+  options.iterations = 120;
+  const auto coords = Tsne(points, options);
+  ASSERT_EQ(coords.size(), points.size());
+  for (const auto& c : coords) {
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_TRUE(std::isfinite(c[0]) && std::isfinite(c[1]));
+  }
+}
+
+TEST(TsneTest, SeparatesWellSeparatedClusters) {
+  Rng rng(3);
+  const int per_cluster = 20;
+  const auto points = TwoClusters(per_cluster, &rng);
+  TsneOptions options;
+  options.iterations = 250;
+  const auto coords = Tsne(points, options);
+  // Mean intra-cluster distance should be far below inter-cluster distance.
+  auto dist = [&](int i, int j) {
+    const double dx = coords[i][0] - coords[j][0];
+    const double dy = coords[i][1] - coords[j][1];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    for (size_t j = i + 1; j < coords.size(); ++j) {
+      const bool same =
+          (i < per_cluster) == (j < static_cast<size_t>(per_cluster));
+      (same ? intra : inter) += dist(static_cast<int>(i),
+                                     static_cast<int>(j));
+      ++(same ? intra_n : inter_n);
+    }
+  }
+  EXPECT_LT(intra / intra_n, 0.5 * inter / inter_n);
+}
+
+TEST(DomainAlignmentTest, SeparatedDomainsScoreHigh) {
+  Rng rng(4);
+  const auto points = TwoClusters(20, &rng);
+  std::vector<int> domains(40, 0);
+  for (int i = 20; i < 40; ++i) {
+    domains[i] = 1;
+  }
+  EXPECT_GT(DomainAlignmentScore(points, domains, 5), 0.95);
+}
+
+TEST(DomainAlignmentTest, MixedDomainsScoreNearHalf) {
+  Rng rng(5);
+  std::vector<std::vector<float>> points;
+  std::vector<int> domains;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({static_cast<float>(rng.Normal()),
+                      static_cast<float>(rng.Normal())});
+    domains.push_back(i % 2);
+  }
+  EXPECT_NEAR(DomainAlignmentScore(points, domains, 8), 0.5, 0.12);
+}
+
+}  // namespace
+}  // namespace adamel::eval

@@ -1,0 +1,205 @@
+// Integration tests: the full pipeline from synthetic world generation
+// through training to evaluation, exercising the module boundaries the way
+// the experiment harness does. These use reduced sizes so the whole suite
+// stays fast, but the assertions are the paper's directional claims.
+
+#include <gtest/gtest.h>
+
+#include "baselines/tler.h"
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "data/csv.h"
+#include "datagen/benchmark_worlds.h"
+#include "datagen/monitor_world.h"
+#include "datagen/music_world.h"
+#include "eval/metrics.h"
+
+namespace adamel {
+namespace {
+
+core::AdamelConfig FastConfig(uint64_t seed = 42) {
+  core::AdamelConfig config;
+  config.epochs = 15;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<int> Labels(const data::PairDataset& dataset) {
+  std::vector<int> labels;
+  for (const auto& pair : dataset.pairs()) {
+    labels.push_back(pair.label == data::kMatch ? 1 : 0);
+  }
+  return labels;
+}
+
+TEST(IntegrationTest, MusicTaskTrainsAllVariantsAboveChance) {
+  datagen::MusicTaskOptions options;
+  options.entity_type = datagen::MusicEntityType::kArtist;
+  options.seed = 21;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+  const std::vector<int> labels = Labels(task.test);
+  const double prevalence =
+      task.test.CountLabel(data::kMatch) / static_cast<double>(task.test.size());
+
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  const core::AdamelTrainer trainer(FastConfig());
+  for (const core::AdamelVariant variant :
+       {core::AdamelVariant::kBase, core::AdamelVariant::kZero,
+        core::AdamelVariant::kFew, core::AdamelVariant::kHyb}) {
+    const core::TrainedAdamel model = trainer.Fit(variant, inputs);
+    const double prauc =
+        eval::AveragePrecision(model.Predict(task.test), labels);
+    EXPECT_GT(prauc, prevalence + 0.2)
+        << core::AdamelVariantName(variant);
+  }
+}
+
+TEST(IntegrationTest, AdaptationHelpsOnDisjointScenario) {
+  // The paper's central claim, in miniature: with unseen target sources,
+  // domain adaptation (zero/hyb) beats pure source supervision (base).
+  datagen::MusicTaskOptions options;
+  options.entity_type = datagen::MusicEntityType::kTrack;
+  options.scenario = datagen::MelScenario::kDisjoint;
+  options.seed = 22;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+  const std::vector<int> labels = Labels(task.test);
+
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  core::AdamelConfig config;
+  config.seed = 42;
+  const core::AdamelTrainer trainer(config);
+  const double base = eval::AveragePrecision(
+      trainer.Fit(core::AdamelVariant::kBase, inputs).Predict(task.test),
+      labels);
+  const double hyb = eval::AveragePrecision(
+      trainer.Fit(core::AdamelVariant::kHyb, inputs).Predict(task.test),
+      labels);
+  EXPECT_GT(hyb, base);
+}
+
+TEST(IntegrationTest, PairDatasetsSurviveCsvRoundTripAndRetrain) {
+  datagen::MusicTaskOptions options;
+  options.seed = 23;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+
+  const std::string path = ::testing::TempDir() + "/music_train.csv";
+  ASSERT_TRUE(
+      data::WriteCsvFile(path, data::PairDatasetToCsv(task.source_train))
+          .ok());
+  const auto loaded_table = data::ReadCsvFile(path);
+  ASSERT_TRUE(loaded_table.ok());
+  const auto loaded = data::PairDatasetFromCsv(*loaded_table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), task.source_train.size());
+
+  // Retraining from the round-tripped data gives identical predictions.
+  core::MelInputs inputs_orig;
+  inputs_orig.source_train = &task.source_train;
+  core::MelInputs inputs_loaded;
+  inputs_loaded.source_train = &*loaded;
+  const core::AdamelTrainer trainer(FastConfig(7));
+  const auto pred_orig =
+      trainer.Fit(core::AdamelVariant::kBase, inputs_orig)
+          .Predict(task.test);
+  const auto pred_loaded =
+      trainer.Fit(core::AdamelVariant::kBase, inputs_loaded)
+          .Predict(task.test);
+  EXPECT_EQ(pred_orig, pred_loaded);
+}
+
+TEST(IntegrationTest, HarnessRunsEveryComparisonModel) {
+  datagen::MonitorTaskOptions options;
+  options.seed = 24;
+  options.train_pairs = 400;
+  options.test_positives = 60;
+  options.test_negatives = 200;
+  options.target_unlabeled_pairs = 300;
+  const datagen::MelTask task = datagen::MakeMonitorTask(options);
+  for (const std::string& name : bench::ComparisonModelNames()) {
+    core::AdamelConfig adamel_config;
+    adamel_config.epochs = 4;
+    baselines::BaselineConfig baseline_config;
+    baseline_config.epochs = 2;
+    baseline_config.max_train_pairs = 150;
+    auto model = bench::MakeModel(name, 42, adamel_config, baseline_config);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->Name(), name);
+    const double prauc = bench::FitAndScore(model.get(), task);
+    EXPECT_GE(prauc, 0.0);
+    EXPECT_LE(prauc, 1.0);
+  }
+}
+
+TEST(IntegrationTest, AttributeProjectionPipeline) {
+  // Table 5's machinery: project a task onto a subset of attributes and
+  // retrain; the subset model must still be usable end-to-end.
+  datagen::MusicTaskOptions options;
+  options.seed = 25;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+  const std::vector<std::string> subset = {"name", "main_performer",
+                                           "name_native_language"};
+  const data::PairDataset train = task.source_train.ProjectAttributes(subset);
+  const data::PairDataset test = task.test.ProjectAttributes(subset);
+  core::MelInputs inputs;
+  inputs.source_train = &train;
+  const core::AdamelTrainer trainer(FastConfig());
+  const core::TrainedAdamel model =
+      trainer.Fit(core::AdamelVariant::kBase, inputs);
+  const double prauc =
+      eval::AveragePrecision(model.Predict(test), Labels(test));
+  EXPECT_GT(prauc, 0.55);
+  EXPECT_EQ(model.extractor().feature_count(), 6);
+}
+
+TEST(IntegrationTest, BenchmarkDifficultyOrderingHolds) {
+  // The synthetic single-domain datasets must keep the paper's difficulty
+  // ordering: easy (DBLP-ACM) >> hard (Walmart-Amazon) for a fixed learner.
+  const auto specs = datagen::BenchmarkDatasets();
+  const datagen::MelTask easy = datagen::MakeBenchmarkTask(specs[2], 9);
+  const datagen::MelTask hard = datagen::MakeBenchmarkTask(specs[6], 9);
+  auto score = [](const datagen::MelTask& task) {
+    core::AdamelConfig config;
+    config.epochs = 12;
+    config.seed = 5;
+    const core::AdamelTrainer trainer(config);
+    core::MelInputs inputs;
+    inputs.source_train = &task.source_train;
+    const core::TrainedAdamel model =
+        trainer.Fit(core::AdamelVariant::kBase, inputs);
+    return eval::BestF1(model.Predict(task.test), Labels(task.test));
+  };
+  EXPECT_GT(score(easy), score(hard) + 0.05);
+}
+
+TEST(IntegrationTest, IncrementalSeriesIsTrainableAcrossSteps) {
+  const datagen::MonitorIncrementalSeries series =
+      datagen::MakeMonitorIncrementalSeries(26);
+  core::AdamelConfig config;
+  config.epochs = 4;
+  config.seed = 1;
+  const core::AdamelTrainer trainer(config);
+  // First and last step both train and evaluate cleanly.
+  for (const size_t step : {size_t{0}, series.step_tests.size() - 1}) {
+    const data::PairDataset unlabeled =
+        series.step_tests[step].WithoutLabels();
+    core::MelInputs inputs;
+    inputs.source_train = &series.train;
+    inputs.target_unlabeled = &unlabeled;
+    inputs.support = &series.support;
+    const core::TrainedAdamel model =
+        trainer.Fit(core::AdamelVariant::kHyb, inputs);
+    const double prauc = eval::AveragePrecision(
+        model.Predict(series.step_tests[step]),
+        Labels(series.step_tests[step]));
+    EXPECT_GT(prauc, 0.4) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace adamel

@@ -1,0 +1,230 @@
+// Property-based tests for the autograd engine: randomized composite
+// graphs are gradient-checked against finite differences, and algebraic
+// identities of the ops are verified across random inputs. These sweeps
+// complement the per-op unit tests in ops_test.cpp by exercising op
+// *compositions* the training loops actually build.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/ops.h"
+
+namespace adamel::nn {
+namespace {
+
+constexpr double kTol = 3e-2;
+
+// Builds a random elementwise-safe unary transformation.
+Tensor RandomUnary(const Tensor& x, Rng* rng) {
+  switch (rng->UniformInt(5)) {
+    case 0:
+      return Tanh(x);
+    case 1:
+      return Sigmoid(x);
+    case 2:
+      return Relu(x);
+    case 3:
+      return Square(x);
+    default:
+      return MulScalar(x, static_cast<float>(rng->Uniform(-2.0, 2.0)));
+  }
+}
+
+// A random three-layer composite graph over one parameter.
+class RandomGraphGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphGradCheck, AnalyticMatchesNumeric) {
+  Rng seed_rng(GetParam());
+  Tensor param = Tensor::RandomNormal(3, 4, 0.6f, &seed_rng,
+                                      /*requires_grad=*/true);
+  const Tensor mix = Tensor::RandomNormal(4, 3, 0.8f, &seed_rng);
+  const uint64_t structure_seed = seed_rng.Next();
+  auto loss_fn = [&]() {
+    Rng rng(structure_seed);  // same random structure on every rebuild
+    Tensor h = RandomUnary(param, &rng);
+    h = MatMul(h, mix);                    // 3x3
+    h = RandomUnary(h, &rng);
+    h = Add(h, Transpose(h));              // reuse: diamond dependency
+    h = Softmax(h);
+    return Mean(RandomUnary(h, &rng));
+  };
+  const GradCheckResult result = CheckGradient(loss_fn, param);
+  EXPECT_LT(result.max_relative_error, kTol)
+      << "seed " << GetParam() << " worst " << result.worst_index;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphGradCheck,
+                         ::testing::Range(0, 16));
+
+// Softmax properties over random matrices.
+class SoftmaxPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxPropertySweep, RowsAreDistributions) {
+  Rng rng(GetParam() + 100);
+  const int rows = rng.UniformInt(1, 6);
+  const int cols = rng.UniformInt(2, 9);
+  const Tensor x = Tensor::RandomNormal(rows, cols, 4.0f, &rng);
+  const Tensor s = Softmax(x);
+  for (int r = 0; r < rows; ++r) {
+    double total = 0.0;
+    float max_val = 0.0f;
+    int argmax_s = 0;
+    float max_x = x.At(r, 0);
+    int argmax_x = 0;
+    for (int c = 0; c < cols; ++c) {
+      ASSERT_GT(s.At(r, c), 0.0f);
+      total += s.At(r, c);
+      if (s.At(r, c) > max_val) {
+        max_val = s.At(r, c);
+        argmax_s = c;
+      }
+      if (x.At(r, c) > max_x) {
+        max_x = x.At(r, c);
+        argmax_x = c;
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+    // Softmax is order-preserving: argmax carries over.
+    EXPECT_EQ(argmax_s, argmax_x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxPropertySweep,
+                         ::testing::Range(0, 10));
+
+// BCE-with-logits properties: non-negative, zero iff perfectly confident
+// and correct, monotone in miscalibration.
+class BcePropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcePropertySweep, NonNegativeAndCalibrationMonotone) {
+  Rng rng(GetParam() + 200);
+  const int n = rng.UniformInt(2, 12);
+  std::vector<float> logits_values(n);
+  std::vector<float> targets(n);
+  for (int i = 0; i < n; ++i) {
+    logits_values[i] = static_cast<float>(rng.Normal(0.0, 3.0));
+    targets[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  const Tensor logits = Tensor::FromVector(n, 1, logits_values);
+  const float loss = BceWithLogits(logits, targets).At(0, 0);
+  EXPECT_GE(loss, 0.0f);
+
+  // Pushing every logit toward its own label must not increase the loss.
+  std::vector<float> better(n);
+  for (int i = 0; i < n; ++i) {
+    better[i] = logits_values[i] + (targets[i] > 0.5f ? 1.0f : -1.0f);
+  }
+  const float better_loss =
+      BceWithLogits(Tensor::FromVector(n, 1, better), targets).At(0, 0);
+  EXPECT_LE(better_loss, loss + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcePropertySweep, ::testing::Range(0, 10));
+
+// KL properties: non-negative, zero iff equal, grows with divergence.
+class KlPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlPropertySweep, GibbsInequality) {
+  Rng rng(GetParam() + 300);
+  const int f = rng.UniformInt(2, 8);
+  // Random reference distribution p.
+  std::vector<float> p(f);
+  float p_total = 0.0f;
+  for (float& v : p) {
+    v = static_cast<float>(rng.Uniform(0.05, 1.0));
+    p_total += v;
+  }
+  for (float& v : p) {
+    v /= p_total;
+  }
+  // q identical to p -> KL == 0.
+  const Tensor q_same = Tensor::FromVector(1, f, p);
+  EXPECT_NEAR(RowKlDivergence(p, q_same).At(0, 0), 0.0, 1e-4);
+  // Random q -> KL >= 0.
+  const Tensor q_rand = Softmax(Tensor::RandomNormal(3, f, 2.0f, &rng));
+  EXPECT_GE(RowKlDivergence(p, q_rand).At(0, 0), -1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlPropertySweep, ::testing::Range(0, 10));
+
+// MatMul algebra: (AB)^T == B^T A^T and distributivity over addition.
+class MatMulAlgebraSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulAlgebraSweep, TransposeAndDistributivity) {
+  Rng rng(GetParam() + 400);
+  const int m = rng.UniformInt(1, 5);
+  const int k = rng.UniformInt(1, 5);
+  const int n = rng.UniformInt(1, 5);
+  const Tensor a = Tensor::RandomNormal(m, k, 1.0f, &rng);
+  const Tensor b = Tensor::RandomNormal(k, n, 1.0f, &rng);
+  const Tensor c = Tensor::RandomNormal(k, n, 1.0f, &rng);
+
+  const Tensor left = Transpose(MatMul(a, b));
+  const Tensor right = MatMul(Transpose(b), Transpose(a));
+  ASSERT_EQ(left.rows(), right.rows());
+  for (int i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-4);
+  }
+
+  const Tensor distributed = MatMul(a, Add(b, c));
+  const Tensor expanded = Add(MatMul(a, b), MatMul(a, c));
+  for (int i = 0; i < distributed.size(); ++i) {
+    EXPECT_NEAR(distributed.data()[i], expanded.data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulAlgebraSweep,
+                         ::testing::Range(0, 10));
+
+// Training property: one Adam step on a fresh graph strictly decreases a
+// smooth convex loss for small enough learning rates.
+class OptimizerDescentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerDescentSweep, AdamStepDecreasesConvexLoss) {
+  Rng rng(GetParam() + 500);
+  Tensor w = Tensor::RandomNormal(2, 3, 1.0f, &rng, /*requires_grad=*/true);
+  const Tensor target = Tensor::RandomNormal(2, 3, 1.0f, &rng);
+  auto loss_value = [&] {
+    return Sum(Square(Sub(w, target))).At(0, 0);
+  };
+  Adam adam({w}, 0.01f);
+  const float before = loss_value();
+  for (int step = 0; step < 5; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = Sum(Square(Sub(w, target)));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(loss_value(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerDescentSweep,
+                         ::testing::Range(0, 8));
+
+// Module composition gradient check: Linear -> Highway -> Linear.
+class ModuleChainGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModuleChainGradCheck, EndToEnd) {
+  Rng rng(GetParam() + 600);
+  Linear in(3, 4, &rng);
+  HighwayLayer mid(4, &rng);
+  Linear out(4, 1, &rng);
+  const Tensor x = Tensor::RandomNormal(3, 3, 1.0f, &rng);
+  auto loss = [&] {
+    return Sum(Square(out.Forward(mid.Forward(in.Forward(x)))));
+  };
+  Tensor probe = in.Parameters()[0];
+  EXPECT_LT(CheckGradient(loss, probe).max_relative_error, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModuleChainGradCheck,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace adamel::nn

@@ -1,0 +1,172 @@
+// Unit tests for nn::Tensor: factories, access, and the autograd engine on
+// small hand-checkable graphs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+namespace {
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  const Tensor t = Tensor::Zeros(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (float v : t.data()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  const Tensor t = Tensor::Full(2, 2, 1.5f);
+  EXPECT_EQ(t.At(1, 1), 1.5f);
+  const Tensor s = Tensor::Scalar(-3.0f);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_EQ(s.At(0, 0), -3.0f);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  const Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+}
+
+TEST(TensorTest, SetMutates) {
+  Tensor t = Tensor::Zeros(2, 2);
+  t.Set(0, 1, 7.0f);
+  EXPECT_EQ(t.At(0, 1), 7.0f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros(1, 1);
+  Tensor b = a;  // shared handle
+  b.Set(0, 0, 5.0f);
+  EXPECT_EQ(a.At(0, 0), 5.0f);
+}
+
+TEST(TensorTest, DetachCopiesValuesDropsGraph) {
+  Tensor a = Tensor::Full(1, 2, 2.0f, /*requires_grad=*/true);
+  Tensor b = MulScalar(a, 3.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.At(0, 1), 6.0f);
+  d.Set(0, 0, 99.0f);
+  EXPECT_EQ(b.At(0, 0), 6.0f);  // detach copied, not aliased
+}
+
+TEST(TensorTest, RandomNormalIsDeterministicPerSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const Tensor a = Tensor::RandomNormal(3, 3, 1.0f, &rng1);
+  const Tensor b = Tensor::RandomNormal(3, 3, 1.0f, &rng2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(TensorTest, XavierUniformWithinBound) {
+  Rng rng(6);
+  const int fan_in = 30;
+  const int fan_out = 50;
+  const Tensor w = Tensor::XavierUniform(fan_in, fan_out, &rng);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float v : w.data()) {
+    EXPECT_LE(std::fabs(v), bound);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+TEST(AutogradTest, AddBackwardIsOnes) {
+  Tensor a = Tensor::Full(1, 3, 1.0f, true);
+  Tensor b = Tensor::Full(1, 3, 2.0f, true);
+  Tensor loss = Sum(Add(a, b));
+  loss.Backward();
+  for (float g : a.grad()) {
+    EXPECT_FLOAT_EQ(g, 1.0f);
+  }
+  for (float g : b.grad()) {
+    EXPECT_FLOAT_EQ(g, 1.0f);
+  }
+}
+
+TEST(AutogradTest, MulBackwardIsOtherOperand) {
+  Tensor a = Tensor::FromVector(1, 2, {2.0f, 3.0f}, true);
+  Tensor b = Tensor::FromVector(1, 2, {5.0f, 7.0f}, true);
+  Tensor loss = Sum(Mul(a, b));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 7.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 3.0f);
+}
+
+TEST(AutogradTest, ChainRuleThroughTwoOps) {
+  // loss = sum((2x)^2) -> d/dx = 8x
+  Tensor x = Tensor::FromVector(1, 2, {1.0f, -2.0f}, true);
+  Tensor loss = Sum(Square(MulScalar(x, 2.0f)));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -16.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesWhenReused) {
+  // loss = sum(x + x) -> d/dx = 2 (x used twice in the graph).
+  Tensor x = Tensor::Full(1, 2, 3.0f, true);
+  Tensor loss = Sum(Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = x*x (via two branches b1 = 2x, b2 = 3x, loss = sum(b1*b2) = 6x^2)
+  Tensor x = Tensor::Full(1, 1, 2.0f, true);
+  Tensor loss = Sum(Mul(MulScalar(x, 2.0f), MulScalar(x, 3.0f)));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(loss.At(0, 0), 24.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 24.0f);  // d(6x^2)/dx = 12x = 24
+}
+
+TEST(AutogradTest, NoGradForFrozenLeaves) {
+  Tensor a = Tensor::Full(1, 2, 1.0f, /*requires_grad=*/false);
+  Tensor b = Tensor::Full(1, 2, 1.0f, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(a, b));
+  loss.Backward();
+  // Frozen leaf keeps a zero gradient buffer.
+  for (float g : a.grad()) {
+    EXPECT_EQ(g, 0.0f);
+  }
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(AutogradTest, ConstantGraphHasNoBackwardEdges) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = Relu(Add(a, a));
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_TRUE(b.impl()->parents.empty());
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Tensor x = Tensor::Full(1, 1, 2.0f, true);
+  Tensor loss = Sum(Square(x));
+  loss.Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DebugStringMentionsShape) {
+  const Tensor t = Tensor::Zeros(2, 5);
+  EXPECT_NE(t.DebugString().find("2x5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamel::nn

@@ -1,0 +1,317 @@
+// Tests for src/text: tokenizer, contrastive token algebra, HashText
+// embedding, string metrics, and TF-IDF summarization.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/embedding.h"
+#include "text/string_metrics.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace adamel::text {
+namespace {
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, LowercasesAndSplitsWhitespace) {
+  const Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Hey Jude"),
+            (std::vector<std::string>{"hey", "jude"}));
+}
+
+TEST(TokenizerTest, SplitsPunctuation) {
+  const Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("P. M."),
+            (std::vector<std::string>{"p", "m"}));
+  EXPECT_EQ(tokenizer.Tokenize("rock/pop,jazz"),
+            (std::vector<std::string>{"rock", "pop", "jazz"}));
+}
+
+TEST(TokenizerTest, KeepsPunctuationWhenDisabled) {
+  TokenizerOptions options;
+  options.split_punctuation = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a-b c"),
+            (std::vector<std::string>{"a-b", "c"}));
+}
+
+TEST(TokenizerTest, CropLimitsTokenCount) {
+  TokenizerOptions options;
+  options.crop_size = 3;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("one two three four five").size(), 3u);
+}
+
+TEST(TokenizerTest, ZeroCropMeansUnlimited) {
+  TokenizerOptions options;
+  options.crop_size = 0;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a b c d e f g h i j k l").size(), 12u);
+}
+
+TEST(TokenizerTest, EmptyInputYieldsNoTokens) {
+  const Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  \t ").empty());
+}
+
+TEST(TokenizerTest, Utf8BytesPassThrough) {
+  const Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("Müller Straße");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "müller");  // ASCII M lowered, ü untouched
+}
+
+TEST(ContrastTokensTest, PartitionsSharedAndUnique) {
+  const TokenContrast contrast =
+      ContrastTokens({"hey", "jude", "remix"}, {"hey", "jude", "original"});
+  EXPECT_EQ(contrast.shared, (std::vector<std::string>{"hey", "jude"}));
+  const std::set<std::string> unique(contrast.unique.begin(),
+                                     contrast.unique.end());
+  EXPECT_EQ(unique, (std::set<std::string>{"remix", "original"}));
+}
+
+TEST(ContrastTokensTest, DuplicatesCollapse) {
+  const TokenContrast contrast = ContrastTokens({"a", "a", "b"}, {"a"});
+  EXPECT_EQ(contrast.shared, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(contrast.unique, (std::vector<std::string>{"b"}));
+}
+
+TEST(ContrastTokensTest, IdenticalSetsHaveNoUnique) {
+  const TokenContrast contrast = ContrastTokens({"x", "y"}, {"y", "x"});
+  EXPECT_EQ(contrast.shared.size(), 2u);
+  EXPECT_TRUE(contrast.unique.empty());
+}
+
+TEST(ContrastTokensTest, DisjointSetsHaveNoShared) {
+  const TokenContrast contrast = ContrastTokens({"x"}, {"y"});
+  EXPECT_TRUE(contrast.shared.empty());
+  EXPECT_EQ(contrast.unique.size(), 2u);
+}
+
+// Property sweep: shared ∪ unique == union of both sets; shared ⊆ both.
+class ContrastSweep
+    : public ::testing::TestWithParam<
+          std::pair<std::vector<std::string>, std::vector<std::string>>> {};
+
+TEST_P(ContrastSweep, SetAlgebraInvariants) {
+  const auto& [left, right] = GetParam();
+  const TokenContrast contrast = ContrastTokens(left, right);
+  const std::set<std::string> left_set(left.begin(), left.end());
+  const std::set<std::string> right_set(right.begin(), right.end());
+  std::set<std::string> all(left_set);
+  all.insert(right_set.begin(), right_set.end());
+  std::set<std::string> reconstructed(contrast.shared.begin(),
+                                      contrast.shared.end());
+  reconstructed.insert(contrast.unique.begin(), contrast.unique.end());
+  EXPECT_EQ(reconstructed, all);
+  for (const std::string& token : contrast.shared) {
+    EXPECT_TRUE(left_set.count(token) && right_set.count(token));
+  }
+  EXPECT_EQ(contrast.shared.size() + contrast.unique.size(), all.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ContrastSweep,
+    ::testing::Values(
+        std::make_pair(std::vector<std::string>{}, std::vector<std::string>{}),
+        std::make_pair(std::vector<std::string>{"a"},
+                       std::vector<std::string>{}),
+        std::make_pair(std::vector<std::string>{"a", "b", "c"},
+                       std::vector<std::string>{"b", "c", "d"}),
+        std::make_pair(std::vector<std::string>{"x", "x", "y"},
+                       std::vector<std::string>{"y", "z", "z"})));
+
+// ------------------------------------------------------------- embedding
+
+TEST(HashTextTest, Deterministic) {
+  const HashTextEmbedding a;
+  const HashTextEmbedding b;
+  EXPECT_EQ(a.EmbedToken("beatles"), b.EmbedToken("beatles"));
+}
+
+TEST(HashTextTest, TokenVectorsAreUnitNorm) {
+  const HashTextEmbedding embedding;
+  for (const char* token : {"a", "hello", "supercalifragilistic"}) {
+    double norm = 0.0;
+    for (float v : embedding.EmbedToken(token)) {
+      norm += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4) << token;
+  }
+}
+
+TEST(HashTextTest, MissingVectorIsFixedNonZeroUnit) {
+  const HashTextEmbedding embedding;
+  const std::vector<float>& missing = embedding.missing_value_vector();
+  double norm = 0.0;
+  for (float v : missing) {
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  EXPECT_EQ(embedding.EmbedToken(""), missing);
+  EXPECT_EQ(embedding.EmbedTokens({}), missing);
+}
+
+TEST(HashTextTest, SurfaceSimilarTokensAreCloser) {
+  // FastText's key property: subword sharing puts typo variants closer
+  // together than unrelated tokens.
+  const HashTextEmbedding embedding;
+  const auto base = embedding.EmbedToken("guitarist");
+  const float typo_sim =
+      CosineSimilarity(base, embedding.EmbedToken("guitarists"));
+  const float unrelated_sim =
+      CosineSimilarity(base, embedding.EmbedToken("xylophone"));
+  EXPECT_GT(typo_sim, unrelated_sim);
+  EXPECT_GT(typo_sim, 0.5f);
+}
+
+TEST(HashTextTest, SumOfTokensEqualsEmbedTokens) {
+  const HashTextEmbedding embedding;
+  const auto a = embedding.EmbedToken("hey");
+  const auto b = embedding.EmbedToken("jude");
+  const auto sum = embedding.EmbedTokens({"hey", "jude"});
+  for (size_t i = 0; i < sum.size(); ++i) {
+    EXPECT_NEAR(sum[i], a[i] + b[i], 1e-5);
+  }
+}
+
+TEST(HashTextTest, WeightedSumAppliesWeights) {
+  const HashTextEmbedding embedding;
+  const auto weighted =
+      embedding.EmbedTokensWeighted({"hey", "jude"}, {2.0f, 0.0f});
+  const auto solo = embedding.EmbedToken("hey");
+  for (size_t i = 0; i < weighted.size(); ++i) {
+    EXPECT_NEAR(weighted[i], 2.0f * solo[i], 1e-5);
+  }
+}
+
+TEST(HashTextTest, CustomDimension) {
+  const HashTextEmbedding embedding(EmbeddingOptions{.dim = 17});
+  EXPECT_EQ(embedding.EmbedToken("x").size(), 17u);
+  EXPECT_EQ(embedding.dim(), 17);
+}
+
+TEST(HashTextTest, DifferentSeedsDifferentBases) {
+  const HashTextEmbedding a(EmbeddingOptions{.seed = 1});
+  const HashTextEmbedding b(EmbeddingOptions{.seed = 2});
+  EXPECT_LT(CosineSimilarity(a.EmbedToken("hello"), b.EmbedToken("hello")),
+            0.9f);
+}
+
+TEST(CosineSimilarityTest, KnownValues) {
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0f);
+}
+
+// --------------------------------------------------------- string metrics
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(LevenshteinSimilarityTest, BoundsAndIdentity) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(OverlapCoefficientTest, UsesSmallerSet) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {"a", "b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"x"}, {"a", "b"}), 0.0);
+}
+
+TEST(MongeElkanTest, ForgivesTypos) {
+  const double sim =
+      MongeElkanSimilarity({"beatles", "abbey"}, {"beatels", "abbey"});
+  EXPECT_GT(sim, 0.8);
+}
+
+TEST(TrigramTest, SharedSubstringsScoreHigher) {
+  EXPECT_GT(TrigramSimilarity("monitor", "monitors"),
+            TrigramSimilarity("monitor", "keyboard"));
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("", ""), 1.0);
+}
+
+TEST(ExactMatchTest, NeutralForDoubleEmpty) {
+  EXPECT_DOUBLE_EQ(ExactMatchScore("", ""), 0.5);
+  EXPECT_DOUBLE_EQ(ExactMatchScore("a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactMatchScore("a", "b"), 0.0);
+}
+
+// Property sweep: similarity symmetry and [0,1] bounds.
+class MetricSymmetrySweep
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+TEST_P(MetricSymmetrySweep, SymmetricAndBounded) {
+  const auto& [a, b] = GetParam();
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity(a, b), LevenshteinSimilarity(b, a));
+  EXPECT_DOUBLE_EQ(TrigramSimilarity(a, b), TrigramSimilarity(b, a));
+  for (const double v : {LevenshteinSimilarity(a, b),
+                         TrigramSimilarity(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MetricSymmetrySweep,
+    ::testing::Values(std::make_pair("", ""), std::make_pair("a", ""),
+                      std::make_pair("hello", "hallo"),
+                      std::make_pair("paul mccartney", "p. m."),
+                      std::make_pair("xx", "yyyyyyyy")));
+
+// ---------------------------------------------------------------- tfidf
+
+TEST(TfIdfTest, RareTokensGetHigherIdf) {
+  TfIdfModel model;
+  model.Fit({{"the", "cat"}, {"the", "dog"}, {"the", "rare"}});
+  EXPECT_GT(model.Idf("rare"), model.Idf("the"));
+  EXPECT_GT(model.Idf("unseen"), model.Idf("rare"));
+}
+
+TEST(TfIdfTest, SummarizeKeepsInformativeTokensInOrder) {
+  TfIdfModel model;
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back({"buy", "now", "monitor"});
+  }
+  corpus.push_back({"acme", "zx42"});
+  model.Fit(corpus);
+  const std::vector<std::string> kept = model.Summarize(
+      {"buy", "acme", "now", "zx42", "monitor"}, 2);
+  EXPECT_EQ(kept, (std::vector<std::string>{"acme", "zx42"}));
+}
+
+TEST(TfIdfTest, SummarizeNoOpWhenShort) {
+  TfIdfModel model;
+  model.Fit({{"a"}});
+  const std::vector<std::string> tokens = {"a", "b"};
+  EXPECT_EQ(model.Summarize(tokens, 10), tokens);
+}
+
+TEST(TfIdfTest, WeightsMatchTermCountTimesIdf) {
+  TfIdfModel model;
+  model.Fit({{"x"}, {"y"}});
+  const auto weights = model.Weights({"x", "x", "z"});
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_FLOAT_EQ(weights[0], weights[1]);
+  EXPECT_NEAR(weights[0], 2.0 * model.Idf("x"), 1e-5);
+}
+
+}  // namespace
+}  // namespace adamel::text
