@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libadamel_bench_harness.a"
+  "../lib/libadamel_bench_harness.pdb"
+  "CMakeFiles/adamel_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/adamel_bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libadamel_bench_harness.a"
+)

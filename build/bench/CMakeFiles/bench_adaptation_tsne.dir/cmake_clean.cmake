@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptation_tsne.dir/bench_adaptation_tsne.cpp.o"
+  "CMakeFiles/bench_adaptation_tsne.dir/bench_adaptation_tsne.cpp.o.d"
+  "bench_adaptation_tsne"
+  "bench_adaptation_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptation_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attention_analysis.dir/bench_attention_analysis.cpp.o"
+  "CMakeFiles/bench_attention_analysis.dir/bench_attention_analysis.cpp.o.d"
+  "bench_attention_analysis"
+  "bench_attention_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attention_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_analysis.dir/bench_data_analysis.cpp.o"
+  "CMakeFiles/bench_data_analysis.dir/bench_data_analysis.cpp.o.d"
+  "bench_data_analysis"
+  "bench_data_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_sources.dir/bench_incremental_sources.cpp.o"
+  "CMakeFiles/bench_incremental_sources.dir/bench_incremental_sources.cpp.o.d"
+  "bench_incremental_sources"
+  "bench_incremental_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

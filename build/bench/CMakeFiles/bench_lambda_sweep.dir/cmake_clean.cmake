@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lambda_sweep.dir/bench_lambda_sweep.cpp.o"
+  "CMakeFiles/bench_lambda_sweep.dir/bench_lambda_sweep.cpp.o.d"
+  "bench_lambda_sweep"
+  "bench_lambda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lambda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mel_monitor.dir/bench_mel_monitor.cpp.o"
+  "CMakeFiles/bench_mel_monitor.dir/bench_mel_monitor.cpp.o.d"
+  "bench_mel_monitor"
+  "bench_mel_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mel_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

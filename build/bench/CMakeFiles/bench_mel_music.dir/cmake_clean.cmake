@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mel_music.dir/bench_mel_music.cpp.o"
+  "CMakeFiles/bench_mel_music.dir/bench_mel_music.cpp.o.d"
+  "bench_mel_music"
+  "bench_mel_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mel_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mel_music.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_count.dir/bench_param_count.cpp.o"
+  "CMakeFiles/bench_param_count.dir/bench_param_count.cpp.o.d"
+  "bench_param_count"
+  "bench_param_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_domain.dir/bench_single_domain.cpp.o"
+  "CMakeFiles/bench_single_domain.dir/bench_single_domain.cpp.o.d"
+  "bench_single_domain"
+  "bench_single_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_transfer.dir/attention_transfer.cpp.o"
+  "CMakeFiles/attention_transfer.dir/attention_transfer.cpp.o.d"
+  "attention_transfer"
+  "attention_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_integration.dir/monitor_integration.cpp.o"
+  "CMakeFiles/monitor_integration.dir/monitor_integration.cpp.o.d"
+  "monitor_integration"
+  "monitor_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_linkage.dir/music_linkage.cpp.o"
+  "CMakeFiles/music_linkage.dir/music_linkage.cpp.o.d"
+  "music_linkage"
+  "music_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/cordel.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/cordel.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/cordel.cc.o.d"
+  "/root/repo/src/baselines/deepmatcher.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/deepmatcher.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/deepmatcher.cc.o.d"
+  "/root/repo/src/baselines/ditto_like.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/ditto_like.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/ditto_like.cc.o.d"
+  "/root/repo/src/baselines/entitymatcher.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/entitymatcher.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/entitymatcher.cc.o.d"
+  "/root/repo/src/baselines/tler.cc" "src/baselines/CMakeFiles/adamel_baselines.dir/tler.cc.o" "gcc" "src/baselines/CMakeFiles/adamel_baselines.dir/tler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adamel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adamel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/adamel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_baselines.dir/common.cc.o"
+  "CMakeFiles/adamel_baselines.dir/common.cc.o.d"
+  "CMakeFiles/adamel_baselines.dir/cordel.cc.o"
+  "CMakeFiles/adamel_baselines.dir/cordel.cc.o.d"
+  "CMakeFiles/adamel_baselines.dir/deepmatcher.cc.o"
+  "CMakeFiles/adamel_baselines.dir/deepmatcher.cc.o.d"
+  "CMakeFiles/adamel_baselines.dir/ditto_like.cc.o"
+  "CMakeFiles/adamel_baselines.dir/ditto_like.cc.o.d"
+  "CMakeFiles/adamel_baselines.dir/entitymatcher.cc.o"
+  "CMakeFiles/adamel_baselines.dir/entitymatcher.cc.o.d"
+  "CMakeFiles/adamel_baselines.dir/tler.cc.o"
+  "CMakeFiles/adamel_baselines.dir/tler.cc.o.d"
+  "libadamel_baselines.a"
+  "libadamel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_common.dir/rng.cc.o"
+  "CMakeFiles/adamel_common.dir/rng.cc.o.d"
+  "CMakeFiles/adamel_common.dir/status.cc.o"
+  "CMakeFiles/adamel_common.dir/status.cc.o.d"
+  "CMakeFiles/adamel_common.dir/string_util.cc.o"
+  "CMakeFiles/adamel_common.dir/string_util.cc.o.d"
+  "libadamel_common.a"
+  "libadamel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_core.dir/features.cc.o"
+  "CMakeFiles/adamel_core.dir/features.cc.o.d"
+  "CMakeFiles/adamel_core.dir/model.cc.o"
+  "CMakeFiles/adamel_core.dir/model.cc.o.d"
+  "CMakeFiles/adamel_core.dir/trainer.cc.o"
+  "CMakeFiles/adamel_core.dir/trainer.cc.o.d"
+  "libadamel_core.a"
+  "libadamel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

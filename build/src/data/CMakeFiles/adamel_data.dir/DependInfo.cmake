@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/blocking.cc" "src/data/CMakeFiles/adamel_data.dir/blocking.cc.o" "gcc" "src/data/CMakeFiles/adamel_data.dir/blocking.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/adamel_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/adamel_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/pair_dataset.cc" "src/data/CMakeFiles/adamel_data.dir/pair_dataset.cc.o" "gcc" "src/data/CMakeFiles/adamel_data.dir/pair_dataset.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/adamel_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/adamel_data.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/adamel_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

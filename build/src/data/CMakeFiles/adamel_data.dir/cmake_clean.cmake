@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_data.dir/blocking.cc.o"
+  "CMakeFiles/adamel_data.dir/blocking.cc.o.d"
+  "CMakeFiles/adamel_data.dir/csv.cc.o"
+  "CMakeFiles/adamel_data.dir/csv.cc.o.d"
+  "CMakeFiles/adamel_data.dir/pair_dataset.cc.o"
+  "CMakeFiles/adamel_data.dir/pair_dataset.cc.o.d"
+  "CMakeFiles/adamel_data.dir/record.cc.o"
+  "CMakeFiles/adamel_data.dir/record.cc.o.d"
+  "libadamel_data.a"
+  "libadamel_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

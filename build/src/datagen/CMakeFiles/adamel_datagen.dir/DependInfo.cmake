@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/benchmark_worlds.cc" "src/datagen/CMakeFiles/adamel_datagen.dir/benchmark_worlds.cc.o" "gcc" "src/datagen/CMakeFiles/adamel_datagen.dir/benchmark_worlds.cc.o.d"
+  "/root/repo/src/datagen/monitor_world.cc" "src/datagen/CMakeFiles/adamel_datagen.dir/monitor_world.cc.o" "gcc" "src/datagen/CMakeFiles/adamel_datagen.dir/monitor_world.cc.o.d"
+  "/root/repo/src/datagen/music_world.cc" "src/datagen/CMakeFiles/adamel_datagen.dir/music_world.cc.o" "gcc" "src/datagen/CMakeFiles/adamel_datagen.dir/music_world.cc.o.d"
+  "/root/repo/src/datagen/name_generator.cc" "src/datagen/CMakeFiles/adamel_datagen.dir/name_generator.cc.o" "gcc" "src/datagen/CMakeFiles/adamel_datagen.dir/name_generator.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/adamel_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/adamel_datagen.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adamel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adamel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/adamel_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_datagen.dir/benchmark_worlds.cc.o"
+  "CMakeFiles/adamel_datagen.dir/benchmark_worlds.cc.o.d"
+  "CMakeFiles/adamel_datagen.dir/monitor_world.cc.o"
+  "CMakeFiles/adamel_datagen.dir/monitor_world.cc.o.d"
+  "CMakeFiles/adamel_datagen.dir/music_world.cc.o"
+  "CMakeFiles/adamel_datagen.dir/music_world.cc.o.d"
+  "CMakeFiles/adamel_datagen.dir/name_generator.cc.o"
+  "CMakeFiles/adamel_datagen.dir/name_generator.cc.o.d"
+  "CMakeFiles/adamel_datagen.dir/world.cc.o"
+  "CMakeFiles/adamel_datagen.dir/world.cc.o.d"
+  "libadamel_datagen.a"
+  "libadamel_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

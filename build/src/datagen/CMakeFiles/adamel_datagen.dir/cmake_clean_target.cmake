@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadamel_datagen.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_eval.dir/metrics.cc.o"
+  "CMakeFiles/adamel_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/adamel_eval.dir/report.cc.o"
+  "CMakeFiles/adamel_eval.dir/report.cc.o.d"
+  "CMakeFiles/adamel_eval.dir/tsne.cc.o"
+  "CMakeFiles/adamel_eval.dir/tsne.cc.o.d"
+  "libadamel_eval.a"
+  "libadamel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

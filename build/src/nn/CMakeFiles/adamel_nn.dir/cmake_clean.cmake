@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_nn.dir/grad_check.cc.o"
+  "CMakeFiles/adamel_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/adamel_nn.dir/layers.cc.o"
+  "CMakeFiles/adamel_nn.dir/layers.cc.o.d"
+  "CMakeFiles/adamel_nn.dir/ops.cc.o"
+  "CMakeFiles/adamel_nn.dir/ops.cc.o.d"
+  "CMakeFiles/adamel_nn.dir/optim.cc.o"
+  "CMakeFiles/adamel_nn.dir/optim.cc.o.d"
+  "CMakeFiles/adamel_nn.dir/tensor.cc.o"
+  "CMakeFiles/adamel_nn.dir/tensor.cc.o.d"
+  "libadamel_nn.a"
+  "libadamel_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamel_text.dir/embedding.cc.o"
+  "CMakeFiles/adamel_text.dir/embedding.cc.o.d"
+  "CMakeFiles/adamel_text.dir/string_metrics.cc.o"
+  "CMakeFiles/adamel_text.dir/string_metrics.cc.o.d"
+  "CMakeFiles/adamel_text.dir/tfidf.cc.o"
+  "CMakeFiles/adamel_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/adamel_text.dir/tokenizer.cc.o"
+  "CMakeFiles/adamel_text.dir/tokenizer.cc.o.d"
+  "libadamel_text.a"
+  "libadamel_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamel_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

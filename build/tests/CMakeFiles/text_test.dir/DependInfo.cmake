@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/text_test.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/text_test.dir/text_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/adamel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/adamel_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adamel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adamel_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/adamel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adamel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/adamel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
