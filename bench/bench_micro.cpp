@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "common/parallel.h"
 #include "core/features.h"
 #include "core/model.h"
 #include "datagen/music_world.h"
@@ -86,6 +89,45 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+// Appends {1, 2, 4, hardware} thread counts to an existing Args prefix.
+void ThreadCountArgs(benchmark::internal::Benchmark* b) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (int threads : {1, 2, 4, hw > 0 ? hw : 1}) {
+    b->Args({threads});
+  }
+}
+
+// Training-shaped GEMM (256x300 activations, 300x256 weights) across thread
+// counts. The serial baseline is threads=1; larger counts measure the
+// thread-pool scheduling plus row-partitioned kernel.
+void BM_MatMulThreads(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  const nn::Tensor a = nn::Tensor::RandomNormal(256, 300, 1.0f, &rng);
+  const nn::Tensor b = nn::Tensor::RandomNormal(300, 256, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{256} * 300 * 256);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulThreads)->Apply(ThreadCountArgs);
+
+// Full-dataset featurization (the per-pair embarrassingly-parallel loop)
+// across thread counts.
+void BM_FeaturizeDatasetThreads(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  const datagen::MelTask& task = ArtistTask();
+  const core::FeatureExtractor extractor(
+      task.source_train.schema(), core::FeatureMode::kSharedAndUnique, 48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Featurize(task.source_train));
+  }
+  state.SetItemsProcessed(state.iterations() * task.source_train.size());
+  SetNumThreads(0);
+}
+BENCHMARK(BM_FeaturizeDatasetThreads)->Apply(ThreadCountArgs);
 
 void BM_AveragePrecision(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,0 +1,156 @@
+// Serial-vs-parallel wall-clock comparison for the thread-pool substrate
+// (common/parallel.h). Times the three workloads the pool accelerates —
+// training-shaped GEMM, full-dataset featurization, and one end-to-end
+// training epoch — at thread counts {1, 2, 4, hardware} and writes the
+// measurements to <out>/BENCH_parallel.json.
+//
+// Speedups are only observable when the machine exposes more than one core;
+// the JSON records hardware_concurrency so readers can interpret the
+// numbers. Determinism is unconditional: results are bitwise identical at
+// every thread count (see tests/parallel_test.cpp), so this benchmark only
+// reports time.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/parallel.h"
+#include "core/features.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "eval/report.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace {
+
+using namespace adamel;
+
+// Median wall-clock seconds of `repeats` timed calls (after one warmup).
+double MedianSeconds(int repeats, const std::function<void()>& fn) {
+  fn();  // Warmup: populate caches, spin up pool workers.
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct Measurement {
+  std::string workload;
+  int threads = 1;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  (void)eval::EnsureDirectory(options.output_dir);
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts;
+  for (int t : {1, 2, 4, hw}) {
+    if (std::find(thread_counts.begin(), thread_counts.end(), t) ==
+        thread_counts.end()) {
+      thread_counts.push_back(t);
+    }
+  }
+
+  const int repeats = options.quick ? 3 : 7;
+
+  // Workload inputs, built once outside the timed regions.
+  Rng rng(17);
+  const nn::Tensor gemm_a = nn::Tensor::RandomNormal(256, 300, 1.0f, &rng);
+  const nn::Tensor gemm_b = nn::Tensor::RandomNormal(300, 256, 1.0f, &rng);
+
+  datagen::MusicTaskOptions task_options;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+  const core::FeatureExtractor extractor(
+      task.source_train.schema(), core::FeatureMode::kSharedAndUnique, 48);
+
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  core::AdamelConfig train_config;
+  train_config.epochs = 1;
+  train_config.seed = 5;
+
+  std::vector<Measurement> results;
+  for (const int threads : thread_counts) {
+    SetNumThreads(threads);
+    std::fprintf(stderr, "[parallel] threads=%d...\n", threads);
+
+    results.push_back({"matmul_256x300x256", threads,
+                       MedianSeconds(repeats, [&] {
+                         nn::Tensor c = nn::MatMul(gemm_a, gemm_b);
+                         (void)c;
+                       })});
+    results.push_back({"featurize_source_train", threads,
+                       MedianSeconds(repeats, [&] {
+                         core::FeaturizedPairs f =
+                             extractor.Featurize(task.source_train);
+                         (void)f;
+                       })});
+    results.push_back(
+        {"train_epoch_hyb", threads,
+         MedianSeconds(options.quick ? 1 : 3, [&] {
+           core::TrainedAdamel model = core::AdamelTrainer(train_config).Fit(
+               core::AdamelVariant::kHyb, inputs, nullptr);
+           (void)model;
+         })});
+  }
+  SetNumThreads(0);
+
+  // Serial baseline per workload for the speedup column.
+  auto serial_seconds = [&](const std::string& workload) {
+    for (const Measurement& m : results) {
+      if (m.workload == workload && m.threads == 1) return m.seconds;
+    }
+    return 0.0;
+  };
+
+  const std::string path = options.output_dir + "/BENCH_parallel.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %d,\n", hw);
+  std::fprintf(out,
+               "  \"note\": \"Wall-clock medians; speedup_vs_serial is "
+               "relative to threads=1 on the same machine. With "
+               "hardware_concurrency=%d, %s\",\n",
+               hw,
+               hw > 1 ? "thread counts above the core count oversubscribe"
+                      : "all thread counts share one core, so parallel "
+                        "speedup is not observable here");
+  std::fprintf(out, "  \"measurements\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    const double base = serial_seconds(m.workload);
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.6f, \"speedup_vs_serial\": %.3f}%s\n",
+                 m.workload.c_str(), m.threads, m.seconds,
+                 base > 0.0 ? base / m.seconds : 0.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

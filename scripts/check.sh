@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + full ctest, then a ThreadSanitizer build
+# that runs the thread-pool and parallel-ops tests. Run from the repo root:
+#
+#   scripts/check.sh
+#
+# Environment:
+#   BUILD_DIR       main build tree (default: build)
+#   TSAN_BUILD_DIR  sanitizer build tree (default: build-tsan)
+#   JOBS            parallel build jobs (default: nproc)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== tsan: configure + build parallel tests =="
+cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DADAMEL_SANITIZE=thread
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target parallel_test ops_test
+
+echo "== tsan: run parallel tests =="
+"${TSAN_BUILD_DIR}/tests/parallel_test"
+"${TSAN_BUILD_DIR}/tests/ops_test" --gtest_filter='OpsForward.MatMul*:OpsGradient.MatMul*'
+
+echo "== all checks passed =="

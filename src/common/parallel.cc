@@ -1,0 +1,259 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adamel {
+namespace {
+
+// True while the current thread executes chunks of some ParallelFor call
+// (worker or participating caller). Nested calls run inline.
+thread_local bool tls_in_parallel_region = false;
+
+// One in-flight ParallelFor. Chunk boundaries are a pure function of
+// (begin, grain, num_chunks); workers claim chunk indices with a fetch-add.
+struct Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreads() {
+  const char* env = std::getenv("ADAMEL_NUM_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  const int value = std::atoi(env);
+  return value >= 1 ? value : 0;
+}
+
+class ThreadPool {
+ public:
+  // Leaked singleton: worker threads must never be joined from static
+  // destructors (they may hold the mutex while the program exits).
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  int num_threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return ResolvedThreadsLocked();
+  }
+
+  void SetNumThreads(int n) {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    override_threads_ = n >= 1 ? n : 0;
+    // Tear down workers so the next ParallelFor respawns the right number.
+    StopWorkersLocked();
+  }
+
+  void Run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    const int64_t g = grain < 1 ? 1 : grain;
+    const int64_t chunks = ParallelChunkCount(begin, end, g);
+    if (chunks == 0) {
+      return;
+    }
+    if (tls_in_parallel_region || chunks == 1) {
+      RunSerial(begin, end, g, fn);
+      return;
+    }
+    std::unique_lock<std::mutex> config_lock(config_mutex_, std::try_to_lock);
+    if (!config_lock.owns_lock()) {
+      // Another thread's ParallelFor owns the pool; degrade to serial rather
+      // than blocking — the pool has no spare capacity anyway.
+      RunSerial(begin, end, g, fn);
+      return;
+    }
+    const int threads = ResolvedThreadsLocked();
+    if (threads <= 1) {
+      config_lock.unlock();
+      RunSerial(begin, end, g, fn);
+      return;
+    }
+    EnsureWorkersLocked(threads - 1);
+
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grain = g;
+    job.num_chunks = chunks;
+    job.fn = &fn;
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      job_ = &job;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // The caller participates as one more worker.
+    ProcessChunks(&job);
+
+    // Wait for every worker that joined the job to leave it before the Job
+    // (a stack object) goes out of scope.
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+      job_ = nullptr;
+    }
+    if (job.error) {
+      std::rethrow_exception(job.error);
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  int ResolvedThreadsLocked() {
+    if (override_threads_ >= 1) {
+      return override_threads_;
+    }
+    const int env = EnvThreads();
+    return env >= 1 ? env : HardwareThreads();
+  }
+
+  static void RunSerial(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+    // The serial fallback iterates the *same* chunks in ascending order so
+    // chunk-slot reductions are bitwise identical to any parallel schedule.
+    const bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      const int64_t hi = lo + grain < end ? lo + grain : end;
+      fn(lo, hi);
+    }
+    tls_in_parallel_region = was_in_region;
+  }
+
+  void ProcessChunks(Job* job) {
+    const bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    for (;;) {
+      const int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job->num_chunks) {
+        break;
+      }
+      if (job->failed.load(std::memory_order_acquire)) {
+        continue;  // drain remaining chunks without running them
+      }
+      const int64_t lo = job->begin + c * job->grain;
+      const int64_t hi =
+          lo + job->grain < job->end ? lo + job->grain : job->end;
+      try {
+        (*job->fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job->error_mutex);
+        if (!job->error) {
+          job->error = std::current_exception();
+        }
+        job->failed.store(true, std::memory_order_release);
+      }
+    }
+    tls_in_parallel_region = was_in_region;
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(job_mutex_);
+        work_cv_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) {
+          return;
+        }
+        seen_generation = generation_;
+        job = job_;
+        if (job != nullptr) {
+          ++active_workers_;
+        }
+      }
+      if (job == nullptr) {
+        continue;  // woke after the caller already retired the job
+      }
+      ProcessChunks(job);
+      {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        --active_workers_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  // Both called with config_mutex_ held.
+  void EnsureWorkersLocked(int count) {
+    if (static_cast<int>(workers_.size()) == count) {
+      return;
+    }
+    StopWorkersLocked();
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      shutdown_ = false;
+    }
+    workers_.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkersLocked() {
+    if (workers_.empty()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+    workers_.clear();
+  }
+
+  // Serializes pool configuration and job submission (one job at a time).
+  std::mutex config_mutex_;
+  int override_threads_ = 0;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off state, guarded by job_mutex_.
+  std::mutex job_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int NumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Instance().SetNumThreads(n); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Instance().Run(begin, end, grain, fn);
+}
+
+}  // namespace adamel

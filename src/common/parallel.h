@@ -1,0 +1,91 @@
+#ifndef ADAMEL_COMMON_PARALLEL_H_
+#define ADAMEL_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace adamel {
+
+/// Deterministic data-parallel substrate.
+///
+/// A lazily-initialized persistent thread pool executes `ParallelFor` calls
+/// over fixed-size chunks. Chunk boundaries depend only on `(begin, end,
+/// grain)` — never on the thread count — so a computation that is
+/// deterministic per chunk (disjoint writes, or per-chunk partial results
+/// combined in chunk order) produces bitwise-identical output at any thread
+/// count, including the pure serial fallback.
+///
+/// Thread count resolution, in priority order:
+///  1. the last `SetNumThreads(n)` call with n >= 1;
+///  2. the `ADAMEL_NUM_THREADS` environment variable (read once);
+///  3. `std::thread::hardware_concurrency()`.
+/// A resolved count of 1 disables the pool entirely: chunks run inline on the
+/// calling thread, in order, with no synchronization.
+
+/// Returns the resolved number of worker threads (>= 1).
+int NumThreads();
+
+/// Overrides the thread count at runtime (benchmarks, determinism tests).
+/// `n >= 1` forces that count; `n == 0` reverts to the environment /
+/// hardware default. Existing workers are torn down and respawned lazily.
+/// Must not be called from inside a `ParallelFor` body.
+void SetNumThreads(int n);
+
+/// Runs `fn(chunk_begin, chunk_end)` over every chunk of `[begin, end)`,
+/// where chunk k covers `[begin + k*grain, min(begin + (k+1)*grain, end))`.
+///
+/// - Chunks are distributed dynamically over the pool but their boundaries
+///   are fixed, so per-chunk results are thread-count-invariant.
+/// - With one thread (or one chunk, or when called from inside another
+///   `ParallelFor` body), chunks run inline in ascending order.
+/// - Nested calls are safe and run serially inline.
+/// - If `fn` throws, the first exception (in completion order) is rethrown
+///   on the calling thread after all in-flight chunks finish; remaining
+///   unstarted chunks are skipped.
+///
+/// `fn` must not write to overlapping locations from different chunks unless
+/// the caller accepts the race; for reductions use `ParallelChunkCount` and
+/// per-chunk slots combined in chunk order (see `ParallelReduce` below).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Number of chunks `ParallelFor(begin, end, grain, ...)` will execute.
+inline int64_t ParallelChunkCount(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) {
+    return 0;
+  }
+  const int64_t g = grain < 1 ? 1 : grain;
+  return (end - begin + g - 1) / g;
+}
+
+/// Deterministic chunked reduction: `partial(chunk_begin, chunk_end)`
+/// computes one chunk's partial result; partials are combined with
+/// `combine(acc, partial_k)` in ascending chunk order, starting from `init`.
+/// Bitwise thread-count-invariant because the chunking is fixed.
+template <typename T, typename PartialFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+                 PartialFn partial, CombineFn combine) {
+  const int64_t chunks = ParallelChunkCount(begin, end, grain);
+  if (chunks == 0) {
+    return init;
+  }
+  const int64_t g = grain < 1 ? 1 : grain;
+  std::vector<T> slots(static_cast<size_t>(chunks));
+  ParallelFor(0, chunks, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      const int64_t lo = begin + c * g;
+      const int64_t hi = lo + g < end ? lo + g : end;
+      slots[static_cast<size_t>(c)] = partial(lo, hi);
+    }
+  });
+  T acc = init;
+  for (int64_t c = 0; c < chunks; ++c) {
+    acc = combine(acc, slots[static_cast<size_t>(c)]);
+  }
+  return acc;
+}
+
+}  // namespace adamel
+
+#endif  // ADAMEL_COMMON_PARALLEL_H_

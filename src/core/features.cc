@@ -1,8 +1,18 @@
 #include "core/features.h"
 
+#include <cstring>
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace adamel::core {
+namespace {
+
+// Pairs per featurization chunk: FeaturizePair is tokenizer/embedding-bound,
+// so a handful of pairs amortizes the dispatch without starving the pool.
+constexpr int64_t kFeaturizeGrain = 8;
+
+}  // namespace
 
 const char* AdamelVariantName(AdamelVariant variant) {
   switch (variant) {
@@ -97,15 +107,24 @@ FeaturizedPairs FeatureExtractor::Featurize(
   result.feature_count = feature_count();
   result.embed_dim = embed_dim();
   const int width = result.feature_count * result.embed_dim;
-  std::vector<float> values;
-  values.reserve(static_cast<size_t>(dataset.size()) * width);
-  for (const data::LabeledPair& pair : dataset.pairs()) {
-    const std::vector<float> row = FeaturizePair(pair);
-    values.insert(values.end(), row.begin(), row.end());
-    result.labels.push_back(pair.label == data::kMatch ? 1.0f : 0.0f);
-    result.int_labels.push_back(pair.label);
-  }
   ADAMEL_CHECK_GT(dataset.size(), 0) << "cannot featurize an empty dataset";
+  // Each pair writes a disjoint row of the preallocated matrix, so the
+  // per-pair loop parallelizes embarrassingly and deterministically.
+  std::vector<float> values(static_cast<size_t>(dataset.size()) * width);
+  result.labels.resize(dataset.size());
+  result.int_labels.resize(dataset.size());
+  ParallelFor(0, dataset.size(), kFeaturizeGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  const data::LabeledPair& pair =
+                      dataset.pair(static_cast<int>(i));
+                  const std::vector<float> row = FeaturizePair(pair);
+                  std::memcpy(&values[static_cast<size_t>(i) * width],
+                              row.data(), row.size() * sizeof(float));
+                  result.labels[i] = pair.label == data::kMatch ? 1.0f : 0.0f;
+                  result.int_labels[i] = pair.label;
+                }
+              });
   result.matrix =
       nn::Tensor::FromVector(dataset.size(), width, std::move(values));
   return result;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
 
@@ -128,36 +129,47 @@ TrainedAdamel::TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
 std::vector<float> TrainedAdamel::Predict(
     const data::PairDataset& dataset) const {
   const FeaturizedPairs features = extractor_->Featurize(dataset);
-  std::vector<float> scores;
-  scores.reserve(dataset.size());
-  for (int start = 0; start < features.pair_count; start += kPredictBatch) {
-    const int count = std::min(kPredictBatch, features.pair_count - start);
-    const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
-    const nn::Tensor probs = nn::Sigmoid(model_->Forward(h).logits);
-    for (int i = 0; i < count; ++i) {
-      scores.push_back(probs.At(i, 0));
+  // Batches are independent at inference time: each one reads the frozen
+  // model and writes a disjoint slice of `scores`, so the batch loop
+  // parallelizes across the pool (ops called inside a worker run inline).
+  const int batches =
+      (features.pair_count + kPredictBatch - 1) / kPredictBatch;
+  std::vector<float> scores(features.pair_count);
+  ParallelFor(0, batches, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t batch = lo; batch < hi; ++batch) {
+      const int start = static_cast<int>(batch) * kPredictBatch;
+      const int count = std::min(kPredictBatch, features.pair_count - start);
+      const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
+      const nn::Tensor probs = nn::Sigmoid(model_->Forward(h).logits);
+      for (int i = 0; i < count; ++i) {
+        scores[start + i] = probs.At(i, 0);
+      }
     }
-  }
+  });
   return scores;
 }
 
 std::vector<std::vector<float>> TrainedAdamel::AttentionVectors(
     const data::PairDataset& dataset) const {
   const FeaturizedPairs features = extractor_->Featurize(dataset);
-  std::vector<std::vector<float>> vectors;
-  vectors.reserve(dataset.size());
-  for (int start = 0; start < features.pair_count; start += kPredictBatch) {
-    const int count = std::min(kPredictBatch, features.pair_count - start);
-    const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
-    const nn::Tensor attention = model_->ForwardAttention(h);
-    for (int i = 0; i < count; ++i) {
-      std::vector<float> row(attention.cols());
-      for (int j = 0; j < attention.cols(); ++j) {
-        row[j] = attention.At(i, j);
+  const int batches =
+      (features.pair_count + kPredictBatch - 1) / kPredictBatch;
+  std::vector<std::vector<float>> vectors(features.pair_count);
+  ParallelFor(0, batches, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t batch = lo; batch < hi; ++batch) {
+      const int start = static_cast<int>(batch) * kPredictBatch;
+      const int count = std::min(kPredictBatch, features.pair_count - start);
+      const nn::Tensor h = nn::SliceRows(features.matrix, start, count);
+      const nn::Tensor attention = model_->ForwardAttention(h);
+      for (int i = 0; i < count; ++i) {
+        std::vector<float> row(attention.cols());
+        for (int j = 0; j < attention.cols(); ++j) {
+          row[j] = attention.At(i, j);
+        }
+        vectors[start + i] = std::move(row);
       }
-      vectors.push_back(std::move(row));
     }
-  }
+  });
   return vectors;
 }
 

@@ -1,14 +1,25 @@
 #include "data/blocking.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace adamel::data {
+namespace {
+
+// Records per tokenization chunk and postings per overlap-count chunk.
+constexpr int64_t kTokenizeGrain = 32;
+constexpr int64_t kPostingGrain = 64;
+
+}  // namespace
 
 std::vector<CandidatePair> GenerateCandidates(
     const std::vector<Record>& records, const Schema& schema,
@@ -27,17 +38,26 @@ std::vector<CandidatePair> GenerateCandidates(
     }
   }
 
-  // Tokenize each record's key attributes into a token set.
+  // Tokenize each record's key attributes into a token set. Each record's
+  // set is written by exactly one chunk, so the loop parallelizes cleanly;
+  // the document-frequency map is then filled serially from the finished
+  // sets (cheap relative to tokenization).
   const int n = static_cast<int>(records.size());
   std::vector<std::set<std::string>> record_tokens(n);
-  std::unordered_map<std::string, int> token_document_frequency;
-  for (int r = 0; r < n; ++r) {
-    ADAMEL_CHECK_EQ(static_cast<int>(records[r].values.size()), schema.size());
-    for (int attr : key_indices) {
-      for (std::string& token : tokenizer.Tokenize(records[r].values[attr])) {
-        record_tokens[r].insert(std::move(token));
+  ParallelFor(0, n, kTokenizeGrain, [&](int64_t lo, int64_t hi) {
+    for (int r = static_cast<int>(lo); r < hi; ++r) {
+      ADAMEL_CHECK_EQ(static_cast<int>(records[r].values.size()),
+                      schema.size());
+      for (int attr : key_indices) {
+        for (std::string& token :
+             tokenizer.Tokenize(records[r].values[attr])) {
+          record_tokens[r].insert(std::move(token));
+        }
       }
     }
+  });
+  std::unordered_map<std::string, int> token_document_frequency;
+  for (int r = 0; r < n; ++r) {
     for (const std::string& token : record_tokens[r]) {
       ++token_document_frequency[token];
     }
@@ -55,26 +75,57 @@ std::vector<CandidatePair> GenerateCandidates(
     }
   }
 
-  // Count shared index tokens per pair.
-  std::map<std::pair<int, int>, int> overlap;
+  // Count shared index tokens per pair. Postings are processed in parallel
+  // chunks into local maps merged in fixed chunk order; integer counts are
+  // order-independent, and the final sort key below is total, so the
+  // candidate list is deterministic at any thread count.
+  std::vector<const std::vector<int>*> postings;
+  postings.reserve(inverted_index.size());
   for (const auto& [token, posting] : inverted_index) {
-    for (size_t i = 0; i < posting.size(); ++i) {
-      for (size_t j = i + 1; j < posting.size(); ++j) {
-        ++overlap[{posting[i], posting[j]}];
-      }
-    }
+    postings.push_back(&posting);
   }
+  const auto pair_key = [n](int left, int right) {
+    return static_cast<int64_t>(left) * n + right;
+  };
+  const std::unordered_map<int64_t, int> overlap =
+      ParallelReduce<std::unordered_map<int64_t, int>>(
+          0, static_cast<int64_t>(postings.size()), kPostingGrain, {},
+          [&](int64_t lo, int64_t hi) {
+            std::unordered_map<int64_t, int> local;
+            for (int64_t p = lo; p < hi; ++p) {
+              const std::vector<int>& posting = *postings[p];
+              for (size_t i = 0; i < posting.size(); ++i) {
+                for (size_t j = i + 1; j < posting.size(); ++j) {
+                  ++local[pair_key(posting[i], posting[j])];
+                }
+              }
+            }
+            return local;
+          },
+          [](std::unordered_map<int64_t, int> acc,
+             const std::unordered_map<int64_t, int>& part) {
+            for (const auto& [key, count] : part) {
+              acc[key] += count;
+            }
+            return acc;
+          });
 
   // Emit candidates, capped per record by overlap rank.
   std::vector<CandidatePair> all;
   all.reserve(overlap.size());
   for (const auto& [key, shared] : overlap) {
     if (shared >= options.min_shared_tokens) {
-      all.push_back({key.first, key.second, shared});
+      all.push_back({static_cast<int>(key / n), static_cast<int>(key % n),
+                     shared});
     }
   }
+  // Total order (overlap desc, then pair id) so the greedy per-record cap
+  // below sees the same sequence regardless of hash-map iteration order.
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.shared_tokens > b.shared_tokens;
+    if (a.shared_tokens != b.shared_tokens) {
+      return a.shared_tokens > b.shared_tokens;
+    }
+    return std::pair(a.left, a.right) < std::pair(b.left, b.right);
   });
   std::vector<int> emitted_per_record(n, 0);
   std::vector<CandidatePair> result;

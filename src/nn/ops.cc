@@ -2,13 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace adamel::nn {
 namespace {
+
+// -- Parallelism thresholds ---------------------------------------------------
+//
+// All grains and thresholds are pure functions of tensor shape, never of the
+// thread count, so the fixed chunking of common/parallel.h keeps every op
+// bitwise deterministic at any ADAMEL_NUM_THREADS setting.
+
+// Elementwise work below this many elements is not worth a pool dispatch.
+constexpr int64_t kElemwiseParallelMin = 1 << 14;
+// Target elements per elementwise chunk.
+constexpr int64_t kElemwiseGrain = 1 << 12;
+// MatMuls below this many multiply-adds use the plain serial loop (the
+// packing pass would dominate).
+constexpr int64_t kGemmSerialFlops = 1 << 14;
+// Target multiply-adds per GEMM row chunk.
+constexpr int64_t kGemmGrainFlops = 1 << 16;
+
+inline int64_t RowGrain(int64_t cols_per_row, int64_t target) {
+  return std::max<int64_t>(1, target / std::max<int64_t>(1, cols_per_row));
+}
 
 std::shared_ptr<TensorImpl> NewResult(int rows, int cols) {
   auto impl = std::make_shared<TensorImpl>();
@@ -67,13 +89,22 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
   const auto& bi = *b.impl();
   const auto [rows, cols] = BroadcastShape(ai, bi);
   auto out = NewResult(rows, cols);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      out->data[static_cast<size_t>(r) * cols + c] =
-          fwd(ai.data[BroadcastIndex(ai, r, c)],
-              bi.data[BroadcastIndex(bi, r, c)]);
-    }
-  }
+  // Row-partitioned forward: every output row is written by exactly one
+  // chunk, so the result is identical at any thread count.
+  ParallelFor(
+      0, rows,
+      static_cast<int64_t>(rows) * cols >= kElemwiseParallelMin
+          ? RowGrain(cols, kElemwiseGrain)
+          : rows,
+      [&](int64_t rb, int64_t re) {
+        for (int r = static_cast<int>(rb); r < re; ++r) {
+          for (int c = 0; c < cols; ++c) {
+            out->data[static_cast<size_t>(r) * cols + c] =
+                fwd(ai.data[BroadcastIndex(ai, r, c)],
+                    bi.data[BroadcastIndex(bi, r, c)]);
+          }
+        }
+      });
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   AttachBackward(out, {a_impl, b_impl},
@@ -86,22 +117,38 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
                    if (b_impl->requires_grad) {
                      b_impl->EnsureGrad();
                    }
-                   for (int r = 0; r < rows; ++r) {
-                     for (int c = 0; c < cols; ++c) {
-                       const float g =
-                           self.grad[static_cast<size_t>(r) * cols + c];
-                       const float av = a_impl->data[BroadcastIndex(*a_impl, r, c)];
-                       const float bv = b_impl->data[BroadcastIndex(*b_impl, r, c)];
-                       if (a_impl->requires_grad) {
-                         a_impl->grad[BroadcastIndex(*a_impl, r, c)] +=
-                             g * dfda(av, bv);
-                       }
-                       if (b_impl->requires_grad) {
-                         b_impl->grad[BroadcastIndex(*b_impl, r, c)] +=
-                             g * dfdb(av, bv);
+                   // Row-broadcast gradients accumulate into a single shared
+                   // row, so row-partitioning is only safe when every
+                   // grad-receiving input spans all output rows.
+                   const bool row_partition_safe =
+                       (!a_impl->requires_grad || a_impl->rows == rows) &&
+                       (!b_impl->requires_grad || b_impl->rows == rows);
+                   const int64_t grain =
+                       row_partition_safe && static_cast<int64_t>(rows) *
+                                                     cols >=
+                                                 kElemwiseParallelMin
+                           ? RowGrain(cols, kElemwiseGrain)
+                           : rows;
+                   ParallelFor(0, rows, grain, [&](int64_t rb, int64_t re) {
+                     for (int r = static_cast<int>(rb); r < re; ++r) {
+                       for (int c = 0; c < cols; ++c) {
+                         const float g =
+                             self.grad[static_cast<size_t>(r) * cols + c];
+                         const float av =
+                             a_impl->data[BroadcastIndex(*a_impl, r, c)];
+                         const float bv =
+                             b_impl->data[BroadcastIndex(*b_impl, r, c)];
+                         if (a_impl->requires_grad) {
+                           a_impl->grad[BroadcastIndex(*a_impl, r, c)] +=
+                               g * dfda(av, bv);
+                         }
+                         if (b_impl->requires_grad) {
+                           b_impl->grad[BroadcastIndex(*b_impl, r, c)] +=
+                               g * dfdb(av, bv);
+                         }
                        }
                      }
-                   }
+                   });
                  });
   return MakeFromImpl(std::move(out));
 }
@@ -113,15 +160,23 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(ai.rows, ai.cols);
-  for (size_t i = 0; i < ai.data.size(); ++i) {
-    out->data[i] = fwd(ai.data[i]);
-  }
-  auto a_impl = a.impl();
-  AttachBackward(out, {a_impl}, [a_impl, dfdv](TensorImpl& self) {
-    a_impl->EnsureGrad();
-    for (size_t i = 0; i < self.data.size(); ++i) {
-      a_impl->grad[i] += self.grad[i] * dfdv(a_impl->data[i], self.data[i]);
+  const int64_t n = static_cast<int64_t>(ai.data.size());
+  const int64_t grain = n >= kElemwiseParallelMin ? kElemwiseGrain : n;
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out->data[i] = fwd(ai.data[i]);
     }
+  });
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, dfdv, grain](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    ParallelFor(0, static_cast<int64_t>(self.data.size()), grain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    a_impl->grad[i] +=
+                        self.grad[i] * dfdv(a_impl->data[i], self.data[i]);
+                  }
+                });
   });
   return MakeFromImpl(std::move(out));
 }
@@ -224,6 +279,107 @@ Tensor Clip(const Tensor& a, float lo, float hi) {
       });
 }
 
+namespace {
+
+// -- Packed GEMM --------------------------------------------------------------
+//
+// C(M x N) (+)= A(M x K) * B(K x N), with B pre-packed into panels of
+// kGemmPanel output columns: packed[p][k][jj] = B[k][p*kGemmPanel + jj]
+// (zero-padded past N). The panel layout makes the k-loop stream contiguous
+// 64-byte lines while the jj-lanes stay independent, so the kernel
+// vectorizes without -ffast-math. Each output element is accumulated by a
+// single k-ascending accumulator, and rows are partitioned across threads
+// with fixed chunking — results are bitwise identical at any thread count.
+//
+// Unlike the previous kernel there is no `a == 0.0f` skip: dense inputs pay
+// no branch per multiply, and NaN/Inf propagate through zero activations
+// (0 * NaN must stay NaN).
+constexpr int kGemmPanel = 16;
+
+// Packs `src` (k_dim x n_dim, row-major) into panels.
+std::vector<float> PackPanels(const float* src, int k_dim, int n_dim) {
+  const int panels = (n_dim + kGemmPanel - 1) / kGemmPanel;
+  std::vector<float> packed(
+      static_cast<size_t>(panels) * k_dim * kGemmPanel, 0.0f);
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kGemmPanel;
+    const int width = std::min(kGemmPanel, n_dim - j0);
+    float* panel = &packed[static_cast<size_t>(p) * k_dim * kGemmPanel];
+    for (int k = 0; k < k_dim; ++k) {
+      const float* src_row = src + static_cast<size_t>(k) * n_dim + j0;
+      float* dst = panel + static_cast<size_t>(k) * kGemmPanel;
+      for (int jj = 0; jj < width; ++jj) {
+        dst[jj] = src_row[jj];
+      }
+    }
+  }
+  return packed;
+}
+
+// Packs the transpose of `src` (src is n_dim x k_dim, row-major; the packed
+// operand is src^T with shape k_dim x n_dim).
+std::vector<float> PackPanelsTransposed(const float* src, int k_dim,
+                                        int n_dim) {
+  const int panels = (n_dim + kGemmPanel - 1) / kGemmPanel;
+  std::vector<float> packed(
+      static_cast<size_t>(panels) * k_dim * kGemmPanel, 0.0f);
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kGemmPanel;
+    const int width = std::min(kGemmPanel, n_dim - j0);
+    float* panel = &packed[static_cast<size_t>(p) * k_dim * kGemmPanel];
+    for (int jj = 0; jj < width; ++jj) {
+      const float* src_row = src + static_cast<size_t>(j0 + jj) * k_dim;
+      for (int k = 0; k < k_dim; ++k) {
+        panel[static_cast<size_t>(k) * kGemmPanel + jj] = src_row[k];
+      }
+    }
+  }
+  return packed;
+}
+
+// Row-parallel packed kernel; `accumulate` selects `+=` (gradients) vs `=`.
+void GemmPacked(int m, int n, int k, const float* a,
+                const std::vector<float>& packed_b, float* c,
+                bool accumulate) {
+  const int panels = (n + kGemmPanel - 1) / kGemmPanel;
+  const int64_t flops = static_cast<int64_t>(m) * n * k;
+  const int64_t grain =
+      flops >= kGemmSerialFlops
+          ? RowGrain(static_cast<int64_t>(n) * k, kGemmGrainFlops)
+          : m;
+  ParallelFor(0, m, grain, [&](int64_t ib, int64_t ie) {
+    for (int i = static_cast<int>(ib); i < ie; ++i) {
+      const float* a_row = a + static_cast<size_t>(i) * k;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      for (int p = 0; p < panels; ++p) {
+        const float* panel =
+            &packed_b[static_cast<size_t>(p) * k * kGemmPanel];
+        float acc[kGemmPanel] = {0.0f};
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = a_row[kk];
+          const float* b_line = panel + static_cast<size_t>(kk) * kGemmPanel;
+          for (int jj = 0; jj < kGemmPanel; ++jj) {
+            acc[jj] += av * b_line[jj];
+          }
+        }
+        const int j0 = p * kGemmPanel;
+        const int width = std::min(kGemmPanel, n - j0);
+        if (accumulate) {
+          for (int jj = 0; jj < width; ++jj) {
+            c_row[j0 + jj] += acc[jj];
+          }
+        } else {
+          for (int jj = 0; jj < width; ++jj) {
+            c_row[j0 + jj] = acc[jj];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   ADAMEL_CHECK(a.defined() && b.defined());
   const auto& ai = *a.impl();
@@ -233,20 +389,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int inner = ai.cols;
   const int cols = bi.cols;
   auto out = NewResult(rows, cols);
-  // i-k-j loop order keeps the inner loop contiguous in both b and out.
-  for (int i = 0; i < rows; ++i) {
-    float* out_row = &out->data[static_cast<size_t>(i) * cols];
-    const float* a_row = &ai.data[static_cast<size_t>(i) * inner];
-    for (int k = 0; k < inner; ++k) {
-      const float av = a_row[k];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* b_row = &bi.data[static_cast<size_t>(k) * cols];
-      for (int j = 0; j < cols; ++j) {
-        out_row[j] += av * b_row[j];
-      }
-    }
+  {
+    const std::vector<float> packed = PackPanels(bi.data.data(), inner, cols);
+    GemmPacked(rows, cols, inner, ai.data.data(), packed, out->data.data(),
+               /*accumulate=*/false);
   }
   auto a_impl = a.impl();
   auto b_impl = b.impl();
@@ -255,37 +401,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const int cols = self.cols;
     const int inner = a_impl->cols;
     if (a_impl->requires_grad) {
-      // dA = dOut * B^T
+      // dA(rows x inner) += dOut(rows x cols) * B^T(cols x inner).
       a_impl->EnsureGrad();
-      for (int i = 0; i < rows; ++i) {
-        const float* g_row = &self.grad[static_cast<size_t>(i) * cols];
-        float* ga_row = &a_impl->grad[static_cast<size_t>(i) * inner];
-        for (int k = 0; k < inner; ++k) {
-          const float* b_row = &b_impl->data[static_cast<size_t>(k) * cols];
-          float acc = 0.0f;
-          for (int j = 0; j < cols; ++j) {
-            acc += g_row[j] * b_row[j];
-          }
-          ga_row[k] += acc;
-        }
-      }
+      const std::vector<float> packed_bt =
+          PackPanelsTransposed(b_impl->data.data(), cols, inner);
+      GemmPacked(rows, inner, cols, self.grad.data(), packed_bt,
+                 a_impl->grad.data(), /*accumulate=*/true);
     }
     if (b_impl->requires_grad) {
-      // dB = A^T * dOut
+      // dB(inner x cols) += A^T(inner x rows) * dOut(rows x cols).
       b_impl->EnsureGrad();
-      for (int k = 0; k < inner; ++k) {
-        float* gb_row = &b_impl->grad[static_cast<size_t>(k) * cols];
-        for (int i = 0; i < rows; ++i) {
-          const float av = a_impl->data[static_cast<size_t>(i) * inner + k];
-          if (av == 0.0f) {
-            continue;
-          }
-          const float* g_row = &self.grad[static_cast<size_t>(i) * cols];
-          for (int j = 0; j < cols; ++j) {
-            gb_row[j] += av * g_row[j];
-          }
+      std::vector<float> a_t(static_cast<size_t>(inner) * rows);
+      for (int i = 0; i < rows; ++i) {
+        const float* a_row = &a_impl->data[static_cast<size_t>(i) * inner];
+        for (int k = 0; k < inner; ++k) {
+          a_t[static_cast<size_t>(k) * rows + i] = a_row[k];
         }
       }
+      const std::vector<float> packed_g =
+          PackPanels(self.grad.data(), rows, cols);
+      GemmPacked(inner, cols, rows, a_t.data(), packed_g,
+                 b_impl->grad.data(), /*accumulate=*/true);
     }
   });
   return MakeFromImpl(std::move(out));
@@ -487,18 +623,38 @@ Tensor Sum(const Tensor& a) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(1, 1);
-  double acc = 0.0;
-  for (float v : ai.data) {
-    acc += v;
+  const int64_t n = static_cast<int64_t>(ai.data.size());
+  if (n >= kElemwiseParallelMin) {
+    // Fixed-chunk partial sums combined in chunk order: bitwise identical at
+    // any thread count (the path choice depends only on the tensor size).
+    const double acc = ParallelReduce<double>(
+        0, n, kElemwiseGrain, 0.0,
+        [&](int64_t lo, int64_t hi) {
+          double partial = 0.0;
+          for (int64_t i = lo; i < hi; ++i) {
+            partial += ai.data[i];
+          }
+          return partial;
+        },
+        [](double x, double y) { return x + y; });
+    out->data[0] = static_cast<float>(acc);
+  } else {
+    double acc = 0.0;
+    for (float v : ai.data) {
+      acc += v;
+    }
+    out->data[0] = static_cast<float>(acc);
   }
-  out->data[0] = static_cast<float>(acc);
   auto a_impl = a.impl();
   AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
     a_impl->EnsureGrad();
     const float g = self.grad[0];
-    for (float& gv : a_impl->grad) {
-      gv += g;
-    }
+    ParallelFor(0, static_cast<int64_t>(a_impl->grad.size()), kElemwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    a_impl->grad[i] += g;
+                  }
+                });
   });
   return MakeFromImpl(std::move(out));
 }
@@ -512,22 +668,30 @@ Tensor SumRows(const Tensor& a) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(ai.rows, 1);
-  for (int r = 0; r < ai.rows; ++r) {
-    double acc = 0.0;
-    for (int c = 0; c < ai.cols; ++c) {
-      acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
-    }
-    out->data[r] = static_cast<float>(acc);
-  }
-  auto a_impl = a.impl();
-  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
-    a_impl->EnsureGrad();
-    for (int r = 0; r < a_impl->rows; ++r) {
-      const float g = self.grad[r];
-      for (int c = 0; c < a_impl->cols; ++c) {
-        a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] += g;
+  const int64_t row_grain =
+      static_cast<int64_t>(ai.rows) * ai.cols >= kElemwiseParallelMin
+          ? RowGrain(ai.cols, kElemwiseGrain)
+          : ai.rows;
+  ParallelFor(0, ai.rows, row_grain, [&](int64_t rb, int64_t re) {
+    for (int r = static_cast<int>(rb); r < re; ++r) {
+      double acc = 0.0;
+      for (int c = 0; c < ai.cols; ++c) {
+        acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
       }
+      out->data[r] = static_cast<float>(acc);
     }
+  });
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, row_grain](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    ParallelFor(0, a_impl->rows, row_grain, [&](int64_t rb, int64_t re) {
+      for (int r = static_cast<int>(rb); r < re; ++r) {
+        const float g = self.grad[r];
+        for (int c = 0; c < a_impl->cols; ++c) {
+          a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] += g;
+        }
+      }
+    });
   });
   return MakeFromImpl(std::move(out));
 }
@@ -536,22 +700,52 @@ Tensor SumCols(const Tensor& a) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(1, ai.cols);
-  for (int c = 0; c < ai.cols; ++c) {
-    double acc = 0.0;
-    for (int r = 0; r < ai.rows; ++r) {
-      acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
+  const int64_t row_grain =
+      static_cast<int64_t>(ai.rows) * ai.cols >= kElemwiseParallelMin
+          ? RowGrain(ai.cols, kElemwiseGrain)
+          : ai.rows;
+  if (row_grain < ai.rows) {
+    // Per-chunk column partials combined in fixed chunk order.
+    const std::vector<double> acc = ParallelReduce<std::vector<double>>(
+        0, ai.rows, row_grain, std::vector<double>(ai.cols, 0.0),
+        [&](int64_t rb, int64_t re) {
+          std::vector<double> partial(ai.cols, 0.0);
+          for (int r = static_cast<int>(rb); r < re; ++r) {
+            for (int c = 0; c < ai.cols; ++c) {
+              partial[c] += ai.data[static_cast<size_t>(r) * ai.cols + c];
+            }
+          }
+          return partial;
+        },
+        [](std::vector<double> x, const std::vector<double>& y) {
+          for (size_t c = 0; c < x.size(); ++c) {
+            x[c] += y[c];
+          }
+          return x;
+        });
+    for (int c = 0; c < ai.cols; ++c) {
+      out->data[c] = static_cast<float>(acc[c]);
     }
-    out->data[c] = static_cast<float>(acc);
+  } else {
+    for (int c = 0; c < ai.cols; ++c) {
+      double acc = 0.0;
+      for (int r = 0; r < ai.rows; ++r) {
+        acc += ai.data[static_cast<size_t>(r) * ai.cols + c];
+      }
+      out->data[c] = static_cast<float>(acc);
+    }
   }
   auto a_impl = a.impl();
-  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+  AttachBackward(out, {a_impl}, [a_impl, row_grain](TensorImpl& self) {
     a_impl->EnsureGrad();
-    for (int r = 0; r < a_impl->rows; ++r) {
-      for (int c = 0; c < a_impl->cols; ++c) {
-        a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] +=
-            self.grad[c];
+    ParallelFor(0, a_impl->rows, row_grain, [&](int64_t rb, int64_t re) {
+      for (int r = static_cast<int>(rb); r < re; ++r) {
+        for (int c = 0; c < a_impl->cols; ++c) {
+          a_impl->grad[static_cast<size_t>(r) * a_impl->cols + c] +=
+              self.grad[c];
+        }
       }
-    }
+    });
   });
   return MakeFromImpl(std::move(out));
 }
@@ -565,39 +759,48 @@ Tensor Softmax(const Tensor& a) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(ai.rows, ai.cols);
-  for (int r = 0; r < ai.rows; ++r) {
-    const size_t base = static_cast<size_t>(r) * ai.cols;
-    float row_max = ai.data[base];
-    for (int c = 1; c < ai.cols; ++c) {
-      row_max = std::max(row_max, ai.data[base + c]);
+  const int64_t softmax_grain =
+      static_cast<int64_t>(ai.rows) * ai.cols >= kElemwiseParallelMin
+          ? RowGrain(ai.cols, kElemwiseGrain)
+          : ai.rows;
+  // Rows are independent: each chunk owns a disjoint row range.
+  ParallelFor(0, ai.rows, softmax_grain, [&](int64_t rb, int64_t re) {
+    for (int r = static_cast<int>(rb); r < re; ++r) {
+      const size_t base = static_cast<size_t>(r) * ai.cols;
+      float row_max = ai.data[base];
+      for (int c = 1; c < ai.cols; ++c) {
+        row_max = std::max(row_max, ai.data[base + c]);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < ai.cols; ++c) {
+        const float e = std::exp(ai.data[base + c] - row_max);
+        out->data[base + c] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int c = 0; c < ai.cols; ++c) {
+        out->data[base + c] *= inv;
+      }
     }
-    double denom = 0.0;
-    for (int c = 0; c < ai.cols; ++c) {
-      const float e = std::exp(ai.data[base + c] - row_max);
-      out->data[base + c] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int c = 0; c < ai.cols; ++c) {
-      out->data[base + c] *= inv;
-    }
-  }
+  });
   auto a_impl = a.impl();
-  AttachBackward(out, {a_impl}, [a_impl](TensorImpl& self) {
+  AttachBackward(out, {a_impl}, [a_impl, softmax_grain](TensorImpl& self) {
     // dL/dx_j = s_j * (g_j - sum_k g_k s_k), per row.
     a_impl->EnsureGrad();
-    for (int r = 0; r < self.rows; ++r) {
-      const size_t base = static_cast<size_t>(r) * self.cols;
-      double dot = 0.0;
-      for (int c = 0; c < self.cols; ++c) {
-        dot += self.grad[base + c] * self.data[base + c];
+    ParallelFor(0, self.rows, softmax_grain, [&](int64_t rb, int64_t re) {
+      for (int r = static_cast<int>(rb); r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * self.cols;
+        double dot = 0.0;
+        for (int c = 0; c < self.cols; ++c) {
+          dot += self.grad[base + c] * self.data[base + c];
+        }
+        for (int c = 0; c < self.cols; ++c) {
+          a_impl->grad[base + c] +=
+              self.data[base + c] *
+              (self.grad[base + c] - static_cast<float>(dot));
+        }
       }
-      for (int c = 0; c < self.cols; ++c) {
-        a_impl->grad[base + c] +=
-            self.data[base + c] *
-            (self.grad[base + c] - static_cast<float>(dot));
-      }
-    }
+    });
   });
   return MakeFromImpl(std::move(out));
 }

@@ -4,10 +4,16 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace adamel::text {
 namespace {
+
+// Token lists shorter than this embed serially (typical attribute values are
+// well under the crop size of 20; the parallel path serves long documents).
+constexpr int64_t kParallelTokenMin = 64;
+constexpr int64_t kParallelTokenGrain = 16;
 
 // FNV-1a, mixed with the embedding seed.
 uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
@@ -74,10 +80,27 @@ std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
   if (token.empty()) {
     return missing_vector_;
   }
-  const auto cached = token_cache_.find(std::string(token));
-  if (cached != token_cache_.end()) {
-    return cached->second;
+  // Shard by a seed-independent hash so lookups from concurrent ParallelFor
+  // workers contend on different mutexes.
+  CacheShard& shard =
+      token_cache_[HashBytes(token, 0) & (kCacheShards - 1)];
+  std::string key(token);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto cached = shard.map.find(key);
+    if (cached != shard.map.end()) {
+      return cached->second;
+    }
   }
+  // Compute outside the lock; a racing duplicate insert produces the same
+  // value (the embedding is a pure function of the token bytes).
+  std::vector<float> sum = ComputeToken(token);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.emplace(std::move(key), std::move(sum)).first->second;
+}
+
+std::vector<float> HashTextEmbedding::ComputeToken(
+    std::string_view token) const {
   std::vector<float> sum(options_.dim, 0.0f);
   // FastText-style word boundary markers so that prefixes/suffixes hash
   // differently from interior n-grams.
@@ -99,7 +122,6 @@ std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
     AccumulateNgram(padded, &sum);
   }
   Normalize(&sum);
-  token_cache_.emplace(std::string(token), sum);
   return sum;
 }
 
@@ -107,6 +129,30 @@ std::vector<float> HashTextEmbedding::EmbedTokens(
     const std::vector<std::string>& tokens) const {
   if (tokens.empty()) {
     return missing_vector_;
+  }
+  const int64_t n = static_cast<int64_t>(tokens.size());
+  if (n >= kParallelTokenMin) {
+    // Fixed-chunk partial sums combined in chunk order keep the result
+    // bitwise identical at any thread count (the chunking depends only on
+    // the token count).
+    return ParallelReduce<std::vector<float>>(
+        0, n, kParallelTokenGrain, std::vector<float>(options_.dim, 0.0f),
+        [&](int64_t lo, int64_t hi) {
+          std::vector<float> partial(options_.dim, 0.0f);
+          for (int64_t t = lo; t < hi; ++t) {
+            const std::vector<float> v = EmbedToken(tokens[t]);
+            for (int i = 0; i < options_.dim; ++i) {
+              partial[i] += v[i];
+            }
+          }
+          return partial;
+        },
+        [](std::vector<float> x, const std::vector<float>& y) {
+          for (size_t i = 0; i < x.size(); ++i) {
+            x[i] += y[i];
+          }
+          return x;
+        });
   }
   std::vector<float> sum(options_.dim, 0.0f);
   for (const std::string& token : tokens) {

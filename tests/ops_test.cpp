@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -87,6 +88,32 @@ TEST(OpsForward, MatMulKnownProduct) {
   EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
   EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
   EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(OpsForward, MatMulPropagatesNanThroughZeroActivations) {
+  // Regression: the old kernel skipped `a == 0.0f` terms, which silently
+  // dropped NaN/Inf from B (0 * NaN must stay NaN per IEEE 754).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const Tensor a = Tensor::FromVector(1, 2, {0.0f, 0.0f});
+  const Tensor b = Tensor::FromVector(2, 2, {nan, inf, 1.0f, 1.0f});
+  const Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.At(0, 0)));
+  EXPECT_TRUE(std::isnan(c.At(0, 1)));  // 0 * inf == NaN
+}
+
+TEST(OpsGradient, MatMulBackwardPropagatesNanThroughZeroActivations) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::FromVector(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector(2, 1, {nan, 1.0f}, /*requires_grad=*/true);
+  Tensor loss = Sum(MatMul(a, b));
+  loss.Backward();
+  // dA = dOut * B^T picks up the NaN weight; dB = A^T * dOut multiplies the
+  // zero activations into the upstream gradient, which is finite here.
+  EXPECT_TRUE(std::isnan(a.GradAt(0, 0)));
+  EXPECT_FLOAT_EQ(a.GradAt(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(b.GradAt(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(b.GradAt(1, 0), 0.0f);
 }
 
 TEST(OpsForward, TransposeSwapsIndices) {

@@ -1,0 +1,257 @@
+// Tests for the deterministic thread-pool substrate (common/parallel.h) and
+// for the bitwise thread-count invariance it guarantees across the compute
+// stack: ops, featurization, and a full training epoch.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamel {
+namespace {
+
+// Restores the default thread count even when a test fails mid-way.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 8, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 2, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsOneChunk) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(2, 9, 100, [&](int64_t lo, int64_t hi) {
+    chunks.emplace_back(lo, hi);  // single chunk: no concurrent writers
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2);
+  EXPECT_EQ(chunks[0].second, 9);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    std::vector<std::atomic<int>> hits(1001);
+    ParallelFor(1, 1001, 7, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        ++hits[static_cast<size_t>(i)];
+      }
+    });
+    EXPECT_EQ(hits[0].load(), 0) << "threads=" << threads;
+    for (size_t i = 1; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesAreGrainAligned) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> chunk_sizes(5);
+  ParallelFor(0, 42, 10, [&](int64_t lo, int64_t hi) {
+    ASSERT_EQ(lo % 10, 0);
+    ++chunk_sizes[static_cast<size_t>(lo / 10)];
+    ASSERT_EQ(hi, lo + 10 < 42 ? lo + 10 : 42);
+  });
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(chunk_sizes[c].load(), 1) << "chunk " << c;
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 4}) {
+    SetNumThreads(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [](int64_t lo, int64_t) {
+                      if (lo == 37) {
+                        throw std::runtime_error("chunk failure");
+                      }
+                    }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool must stay usable after an exception.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 10, 1, [&](int64_t lo, int64_t) { sum += lo; });
+    EXPECT_EQ(sum.load(), 45) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(0, 8, 1, [&](int64_t ob, int64_t oe) {
+    for (int64_t o = ob; o < oe; ++o) {
+      // A nested ParallelFor must not deadlock and must cover its range.
+      ParallelFor(0, 8, 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          ++hits[static_cast<size_t>(o * 8 + i)];
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelForTest, SetNumThreadsControlsResolvedCount) {
+  ThreadCountGuard guard;
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(0);
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST(ParallelReduceTest, BitwiseIdenticalAcrossThreadCounts) {
+  std::vector<double> values(100000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Values at many magnitudes so reassociation would change the result.
+    values[i] = std::sin(static_cast<double>(i)) * std::pow(10.0, i % 7);
+  }
+  auto partial = [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      acc += values[static_cast<size_t>(i)];
+    }
+    return acc;
+  };
+  auto combine = [](double x, double y) { return x + y; };
+
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const double serial = ParallelReduce<double>(
+      0, static_cast<int64_t>(values.size()), 1024, 0.0, partial, combine);
+  for (const int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    const double parallel = ParallelReduce<double>(
+        0, static_cast<int64_t>(values.size()), 1024, 0.0, partial, combine);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelOpsTest, MatMulForwardAndBackwardBitwiseInvariant) {
+  ThreadCountGuard guard;
+  Rng rng(7);
+  // Odd shapes exercise panel tails and uneven row chunks.
+  nn::Tensor a = nn::Tensor::RandomNormal(129, 301, 1.0f, &rng, true);
+  nn::Tensor b = nn::Tensor::RandomNormal(301, 77, 1.0f, &rng, true);
+
+  std::vector<float> out1, ga1, gb1;
+  for (const int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    a.ZeroGrad();
+    b.ZeroGrad();
+    nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+    loss.Backward();
+    if (threads == 1) {
+      out1 = loss.ToVector();
+      ga1 = a.grad();
+      gb1 = b.grad();
+    } else {
+      EXPECT_EQ(loss.ToVector(), out1) << "threads=" << threads;
+      EXPECT_EQ(a.grad(), ga1) << "threads=" << threads;
+      EXPECT_EQ(b.grad(), gb1) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelOpsTest, ElementwiseAndSoftmaxBitwiseInvariant) {
+  ThreadCountGuard guard;
+  Rng rng(11);
+  nn::Tensor x = nn::Tensor::RandomNormal(257, 129, 1.0f, &rng, true);
+  nn::Tensor y = nn::Tensor::RandomNormal(257, 129, 1.0f, &rng, true);
+
+  std::vector<float> loss1, gx1;
+  for (const int threads : {1, 4}) {
+    SetNumThreads(threads);
+    x.ZeroGrad();
+    y.ZeroGrad();
+    nn::Tensor loss =
+        nn::Sum(nn::Mul(nn::Softmax(nn::Tanh(x)), nn::Sigmoid(y)));
+    loss.Backward();
+    if (threads == 1) {
+      loss1 = loss.ToVector();
+      gx1 = x.grad();
+    } else {
+      EXPECT_EQ(loss.ToVector(), loss1) << "threads=" << threads;
+      EXPECT_EQ(x.grad(), gx1) << "threads=" << threads;
+    }
+  }
+}
+
+// The end-to-end guarantee: a full Trainer epoch — featurization, forward,
+// backward, optimizer steps — produces bitwise-identical loss and weights
+// under ADAMEL_NUM_THREADS=1 and =4.
+TEST(ParallelTrainingTest, TrainerEpochBitwiseDeterministicAcrossThreads) {
+  datagen::MusicTaskOptions options;
+  options.entity_type = datagen::MusicEntityType::kArtist;
+  options.seed = 33;
+  const datagen::MelTask task = datagen::MakeMusicTask(options);
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+
+  core::AdamelConfig config;
+  config.epochs = 1;
+  config.seed = 5;
+
+  ThreadCountGuard guard;
+  std::vector<core::EpochStats> history1, history4;
+  SetNumThreads(1);
+  const core::TrainedAdamel model1 =
+      core::AdamelTrainer(config).Fit(core::AdamelVariant::kHyb, inputs,
+                                      &history1);
+  SetNumThreads(4);
+  const core::TrainedAdamel model4 =
+      core::AdamelTrainer(config).Fit(core::AdamelVariant::kHyb, inputs,
+                                      &history4);
+
+  ASSERT_EQ(history1.size(), history4.size());
+  for (size_t e = 0; e < history1.size(); ++e) {
+    EXPECT_EQ(history1[e].base_loss, history4[e].base_loss);
+    EXPECT_EQ(history1[e].target_loss, history4[e].target_loss);
+    EXPECT_EQ(history1[e].support_loss, history4[e].support_loss);
+  }
+
+  const std::vector<nn::Tensor> params1 = model1.model().Parameters();
+  const std::vector<nn::Tensor> params4 = model4.model().Parameters();
+  ASSERT_EQ(params1.size(), params4.size());
+  for (size_t p = 0; p < params1.size(); ++p) {
+    EXPECT_EQ(params1[p].ToVector(), params4[p].ToVector()) << "param " << p;
+  }
+
+  // Inference must agree bitwise too (parallel batch prediction).
+  SetNumThreads(1);
+  const std::vector<float> scores1 = model1.Predict(task.test);
+  SetNumThreads(4);
+  const std::vector<float> scores4 = model1.Predict(task.test);
+  EXPECT_EQ(scores1, scores4);
+}
+
+}  // namespace
+}  // namespace adamel
