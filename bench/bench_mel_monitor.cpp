@@ -55,9 +55,11 @@ int main(int argc, char** argv) {
       task_options.seed = seed;
       return datagen::MakeMonitorTask(task_options);
     };
+    const bench::CheckpointIo checkpoint{options.save_dir, options.load_dir,
+                                         "monitor-" + scenario_name};
     for (const std::string& model : bench::ComparisonModelNames()) {
-      const eval::RunStats stats =
-          bench::RunRepeated(model, options.seeds, make_task);
+      const eval::RunStats stats = bench::RunRepeated(
+          model, options.seeds, make_task, {}, checkpoint);
       const auto ref = kPaperReference.find(scenario_name + "-" + model);
       table.AddRow({scenario_name, model, eval::FormatStats(stats),
                     ref == kPaperReference.end()

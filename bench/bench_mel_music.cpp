@@ -101,9 +101,12 @@ int main(int argc, char** argv) {
       task_options.weak_train_pairs = 3000;
       return datagen::MakeMusicTask(task_options);
     };
+    const bench::CheckpointIo checkpoint{
+        options.save_dir, options.load_dir,
+        scale_name + "-" + type_name + "-" + scenario_name};
     for (const std::string& model : bench::ComparisonModelNames()) {
-      const eval::RunStats stats =
-          bench::RunRepeated(model, options.seeds, make_task);
+      const eval::RunStats stats = bench::RunRepeated(
+          model, options.seeds, make_task, {}, checkpoint);
       const std::string key =
           scale_name + "-" + type_name + "-" + scenario_name + "-" + model;
       table.AddRow({"music-" + scale_name, type_name, scenario_name, model,

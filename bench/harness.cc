@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <cstdio>
 #include <cstring>
 #include <functional>
 
@@ -10,8 +11,21 @@
 #include "baselines/tler.h"
 #include "common/check.h"
 #include "core/trainer.h"
+#include "eval/report.h"
 
 namespace adamel::bench {
+namespace {
+
+std::string CheckpointPath(const std::string& dir, const std::string& tag,
+                           const std::string& model_name, uint64_t seed) {
+  std::string name = dir + "/";
+  if (!tag.empty()) {
+    name += tag + "-";
+  }
+  return name + model_name + "-seed" + std::to_string(seed) + ".ckpt";
+}
+
+}  // namespace
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions options;
@@ -23,6 +37,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       options.output_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--save_dir") == 0 && i + 1 < argc) {
+      options.save_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--load_dir") == 0 && i + 1 < argc) {
+      options.load_dir = argv[++i];
     }
   }
   return options;
@@ -100,14 +118,50 @@ double FitAndScore(core::EntityLinkageModel* model,
 eval::RunStats RunRepeated(
     const std::string& model_name, int seeds,
     const std::function<datagen::MelTask(uint64_t)>& make_task,
-    const core::AdamelConfig& adamel_config) {
+    const core::AdamelConfig& adamel_config,
+    const CheckpointIo& checkpoint) {
+  if (!checkpoint.save_dir.empty()) {
+    const Status made = eval::EnsureDirectory(checkpoint.save_dir);
+    if (!made.ok()) {
+      std::fprintf(stderr, "[checkpoint] cannot create %s: %s\n",
+                   checkpoint.save_dir.c_str(), made.ToString().c_str());
+    }
+  }
   std::vector<double> praucs;
   for (int s = 0; s < seeds; ++s) {
     const uint64_t seed = 41 + s;
     const datagen::MelTask task = make_task(seed);
     std::unique_ptr<core::EntityLinkageModel> model =
         MakeModel(model_name, seed, adamel_config);
-    praucs.push_back(FitAndScore(model.get(), task));
+    bool fitted = false;
+    if (!checkpoint.load_dir.empty()) {
+      const std::string path = CheckpointPath(
+          checkpoint.load_dir, checkpoint.tag, model_name, seed);
+      const Status loaded = model->LoadCheckpoint(path);
+      if (loaded.ok()) {
+        fitted = true;
+      } else {
+        std::fprintf(stderr, "[checkpoint] %s: %s — training instead\n",
+                     path.c_str(), loaded.ToString().c_str());
+      }
+    }
+    double prauc;
+    if (fitted) {
+      prauc = eval::AveragePrecision(model->PredictScores(task.test),
+                                     TestLabels(task.test));
+    } else {
+      prauc = FitAndScore(model.get(), task);
+    }
+    praucs.push_back(prauc);
+    if (!fitted && !checkpoint.save_dir.empty()) {
+      const std::string path = CheckpointPath(
+          checkpoint.save_dir, checkpoint.tag, model_name, seed);
+      const Status saved = model->SaveCheckpoint(path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "[checkpoint] save %s failed: %s\n",
+                     path.c_str(), saved.ToString().c_str());
+      }
+    }
   }
   return eval::Aggregate(praucs);
 }

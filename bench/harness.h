@@ -23,10 +23,26 @@ struct BenchOptions {
   bool quick = false;
   /// Output directory for CSVs (--out DIR).
   std::string output_dir = "bench_results";
+  /// When set (--save_dir DIR), every trained model that supports
+  /// checkpointing is saved there after scoring.
+  std::string save_dir;
+  /// When set (--load_dir DIR), models are restored from there instead of
+  /// retrained; a missing/incompatible checkpoint falls back to training.
+  std::string load_dir;
 };
 
-/// Parses --seeds/--quick/--out; ignores unknown flags.
+/// Parses --seeds/--quick/--out/--save_dir/--load_dir; ignores unknown
+/// flags.
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Where `RunRepeated` saves and/or loads per-(config, model, seed)
+/// checkpoints. Empty dirs disable the respective side; `tag` namespaces
+/// different configurations within one bench binary.
+struct CheckpointIo {
+  std::string save_dir;
+  std::string load_dir;
+  std::string tag;
+};
 
 /// The model roster of the Figure 6 / Table 8 / Table 9 comparison, in the
 /// paper's row order.
@@ -48,11 +64,14 @@ double FitAndScore(core::EntityLinkageModel* model,
 
 /// Runs one model name for `seeds` repetitions on a task-generating
 /// function and aggregates PRAUC. `make_task(seed)` regenerates the task so
-/// data sampling noise is included in the spread, as in the paper.
+/// data sampling noise is included in the spread, as in the paper. With
+/// `checkpoint` dirs set, trained models are reused across invocations
+/// (load if a compatible checkpoint exists, else train; optionally save).
 eval::RunStats RunRepeated(
     const std::string& model_name, int seeds,
     const std::function<datagen::MelTask(uint64_t)>& make_task,
-    const core::AdamelConfig& adamel_config = {});
+    const core::AdamelConfig& adamel_config = {},
+    const CheckpointIo& checkpoint = {});
 
 }  // namespace adamel::bench
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full ctest, then a ThreadSanitizer build
-# that runs the thread-pool and parallel-ops tests. Run from the repo root:
+# that runs the thread-pool and parallel-ops tests, then an AddressSanitizer
+# build that runs the serialization/checkpoint tests (the code that parses
+# untrusted bytes from disk). Run from the repo root:
 #
 #   scripts/check.sh
 #
 # Environment:
 #   BUILD_DIR       main build tree (default: build)
 #   TSAN_BUILD_DIR  sanitizer build tree (default: build-tsan)
+#   ASAN_BUILD_DIR  sanitizer build tree (default: build-asan)
 #   JOBS            parallel build jobs (default: nproc)
 
 set -euo pipefail
@@ -14,6 +17,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-asan}"
 JOBS="${JOBS:-$(nproc)}"
 
 echo "== tier-1: configure + build =="
@@ -32,5 +36,15 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
 "${TSAN_BUILD_DIR}/tests/ops_test" --gtest_filter='OpsForward.MatMul*:OpsGradient.MatMul*'
+
+echo "== asan: configure + build serialization tests =="
+cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DADAMEL_SANITIZE=address
+cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}" \
+  --target serialize_test checkpoint_test
+
+echo "== asan: run serialization tests =="
+"${ASAN_BUILD_DIR}/tests/serialize_test"
+"${ASAN_BUILD_DIR}/tests/checkpoint_test"
 
 echo "== all checks passed =="

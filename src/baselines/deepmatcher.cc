@@ -96,8 +96,10 @@ void DeepMatcherModel::Fit(const core::MelInputs& inputs) {
       nn::Tensor loss = nn::BceWithLogits(nn::ConcatRows(logits), labels);
       optimizer.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
-      optimizer.Step();
+      if (nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip)
+              .finite) {
+        optimizer.Step();
+      }
     }
   }
 }

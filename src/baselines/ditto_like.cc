@@ -134,8 +134,10 @@ void DittoLikeModel::Fit(const core::MelInputs& inputs) {
           network_->head.Forward(batch), batch_labels);
       optimizer.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
-      optimizer.Step();
+      if (nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip)
+              .finite) {
+        optimizer.Step();
+      }
     }
   }
 }

@@ -190,8 +190,10 @@ void EntityMatcherModel::Fit(const core::MelInputs& inputs) {
           network_->Forward(nn::SelectRows(features, batch)), batch_labels);
       optimizer.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
-      optimizer.Step();
+      if (nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip)
+              .finite) {
+        optimizer.Step();
+      }
     }
   }
 }

@@ -1,15 +1,19 @@
 #include "baselines/tler.h"
 
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
+#include "nn/serialize.h"
 #include "text/string_metrics.h"
 #include "text/tokenizer.h"
 
 namespace adamel::baselines {
 namespace {
+
+constexpr char kTlerKind[] = "adamel.tler_model";
 
 nn::Tensor FeaturizeDataset(const data::PairDataset& dataset, int token_crop) {
   const int attrs = dataset.schema().size();
@@ -108,6 +112,96 @@ std::vector<float> TlerModel::PredictScores(
 int64_t TlerModel::ParameterCount() const {
   ADAMEL_CHECK(weights_ != nullptr);
   return weights_->ParameterCount();
+}
+
+Status TlerModel::SaveCheckpoint(const std::string& path) const {
+  if (weights_ == nullptr) {
+    return FailedPreconditionError("SaveCheckpoint before Fit");
+  }
+  nn::CheckpointWriter writer;
+  {
+    nn::BlobWriter meta;
+    meta.WriteString(kTlerKind);
+    writer.AddSection("meta", meta.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    blob.WriteU32(static_cast<uint32_t>(schema_.size()));
+    for (const std::string& attribute : schema_.attributes()) {
+      blob.WriteString(attribute);
+    }
+    blob.WriteI32(config_.token_crop);
+    writer.AddSection("schema", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    nn::WriteNamedTensors({{"weights.weight", weights_->weight()},
+                           {"weights.bias", weights_->bias()}},
+                          &blob);
+    writer.AddSection("model", blob.TakeBuffer());
+  }
+  return writer.WriteFile(path);
+}
+
+Status TlerModel::LoadCheckpoint(const std::string& path) {
+  StatusOr<nn::CheckpointReader> reader_or =
+      nn::CheckpointReader::ReadFile(path);
+  if (!reader_or.ok()) {
+    return reader_or.status();
+  }
+  const nn::CheckpointReader& reader = reader_or.value();
+  {
+    StatusOr<nn::BlobReader> meta_or = reader.Section("meta");
+    if (!meta_or.ok()) {
+      return meta_or.status();
+    }
+    nn::BlobReader meta = meta_or.value();
+    std::string kind;
+    ADAMEL_RETURN_IF_ERROR(meta.ReadString(&kind));
+    if (kind != kTlerKind) {
+      return FailedPreconditionError(
+          "'" + path + "' is not a TLER checkpoint (kind '" + kind + "')");
+    }
+  }
+  StatusOr<nn::BlobReader> schema_or = reader.Section("schema");
+  if (!schema_or.ok()) {
+    return schema_or.status();
+  }
+  nn::BlobReader schema_blob = schema_or.value();
+  uint32_t attribute_count = 0;
+  ADAMEL_RETURN_IF_ERROR(schema_blob.ReadU32(&attribute_count));
+  if (attribute_count == 0) {
+    return InvalidArgumentError("corrupt checkpoint: empty TLER schema");
+  }
+  std::vector<std::string> attributes(attribute_count);
+  for (uint32_t a = 0; a < attribute_count; ++a) {
+    ADAMEL_RETURN_IF_ERROR(schema_blob.ReadString(&attributes[a]));
+  }
+  int32_t token_crop = 0;
+  ADAMEL_RETURN_IF_ERROR(schema_blob.ReadI32(&token_crop));
+  if (token_crop < 0) {
+    return InvalidArgumentError("corrupt checkpoint: negative token crop");
+  }
+
+  StatusOr<nn::BlobReader> model_or = reader.Section("model");
+  if (!model_or.ok()) {
+    return model_or.status();
+  }
+  nn::BlobReader model_blob = model_or.value();
+  // The Xavier init is overwritten by the stored weights below.
+  Rng init_rng(0);
+  auto weights = std::make_unique<nn::Linear>(
+      static_cast<int>(attribute_count) * kFeaturesPerAttribute, 1,
+      &init_rng);
+  ADAMEL_RETURN_IF_ERROR(nn::ReadNamedTensorsInto(
+      &model_blob, {{"weights.weight", weights->weight()},
+                    {"weights.bias", weights->bias()}}));
+
+  // All reads succeeded; only now mutate the model.
+  schema_ = data::Schema(std::move(attributes));
+  config_.token_crop = token_crop;
+  weights_ = std::move(weights);
+  return OkStatus();
 }
 
 }  // namespace adamel::baselines

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/common.h"
+#include "common/status.h"
 #include "core/linkage_model.h"
 #include "nn/layers.h"
 
@@ -26,6 +27,11 @@ class TlerModel : public core::EntityLinkageModel {
   std::vector<float> PredictScores(
       const data::PairDataset& dataset) const override;
   int64_t ParameterCount() const override;
+
+  /// Checkpoint support: schema + token crop + logistic-regression weights.
+  /// A loaded model predicts bitwise identically to the saved one.
+  Status SaveCheckpoint(const std::string& path) const override;
+  Status LoadCheckpoint(const std::string& path) override;
 
   /// Number of similarity features per attribute.
   static constexpr int kFeaturesPerAttribute = 6;

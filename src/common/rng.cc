@@ -139,4 +139,22 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+RngState Rng::GetState() const {
+  RngState snapshot;
+  for (int i = 0; i < 4; ++i) {
+    snapshot.state[i] = state_[i];
+  }
+  snapshot.has_cached_normal = has_cached_normal_;
+  snapshot.cached_normal = cached_normal_;
+  return snapshot;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = state.state[i];
+  }
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace adamel

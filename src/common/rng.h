@@ -1,10 +1,23 @@
 #ifndef ADAMEL_COMMON_RNG_H_
 #define ADAMEL_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace adamel {
+
+/// Complete snapshot of an `Rng`'s internal state. Capturing and restoring
+/// it resumes the stream exactly where it left off — the checkpoint system
+/// uses this to make resumed training bitwise identical to an uninterrupted
+/// run.
+struct RngState {
+  std::array<uint64_t, 4> state{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
 
 /// Deterministic pseudo-random number generator used throughout the library.
 ///
@@ -68,6 +81,13 @@ class Rng {
   /// deterministically derived from) this one. Useful to give each data
   /// source / trial its own stream while keeping global reproducibility.
   Rng Fork();
+
+  /// Snapshots the full generator state (for checkpointing).
+  RngState GetState() const;
+
+  /// Restores a snapshot taken with `GetState`; the stream continues
+  /// exactly from the captured point.
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

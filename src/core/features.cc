@@ -98,6 +98,49 @@ std::vector<float> FeatureExtractor::FeaturizePair(
   return row;
 }
 
+void FeatureExtractor::Save(nn::BlobWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(schema_.size()));
+  for (const std::string& attribute : schema_.attributes()) {
+    writer->WriteString(attribute);
+  }
+  writer->WriteU8(static_cast<uint8_t>(mode_));
+  writer->WriteI32(embed_dim());
+  const text::TokenizerOptions& tokenizer = tokenizer_.options();
+  writer->WriteBool(tokenizer.lowercase);
+  writer->WriteBool(tokenizer.split_punctuation);
+  writer->WriteI32(tokenizer.crop_size);
+}
+
+StatusOr<std::shared_ptr<FeatureExtractor>> FeatureExtractor::Load(
+    nn::BlobReader* reader) {
+  uint32_t attribute_count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU32(&attribute_count));
+  if (attribute_count == 0) {
+    return InvalidArgumentError("checkpoint extractor has empty schema");
+  }
+  std::vector<std::string> attributes(attribute_count);
+  for (uint32_t a = 0; a < attribute_count; ++a) {
+    ADAMEL_RETURN_IF_ERROR(reader->ReadString(&attributes[a]));
+  }
+  uint8_t mode = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(FeatureMode::kUniqueOnly)) {
+    return InvalidArgumentError("bad feature mode " + std::to_string(mode));
+  }
+  int32_t embedding_dim = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&embedding_dim));
+  if (embedding_dim <= 0) {
+    return InvalidArgumentError("non-positive embedding dim in checkpoint");
+  }
+  text::TokenizerOptions tokenizer;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadBool(&tokenizer.lowercase));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadBool(&tokenizer.split_punctuation));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&tokenizer.crop_size));
+  return std::make_shared<FeatureExtractor>(
+      data::Schema(std::move(attributes)), static_cast<FeatureMode>(mode),
+      embedding_dim, tokenizer);
+}
+
 FeaturizedPairs FeatureExtractor::Featurize(
     const data::PairDataset& dataset) const {
   ADAMEL_CHECK(dataset.schema() == schema_)

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/config.h"
 #include "data/pair_dataset.h"
+#include "nn/serialize.h"
 #include "nn/tensor.h"
 #include "text/embedding.h"
 #include "text/tokenizer.h"
@@ -52,6 +54,15 @@ class FeatureExtractor {
 
   /// Featurizes a whole dataset (schema must match).
   FeaturizedPairs Featurize(const data::PairDataset& dataset) const;
+
+  /// Serializes the full featurization config — schema, feature mode,
+  /// embedding dimension, tokenizer options — so a saved model carries
+  /// everything needed to featurize raw pairs identically after reload.
+  void Save(nn::BlobWriter* writer) const;
+
+  /// Reconstructs an extractor written by `Save`.
+  static StatusOr<std::shared_ptr<FeatureExtractor>> Load(
+      nn::BlobReader* reader);
 
  private:
   data::Schema schema_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/pair_dataset.h"
 
 namespace adamel::core {
@@ -37,6 +38,19 @@ class EntityLinkageModel {
 
   /// Number of learnable parameters (Section 4.5 / 5.5 comparison).
   virtual int64_t ParameterCount() const = 0;
+
+  /// Saves the fitted model to `path` (crash-safe write). The default
+  /// declines: not every learner has checkpoint support, and the bench
+  /// harness treats that as "retrain instead of reuse".
+  virtual Status SaveCheckpoint(const std::string& /*path*/) const {
+    return FailedPreconditionError(Name() + " does not support checkpointing");
+  }
+
+  /// Restores a model saved by `SaveCheckpoint`; success stands in for
+  /// `Fit`. The default declines, matching `SaveCheckpoint`.
+  virtual Status LoadCheckpoint(const std::string& /*path*/) {
+    return FailedPreconditionError(Name() + " does not support checkpointing");
+  }
 };
 
 }  // namespace adamel::core

@@ -1,9 +1,74 @@
 #include "core/model.h"
 
+#include <string>
+
 #include "common/check.h"
 #include "nn/ops.h"
 
 namespace adamel::core {
+
+void WriteAdamelConfig(const AdamelConfig& config, nn::BlobWriter* writer) {
+  writer->WriteI32(config.embed_dim);
+  writer->WriteI32(config.latent_dim);
+  writer->WriteI32(config.attention_dim);
+  writer->WriteI32(config.hidden_dim);
+  writer->WriteU8(static_cast<uint8_t>(config.feature_mode));
+  writer->WriteI32(config.epochs);
+  writer->WriteI32(config.batch_size);
+  writer->WriteF32(config.learning_rate);
+  writer->WriteF32(config.grad_clip);
+  writer->WriteF32(config.lambda);
+  writer->WriteF32(config.phi);
+  writer->WriteI32(config.target_batch);
+  writer->WriteBool(config.support_deviation_weights);
+  writer->WriteI32(config.support_every);
+  writer->WriteF32(config.weight_decay);
+  writer->WriteU64(config.seed);
+}
+
+Status ReadAdamelConfig(nn::BlobReader* reader, AdamelConfig* config) {
+  AdamelConfig loaded;
+  uint8_t mode = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.embed_dim));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.latent_dim));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.attention_dim));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.hidden_dim));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(FeatureMode::kUniqueOnly)) {
+    return InvalidArgumentError("bad feature mode " + std::to_string(mode));
+  }
+  loaded.feature_mode = static_cast<FeatureMode>(mode);
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.epochs));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.batch_size));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF32(&loaded.learning_rate));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF32(&loaded.grad_clip));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF32(&loaded.lambda));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF32(&loaded.phi));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.target_batch));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadBool(&loaded.support_deviation_weights));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&loaded.support_every));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF32(&loaded.weight_decay));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU64(&loaded.seed));
+  if (loaded.embed_dim <= 0 || loaded.latent_dim <= 0 ||
+      loaded.attention_dim <= 0 || loaded.hidden_dim <= 0) {
+    return InvalidArgumentError("non-positive model dimension in checkpoint");
+  }
+  *config = loaded;
+  return OkStatus();
+}
+
+bool SameAdamelConfig(const AdamelConfig& a, const AdamelConfig& b) {
+  return a.embed_dim == b.embed_dim && a.latent_dim == b.latent_dim &&
+         a.attention_dim == b.attention_dim && a.hidden_dim == b.hidden_dim &&
+         a.feature_mode == b.feature_mode && a.epochs == b.epochs &&
+         a.batch_size == b.batch_size &&
+         a.learning_rate == b.learning_rate && a.grad_clip == b.grad_clip &&
+         a.lambda == b.lambda && a.phi == b.phi &&
+         a.target_batch == b.target_batch &&
+         a.support_deviation_weights == b.support_deviation_weights &&
+         a.support_every == b.support_every &&
+         a.weight_decay == b.weight_decay && a.seed == b.seed;
+}
 
 AdamelModel::AdamelModel(int feature_count, const AdamelConfig& config,
                          Rng* rng)
@@ -80,6 +145,50 @@ std::vector<nn::Tensor> AdamelModel::Parameters() const {
     params.push_back(p);
   }
   return params;
+}
+
+std::vector<nn::NamedTensor> AdamelModel::NamedParameters() const {
+  std::vector<nn::NamedTensor> named;
+  for (size_t j = 0; j < projections_.size(); ++j) {
+    const std::string prefix = "projection" + std::to_string(j);
+    named.emplace_back(prefix + ".weight", projections_[j].weight());
+    named.emplace_back(prefix + ".bias", projections_[j].bias());
+  }
+  named.emplace_back("attention.w", attention_w_);
+  named.emplace_back("attention.a", attention_a_);
+  const std::vector<nn::Tensor> classifier = classifier_.Parameters();
+  ADAMEL_CHECK_EQ(classifier.size() % 2, 0u);
+  for (size_t i = 0; i < classifier.size(); i += 2) {
+    const std::string prefix = "classifier.layer" + std::to_string(i / 2);
+    named.emplace_back(prefix + ".weight", classifier[i]);
+    named.emplace_back(prefix + ".bias", classifier[i + 1]);
+  }
+  return named;
+}
+
+void AdamelModel::Save(nn::BlobWriter* writer) const {
+  WriteAdamelConfig(config_, writer);
+  writer->WriteI32(feature_count_);
+  nn::WriteNamedTensors(NamedParameters(), writer);
+}
+
+StatusOr<std::shared_ptr<AdamelModel>> AdamelModel::Load(
+    nn::BlobReader* reader) {
+  AdamelConfig config;
+  ADAMEL_RETURN_IF_ERROR(ReadAdamelConfig(reader, &config));
+  int32_t feature_count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&feature_count));
+  if (feature_count <= 0) {
+    return InvalidArgumentError("non-positive feature count in checkpoint");
+  }
+  // The Xavier init below is immediately overwritten by the stored weights;
+  // the seed is irrelevant.
+  Rng init_rng(0);
+  auto model = std::make_shared<AdamelModel>(feature_count, config,
+                                             &init_rng);
+  ADAMEL_RETURN_IF_ERROR(
+      nn::ReadNamedTensorsInto(reader, model->NamedParameters()));
+  return model;
 }
 
 }  // namespace adamel::core

@@ -1,13 +1,26 @@
 #ifndef ADAMEL_CORE_MODEL_H_
 #define ADAMEL_CORE_MODEL_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/config.h"
 #include "nn/layers.h"
+#include "nn/serialize.h"
 #include "nn/tensor.h"
 
 namespace adamel::core {
+
+/// Serializes every field of `config` (checkpoint format v1).
+void WriteAdamelConfig(const AdamelConfig& config, nn::BlobWriter* writer);
+
+/// Reads a config written by `WriteAdamelConfig`.
+Status ReadAdamelConfig(nn::BlobReader* reader, AdamelConfig* config);
+
+/// Field-exact equality; used to refuse resuming a checkpoint under a
+/// different configuration (which could not be bitwise-reproducible).
+bool SameAdamelConfig(const AdamelConfig& a, const AdamelConfig& b);
 
 /// The AdaMEL network of Section 4 (Figure 4):
 ///  - per-feature non-linear affine projection x_j = relu(V_j h_j + b_j)
@@ -40,6 +53,18 @@ class AdamelModel : public nn::Module {
   nn::Tensor ForwardAttention(const nn::Tensor& h_batch) const;
 
   std::vector<nn::Tensor> Parameters() const override;
+
+  /// Stable (name, tensor) handles in `Parameters()` order; the unit the
+  /// checkpoint format stores, so a load onto the wrong architecture fails
+  /// by name/shape instead of silently transposing weights.
+  std::vector<nn::NamedTensor> NamedParameters() const;
+
+  /// Serializes config, feature count, and all weights.
+  void Save(nn::BlobWriter* writer) const;
+
+  /// Reconstructs a model written by `Save`. Rejects corrupt or
+  /// architecture-mismatched blobs with a `Status`.
+  static StatusOr<std::shared_ptr<AdamelModel>> Load(nn::BlobReader* reader);
 
   int feature_count() const { return feature_count_; }
   const AdamelConfig& config() const { return config_; }

@@ -1,11 +1,16 @@
 #include "core/trainer.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
 
@@ -117,6 +122,241 @@ std::vector<float> SupportWeights(const nn::Tensor& support_attention,
   return weights;
 }
 
+// Checkpoint "kind" tags: a training-state file and a trained-model file
+// share the container format, so each declares what it is and loaders
+// reject the other kind instead of misreading it.
+constexpr char kTrainStateKind[] = "adamel.train_state";
+constexpr char kTrainedModelKind[] = "adamel.trained_model";
+
+bool FileExists(const std::string& path) {
+  struct ::stat file_stat;
+  return ::stat(path.c_str(), &file_stat) == 0;
+}
+
+void WriteRngState(const Rng& rng, nn::BlobWriter* writer) {
+  const RngState state = rng.GetState();
+  for (uint64_t word : state.state) {
+    writer->WriteU64(word);
+  }
+  writer->WriteBool(state.has_cached_normal);
+  writer->WriteF64(state.cached_normal);
+}
+
+Status ReadRngState(nn::BlobReader* reader, Rng* rng) {
+  RngState state;
+  for (uint64_t& word : state.state) {
+    ADAMEL_RETURN_IF_ERROR(reader->ReadU64(&word));
+  }
+  ADAMEL_RETURN_IF_ERROR(reader->ReadBool(&state.has_cached_normal));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadF64(&state.cached_normal));
+  rng->SetState(state);
+  return OkStatus();
+}
+
+// Writes everything needed to continue training from the next epoch bitwise
+// identically: weights, Adam moments + step count, the RNG stream, the
+// permutation (epoch e's order seeds epoch e+1's shuffle), and the loss
+// history so a resumed run reports the same full trajectory.
+Status SaveTrainState(const std::string& path, AdamelVariant variant,
+                      const AdamelConfig& config, int epochs_done,
+                      const AdamelModel& model, const nn::Adam& optimizer,
+                      const Rng& rng, const std::vector<int>& permutation,
+                      const std::vector<EpochStats>& history) {
+  nn::CheckpointWriter writer;
+  {
+    nn::BlobWriter meta;
+    meta.WriteString(kTrainStateKind);
+    meta.WriteU8(static_cast<uint8_t>(variant));
+    meta.WriteI32(epochs_done);
+    meta.WriteI32(model.feature_count());
+    meta.WriteU64(permutation.size());
+    writer.AddSection("meta", meta.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    WriteAdamelConfig(config, &blob);
+    writer.AddSection("config", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    nn::WriteNamedTensors(model.NamedParameters(), &blob);
+    writer.AddSection("model", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    optimizer.SaveState(&blob);
+    writer.AddSection("optimizer", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    WriteRngState(rng, &blob);
+    writer.AddSection("rng", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    for (int index : permutation) {
+      blob.WriteI32(index);
+    }
+    writer.AddSection("permutation", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    blob.WriteU64(history.size());
+    for (const EpochStats& stats : history) {
+      blob.WriteF64(stats.base_loss);
+      blob.WriteF64(stats.target_loss);
+      blob.WriteF64(stats.support_loss);
+      blob.WriteI32(stats.skipped_steps);
+    }
+    writer.AddSection("history", blob.TakeBuffer());
+  }
+  return writer.WriteFile(path);
+}
+
+// Restores the state written by `SaveTrainState` into the freshly
+// constructed model/optimizer/rng, refusing checkpoints that were written
+// under a different variant, config, architecture, or training-set size
+// (any of which would make the resumed run non-reproducible).
+Status LoadTrainState(const std::string& path, AdamelVariant variant,
+                      const AdamelConfig& config, int expected_n,
+                      AdamelModel* model, nn::Adam* optimizer, Rng* rng,
+                      int* epochs_done, std::vector<int>* permutation,
+                      std::vector<EpochStats>* history) {
+  StatusOr<nn::CheckpointReader> reader_or =
+      nn::CheckpointReader::ReadFile(path);
+  if (!reader_or.ok()) {
+    return reader_or.status();
+  }
+  const nn::CheckpointReader& reader = reader_or.value();
+
+  StatusOr<nn::BlobReader> meta_or = reader.Section("meta");
+  if (!meta_or.ok()) {
+    return meta_or.status();
+  }
+  nn::BlobReader meta = meta_or.value();
+  std::string kind;
+  ADAMEL_RETURN_IF_ERROR(meta.ReadString(&kind));
+  if (kind != kTrainStateKind) {
+    return FailedPreconditionError("'" + path +
+                                   "' is not a training-state checkpoint "
+                                   "(kind '" +
+                                   kind + "')");
+  }
+  uint8_t saved_variant = 0;
+  ADAMEL_RETURN_IF_ERROR(meta.ReadU8(&saved_variant));
+  if (saved_variant != static_cast<uint8_t>(variant)) {
+    return FailedPreconditionError(
+        std::string("checkpoint was written for a different variant than ") +
+        AdamelVariantName(variant));
+  }
+  int32_t saved_epochs = 0;
+  ADAMEL_RETURN_IF_ERROR(meta.ReadI32(&saved_epochs));
+  if (saved_epochs < 0 || saved_epochs > config.epochs) {
+    return FailedPreconditionError(
+        "checkpoint epoch count " + std::to_string(saved_epochs) +
+        " outside configured range [0, " + std::to_string(config.epochs) +
+        "]");
+  }
+  int32_t saved_features = 0;
+  ADAMEL_RETURN_IF_ERROR(meta.ReadI32(&saved_features));
+  if (saved_features != model->feature_count()) {
+    return FailedPreconditionError(
+        "checkpoint has " + std::to_string(saved_features) +
+        " features, current data has " +
+        std::to_string(model->feature_count()));
+  }
+  uint64_t saved_n = 0;
+  ADAMEL_RETURN_IF_ERROR(meta.ReadU64(&saved_n));
+  if (saved_n != static_cast<uint64_t>(expected_n)) {
+    return FailedPreconditionError(
+        "checkpoint was written over " + std::to_string(saved_n) +
+        " training pairs, current data has " + std::to_string(expected_n));
+  }
+
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("config");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    AdamelConfig saved_config;
+    ADAMEL_RETURN_IF_ERROR(ReadAdamelConfig(&blob, &saved_config));
+    if (!SameAdamelConfig(saved_config, config)) {
+      return FailedPreconditionError(
+          "checkpoint config differs from the current config; resuming "
+          "would not reproduce an uninterrupted run");
+    }
+  }
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("model");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    ADAMEL_RETURN_IF_ERROR(
+        nn::ReadNamedTensorsInto(&blob, model->NamedParameters()));
+  }
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("optimizer");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    ADAMEL_RETURN_IF_ERROR(optimizer->LoadState(&blob));
+  }
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("rng");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    ADAMEL_RETURN_IF_ERROR(ReadRngState(&blob, rng));
+  }
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("permutation");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    std::vector<int> saved(expected_n);
+    std::vector<bool> seen(expected_n, false);
+    for (int i = 0; i < expected_n; ++i) {
+      int32_t index = 0;
+      ADAMEL_RETURN_IF_ERROR(blob.ReadI32(&index));
+      if (index < 0 || index >= expected_n || seen[index]) {
+        return InvalidArgumentError(
+            "corrupt checkpoint: stored permutation is not a permutation");
+      }
+      seen[index] = true;
+      saved[i] = index;
+    }
+    *permutation = std::move(saved);
+  }
+  {
+    StatusOr<nn::BlobReader> blob_or = reader.Section("history");
+    if (!blob_or.ok()) {
+      return blob_or.status();
+    }
+    nn::BlobReader blob = blob_or.value();
+    uint64_t count = 0;
+    ADAMEL_RETURN_IF_ERROR(blob.ReadU64(&count));
+    if (count != static_cast<uint64_t>(saved_epochs)) {
+      return InvalidArgumentError(
+          "corrupt checkpoint: history length does not match epoch count");
+    }
+    std::vector<EpochStats> saved(count);
+    for (EpochStats& stats : saved) {
+      ADAMEL_RETURN_IF_ERROR(blob.ReadF64(&stats.base_loss));
+      ADAMEL_RETURN_IF_ERROR(blob.ReadF64(&stats.target_loss));
+      ADAMEL_RETURN_IF_ERROR(blob.ReadF64(&stats.support_loss));
+      ADAMEL_RETURN_IF_ERROR(blob.ReadI32(&stats.skipped_steps));
+    }
+    *history = std::move(saved);
+  }
+  *epochs_done = saved_epochs;
+  return OkStatus();
+}
+
 }  // namespace
 
 TrainedAdamel::TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
@@ -191,11 +431,107 @@ std::vector<std::pair<std::string, double>> TrainedAdamel::MeanAttention(
   return result;
 }
 
+Status TrainedAdamel::SaveToFile(const std::string& path) const {
+  nn::CheckpointWriter writer;
+  {
+    nn::BlobWriter meta;
+    meta.WriteString(kTrainedModelKind);
+    writer.AddSection("meta", meta.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    extractor_->Save(&blob);
+    writer.AddSection("extractor", blob.TakeBuffer());
+  }
+  {
+    nn::BlobWriter blob;
+    model_->Save(&blob);
+    writer.AddSection("model", blob.TakeBuffer());
+  }
+  return writer.WriteFile(path);
+}
+
+StatusOr<std::shared_ptr<TrainedAdamel>> TrainedAdamel::LoadFromFile(
+    const std::string& path) {
+  StatusOr<nn::CheckpointReader> reader_or =
+      nn::CheckpointReader::ReadFile(path);
+  if (!reader_or.ok()) {
+    return reader_or.status();
+  }
+  const nn::CheckpointReader& reader = reader_or.value();
+  {
+    StatusOr<nn::BlobReader> meta_or = reader.Section("meta");
+    if (!meta_or.ok()) {
+      return meta_or.status();
+    }
+    nn::BlobReader meta = meta_or.value();
+    std::string kind;
+    ADAMEL_RETURN_IF_ERROR(meta.ReadString(&kind));
+    if (kind != kTrainedModelKind) {
+      return FailedPreconditionError("'" + path +
+                                     "' is not a trained-model checkpoint "
+                                     "(kind '" +
+                                     kind + "')");
+    }
+  }
+  StatusOr<nn::BlobReader> extractor_or = reader.Section("extractor");
+  if (!extractor_or.ok()) {
+    return extractor_or.status();
+  }
+  nn::BlobReader extractor_blob = extractor_or.value();
+  StatusOr<std::shared_ptr<FeatureExtractor>> extractor =
+      FeatureExtractor::Load(&extractor_blob);
+  if (!extractor.ok()) {
+    return extractor.status();
+  }
+  StatusOr<nn::BlobReader> model_or = reader.Section("model");
+  if (!model_or.ok()) {
+    return model_or.status();
+  }
+  nn::BlobReader model_blob = model_or.value();
+  StatusOr<std::shared_ptr<AdamelModel>> model =
+      AdamelModel::Load(&model_blob);
+  if (!model.ok()) {
+    return model.status();
+  }
+  if ((*model)->feature_count() != (*extractor)->feature_count()) {
+    return InvalidArgumentError(
+        "corrupt checkpoint: model feature count does not match extractor");
+  }
+  return std::make_shared<TrainedAdamel>(std::move(extractor).value(),
+                                         std::move(model).value());
+}
+
 AdamelTrainer::AdamelTrainer(AdamelConfig config) : config_(config) {}
 
 TrainedAdamel AdamelTrainer::Fit(AdamelVariant variant,
                                  const MelInputs& inputs,
                                  std::vector<EpochStats>* history) const {
+  StatusOr<std::shared_ptr<TrainedAdamel>> trained =
+      FitImpl(variant, inputs, /*checkpoint=*/nullptr, history);
+  // Without checkpointing there is no fallible I/O; a failure here would be
+  // a programming error, not a user-recoverable condition.
+  ADAMEL_CHECK(trained.ok()) << trained.status().ToString();
+  return *trained.value();
+}
+
+StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitWithCheckpoint(
+    AdamelVariant variant, const MelInputs& inputs,
+    const FitCheckpointOptions& options,
+    std::vector<EpochStats>* history) const {
+  if (options.path.empty()) {
+    return InvalidArgumentError("FitCheckpointOptions.path must be set");
+  }
+  if (options.save_every <= 0) {
+    return InvalidArgumentError("FitCheckpointOptions.save_every must be >= 1");
+  }
+  return FitImpl(variant, inputs, &options, history);
+}
+
+StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitImpl(
+    AdamelVariant variant, const MelInputs& inputs,
+    const FitCheckpointOptions* checkpoint,
+    std::vector<EpochStats>* history) const {
   ADAMEL_CHECK(inputs.source_train != nullptr);
   ADAMEL_CHECK(!inputs.source_train->empty());
   const bool use_target = variant == AdamelVariant::kZero ||
@@ -242,14 +578,26 @@ TrainedAdamel AdamelTrainer::Fit(AdamelVariant variant,
   std::vector<int> permutation(n);
   std::iota(permutation.begin(), permutation.end(), 0);
 
+  // Epochs completed so far and their stats — loaded from the checkpoint on
+  // resume so the final history matches an uninterrupted run's.
+  std::vector<EpochStats> full_history;
+  int start_epoch = 0;
+  if (checkpoint != nullptr && checkpoint->resume &&
+      FileExists(checkpoint->path)) {
+    ADAMEL_RETURN_IF_ERROR(LoadTrainState(
+        checkpoint->path, variant, config_, n, model.get(), &optimizer, &rng,
+        &start_epoch, &permutation, &full_history));
+  }
+
   SourceCentroids centroids;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     rng.Shuffle(permutation);
     if (use_support) {
       centroids = ComputeCentroids(*model, source, &rng);
     }
     EpochStats stats;
     int batches = 0;
+    int support_steps = 0;
     for (int start = 0; start < n; start += config_.batch_size) {
       const int count = std::min(config_.batch_size, n - start);
       std::vector<int> batch(permutation.begin() + start,
@@ -323,23 +671,56 @@ TrainedAdamel AdamelTrainer::Fit(AdamelVariant variant,
         const float support_weight = config_.phi * base_weight;
         loss = nn::Add(loss, nn::MulScalar(support_loss, support_weight));
         stats.support_loss += support_loss.At(0, 0);
+        ++support_steps;
       }
 
       optimizer.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
-      optimizer.Step();
+      const nn::GradClipResult clip =
+          nn::ClipGradNorm(optimizer.parameters(), config_.grad_clip);
+      if (clip.finite) {
+        optimizer.Step();
+      } else {
+        // A non-finite gradient norm means at least one gradient overflowed;
+        // stepping would write NaN into every weight. Skip this update and
+        // surface the skip in the epoch stats.
+        ++stats.skipped_steps;
+      }
       stats.base_loss += base_loss.At(0, 0);
       ++batches;
     }
-    if (history != nullptr && batches > 0) {
+    if (batches > 0) {
       stats.base_loss /= batches;
       stats.target_loss /= batches;
-      stats.support_loss /= batches;
-      history->push_back(stats);
+      // L_support only exists on support steps; averaging over all batches
+      // would understate it by a factor of support_every.
+      if (support_steps > 0) {
+        stats.support_loss /= support_steps;
+      }
+      full_history.push_back(stats);
+    }
+    if (checkpoint != nullptr) {
+      const int epochs_done = epoch + 1;
+      const bool final_epoch = epochs_done == config_.epochs;
+      const bool interrupting =
+          checkpoint->max_epochs_this_run > 0 &&
+          epochs_done - start_epoch >= checkpoint->max_epochs_this_run;
+      if (final_epoch || interrupting ||
+          epochs_done % checkpoint->save_every == 0) {
+        ADAMEL_RETURN_IF_ERROR(SaveTrainState(
+            checkpoint->path, variant, config_, epochs_done, *model,
+            optimizer, rng, permutation, full_history));
+      }
+      if (interrupting && !final_epoch) {
+        break;
+      }
     }
   }
-  return TrainedAdamel(std::move(extractor), std::move(model));
+  if (history != nullptr) {
+    history->insert(history->end(), full_history.begin(), full_history.end());
+  }
+  return std::make_shared<TrainedAdamel>(std::move(extractor),
+                                         std::move(model));
 }
 
 AdamelLinkage::AdamelLinkage(AdamelVariant variant, AdamelConfig config)
@@ -362,6 +743,23 @@ std::vector<float> AdamelLinkage::PredictScores(
 int64_t AdamelLinkage::ParameterCount() const {
   ADAMEL_CHECK(trained_ != nullptr) << "ParameterCount before Fit";
   return trained_->ParameterCount();
+}
+
+Status AdamelLinkage::SaveCheckpoint(const std::string& path) const {
+  if (trained_ == nullptr) {
+    return FailedPreconditionError("SaveCheckpoint before Fit");
+  }
+  return trained_->SaveToFile(path);
+}
+
+Status AdamelLinkage::LoadCheckpoint(const std::string& path) {
+  StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  trained_ = std::make_unique<TrainedAdamel>(*loaded.value());
+  return OkStatus();
 }
 
 const TrainedAdamel& AdamelLinkage::trained() const {

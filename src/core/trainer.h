@@ -6,11 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/config.h"
 #include "core/features.h"
 #include "core/linkage_model.h"
 #include "core/model.h"
 #include "data/pair_dataset.h"
+#include "nn/serialize.h"
 
 namespace adamel::core {
 
@@ -38,6 +40,16 @@ class TrainedAdamel {
   const FeatureExtractor& extractor() const { return *extractor_; }
   const AdamelModel& model() const { return *model_; }
 
+  /// Writes extractor + model to `path` as a self-contained checkpoint: a
+  /// reload needs no access to the training data or config used to fit it.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a model written by `SaveToFile`. Corrupt, truncated, or
+  /// wrong-kind files are rejected with a `Status`; predictions from the
+  /// loaded model are bitwise identical to the saved one's.
+  static StatusOr<std::shared_ptr<TrainedAdamel>> LoadFromFile(
+      const std::string& path);
+
  private:
   std::shared_ptr<FeatureExtractor> extractor_;
   std::shared_ptr<AdamelModel> model_;
@@ -47,7 +59,30 @@ class TrainedAdamel {
 struct EpochStats {
   double base_loss = 0.0;
   double target_loss = 0.0;
+  /// Mean support loss over the epoch's *support steps* (batches where the
+  /// Eq. (13) term was actually computed), not over all batches.
   double support_loss = 0.0;
+  /// Batches whose optimizer step was skipped because the gradient norm was
+  /// non-finite (see nn::ClipGradNorm).
+  int skipped_steps = 0;
+};
+
+/// Controls `AdamelTrainer::FitWithCheckpoint`.
+struct FitCheckpointOptions {
+  /// Checkpoint file. Written crash-safely (atomic rename), so the file on
+  /// disk is always a complete checkpoint from some epoch boundary.
+  std::string path;
+  /// Save after every k-th epoch (the final epoch always saves).
+  int save_every = 1;
+  /// When true and `path` holds a compatible checkpoint, training resumes
+  /// from its epoch boundary instead of starting over. The resumed run is
+  /// bitwise identical to an uninterrupted one: model weights, Adam moments,
+  /// RNG stream, and the shuffled permutation are all restored exactly.
+  bool resume = true;
+  /// When > 0, stop (after checkpointing) once this many epochs have run in
+  /// this call even if `config.epochs` is not reached — simulates an
+  /// interrupted job for tests and demos. 0 = train to completion.
+  int max_epochs_this_run = 0;
 };
 
 /// Trains AdaMEL per Algorithms 1-3: mini-batch Adam over D_S with, per
@@ -64,9 +99,26 @@ class AdamelTrainer {
   TrainedAdamel Fit(AdamelVariant variant, const MelInputs& inputs,
                     std::vector<EpochStats>* history = nullptr) const;
 
+  /// `Fit` with crash-safe checkpointing: saves training state at epoch
+  /// boundaries to `options.path` and, when a compatible checkpoint already
+  /// exists there, resumes from it — continuing bitwise identically to an
+  /// uninterrupted run. Fails (without crashing) on corrupt checkpoints or
+  /// when the checkpoint was written under a different variant/config/data
+  /// size. `history` receives the full loss history, including epochs
+  /// restored from the checkpoint.
+  StatusOr<std::shared_ptr<TrainedAdamel>> FitWithCheckpoint(
+      AdamelVariant variant, const MelInputs& inputs,
+      const FitCheckpointOptions& options,
+      std::vector<EpochStats>* history = nullptr) const;
+
   const AdamelConfig& config() const { return config_; }
 
  private:
+  StatusOr<std::shared_ptr<TrainedAdamel>> FitImpl(
+      AdamelVariant variant, const MelInputs& inputs,
+      const FitCheckpointOptions* checkpoint,
+      std::vector<EpochStats>* history) const;
+
   AdamelConfig config_;
 };
 
@@ -81,6 +133,8 @@ class AdamelLinkage : public EntityLinkageModel {
   std::vector<float> PredictScores(
       const data::PairDataset& dataset) const override;
   int64_t ParameterCount() const override;
+  Status SaveCheckpoint(const std::string& path) const override;
+  Status LoadCheckpoint(const std::string& path) override;
 
   /// Access to the trained model (after Fit) for attention analysis.
   const TrainedAdamel& trained() const;

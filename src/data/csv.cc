@@ -69,9 +69,15 @@ StatusOr<CsvTable> ParseCsv(const std::string& content) {
         ++i;
         break;
       case '\r':
-        ++i;
-        break;
       case '\n':
+        // "\r\n" (CRLF), bare "\r" (classic-Mac), and bare "\n" all
+        // terminate the row. A bare "\r" used to be dropped outright, which
+        // corrupted unquoted fields containing it and glued every line of a
+        // CR-only file into one row. A "\r" that belongs *inside* a field
+        // must be quoted (the writer always quotes such fields).
+        if (c == '\r' && i + 1 < n && content[i + 1] == '\n') {
+          ++i;  // CRLF: the final ++i below consumes the LF too
+        }
         if (row_has_content || !current_field.empty() ||
             !current_row.empty()) {
           current_row.push_back(std::move(current_field));

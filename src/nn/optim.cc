@@ -1,10 +1,48 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 
 namespace adamel::nn {
+namespace {
+
+// Serializes one per-parameter float buffer list (velocity, moments).
+void WriteBuffers(const std::vector<std::vector<float>>& buffers,
+                  BlobWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(buffers.size()));
+  for (const std::vector<float>& buffer : buffers) {
+    writer->WriteFloats(buffer);
+  }
+}
+
+// Reads buffers written by `WriteBuffers` into `targets`, validating that
+// the stored sizes match the current parameter list element-for-element.
+Status ReadBuffersInto(BlobReader* reader,
+                       std::vector<std::vector<float>>* targets) {
+  uint32_t count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU32(&count));
+  if (count != targets->size()) {
+    return FailedPreconditionError(
+        "optimizer state holds " + std::to_string(count) +
+        " buffers, expected " + std::to_string(targets->size()));
+  }
+  std::vector<std::vector<float>> loaded(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ADAMEL_RETURN_IF_ERROR(reader->ReadFloats(&loaded[i]));
+    if (loaded[i].size() != (*targets)[i].size()) {
+      return FailedPreconditionError(
+          "optimizer buffer " + std::to_string(i) + " holds " +
+          std::to_string(loaded[i].size()) + " values, expected " +
+          std::to_string((*targets)[i].size()));
+    }
+  }
+  *targets = std::move(loaded);
+  return OkStatus();
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> parameters)
     : parameters_(std::move(parameters)) {
@@ -28,6 +66,14 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
   for (size_t i = 0; i < parameters_.size(); ++i) {
     velocity_[i].assign(parameters_[i].size(), 0.0f);
   }
+}
+
+void Sgd::SaveState(BlobWriter* writer) const {
+  WriteBuffers(velocity_, writer);
+}
+
+Status Sgd::LoadState(BlobReader* reader) {
+  return ReadBuffersInto(reader, &velocity_);
 }
 
 void Sgd::Step() {
@@ -59,6 +105,30 @@ Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
   }
 }
 
+void Adam::SaveState(BlobWriter* writer) const {
+  writer->WriteI64(step_count_);
+  WriteBuffers(first_moment_, writer);
+  WriteBuffers(second_moment_, writer);
+}
+
+Status Adam::LoadState(BlobReader* reader) {
+  int64_t step_count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI64(&step_count));
+  if (step_count < 0) {
+    return InvalidArgumentError("negative Adam step count");
+  }
+  // Load into scratch copies first so a failure leaves this optimizer
+  // untouched.
+  std::vector<std::vector<float>> first = first_moment_;
+  std::vector<std::vector<float>> second = second_moment_;
+  ADAMEL_RETURN_IF_ERROR(ReadBuffersInto(reader, &first));
+  ADAMEL_RETURN_IF_ERROR(ReadBuffersInto(reader, &second));
+  step_count_ = step_count;
+  first_moment_ = std::move(first);
+  second_moment_ = std::move(second);
+  return OkStatus();
+}
+
 void Adam::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
@@ -83,7 +153,8 @@ void Adam::Step() {
   }
 }
 
-float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+GradClipResult ClipGradNorm(const std::vector<Tensor>& parameters,
+                            float max_norm) {
   ADAMEL_CHECK_GT(max_norm, 0.0f);
   double total_sq = 0.0;
   for (const Tensor& p : parameters) {
@@ -92,6 +163,13 @@ float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
     }
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (!std::isfinite(norm)) {
+    // A NaN/Inf gradient would make `scale` non-finite and the multiply
+    // below would overwrite every gradient with NaN — one bad batch would
+    // silently poison all weights on the next Step(). Leave the gradients
+    // as they are and tell the caller so it can skip this update.
+    return {norm, /*finite=*/false};
+  }
   if (norm > max_norm) {
     const float scale = max_norm / (norm + 1e-12f);
     for (const Tensor& p : parameters) {
@@ -104,7 +182,7 @@ float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
       }
     }
   }
-  return norm;
+  return {norm, /*finite=*/true};
 }
 
 }  // namespace adamel::nn

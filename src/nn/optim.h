@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/status.h"
+#include "nn/serialize.h"
 #include "nn/tensor.h"
 
 namespace adamel::nn {
@@ -20,6 +22,15 @@ class Optimizer {
   /// Zeroes all parameter gradients; call before each forward/backward pass.
   void ZeroGrad();
 
+  /// Serializes the optimizer's internal state (moment buffers, step count —
+  /// not the parameters themselves) so training can resume bitwise
+  /// identically after a restart.
+  virtual void SaveState(BlobWriter* writer) const = 0;
+
+  /// Restores state written by `SaveState`. Fails (without modifying this
+  /// optimizer) when the stored buffers do not match the parameter list.
+  virtual Status LoadState(BlobReader* reader) = 0;
+
   const std::vector<Tensor>& parameters() const { return parameters_; }
 
  protected:
@@ -33,6 +44,9 @@ class Sgd : public Optimizer {
       float momentum = 0.0f);
 
   void Step() override;
+
+  void SaveState(BlobWriter* writer) const override;
+  Status LoadState(BlobReader* reader) override;
 
  private:
   float learning_rate_;
@@ -50,6 +64,11 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  void SaveState(BlobWriter* writer) const override;
+  Status LoadState(BlobReader* reader) override;
+
+  int64_t step_count() const { return step_count_; }
+
  private:
   float learning_rate_;
   float beta1_;
@@ -61,9 +80,22 @@ class Adam : public Optimizer {
   std::vector<std::vector<float>> second_moment_;
 };
 
+/// Outcome of `ClipGradNorm`.
+struct GradClipResult {
+  /// Global pre-clip L2 norm over all gradients (NaN/Inf when not finite).
+  float norm = 0.0f;
+  /// False when the norm is NaN or Inf. In that case no scaling was applied
+  /// — scaling by `max_norm / norm` would write NaN into every gradient —
+  /// and the caller should skip the optimizer step.
+  bool finite = true;
+};
+
 /// Clips each parameter's gradient so that the global L2 norm over all
-/// parameters is at most `max_norm`. Returns the pre-clip norm.
-float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm);
+/// parameters is at most `max_norm`. When any gradient is non-finite the
+/// gradients are left untouched and `finite` is false so the caller can
+/// skip the update instead of poisoning the weights.
+GradClipResult ClipGradNorm(const std::vector<Tensor>& parameters,
+                            float max_norm);
 
 }  // namespace adamel::nn
 

@@ -1,0 +1,483 @@
+#include "nn/serialize.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace adamel::nn {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+Status CorruptError(const std::string& what) {
+  return InvalidArgumentError("corrupt checkpoint: " + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+// -- BlobWriter -------------------------------------------------------------
+
+void BlobWriter::WriteU8(uint8_t value) {
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void BlobWriter::WriteU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void BlobWriter::WriteU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void BlobWriter::WriteI32(int32_t value) {
+  WriteU32(static_cast<uint32_t>(value));
+}
+
+void BlobWriter::WriteI64(int64_t value) {
+  WriteU64(static_cast<uint64_t>(value));
+}
+
+void BlobWriter::WriteF32(float value) {
+  WriteU32(std::bit_cast<uint32_t>(value));
+}
+
+void BlobWriter::WriteF64(double value) {
+  WriteU64(std::bit_cast<uint64_t>(value));
+}
+
+void BlobWriter::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void BlobWriter::WriteString(std::string_view value) {
+  WriteU32(static_cast<uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+void BlobWriter::WriteFloats(const std::vector<float>& values) {
+  WriteU64(values.size());
+  buffer_.reserve(buffer_.size() + values.size() * sizeof(float));
+  for (float v : values) {
+    WriteF32(v);
+  }
+}
+
+void BlobWriter::WriteRaw(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+// -- BlobReader -------------------------------------------------------------
+
+Status BlobReader::ReadBytes(size_t count, const char** out) {
+  if (count > data_.size() - offset_) {
+    return CorruptError("truncated (wanted " + std::to_string(count) +
+                        " bytes, " + std::to_string(remaining()) + " left)");
+  }
+  *out = data_.data() + offset_;
+  offset_ += count;
+  return OkStatus();
+}
+
+Status BlobReader::ReadU8(uint8_t* value) {
+  const char* bytes = nullptr;
+  ADAMEL_RETURN_IF_ERROR(ReadBytes(1, &bytes));
+  *value = static_cast<uint8_t>(bytes[0]);
+  return OkStatus();
+}
+
+Status BlobReader::ReadU32(uint32_t* value) {
+  const char* bytes = nullptr;
+  ADAMEL_RETURN_IF_ERROR(ReadBytes(4, &bytes));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  *value = v;
+  return OkStatus();
+}
+
+Status BlobReader::ReadU64(uint64_t* value) {
+  const char* bytes = nullptr;
+  ADAMEL_RETURN_IF_ERROR(ReadBytes(8, &bytes));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  *value = v;
+  return OkStatus();
+}
+
+Status BlobReader::ReadI32(int32_t* value) {
+  uint32_t raw = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU32(&raw));
+  *value = static_cast<int32_t>(raw);
+  return OkStatus();
+}
+
+Status BlobReader::ReadI64(int64_t* value) {
+  uint64_t raw = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU64(&raw));
+  *value = static_cast<int64_t>(raw);
+  return OkStatus();
+}
+
+Status BlobReader::ReadF32(float* value) {
+  uint32_t raw = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU32(&raw));
+  *value = std::bit_cast<float>(raw);
+  return OkStatus();
+}
+
+Status BlobReader::ReadF64(double* value) {
+  uint64_t raw = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU64(&raw));
+  *value = std::bit_cast<double>(raw);
+  return OkStatus();
+}
+
+Status BlobReader::ReadBool(bool* value) {
+  uint8_t raw = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU8(&raw));
+  if (raw > 1) {
+    return CorruptError("bool byte out of range");
+  }
+  *value = raw != 0;
+  return OkStatus();
+}
+
+Status BlobReader::ReadString(std::string* value) {
+  uint32_t size = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU32(&size));
+  const char* bytes = nullptr;
+  ADAMEL_RETURN_IF_ERROR(ReadBytes(size, &bytes));
+  value->assign(bytes, size);
+  return OkStatus();
+}
+
+Status BlobReader::ReadRaw(size_t count, std::string_view* bytes) {
+  const char* data = nullptr;
+  ADAMEL_RETURN_IF_ERROR(ReadBytes(count, &data));
+  *bytes = std::string_view(data, count);
+  return OkStatus();
+}
+
+Status BlobReader::ReadFloats(std::vector<float>* values) {
+  uint64_t count = 0;
+  ADAMEL_RETURN_IF_ERROR(ReadU64(&count));
+  if (count > remaining() / sizeof(float)) {
+    return CorruptError("float array longer than remaining payload");
+  }
+  values->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ADAMEL_RETURN_IF_ERROR(ReadF32(&(*values)[i]));
+  }
+  return OkStatus();
+}
+
+// -- Tensor IO --------------------------------------------------------------
+
+void WriteTensor(const Tensor& tensor, BlobWriter* writer) {
+  ADAMEL_CHECK(tensor.defined());
+  writer->WriteI32(tensor.rows());
+  writer->WriteI32(tensor.cols());
+  writer->WriteBool(tensor.requires_grad());
+  writer->WriteFloats(tensor.data());
+}
+
+namespace {
+
+struct TensorHeader {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  bool requires_grad = false;
+  std::vector<float> values;
+};
+
+Status ReadTensorHeader(BlobReader* reader, TensorHeader* header) {
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&header->rows));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadI32(&header->cols));
+  ADAMEL_RETURN_IF_ERROR(reader->ReadBool(&header->requires_grad));
+  if (header->rows < 0 || header->cols < 0) {
+    return CorruptError("negative tensor shape");
+  }
+  ADAMEL_RETURN_IF_ERROR(reader->ReadFloats(&header->values));
+  const size_t expected =
+      static_cast<size_t>(header->rows) * static_cast<size_t>(header->cols);
+  if (header->values.size() != expected) {
+    return CorruptError("tensor value count does not match shape");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<Tensor> ReadTensor(BlobReader* reader) {
+  TensorHeader header;
+  ADAMEL_RETURN_IF_ERROR(ReadTensorHeader(reader, &header));
+  return Tensor::FromVector(header.rows, header.cols,
+                            std::move(header.values),
+                            header.requires_grad);
+}
+
+Status ReadTensorInto(BlobReader* reader, const Tensor& target) {
+  ADAMEL_CHECK(target.defined());
+  TensorHeader header;
+  ADAMEL_RETURN_IF_ERROR(ReadTensorHeader(reader, &header));
+  if (header.rows != target.rows() || header.cols != target.cols()) {
+    std::ostringstream message;
+    message << "tensor shape mismatch: file has " << header.rows << "x"
+            << header.cols << ", model expects " << target.rows() << "x"
+            << target.cols();
+    return FailedPreconditionError(message.str());
+  }
+  Tensor handle = target;  // shared storage: writes through to the model
+  handle.mutable_data() = std::move(header.values);
+  return OkStatus();
+}
+
+void WriteNamedTensors(const std::vector<NamedTensor>& tensors,
+                       BlobWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    writer->WriteString(name);
+    WriteTensor(tensor, writer);
+  }
+}
+
+Status ReadNamedTensorsInto(BlobReader* reader,
+                            const std::vector<NamedTensor>& targets) {
+  uint32_t count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader->ReadU32(&count));
+  if (count != targets.size()) {
+    return FailedPreconditionError(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", model expects " + std::to_string(targets.size()));
+  }
+  for (const auto& [name, tensor] : targets) {
+    std::string stored_name;
+    ADAMEL_RETURN_IF_ERROR(reader->ReadString(&stored_name));
+    if (stored_name != name) {
+      return FailedPreconditionError("parameter name mismatch: file has '" +
+                                     stored_name + "', model expects '" +
+                                     name + "'");
+    }
+    ADAMEL_RETURN_IF_ERROR(ReadTensorInto(reader, tensor));
+  }
+  return OkStatus();
+}
+
+// -- File IO ----------------------------------------------------------------
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string temp_path = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return IoError("cannot create " + temp_path + ": " +
+                   std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status =
+          IoError("write failure on " + temp_path + ": " +
+                  std::strerror(errno));
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        IoError("fsync failure on " + temp_path + ": " +
+                std::strerror(errno));
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp_path.c_str());
+    return IoError("close failure on " + temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    const Status status = IoError("cannot rename " + temp_path + " to " +
+                                  path + ": " + std::strerror(errno));
+    ::unlink(temp_path.c_str());
+    return status;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const int dir_fd = ::open(Dirname(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file && !file.eof()) {
+    return IoError("read failure on " + path);
+  }
+  return buffer.str();
+}
+
+// -- CheckpointWriter / CheckpointReader ------------------------------------
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  for (const auto& [existing, unused] : sections_) {
+    ADAMEL_CHECK(existing != name) << "duplicate checkpoint section " << name;
+  }
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string CheckpointWriter::Serialize() const {
+  BlobWriter writer;
+  for (char c : kCheckpointMagic) {
+    writer.WriteU8(static_cast<uint8_t>(c));
+  }
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    writer.WriteString(name);
+    writer.WriteU64(payload.size());
+    writer.WriteU32(Crc32(payload.data(), payload.size()));
+    writer.WriteRaw(payload);
+  }
+  return writer.TakeBuffer();
+}
+
+Status CheckpointWriter::WriteFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+StatusOr<CheckpointReader> CheckpointReader::Parse(std::string contents) {
+  CheckpointReader result;
+  result.contents_ = std::move(contents);
+  BlobReader reader{std::string_view(result.contents_)};
+  for (char expected : kCheckpointMagic) {
+    uint8_t byte = 0;
+    Status status = reader.ReadU8(&byte);
+    if (!status.ok() || static_cast<char>(byte) != expected) {
+      return InvalidArgumentError("not an AdaMEL checkpoint (bad magic)");
+    }
+  }
+  uint32_t version = 0;
+  ADAMEL_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return FailedPreconditionError(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        ")");
+  }
+  uint32_t section_count = 0;
+  ADAMEL_RETURN_IF_ERROR(reader.ReadU32(&section_count));
+  for (uint32_t s = 0; s < section_count; ++s) {
+    std::string name;
+    ADAMEL_RETURN_IF_ERROR(reader.ReadString(&name));
+    uint64_t payload_size = 0;
+    ADAMEL_RETURN_IF_ERROR(reader.ReadU64(&payload_size));
+    uint32_t stored_crc = 0;
+    ADAMEL_RETURN_IF_ERROR(reader.ReadU32(&stored_crc));
+    if (payload_size > reader.remaining()) {
+      return CorruptError("section '" + name + "' truncated");
+    }
+    const size_t offset = reader.offset();
+    std::string_view payload;
+    ADAMEL_RETURN_IF_ERROR(reader.ReadRaw(payload_size, &payload));
+    if (Crc32(payload.data(), payload.size()) != stored_crc) {
+      return CorruptError("section '" + name + "' fails CRC32 check");
+    }
+    result.sections_.emplace_back(
+        std::move(name),
+        std::make_pair(offset, static_cast<size_t>(payload_size)));
+  }
+  if (!reader.AtEnd()) {
+    return CorruptError("trailing bytes after last section");
+  }
+  return result;
+}
+
+StatusOr<CheckpointReader> CheckpointReader::ReadFile(
+    const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  return Parse(std::move(contents).value());
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  for (const auto& [section_name, unused] : sections_) {
+    if (section_name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<BlobReader> CheckpointReader::Section(const std::string& name) const {
+  for (const auto& [section_name, span] : sections_) {
+    if (section_name == name) {
+      return BlobReader{
+          std::string_view(contents_).substr(span.first, span.second)};
+    }
+  }
+  return NotFoundError("checkpoint has no section '" + name + "'");
+}
+
+}  // namespace adamel::nn

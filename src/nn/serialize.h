@@ -1,0 +1,175 @@
+#ifndef ADAMEL_NN_SERIALIZE_H_
+#define ADAMEL_NN_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+
+/// Binary checkpoint substrate: an explicit little-endian byte format with a
+/// magic+version file header, named sections, and a CRC32 per section so a
+/// truncated, corrupted, or foreign file is rejected with a `Status` instead
+/// of crashing (or worse, silently loading garbage weights). Writes are
+/// crash-safe: the file is staged to a temp name, fsync'ed, and atomically
+/// renamed over the destination, so a checkpoint on disk is always either
+/// the complete old file or the complete new file.
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `size` bytes.
+/// Chain blocks by passing the previous return value as `seed`.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Appends fixed-width little-endian primitives to an in-memory buffer.
+/// The encoding is byte-explicit (not memcpy of host types), so files are
+/// portable across platforms regardless of host endianness.
+class BlobWriter {
+ public:
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value);
+  void WriteI64(int64_t value);
+  void WriteF32(float value);    // IEEE-754 bits, exact round trip
+  void WriteF64(double value);   // IEEE-754 bits, exact round trip
+  void WriteBool(bool value);
+  /// u32 byte length + raw bytes.
+  void WriteString(std::string_view value);
+  /// u64 element count + f32 per element.
+  void WriteFloats(const std::vector<float>& values);
+  /// Raw bytes, no length prefix (caller frames them).
+  void WriteRaw(std::string_view bytes);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked cursor over a byte buffer; every read returns a `Status`
+/// and fails (rather than crashing) on truncated input. The view must
+/// outlive the reader.
+class BlobReader {
+ public:
+  BlobReader() = default;
+  explicit BlobReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* value);
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI32(int32_t* value);
+  Status ReadI64(int64_t* value);
+  Status ReadF32(float* value);
+  Status ReadF64(double* value);
+  Status ReadBool(bool* value);
+  Status ReadString(std::string* value);
+  Status ReadFloats(std::vector<float>* values);
+
+  /// Advances the cursor past `count` raw bytes, exposing them as a view
+  /// into the underlying buffer.
+  Status ReadRaw(size_t count, std::string_view* bytes);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - offset_; }
+  size_t offset() const { return offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  Status ReadBytes(size_t count, const char** out);
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+// -- Tensor IO --------------------------------------------------------------
+
+/// Writes shape + requires_grad + values. Gradients and graph edges are not
+/// persisted (checkpoints hold leaf weights, not in-flight autograd state).
+void WriteTensor(const Tensor& tensor, BlobWriter* writer);
+
+/// Reads a tensor written by `WriteTensor` as a fresh leaf.
+StatusOr<Tensor> ReadTensor(BlobReader* reader);
+
+/// Reads a tensor's values into `target` in place (shared storage is
+/// updated, so optimizer handles onto the same tensor see the new values).
+/// Fails when the stored shape differs from `target`'s.
+Status ReadTensorInto(BlobReader* reader, const Tensor& target);
+
+/// An ordered list of (name, tensor) — the unit model weights are saved as.
+using NamedTensor = std::pair<std::string, Tensor>;
+
+/// Writes a named tensor map (u32 count, then name + tensor per entry).
+void WriteNamedTensors(const std::vector<NamedTensor>& tensors,
+                       BlobWriter* writer);
+
+/// Reads a named tensor map written by `WriteNamedTensors` into the given
+/// tensors in place. Names and shapes must match exactly, in order — a
+/// mismatch means the file belongs to a different architecture and is
+/// rejected.
+Status ReadNamedTensorsInto(BlobReader* reader,
+                            const std::vector<NamedTensor>& targets);
+
+// -- Checkpoint files -------------------------------------------------------
+
+/// First bytes of every checkpoint file.
+inline constexpr char kCheckpointMagic[4] = {'A', 'D', 'M', 'L'};
+/// Bumped on any incompatible format change; readers reject other versions.
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Writes `contents` to `path` crash-safely: temp file in the same
+/// directory, fsync, atomic rename, fsync of the directory.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Assembles a checkpoint: header + named sections, each independently
+/// CRC32-protected.
+class CheckpointWriter {
+ public:
+  /// Adds a section; names must be unique within one file.
+  void AddSection(std::string name, std::string payload);
+
+  /// Serializes header + all sections to one byte string.
+  std::string Serialize() const;
+
+  /// Serializes and writes crash-safely to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parses and validates a checkpoint produced by `CheckpointWriter`:
+/// magic, version, section framing, and every section's CRC32 are checked
+/// up front, so any `Section()` you obtain is known-intact.
+class CheckpointReader {
+ public:
+  CheckpointReader() = default;
+
+  /// Parses from an in-memory byte string (takes ownership of the bytes).
+  static StatusOr<CheckpointReader> Parse(std::string contents);
+
+  /// Reads and parses `path`.
+  static StatusOr<CheckpointReader> ReadFile(const std::string& path);
+
+  bool HasSection(const std::string& name) const;
+
+  /// Returns a reader over the named section's payload. The payload view
+  /// borrows from this `CheckpointReader`, which must stay alive.
+  StatusOr<BlobReader> Section(const std::string& name) const;
+
+ private:
+  std::string contents_;
+  // (name, payload offset, payload size) into contents_.
+  std::vector<std::pair<std::string, std::pair<size_t, size_t>>> sections_;
+};
+
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_SERIALIZE_H_

@@ -1,0 +1,571 @@
+// End-to-end checkpoint tests: model/extractor/optimizer/RNG round trips,
+// crash-safe training resume (bitwise identical to uninterrupted runs), and
+// rejection of corrupt, truncated, or mismatched checkpoint files.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepmatcher.h"
+#include "baselines/tler.h"
+#include "common/rng.h"
+#include "core/features.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace adamel::core {
+namespace {
+
+data::Record MakeRecord(std::vector<std::string> values) {
+  data::Record record;
+  record.id = "r";
+  record.source = "s";
+  record.values = std::move(values);
+  return record;
+}
+
+data::LabeledPair MakePair(std::vector<std::string> left,
+                           std::vector<std::string> right, int label) {
+  data::LabeledPair pair;
+  pair.left = MakeRecord(std::move(left));
+  pair.right = MakeRecord(std::move(right));
+  pair.label = label;
+  return pair;
+}
+
+// Pairs match iff the "key" attribute shares its token.
+data::PairDataset ToyDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  data::PairDataset dataset(data::Schema({"key", "noise"}));
+  for (int i = 0; i < n; ++i) {
+    const bool match = rng.Bernoulli(0.5);
+    const std::string key = "key" + std::to_string(rng.UniformInt(50));
+    const std::string other =
+        match ? key : "key" + std::to_string(rng.UniformInt(50) + 50);
+    dataset.Add(MakePair({key, "blah" + std::to_string(rng.UniformInt(9))},
+                         {other, "blub" + std::to_string(rng.UniformInt(9))},
+                         match ? data::kMatch : data::kNonMatch));
+  }
+  return dataset;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Flips one byte of the file at `path`, well inside the payload region.
+void CorruptFile(const std::string& path) {
+  StatusOr<std::string> contents = nn::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string bytes = std::move(contents).value();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(nn::AtomicWriteFile(path, bytes).ok());
+}
+
+// -------------------------------------------------------------- extractor
+
+TEST(FeatureExtractorCheckpointTest, RoundTripFeaturizesIdentically) {
+  text::TokenizerOptions tokenizer;
+  tokenizer.lowercase = false;
+  tokenizer.crop_size = 7;
+  const FeatureExtractor original(data::Schema({"name", "addr"}),
+                                  FeatureMode::kSharedOnly, 24, tokenizer);
+  nn::BlobWriter writer;
+  original.Save(&writer);
+  nn::BlobReader reader(writer.buffer());
+  StatusOr<std::shared_ptr<FeatureExtractor>> restored =
+      FeatureExtractor::Load(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ((*restored)->feature_names(), original.feature_names());
+  EXPECT_EQ((*restored)->embed_dim(), original.embed_dim());
+  EXPECT_EQ((*restored)->mode(), original.mode());
+  const data::LabeledPair pair =
+      MakePair({"Alice B", "12 Main St"}, {"alice b", "12 main st"},
+               data::kMatch);
+  EXPECT_EQ((*restored)->FeaturizePair(pair), original.FeaturizePair(pair));
+}
+
+TEST(FeatureExtractorCheckpointTest, RejectsTruncatedBlob) {
+  const FeatureExtractor original(data::Schema({"a"}),
+                                  FeatureMode::kSharedAndUnique, 8);
+  nn::BlobWriter writer;
+  original.Save(&writer);
+  nn::BlobReader reader(
+      std::string_view(writer.buffer()).substr(0, writer.buffer().size() / 2));
+  EXPECT_FALSE(FeatureExtractor::Load(&reader).ok());
+}
+
+// ------------------------------------------------------------------ model
+
+TEST(AdamelModelCheckpointTest, RoundTripIsBitwise) {
+  AdamelConfig config;
+  Rng rng(11);
+  const AdamelModel original(4, config, &rng);
+  nn::BlobWriter writer;
+  original.Save(&writer);
+
+  nn::BlobReader reader(writer.buffer());
+  StatusOr<std::shared_ptr<AdamelModel>> restored = AdamelModel::Load(&reader);
+  ASSERT_TRUE(restored.ok());
+
+  const auto original_params = original.NamedParameters();
+  const auto restored_params = (*restored)->NamedParameters();
+  ASSERT_EQ(original_params.size(), restored_params.size());
+  for (size_t i = 0; i < original_params.size(); ++i) {
+    EXPECT_EQ(restored_params[i].first, original_params[i].first);
+    EXPECT_EQ(restored_params[i].second.data(), original_params[i].second.data())
+        << "parameter " << original_params[i].first;
+  }
+}
+
+TEST(AdamelModelCheckpointTest, LoadRejectsGarbage) {
+  nn::BlobReader reader("not a model blob");
+  EXPECT_FALSE(AdamelModel::Load(&reader).ok());
+}
+
+// -------------------------------------------------------------- optimizer
+
+TEST(OptimizerCheckpointTest, AdamResumesBitwise) {
+  // Two optimizers on identical problems: one runs 10 steps straight, the
+  // other is snapshotted at step 5 and restored into a fresh Adam. The
+  // final weights must match bitwise (moments AND step count carry over).
+  Rng rng(7);
+  const nn::Tensor x = nn::Tensor::RandomNormal(16, 3, 1.0f, &rng);
+  auto make_param = [] {
+    return nn::Tensor::Full(3, 1, 0.5f, /*requires_grad=*/true);
+  };
+  auto step = [&x](const nn::Tensor& w, nn::Adam* adam) {
+    adam->ZeroGrad();
+    nn::Tensor loss = nn::Mean(nn::Square(nn::MatMul(x, w)));
+    loss.Backward();
+    adam->Step();
+  };
+
+  const nn::Tensor w_straight = make_param();
+  nn::Adam adam_straight({w_straight}, 0.05f);
+  for (int i = 0; i < 10; ++i) {
+    step(w_straight, &adam_straight);
+  }
+
+  const nn::Tensor w_first = make_param();
+  nn::Adam adam_first({w_first}, 0.05f);
+  for (int i = 0; i < 5; ++i) {
+    step(w_first, &adam_first);
+  }
+  nn::BlobWriter state;
+  adam_first.SaveState(&state);
+  nn::BlobWriter params;
+  nn::WriteTensor(w_first, &params);
+
+  const nn::Tensor w_resumed = make_param();
+  nn::BlobReader params_reader(params.buffer());
+  ASSERT_TRUE(nn::ReadTensorInto(&params_reader, w_resumed).ok());
+  nn::Adam adam_resumed({w_resumed}, 0.05f);
+  nn::BlobReader state_reader(state.buffer());
+  ASSERT_TRUE(adam_resumed.LoadState(&state_reader).ok());
+  for (int i = 0; i < 5; ++i) {
+    step(w_resumed, &adam_resumed);
+  }
+
+  EXPECT_EQ(w_resumed.data(), w_straight.data());
+}
+
+TEST(OptimizerCheckpointTest, SgdStateRoundTrips) {
+  const nn::Tensor w = nn::Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  nn::Sgd sgd({w}, 0.1f, /*momentum=*/0.9f);
+  nn::Tensor loss = nn::Sum(nn::Square(w));
+  loss.Backward();
+  sgd.Step();
+
+  nn::BlobWriter writer;
+  sgd.SaveState(&writer);
+  const nn::Tensor w2 = nn::Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  nn::Sgd restored({w2}, 0.1f, 0.9f);
+  nn::BlobReader reader(writer.buffer());
+  EXPECT_TRUE(restored.LoadState(&reader).ok());
+}
+
+TEST(OptimizerCheckpointTest, LoadRejectsWrongParameterCount) {
+  const nn::Tensor w = nn::Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  nn::Adam adam({w}, 0.05f);
+  nn::BlobWriter writer;
+  adam.SaveState(&writer);
+
+  const nn::Tensor a = nn::Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  const nn::Tensor b = nn::Tensor::Full(1, 2, 1.0f, /*requires_grad=*/true);
+  nn::Adam other({a, b}, 0.05f);
+  nn::BlobReader reader(writer.buffer());
+  EXPECT_FALSE(other.LoadState(&reader).ok());
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngCheckpointTest, StateRoundTripContinuesIdentically) {
+  Rng rng(123);
+  // Exercise both the integer path and the Box-Muller cache.
+  (void)rng.Normal();
+  (void)rng.UniformInt(1000);
+  const RngState snapshot = rng.GetState();
+
+  std::vector<double> expected;
+  for (int i = 0; i < 20; ++i) {
+    expected.push_back(rng.Normal());
+    expected.push_back(static_cast<double>(rng.UniformInt(1 << 20)));
+  }
+
+  Rng other(999);  // different seed, then overwritten by the snapshot
+  other.SetState(snapshot);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(other.Normal(), expected[2 * i]);
+    EXPECT_EQ(static_cast<double>(other.UniformInt(1 << 20)),
+              expected[2 * i + 1]);
+  }
+}
+
+// ----------------------------------------------------------- trained model
+
+TEST(TrainedAdamelCheckpointTest, FileRoundTripPredictsBitwise) {
+  const data::PairDataset train = ToyDataset(80, 31);
+  const data::PairDataset test = ToyDataset(40, 32);
+  AdamelConfig config;
+  config.epochs = 4;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  const TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+
+  const std::string path = TempPath("trained_roundtrip.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ((*loaded)->Predict(test), trained.Predict(test));
+  EXPECT_EQ((*loaded)->ParameterCount(), trained.ParameterCount());
+}
+
+TEST(TrainedAdamelCheckpointTest, RejectsCorruptFile) {
+  const data::PairDataset train = ToyDataset(60, 33);
+  AdamelConfig config;
+  config.epochs = 1;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  const TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+
+  const std::string path = TempPath("trained_corrupt.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  CorruptFile(path);
+  const StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainedAdamelCheckpointTest, RejectsTruncatedFile) {
+  const data::PairDataset train = ToyDataset(60, 34);
+  AdamelConfig config;
+  config.epochs = 1;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  const TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+
+  const std::string path = TempPath("trained_truncated.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  StatusOr<std::string> contents = nn::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(nn::AtomicWriteFile(
+                  path, contents->substr(0, contents->size() / 3))
+                  .ok());
+  EXPECT_FALSE(TrainedAdamel::LoadFromFile(path).ok());
+}
+
+TEST(TrainedAdamelCheckpointTest, RejectsUnsupportedVersion) {
+  const data::PairDataset train = ToyDataset(60, 35);
+  AdamelConfig config;
+  config.epochs = 1;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  const TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+
+  const std::string path = TempPath("trained_version.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  StatusOr<std::string> contents = nn::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string bytes = std::move(contents).value();
+  bytes[4] = static_cast<char>(nn::kCheckpointVersion + 1);
+  ASSERT_TRUE(nn::AtomicWriteFile(path, bytes).ok());
+  const StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainedAdamelCheckpointTest, MissingFileIsIoError) {
+  EXPECT_EQ(TrainedAdamel::LoadFromFile("/nonexistent/model.ckpt")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------------ resume
+
+TEST(FitWithCheckpointTest, ResumeEqualsUninterruptedRun) {
+  // The strongest guarantee the checkpoint subsystem makes: interrupting
+  // training at an epoch boundary and resuming from the file continues the
+  // exact same trajectory — same weights, Adam moments, RNG stream, and
+  // shuffled permutation — so predictions AND history match bitwise. kHyb
+  // exercises every stochastic code path (shuffle, target sampling, support
+  // sampling, centroid sampling).
+  const data::PairDataset train = ToyDataset(100, 41);
+  const data::PairDataset target = ToyDataset(60, 42).WithoutLabels();
+  const data::PairDataset support = ToyDataset(20, 43);
+  const data::PairDataset test = ToyDataset(40, 44);
+  AdamelConfig config;
+  config.epochs = 6;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  inputs.target_unlabeled = &target;
+  inputs.support = &support;
+
+  std::vector<EpochStats> uninterrupted_history;
+  const TrainedAdamel uninterrupted =
+      trainer.Fit(AdamelVariant::kHyb, inputs, &uninterrupted_history);
+
+  const std::string path = TempPath("resume_test.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  options.max_epochs_this_run = 2;  // simulate a crash after 2 epochs
+  StatusOr<std::shared_ptr<TrainedAdamel>> partial =
+      trainer.FitWithCheckpoint(AdamelVariant::kHyb, inputs, options);
+  ASSERT_TRUE(partial.ok());
+
+  options.max_epochs_this_run = 0;  // resume to completion
+  std::vector<EpochStats> resumed_history;
+  StatusOr<std::shared_ptr<TrainedAdamel>> resumed = trainer.FitWithCheckpoint(
+      AdamelVariant::kHyb, inputs, options, &resumed_history);
+  ASSERT_TRUE(resumed.ok());
+
+  EXPECT_EQ((*resumed)->Predict(test), uninterrupted.Predict(test));
+  ASSERT_EQ(resumed_history.size(), uninterrupted_history.size());
+  for (size_t e = 0; e < resumed_history.size(); ++e) {
+    EXPECT_EQ(resumed_history[e].base_loss, uninterrupted_history[e].base_loss)
+        << "epoch " << e;
+    EXPECT_EQ(resumed_history[e].target_loss,
+              uninterrupted_history[e].target_loss);
+    EXPECT_EQ(resumed_history[e].support_loss,
+              uninterrupted_history[e].support_loss);
+  }
+}
+
+TEST(FitWithCheckpointTest, CompletedCheckpointShortCircuits) {
+  // Resuming a checkpoint that already holds all epochs runs zero further
+  // epochs and reproduces the same model.
+  const data::PairDataset train = ToyDataset(60, 45);
+  const data::PairDataset test = ToyDataset(30, 46);
+  AdamelConfig config;
+  config.epochs = 3;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  const std::string path = TempPath("completed_test.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  StatusOr<std::shared_ptr<TrainedAdamel>> first =
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options);
+  ASSERT_TRUE(first.ok());
+  StatusOr<std::shared_ptr<TrainedAdamel>> second =
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->Predict(test), (*first)->Predict(test));
+}
+
+TEST(FitWithCheckpointTest, RejectsVariantMismatch) {
+  const data::PairDataset train = ToyDataset(60, 47);
+  AdamelConfig config;
+  config.epochs = 2;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  const std::string path = TempPath("variant_mismatch.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  ASSERT_TRUE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+
+  const data::PairDataset target = ToyDataset(30, 48).WithoutLabels();
+  inputs.target_unlabeled = &target;
+  const StatusOr<std::shared_ptr<TrainedAdamel>> mismatched =
+      trainer.FitWithCheckpoint(AdamelVariant::kZero, inputs, options);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FitWithCheckpointTest, RejectsConfigMismatch) {
+  const data::PairDataset train = ToyDataset(60, 49);
+  AdamelConfig config;
+  config.epochs = 4;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  const std::string path = TempPath("config_mismatch.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  options.max_epochs_this_run = 1;
+  ASSERT_TRUE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+
+  AdamelConfig other = config;
+  other.learning_rate *= 2.0f;
+  const AdamelTrainer other_trainer(other);
+  const StatusOr<std::shared_ptr<TrainedAdamel>> mismatched =
+      other_trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FitWithCheckpointTest, RejectsCorruptTrainState) {
+  const data::PairDataset train = ToyDataset(60, 50);
+  AdamelConfig config;
+  config.epochs = 4;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  const std::string path = TempPath("corrupt_train_state.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  options.max_epochs_this_run = 1;
+  ASSERT_TRUE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+  CorruptFile(path);
+  options.max_epochs_this_run = 0;
+  EXPECT_FALSE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+}
+
+TEST(FitWithCheckpointTest, ValidatesOptions) {
+  const data::PairDataset train = ToyDataset(20, 51);
+  const AdamelTrainer trainer;
+  MelInputs inputs;
+  inputs.source_train = &train;
+  FitCheckpointOptions options;  // empty path
+  EXPECT_EQ(trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  options.path = TempPath("bad_save_every.ckpt");
+  options.save_every = 0;
+  EXPECT_FALSE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+}
+
+TEST(FitWithCheckpointTest, TrainStateFileIsNotATrainedModel) {
+  const data::PairDataset train = ToyDataset(40, 52);
+  AdamelConfig config;
+  config.epochs = 1;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  const std::string path = TempPath("kind_mismatch.ckpt");
+  std::remove(path.c_str());
+  FitCheckpointOptions options;
+  options.path = path;
+  ASSERT_TRUE(
+      trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options).ok());
+  const StatusOr<std::shared_ptr<TrainedAdamel>> wrong_kind =
+      TrainedAdamel::LoadFromFile(path);
+  EXPECT_FALSE(wrong_kind.ok());
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------- EntityLinkageModel API
+
+TEST(LinkageCheckpointTest, AdamelLinkageRoundTrips) {
+  const data::PairDataset train = ToyDataset(60, 53);
+  const data::PairDataset test = ToyDataset(30, 54);
+  AdamelConfig config;
+  config.epochs = 2;
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  AdamelLinkage original(AdamelVariant::kBase, config);
+  original.Fit(inputs);
+  const std::string path = TempPath("linkage_roundtrip.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  AdamelLinkage restored(AdamelVariant::kBase, config);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.PredictScores(test), original.PredictScores(test));
+}
+
+TEST(LinkageCheckpointTest, SaveBeforeFitFails) {
+  const AdamelLinkage unfitted(AdamelVariant::kBase);
+  EXPECT_EQ(unfitted.SaveCheckpoint(TempPath("nope.ckpt")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LinkageCheckpointTest, TlerRoundTrips) {
+  const data::PairDataset train = ToyDataset(60, 55);
+  const data::PairDataset test = ToyDataset(30, 56);
+  MelInputs inputs;
+  inputs.source_train = &train;
+
+  baselines::TlerModel original;
+  original.Fit(inputs);
+  const std::string path = TempPath("tler_roundtrip.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  baselines::TlerModel restored;
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.PredictScores(test), original.PredictScores(test));
+  EXPECT_EQ(restored.ParameterCount(), original.ParameterCount());
+}
+
+TEST(LinkageCheckpointTest, TlerRejectsAdamelFile) {
+  const data::PairDataset train = ToyDataset(40, 57);
+  AdamelConfig config;
+  config.epochs = 1;
+  MelInputs inputs;
+  inputs.source_train = &train;
+  AdamelLinkage adamel(AdamelVariant::kBase, config);
+  adamel.Fit(inputs);
+  const std::string path = TempPath("adamel_for_tler.ckpt");
+  ASSERT_TRUE(adamel.SaveCheckpoint(path).ok());
+
+  baselines::TlerModel tler;
+  const Status loaded = tler.LoadCheckpoint(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinkageCheckpointTest, UnsupportedModelDeclinesPolitely) {
+  baselines::DeepMatcherModel model;
+  EXPECT_EQ(model.SaveCheckpoint(TempPath("dm.ckpt")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(model.LoadCheckpoint(TempPath("dm.ckpt")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace adamel::core

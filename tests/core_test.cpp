@@ -301,6 +301,30 @@ TEST(AdamelTrainerTest, FewVariantUsesSupportLoss) {
   EXPECT_EQ(history.front().target_loss, 0.0);
 }
 
+TEST(AdamelTrainerTest, SupportLossAveragedOverSupportStepsOnly) {
+  // Regression: with support_every > 1 the support loss used to be divided
+  // by the total batch count even though it was only computed on every k-th
+  // batch, understating it by a factor of ~k. With batch_size 32 over 320
+  // pairs there are 10 batches; support_every = 10 means exactly one
+  // support step per epoch. An untrained model's unweighted BCE is ~ln 2 ≈
+  // 0.69 — the buggy average reported ~0.069.
+  const data::PairDataset train = ToyDataset(320, 19);
+  const data::PairDataset support = ToyDataset(20, 20);
+  AdamelConfig config;
+  config.epochs = 1;
+  config.batch_size = 32;
+  config.support_every = 10;
+  config.support_deviation_weights = false;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  inputs.support = &support;
+  std::vector<EpochStats> history;
+  trainer.Fit(AdamelVariant::kFew, inputs, &history);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_GT(history.front().support_loss, 0.3);
+}
+
 TEST(AdamelTrainerTest, LambdaOneDisablesBaseSupervision) {
   // At lambda = 1 the model has no label supervision (Figure 8's cliff):
   // predictions should be near-chance on the toy task.

@@ -193,6 +193,52 @@ TEST(CsvTest, HandlesCrLfAndEmbeddedNewlines) {
   EXPECT_EQ(table->rows[0][0], "line1\nline2");
 }
 
+TEST(CsvTest, BareCrTerminatesRow) {
+  // Classic-Mac line endings: every "\r" is a row terminator. This used to
+  // parse as one giant concatenated row because the "\r" was dropped.
+  const auto table = ParseCsv("a,b\r1,2\r3,4\r");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, MixedLineEndingsParseIdentically) {
+  const auto lf = ParseCsv("a,b\n1,2\n3,4\n");
+  const auto crlf = ParseCsv("a,b\r\n1,2\r\n3,4\r\n");
+  const auto cr = ParseCsv("a,b\r1,2\r3,4\r");
+  const auto mixed = ParseCsv("a,b\r\n1,2\r3,4\n");
+  ASSERT_TRUE(lf.ok());
+  ASSERT_TRUE(crlf.ok());
+  ASSERT_TRUE(cr.ok());
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(crlf->rows, lf->rows);
+  EXPECT_EQ(cr->rows, lf->rows);
+  EXPECT_EQ(mixed->rows, lf->rows);
+}
+
+TEST(CsvTest, CrlfDoesNotProduceEmptyRows) {
+  // The LF of a CRLF pair must be consumed with the CR, not read as a
+  // second, empty row terminator.
+  const auto table = ParseCsv("a\r\n\r\n1\r\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "1");
+}
+
+TEST(CsvTest, QuotedCarriageReturnSurvivesRoundTrip) {
+  // A "\r" inside a field is data, not a row break; the writer quotes it
+  // and the parser must preserve it through a round trip.
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"mac", "line1\rline2"}, {"win", "line1\r\nline2"}};
+  const auto reparsed = ParseCsv(FormatCsv(table));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
 TEST(CsvTest, RejectsRaggedRows) {
   const auto table = ParseCsv("a,b\n1,2,3\n");
   EXPECT_FALSE(table.ok());

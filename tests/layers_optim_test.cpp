@@ -3,6 +3,7 @@
 // convergence on small learnable problems.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -227,8 +228,9 @@ TEST(ClipGradNormTest, ScalesDownLargeGradients) {
   Tensor x = Tensor::FromVector(1, 2, {1.0f, 1.0f}, true);
   Tensor loss = Sum(MulScalar(x, 300.0f));
   loss.Backward();
-  const float norm_before = ClipGradNorm({x}, 1.0f);
-  EXPECT_NEAR(norm_before, 300.0f * std::sqrt(2.0f), 1.0f);
+  const GradClipResult clip = ClipGradNorm({x}, 1.0f);
+  EXPECT_TRUE(clip.finite);
+  EXPECT_NEAR(clip.norm, 300.0f * std::sqrt(2.0f), 1.0f);
   double norm_after = 0.0;
   for (float g : x.grad()) {
     norm_after += g * g;
@@ -240,8 +242,27 @@ TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
   Tensor x = Tensor::FromVector(1, 2, {1.0f, 1.0f}, true);
   Tensor loss = Sum(MulScalar(x, 0.1f));
   loss.Backward();
-  ClipGradNorm({x}, 10.0f);
+  EXPECT_TRUE(ClipGradNorm({x}, 10.0f).finite);
   EXPECT_FLOAT_EQ(x.grad()[0], 0.1f);
+}
+
+TEST(ClipGradNormTest, ReportsNonFiniteGradientsWithoutScaling) {
+  // Regression: an Inf gradient used to produce a NaN scale factor that was
+  // multiplied into EVERY parameter's gradient, so one overflow poisoned the
+  // whole model on the next optimizer step. Now the clip must leave the
+  // gradients untouched and report finite=false so callers skip the step.
+  Tensor x = Tensor::FromVector(1, 1, {1.0f}, true);
+  Tensor y = Tensor::FromVector(1, 2, {1.0f, 1.0f}, true);
+  // d/dx (1e30*x)^2 = 2e60*x overflows float: x's gradient becomes Inf.
+  Tensor loss = Add(Sum(Square(MulScalar(x, 1e30f))), Sum(y));
+  loss.Backward();
+  ASSERT_FALSE(std::isfinite(x.grad()[0]));
+  const GradClipResult clip = ClipGradNorm({x, y}, 1.0f);
+  EXPECT_FALSE(clip.finite);
+  EXPECT_FALSE(std::isfinite(clip.norm));
+  // The healthy parameter's gradient must not have been scaled by NaN.
+  EXPECT_FLOAT_EQ(y.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(y.grad()[1], 1.0f);
 }
 
 TEST(ModuleTest, ZeroGradClearsAllParameters) {

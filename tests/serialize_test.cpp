@@ -1,0 +1,343 @@
+// Tests for the binary checkpoint substrate (src/nn/serialize): CRC32,
+// little-endian blob IO, tensor (de)serialization, and the checkpoint file
+// container with its corruption defenses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+namespace {
+
+// ------------------------------------------------------------------ CRC32
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE-802.3 check value.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, ChainingEqualsOneShot) {
+  const char data[] = "checkpoint payload bytes";
+  const uint32_t whole = Crc32(data, sizeof(data) - 1);
+  const uint32_t first = Crc32(data, 10);
+  const uint32_t chained = Crc32(data + 10, sizeof(data) - 1 - 10, first);
+  EXPECT_EQ(chained, whole);
+}
+
+// ---------------------------------------------------------------- blob IO
+
+TEST(BlobTest, PrimitiveRoundTrip) {
+  BlobWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI32(-42);
+  writer.WriteI64(-(1ll << 40));
+  writer.WriteF32(3.25f);
+  writer.WriteF64(-2.5e-300);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  writer.WriteString("héllo");
+  writer.WriteFloats({1.0f, -0.0f, 2.5f});
+
+  BlobReader reader(writer.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  bool b1 = false, b2 = true;
+  std::string str;
+  std::vector<float> floats;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI32(&i32).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f32).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  ASSERT_TRUE(reader.ReadBool(&b1).ok());
+  ASSERT_TRUE(reader.ReadBool(&b2).ok());
+  ASSERT_TRUE(reader.ReadString(&str).ok());
+  ASSERT_TRUE(reader.ReadFloats(&floats).ok());
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -(1ll << 40));
+  EXPECT_EQ(f32, 3.25f);
+  EXPECT_EQ(f64, -2.5e-300);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(str, "héllo");
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, -0.0f, 2.5f}));
+}
+
+TEST(BlobTest, LittleEndianOnTheWire) {
+  BlobWriter writer;
+  writer.WriteU32(0x01020304);
+  const std::string& bytes = writer.buffer();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(BlobTest, TruncatedReadFailsWithoutCrashing) {
+  BlobWriter writer;
+  writer.WriteU32(7);
+  BlobReader reader(writer.buffer());
+  uint64_t value = 0;
+  const Status status = reader.ReadU64(&value);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlobTest, TruncatedStringFails) {
+  BlobWriter writer;
+  writer.WriteU32(100);  // length prefix promising more bytes than exist
+  writer.WriteRaw("abc");
+  BlobReader reader(writer.buffer());
+  std::string value;
+  EXPECT_FALSE(reader.ReadString(&value).ok());
+}
+
+TEST(BlobTest, HugeFloatCountDoesNotOverflow) {
+  // A corrupted element count near 2^64 must not wrap around the byte-size
+  // computation and pass the bounds check.
+  BlobWriter writer;
+  writer.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  BlobReader reader(writer.buffer());
+  std::vector<float> values;
+  EXPECT_FALSE(reader.ReadFloats(&values).ok());
+}
+
+TEST(BlobTest, BadBoolByteRejected) {
+  BlobWriter writer;
+  writer.WriteU8(2);
+  BlobReader reader(writer.buffer());
+  bool value = false;
+  EXPECT_FALSE(reader.ReadBool(&value).ok());
+}
+
+// -------------------------------------------------------------- tensor IO
+
+TEST(TensorIoTest, RoundTripIsBitwise) {
+  Rng rng(3);
+  const Tensor original = Tensor::RandomNormal(4, 5, 1.0f, &rng);
+  BlobWriter writer;
+  WriteTensor(original, &writer);
+  BlobReader reader(writer.buffer());
+  StatusOr<Tensor> restored = ReadTensor(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->rows(), 4);
+  EXPECT_EQ(restored->cols(), 5);
+  EXPECT_EQ(restored->data(), original.data());
+}
+
+TEST(TensorIoTest, RequiresGradSurvives) {
+  const Tensor grad_tensor = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  BlobWriter writer;
+  WriteTensor(grad_tensor, &writer);
+  BlobReader reader(writer.buffer());
+  StatusOr<Tensor> restored = ReadTensor(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->requires_grad());
+}
+
+TEST(TensorIoTest, ReadIntoWritesThroughSharedStorage) {
+  // Tensor handles share storage; loading "into" a parameter must update
+  // every alias (this is how optimizer-held handles see restored weights).
+  const Tensor saved = Tensor::Full(2, 3, 7.5f);
+  BlobWriter writer;
+  WriteTensor(saved, &writer);
+
+  Tensor parameter = Tensor::Zeros(2, 3);
+  Tensor alias = parameter;  // shares storage
+  BlobReader reader(writer.buffer());
+  ASSERT_TRUE(ReadTensorInto(&reader, parameter).ok());
+  EXPECT_EQ(alias.At(1, 2), 7.5f);
+}
+
+TEST(TensorIoTest, ReadIntoRejectsShapeMismatch) {
+  const Tensor saved = Tensor::Zeros(2, 3);
+  BlobWriter writer;
+  WriteTensor(saved, &writer);
+  BlobReader reader(writer.buffer());
+  const Tensor wrong_shape = Tensor::Zeros(3, 2);
+  const Status status = ReadTensorInto(&reader, wrong_shape);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NamedTensorsTest, RoundTrip) {
+  Rng rng(5);
+  const Tensor w = Tensor::RandomNormal(3, 3, 1.0f, &rng);
+  const Tensor b = Tensor::RandomNormal(1, 3, 1.0f, &rng);
+  BlobWriter writer;
+  WriteNamedTensors({{"w", w}, {"b", b}}, &writer);
+
+  const Tensor w2 = Tensor::Zeros(3, 3);
+  const Tensor b2 = Tensor::Zeros(1, 3);
+  BlobReader reader(writer.buffer());
+  ASSERT_TRUE(ReadNamedTensorsInto(&reader, {{"w", w2}, {"b", b2}}).ok());
+  EXPECT_EQ(w2.data(), w.data());
+  EXPECT_EQ(b2.data(), b.data());
+}
+
+TEST(NamedTensorsTest, NameMismatchRejected) {
+  BlobWriter writer;
+  WriteNamedTensors({{"weight", Tensor::Zeros(2, 2)}}, &writer);
+  BlobReader reader(writer.buffer());
+  const Status status =
+      ReadNamedTensorsInto(&reader, {{"bias", Tensor::Zeros(2, 2)}});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NamedTensorsTest, CountMismatchRejected) {
+  BlobWriter writer;
+  WriteNamedTensors({{"w", Tensor::Zeros(2, 2)}}, &writer);
+  BlobReader reader(writer.buffer());
+  const Status status = ReadNamedTensorsInto(
+      &reader, {{"w", Tensor::Zeros(2, 2)}, {"b", Tensor::Zeros(1, 2)}});
+  EXPECT_FALSE(status.ok());
+}
+
+// ------------------------------------------------------- checkpoint files
+
+std::string OneSectionFile(const std::string& payload) {
+  CheckpointWriter writer;
+  writer.AddSection("data", payload);
+  return writer.Serialize();
+}
+
+TEST(CheckpointTest, SectionsRoundTrip) {
+  CheckpointWriter writer;
+  writer.AddSection("alpha", "first payload");
+  writer.AddSection("beta", "second");
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(
+      writer.Serialize());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->HasSection("alpha"));
+  EXPECT_TRUE(reader->HasSection("beta"));
+  EXPECT_FALSE(reader->HasSection("gamma"));
+
+  StatusOr<BlobReader> section = reader->Section("alpha");
+  ASSERT_TRUE(section.ok());
+  std::string_view bytes;
+  ASSERT_TRUE(section->ReadRaw(13, &bytes).ok());
+  EXPECT_EQ(bytes, "first payload");
+}
+
+TEST(CheckpointTest, MissingSectionIsNotFound) {
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(OneSectionFile("x"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->Section("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, RejectsBadMagic) {
+  std::string file = OneSectionFile("payload");
+  file[0] = 'X';
+  const StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(std::move(file));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsFutureVersion) {
+  std::string file = OneSectionFile("payload");
+  file[4] = static_cast<char>(kCheckpointVersion + 1);  // little-endian LSB
+  const StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(std::move(file));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RejectsFlippedPayloadByte) {
+  std::string file = OneSectionFile("payload bytes under CRC");
+  // Flip one bit in the payload (stored at the tail of the file).
+  file[file.size() - 3] ^= 0x10;
+  const StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(std::move(file));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("CRC32"), std::string::npos);
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  const std::string file = OneSectionFile("payload");
+  // Every proper prefix must be rejected, whatever the cut point.
+  for (size_t keep = 0; keep < file.size(); ++keep) {
+    const StatusOr<CheckpointReader> reader =
+        CheckpointReader::Parse(file.substr(0, keep));
+    EXPECT_FALSE(reader.ok()) << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+TEST(CheckpointTest, RejectsTrailingGarbage) {
+  const StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(OneSectionFile("payload") + "junk");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(CheckpointTest, RejectsForeignFile) {
+  const StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse("name,value\nfoo,1\n");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ file writes
+
+TEST(AtomicWriteTest, WritesAndOverwrites) {
+  const std::string path = ::testing::TempDir() + "/adamel_atomic_test.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "first");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer contents").ok());
+  contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "second, longer contents");
+}
+
+TEST(AtomicWriteTest, MissingDirectoryIsIoError) {
+  const Status status =
+      AtomicWriteFile("/nonexistent_dir_xyz/file.bin", "data");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/adamel_ckpt_test.ckpt";
+  CheckpointWriter writer;
+  writer.AddSection("data", "some payload");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  const StatusOr<CheckpointReader> reader = CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->HasSection("data"));
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  EXPECT_EQ(CheckpointReader::ReadFile("/nonexistent/nope.ckpt")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace adamel::nn
