@@ -17,7 +17,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   datagen::MusicTaskOptions task_options;
   task_options.entity_type = datagen::MusicEntityType::kArtist;
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
                     options.output_dir.c_str(),
                     variant == core::AdamelVariant::kZero ? "zero" : "hyb",
                     static_cast<int>(lambda * 100));
-      (void)tsne_csv.WriteCsv(path);
+      bench::WarnIfError(tsne_csv.WriteCsv(path), std::string("writing ") + path);
     }
   }
 

@@ -64,7 +64,8 @@ std::vector<std::pair<std::string, double>> AttributeImportance(
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   struct DatasetSpec {
     std::string name;
@@ -167,8 +168,11 @@ int main(int argc, char** argv) {
       "\nPaper reference (Table 5): top attributes alone match or beat all "
       "attributes (e.g. monitor 0.9479 with 3 vs 0.9258 with 13); the "
       "'other' attributes alone are far worse.\n");
-  (void)top5_table.WriteCsv(options.output_dir + "/attention_top5.csv");
-  (void)subset_table.WriteCsv(options.output_dir +
-                              "/attention_subsets.csv");
+  bench::WarnIfError(
+      top5_table.WriteCsv(options.output_dir + "/attention_top5.csv"),
+      "writing attention_top5.csv");
+  bench::WarnIfError(
+      subset_table.WriteCsv(options.output_dir + "/attention_subsets.csv"),
+      "writing attention_subsets.csv");
   return 0;
 }

@@ -16,7 +16,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   datagen::MonitorTaskOptions task_options;
   task_options.seed = 11;
@@ -120,7 +121,10 @@ int main(int argc, char** argv) {
       "prod_type differ significantly between the source and target "
       "domain.\n");
 
-  (void)fig11.WriteCsv(options.output_dir + "/data_missing_values.csv");
-  (void)fig12.WriteCsv(options.output_dir + "/data_token_freq.csv");
+  bench::WarnIfError(
+      fig11.WriteCsv(options.output_dir + "/data_missing_values.csv"),
+      "writing data_missing_values.csv");
+  bench::WarnIfError(fig12.WriteCsv(options.output_dir + "/data_token_freq.csv"),
+              "writing data_token_freq.csv");
   return 0;
 }

@@ -19,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   const datagen::MonitorIncrementalSeries series =
       datagen::MakeMonitorIncrementalSeries(11);
@@ -55,9 +56,11 @@ int main(int argc, char** argv) {
       inputs.source_train = &series.train;
       inputs.target_unlabeled = &target_unlabeled;
       inputs.support = &series.support;
+      // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
       const auto start = std::chrono::steady_clock::now();
       model->Fit(inputs);
       total_runtime[m] +=
+          // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
@@ -88,7 +91,11 @@ int main(int argc, char** argv) {
       "steps and trains in 319s vs CorDel 906s and EntityMatcher 2500s; "
       "AdaMEL has ~2.2M parameters vs EntityMatcher ~123M (ratio, not "
       "absolute scale, is the reproduced quantity).\n");
-  (void)table.WriteCsv(options.output_dir + "/incremental_sources.csv");
-  (void)summary.WriteCsv(options.output_dir + "/incremental_summary.csv");
+  bench::WarnIfError(
+      table.WriteCsv(options.output_dir + "/incremental_sources.csv"),
+      "writing incremental_sources.csv");
+  bench::WarnIfError(
+      summary.WriteCsv(options.output_dir + "/incremental_summary.csv"),
+      "writing incremental_summary.csv");
   return 0;
 }

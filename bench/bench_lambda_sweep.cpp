@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   const std::vector<float> lambdas = {0.0f, 0.2f, 0.4f, 0.6f,
                                       0.8f, 0.9f, 0.98f, 1.0f};

@@ -38,7 +38,8 @@ const std::map<std::string, double> kPaperReference = {
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                     "creating output directory " + options.output_dir);
 
   eval::ResultTable table(
       "Table 8 — MEL PRAUC on Monitor (mean ± std over seeds)",

@@ -52,7 +52,8 @@ std::string PaperRef(const std::string& key) {
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                     "creating output directory " + options.output_dir);
 
   struct Config {
     MusicScale scale;

@@ -37,8 +37,10 @@ double MedianSeconds(int repeats, const std::function<void()>& fn) {
   std::vector<double> times;
   times.reserve(repeats);
   for (int r = 0; r < repeats; ++r) {
+    // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
     const auto start = std::chrono::steady_clock::now();
     fn();
+    // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
     const auto stop = std::chrono::steady_clock::now();
     times.push_back(std::chrono::duration<double>(stop - start).count());
   }
@@ -56,7 +58,8 @@ struct Measurement {
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   const int hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<int> thread_counts;

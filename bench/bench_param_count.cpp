@@ -17,7 +17,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   // A small artist task provides the schema (F = 2 * 9 = 18 features).
   datagen::MusicTaskOptions task_options;

@@ -35,7 +35,8 @@ const std::map<std::string, std::array<double, 3>> kPaperReference = {
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   eval::ResultTable table(
       "Table 7 — single-domain F1 (x100) on benchmark stand-ins",

@@ -14,7 +14,8 @@
 int main(int argc, char** argv) {
   using namespace adamel;
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  (void)eval::EnsureDirectory(options.output_dir);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                "creating output directory " + options.output_dir);
 
   // Build one monitor task with a 300-pair support pool (Section 5.6).
   datagen::MonitorTaskOptions task_options;

@@ -27,6 +27,13 @@ std::string CheckpointPath(const std::string& dir, const std::string& tag,
 
 }  // namespace
 
+void WarnIfError(const Status& status, const std::string& context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] warning: %s: %s\n", context.c_str(),
+                 status.ToString().c_str());
+  }
+}
+
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {

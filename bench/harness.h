@@ -6,12 +6,19 @@
 #include <vector>
 
 #include "baselines/common.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/linkage_model.h"
 #include "datagen/mel_task.h"
 #include "eval/metrics.h"
 
 namespace adamel::bench {
+
+/// Logs `status` to stderr when not OK. Benches keep running past output
+/// failures — an unwritable results directory must not kill a long
+/// measurement run — but the failure has to be visible, not swallowed by a
+/// bare `(void)` cast (which `adamel_lint` rejects).
+void WarnIfError(const Status& status, const std::string& context);
 
 /// Command-line options shared by every experiment binary.
 struct BenchOptions {

@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build + full ctest, then a ThreadSanitizer build
-# that runs the thread-pool and parallel-ops tests, then an AddressSanitizer
-# build that runs the serialization/checkpoint tests (the code that parses
-# untrusted bytes from disk). Run from the repo root:
+# Tier-1 gate plus the full correctness-tooling matrix. Run from the repo
+# root:
 #
 #   scripts/check.sh
 #
+# Stages:
+#   1. tier-1      warnings-as-errors build + full ctest (includes lint_repo,
+#                  which runs adamel_lint over src/, bench/, examples/)
+#   2. lint        adamel_lint again, standalone, so a rule violation is
+#                  reported even when ctest is filtered down
+#   3. tsan        ThreadSanitizer build; thread-pool and parallel-ops tests
+#   4. asan        AddressSanitizer build; serialization/checkpoint tests
+#                  (the code that parses untrusted bytes from disk)
+#   5. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
+#                  full ctest
+#   6. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
+#                  ADAMEL_DCHECK family, post-op NaN/Inf screening, and the
+#                  autograd-graph validators
+#
 # Environment:
-#   BUILD_DIR       main build tree (default: build)
-#   TSAN_BUILD_DIR  sanitizer build tree (default: build-tsan)
-#   ASAN_BUILD_DIR  sanitizer build tree (default: build-asan)
-#   JOBS            parallel build jobs (default: nproc)
+#   BUILD_DIR        main build tree (default: build)
+#   TSAN_BUILD_DIR   sanitizer build tree (default: build-tsan)
+#   ASAN_BUILD_DIR   sanitizer build tree (default: build-asan)
+#   UBSAN_BUILD_DIR  sanitizer build tree (default: build-ubsan)
+#   DEBUG_BUILD_DIR  debug-checks build tree (default: build-dbg)
+#   JOBS             parallel build jobs (default: nproc)
 
 set -euo pipefail
 
@@ -18,14 +32,19 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-asan}"
+UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-${REPO_ROOT}/build-ubsan}"
+DEBUG_BUILD_DIR="${DEBUG_BUILD_DIR:-${REPO_ROOT}/build-dbg}"
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== tier-1: configure + build =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja
+echo "== tier-1: configure + build (warnings are errors) =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja -DADAMEL_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "== tier-1: ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== lint: adamel_lint over src/ bench/ examples/ =="
+"${BUILD_DIR}/tools/lint/adamel_lint" "${REPO_ROOT}" src bench examples
 
 echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
@@ -46,5 +65,21 @@ cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}" \
 echo "== asan: run serialization tests =="
 "${ASAN_BUILD_DIR}/tests/serialize_test"
 "${ASAN_BUILD_DIR}/tests/checkpoint_test"
+
+echo "== ubsan: configure + build =="
+cmake -B "${UBSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DADAMEL_SANITIZE=undefined
+cmake --build "${UBSAN_BUILD_DIR}" -j "${JOBS}"
+
+echo "== ubsan: full ctest =="
+ctest --test-dir "${UBSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== debug-checks: configure + build =="
+cmake -B "${DEBUG_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DADAMEL_DEBUG_CHECKS=ON
+cmake --build "${DEBUG_BUILD_DIR}" -j "${JOBS}"
+
+echo "== debug-checks: full ctest =="
+ctest --test-dir "${DEBUG_BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== all checks passed =="

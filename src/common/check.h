@@ -62,4 +62,37 @@ class CheckFailureStream {
 #define ADAMEL_CHECK_GE(a, b) \
   ADAMEL_CHECK((a) >= (b)) << "[" << (a) << " vs " << (b) << "] "
 
+/// Debug-mode checks: identical to `ADAMEL_CHECK*` when the build defines
+/// `ADAMEL_DEBUG_CHECKS` (cmake -DADAMEL_DEBUG_CHECKS=ON), compiled out to
+/// nothing otherwise. Use them for invariants that are too expensive for
+/// release hot paths (per-element scans, graph walks) but worth enforcing
+/// in the verification builds run by scripts/check.sh.
+///
+/// The disabled form still type-checks its arguments (inside `while (false)`,
+/// so no code is generated and side effects never run).
+#ifdef ADAMEL_DEBUG_CHECKS
+#define ADAMEL_DCHECK(condition) ADAMEL_CHECK(condition)
+#define ADAMEL_DCHECK_EQ(a, b) ADAMEL_CHECK_EQ(a, b)
+#define ADAMEL_DCHECK_NE(a, b) ADAMEL_CHECK_NE(a, b)
+#define ADAMEL_DCHECK_LT(a, b) ADAMEL_CHECK_LT(a, b)
+#define ADAMEL_DCHECK_LE(a, b) ADAMEL_CHECK_LE(a, b)
+#define ADAMEL_DCHECK_GT(a, b) ADAMEL_CHECK_GT(a, b)
+#define ADAMEL_DCHECK_GE(a, b) ADAMEL_CHECK_GE(a, b)
+#else
+#define ADAMEL_DCHECK(condition) \
+  while (false) ADAMEL_CHECK(condition)
+#define ADAMEL_DCHECK_EQ(a, b) \
+  while (false) ADAMEL_CHECK_EQ(a, b)
+#define ADAMEL_DCHECK_NE(a, b) \
+  while (false) ADAMEL_CHECK_NE(a, b)
+#define ADAMEL_DCHECK_LT(a, b) \
+  while (false) ADAMEL_CHECK_LT(a, b)
+#define ADAMEL_DCHECK_LE(a, b) \
+  while (false) ADAMEL_CHECK_LE(a, b)
+#define ADAMEL_DCHECK_GT(a, b) \
+  while (false) ADAMEL_CHECK_GT(a, b)
+#define ADAMEL_DCHECK_GE(a, b) \
+  while (false) ADAMEL_CHECK_GE(a, b)
+#endif  // ADAMEL_DEBUG_CHECKS
+
 #endif  // ADAMEL_COMMON_CHECK_H_

@@ -48,6 +48,7 @@ class ThreadPool {
   // Leaked singleton: worker threads must never be joined from static
   // destructors (they may hold the mutex while the program exits).
   static ThreadPool& Instance() {
+    // adamel-lint: allow-next-line(raw-new) -- intentional leaky singleton
     static ThreadPool* pool = new ThreadPool();
     return *pool;
   }

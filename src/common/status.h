@@ -26,7 +26,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The library never throws; every fallible operation (I/O, parsing,
 /// user-supplied configuration) returns a `Status` or `StatusOr<T>`.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning a `Status` by
+/// value must have its result handled (checked, propagated, or explicitly
+/// discarded via `ADAMEL_IGNORE_STATUS`). Silently dropped error codes are
+/// how checkpoint corruption and partial writes go unnoticed.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -65,8 +70,9 @@ Status IoError(std::string message);
 /// Holds either a value of type `T` or an error `Status`.
 ///
 /// Accessing the value of a non-OK `StatusOr` is a checked programming error.
+/// `[[nodiscard]]` for the same reason as `Status`.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
   StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
@@ -109,6 +115,19 @@ class StatusOr {
     if (!adamel_status_.ok()) {                 \
       return adamel_status_;                    \
     }                                           \
+  } while (false)
+
+/// Deliberately discards a `Status` with a human-readable justification.
+///
+/// This is the only sanctioned way to drop an error: both `[[nodiscard]]`
+/// and `adamel_lint` reject bare discards and blanket `(void)` casts. The
+/// reason string documents *why* ignoring the error is safe at this call
+/// site; an empty reason fails to compile.
+#define ADAMEL_IGNORE_STATUS(expr, reason)                                  \
+  do {                                                                      \
+    static_assert(sizeof(reason) > 1, "give a non-empty reason string");    \
+    const ::adamel::Status adamel_ignored_status_ = (expr);                 \
+    static_cast<void>(adamel_ignored_status_);                              \
   } while (false)
 
 }  // namespace adamel

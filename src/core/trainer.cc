@@ -103,6 +103,7 @@ std::vector<float> SupportWeights(const nn::Tensor& support_attention,
                                   const SourceCentroids& centroids) {
   const int n = support_attention.rows();
   const int f = support_attention.cols();
+  ADAMEL_DCHECK_EQ(static_cast<int>(labels.size()), n);
   std::vector<float> weights(n, 1.0f);
   if (!centroids.valid) {
     return weights;
@@ -575,6 +576,14 @@ StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitImpl(
   const float target_weight = use_target ? config_.lambda : 0.0f;
 
   const int n = source.pair_count;
+  // Featurization must produce one label and one matrix row per pair, or the
+  // batch assembly below would read out of bounds / mislabel examples.
+  ADAMEL_DCHECK_EQ(static_cast<int>(source.labels.size()), n);
+  ADAMEL_DCHECK_EQ(source.matrix.rows(), n);
+  if (use_support) {
+    ADAMEL_DCHECK_EQ(static_cast<int>(support.labels.size()),
+                     support.pair_count);
+  }
   std::vector<int> permutation(n);
   std::iota(permutation.begin(), permutation.end(), 0);
 
@@ -604,6 +613,7 @@ StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitImpl(
                              permutation.begin() + start + count);
       const nn::Tensor h = nn::SelectRows(source.matrix, batch);
       const AdamelModel::Output out = model->Forward(h);
+      ADAMEL_DCHECK_EQ(out.logits.rows(), count);
       std::vector<float> targets(count);
       for (int i = 0; i < count; ++i) {
         targets[i] = source.labels[batch[i]];
@@ -674,6 +684,9 @@ StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitImpl(
         ++support_steps;
       }
 
+      // The loss must be a defined scalar before reverse mode runs; a shaped
+      // loss here means an op above dropped a reduction.
+      ADAMEL_DCHECK_EQ(loss.size(), 1);
       optimizer.ZeroGrad();
       loss.Backward();
       const nn::GradClipResult clip =

@@ -8,6 +8,7 @@
 namespace adamel::datagen {
 
 const std::vector<std::string>& NameGenerator::Onsets() {
+  // adamel-lint: allow-next-line(raw-new) -- intentional leaky singleton
   static const std::vector<std::string>* kOnsets = new std::vector<std::string>{
       "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h",  "j", "k",
       "kl", "l", "m", "n", "p", "pr", "r", "s", "sh", "st", "t", "tr",
@@ -16,12 +17,14 @@ const std::vector<std::string>& NameGenerator::Onsets() {
 }
 
 const std::vector<std::string>& NameGenerator::Nuclei() {
+  // adamel-lint: allow-next-line(raw-new) -- intentional leaky singleton
   static const std::vector<std::string>* kNuclei = new std::vector<std::string>{
       "a", "e", "i", "o", "u", "ai", "ea", "ie", "ou", "oa"};
   return *kNuclei;
 }
 
 const std::vector<std::string>& NameGenerator::Codas() {
+  // adamel-lint: allow-next-line(raw-new) -- intentional leaky singleton
   static const std::vector<std::string>* kCodas = new std::vector<std::string>{
       "", "", "n", "m", "r", "l", "s", "t", "k", "x", "nd", "st"};
   return *kCodas;
@@ -38,7 +41,9 @@ std::string NameGenerator::MakeToken(int syllables, Rng* rng) const {
     }
   }
   if (token.empty()) {
-    token = "a";
+    // push_back instead of `token = "a"`: the const char* assignment trips a
+    // GCC 12 -Wrestrict false positive (PR 105329) when inlined under -O3.
+    token.push_back('a');
   }
   return token;
 }

@@ -90,6 +90,7 @@ std::string ResultTable::ToCsv() const {
   return out;
 }
 
+// adamel-lint: allow-next-line(cout-debug) -- Print() is the intended output
 void ResultTable::Print() const { std::cout << ToMarkdown() << std::flush; }
 
 Status ResultTable::WriteCsv(const std::string& path) const {

@@ -1,0 +1,116 @@
+#include "nn/debug_checks.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/check.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn::debug {
+
+#ifdef ADAMEL_DEBUG_CHECKS
+
+namespace {
+
+// Ops run concurrently inside thread-pool workers (batched prediction
+// parallelizes whole forward passes), so all mutable state is guarded.
+std::atomic<FiniteScreenMode> g_mode{FiniteScreenMode::kRecord};
+std::atomic<int64_t> g_live_nodes{0};
+
+std::mutex& EventMutex() {
+  static std::mutex* mutex = new std::mutex();  // adamel-lint: allow(raw-new) -- intentional leaky singleton
+  return *mutex;
+}
+
+std::vector<NonFiniteEvent>& EventLog() {
+  static std::vector<NonFiniteEvent>* log =
+      // adamel-lint: allow-next-line(raw-new) -- intentional leaky singleton
+      new std::vector<NonFiniteEvent>();
+  return *log;
+}
+
+// Index of the first non-finite element, or -1 if all finite.
+int64_t FirstNonFinite(const std::vector<float>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void SetFiniteScreenMode(FiniteScreenMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+FiniteScreenMode GetFiniteScreenMode() {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+std::vector<NonFiniteEvent> NonFiniteEvents() {
+  std::lock_guard<std::mutex> lock(EventMutex());
+  return EventLog();
+}
+
+void ClearNonFiniteEvents() {
+  std::lock_guard<std::mutex> lock(EventMutex());
+  EventLog().clear();
+}
+
+int64_t LiveNodeCount() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void NodeCreated() { g_live_nodes.fetch_add(1, std::memory_order_relaxed); }
+void NodeDestroyed() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+
+void ScreenOp(const char* op, const TensorImpl& out,
+              const TensorImpl* const* inputs, size_t count) {
+  const FiniteScreenMode mode = GetFiniteScreenMode();
+  if (mode == FiniteScreenMode::kOff) {
+    return;
+  }
+  const int64_t bad = FirstNonFinite(out.data);
+  if (bad < 0) {
+    return;
+  }
+  NonFiniteEvent event;
+  event.op = op;
+  event.row = static_cast<int>(bad / out.cols);
+  event.col = static_cast<int>(bad % out.cols);
+  event.value = out.data[static_cast<size_t>(bad)];
+  event.is_origin = true;
+  for (size_t i = 0; i < count; ++i) {
+    if (inputs[i] != nullptr && FirstNonFinite(inputs[i]->data) >= 0) {
+      event.is_origin = false;  // poison flowed in; this op only propagated
+      break;
+    }
+  }
+  if (mode == FiniteScreenMode::kFatal && event.is_origin) {
+    ADAMEL_CHECK(false) << "non-finite origin: " << op << " produced "
+                        << event.value << " at (" << event.row << ", "
+                        << event.col << ") from all-finite inputs";
+  }
+  std::lock_guard<std::mutex> lock(EventMutex());
+  EventLog().push_back(std::move(event));
+}
+
+}  // namespace internal
+
+#else  // !ADAMEL_DEBUG_CHECKS
+
+// Compiled-out build: the mode is pinned to kOff and counters are absent.
+void SetFiniteScreenMode(FiniteScreenMode /*mode*/) {}
+FiniteScreenMode GetFiniteScreenMode() { return FiniteScreenMode::kOff; }
+std::vector<NonFiniteEvent> NonFiniteEvents() { return {}; }
+void ClearNonFiniteEvents() {}
+int64_t LiveNodeCount() { return -1; }
+
+#endif  // ADAMEL_DEBUG_CHECKS
+
+}  // namespace adamel::nn::debug

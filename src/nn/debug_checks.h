@@ -1,0 +1,113 @@
+#ifndef ADAMEL_NN_DEBUG_CHECKS_H_
+#define ADAMEL_NN_DEBUG_CHECKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adamel::nn {
+
+struct TensorImpl;
+
+namespace debug {
+
+/// True when the build was configured with -DADAMEL_DEBUG_CHECKS=ON. In the
+/// default (OFF) build every hook in this header is an empty inline and the
+/// nn layer carries zero checking overhead.
+#ifdef ADAMEL_DEBUG_CHECKS
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+// -- Post-op finiteness screening -------------------------------------------
+//
+// Every nn::ops operation screens its freshly computed output for NaN/Inf.
+// A non-finite value whose inputs were all finite marks the *origin* op —
+// the exact operation where numerics first went bad — as opposed to mere
+// propagation of an already-poisoned value. This turns "the loss is NaN
+// after epoch 7" into "Log() produced -inf at (3, 12)".
+
+/// What the screener does with a non-finite output.
+enum class FiniteScreenMode {
+  /// No screening (the only mode available when checks are compiled out).
+  kOff,
+  /// Append a NonFiniteEvent to the log; never aborts. Default when
+  /// ADAMEL_DEBUG_CHECKS is on, so NaN-propagation tests still run.
+  kRecord,
+  /// Abort (via ADAMEL_CHECK) at the origin op; propagation events that
+  /// follow an unscreened origin are still only recorded.
+  kFatal,
+};
+
+/// One screened non-finite output.
+struct NonFiniteEvent {
+  std::string op;     // op name, e.g. "Log"
+  int row = 0;        // first offending element
+  int col = 0;
+  float value = 0.0f;
+  /// True when every input to the op was finite: this op created the value
+  /// rather than propagating one.
+  bool is_origin = false;
+};
+
+/// Selects the screening behavior. No-op (stays kOff) when checks are
+/// compiled out.
+void SetFiniteScreenMode(FiniteScreenMode mode);
+FiniteScreenMode GetFiniteScreenMode();
+
+/// Snapshot of all events recorded since the last clear (thread-safe).
+std::vector<NonFiniteEvent> NonFiniteEvents();
+void ClearNonFiniteEvents();
+
+/// RAII helper for tests: sets a mode, restores the previous one on exit.
+class ScopedFiniteScreenMode {
+ public:
+  explicit ScopedFiniteScreenMode(FiniteScreenMode mode)
+      : previous_(GetFiniteScreenMode()) {
+    SetFiniteScreenMode(mode);
+  }
+  ~ScopedFiniteScreenMode() { SetFiniteScreenMode(previous_); }
+  ScopedFiniteScreenMode(const ScopedFiniteScreenMode&) = delete;
+  ScopedFiniteScreenMode& operator=(const ScopedFiniteScreenMode&) = delete;
+
+ private:
+  FiniteScreenMode previous_;
+};
+
+// -- Autograd-graph accounting ----------------------------------------------
+
+/// Number of TensorImpl nodes currently alive, or -1 when checks are
+/// compiled out. A graph that fails to release nodes after Backward() (for
+/// example a backward_fn capturing its own output) shows up as a rising
+/// baseline between two snapshots.
+int64_t LiveNodeCount();
+
+namespace internal {
+
+#ifdef ADAMEL_DEBUG_CHECKS
+
+void NodeCreated();
+void NodeDestroyed();
+
+/// Screens `out` according to the active FiniteScreenMode. `inputs` points
+/// at the op's `count` direct data inputs (used to classify origin vs
+/// propagation).
+void ScreenOp(const char* op, const TensorImpl& out,
+              const TensorImpl* const* inputs, size_t count);
+
+#else
+
+inline void NodeCreated() {}
+inline void NodeDestroyed() {}
+inline void ScreenOp(const char* /*op*/, const TensorImpl& /*out*/,
+                     const TensorImpl* const* /*inputs*/, size_t /*count*/) {}
+
+#endif  // ADAMEL_DEBUG_CHECKS
+
+}  // namespace internal
+}  // namespace debug
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_DEBUG_CHECKS_H_

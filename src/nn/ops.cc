@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nn/debug_checks.h"
 
 namespace adamel::nn {
 namespace {
@@ -38,6 +39,31 @@ std::shared_ptr<TensorImpl> NewResult(int rows, int cols) {
   impl->cols = cols;
   impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
   return impl;
+}
+
+// Screens the finished output under ADAMEL_DEBUG_CHECKS (post-op NaN/Inf
+// detection with origin reporting), then wraps it in a Tensor handle.
+// `inputs` are the op's direct data inputs. Both helpers compile to a plain
+// MakeFromImpl in the default build.
+Tensor FinishOp(const char* op, std::shared_ptr<TensorImpl> out,
+                std::initializer_list<const TensorImpl*> inputs) {
+  debug::internal::ScreenOp(op, *out, inputs.begin(), inputs.size());
+  return MakeFromImpl(std::move(out));
+}
+
+Tensor FinishOpMulti([[maybe_unused]] const char* op,
+                     std::shared_ptr<TensorImpl> out,
+                     [[maybe_unused]] const std::vector<
+                         std::shared_ptr<TensorImpl>>& inputs) {
+#ifdef ADAMEL_DEBUG_CHECKS
+  std::vector<const TensorImpl*> raw;
+  raw.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    raw.push_back(input.get());
+  }
+  debug::internal::ScreenOp(op, *out, raw.data(), raw.size());
+#endif
+  return MakeFromImpl(std::move(out));
 }
 
 bool AnyRequiresGrad(const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
@@ -82,8 +108,8 @@ inline size_t BroadcastIndex(const TensorImpl& t, int r, int c) {
 // the local partial derivatives, multiplied by the upstream gradient and
 // reduced over broadcast dimensions during the backward pass.
 template <typename Fwd, typename Dfda, typename Dfdb>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
-                Dfdb dfdb) {
+Tensor BinaryOp(const char* op, const Tensor& a, const Tensor& b, Fwd fwd,
+                Dfda dfda, Dfdb dfdb) {
   ADAMEL_CHECK(a.defined() && b.defined());
   const auto& ai = *a.impl();
   const auto& bi = *b.impl();
@@ -150,13 +176,13 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
                      }
                    });
                  });
-  return MakeFromImpl(std::move(out));
+  return FinishOp(op, std::move(out), {a_impl.get(), b_impl.get()});
 }
 
 // Generic elementwise unary op: `fwd(v)` and `dfdv(v, out_v)` where `out_v`
 // is the already-computed forward value (handy for tanh/sigmoid/exp).
 template <typename Fwd, typename Dfdv>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
+Tensor UnaryOp(const char* op, const Tensor& a, Fwd fwd, Dfdv dfdv) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
   auto out = NewResult(ai.rows, ai.cols);
@@ -178,45 +204,45 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
                   }
                 });
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp(op, std::move(out), {a_impl.get()});
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "Add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "Sub", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "Mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "Div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor AddScalar(const Tensor& a, float value) {
   return UnaryOp(
-      a, [value](float v) { return v + value; },
+      "AddScalar", a, [value](float v) { return v + value; },
       [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float value) {
   return UnaryOp(
-      a, [value](float v) { return v * value; },
+      "MulScalar", a, [value](float v) { return v * value; },
       [value](float, float) { return value; });
 }
 
@@ -224,19 +250,19 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      "Relu", a, [](float v) { return v > 0.0f ? v : 0.0f; },
       [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return std::tanh(v); },
+      "Tanh", a, [](float v) { return std::tanh(v); },
       [](float, float out) { return 1.0f - out * out; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a,
+      "Sigmoid", a,
       [](float v) {
         // Branch keeps exp() off large positive arguments.
         return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
@@ -247,32 +273,32 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return std::exp(v); },
+      "Exp", a, [](float v) { return std::exp(v); },
       [](float, float out) { return out; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return std::log(v); },
+      "Log", a, [](float v) { return std::log(v); },
       [](float v, float) { return 1.0f / v; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return std::sqrt(v); },
+      "Sqrt", a, [](float v) { return std::sqrt(v); },
       [](float, float out) { return 0.5f / out; });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float v) { return v * v; },
+      "Square", a, [](float v) { return v * v; },
       [](float v, float) { return 2.0f * v; });
 }
 
 Tensor Clip(const Tensor& a, float lo, float hi) {
   ADAMEL_CHECK_LE(lo, hi);
   return UnaryOp(
-      a,
+      "Clip", a,
       [lo, hi](float v) { return std::min(std::max(v, lo), hi); },
       [lo, hi](float v, float) {
         return (v >= lo && v <= hi) ? 1.0f : 0.0f;
@@ -424,7 +450,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                  b_impl->grad.data(), /*accumulate=*/true);
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("MatMul", std::move(out), {a_impl.get(), b_impl.get()});
 }
 
 Tensor Transpose(const Tensor& a) {
@@ -447,7 +473,7 @@ Tensor Transpose(const Tensor& a) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("Transpose", std::move(out), {a_impl.get()});
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
@@ -489,7 +515,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOpMulti("ConcatCols", std::move(out), inputs);
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
@@ -525,7 +551,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOpMulti("ConcatRows", std::move(out), inputs);
 }
 
 Tensor SliceCols(const Tensor& a, int start, int count) {
@@ -551,7 +577,7 @@ Tensor SliceCols(const Tensor& a, int start, int count) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("SliceCols", std::move(out), {a_impl.get()});
 }
 
 Tensor SliceRows(const Tensor& a, int start, int count) {
@@ -572,7 +598,7 @@ Tensor SliceRows(const Tensor& a, int start, int count) {
       a_impl->grad[base + i] += self.grad[i];
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("SliceRows", std::move(out), {a_impl.get()});
 }
 
 Tensor SelectRows(const Tensor& a, const std::vector<int>& indices) {
@@ -600,7 +626,7 @@ Tensor SelectRows(const Tensor& a, const std::vector<int>& indices) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("SelectRows", std::move(out), {a_impl.get()});
 }
 
 Tensor Reshape(const Tensor& a, int rows, int cols) {
@@ -616,7 +642,7 @@ Tensor Reshape(const Tensor& a, int rows, int cols) {
       a_impl->grad[i] += self.grad[i];
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("Reshape", std::move(out), {a_impl.get()});
 }
 
 Tensor Sum(const Tensor& a) {
@@ -656,7 +682,7 @@ Tensor Sum(const Tensor& a) {
                   }
                 });
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("Sum", std::move(out), {a_impl.get()});
 }
 
 Tensor Mean(const Tensor& a) {
@@ -693,7 +719,7 @@ Tensor SumRows(const Tensor& a) {
       }
     });
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("SumRows", std::move(out), {a_impl.get()});
 }
 
 Tensor SumCols(const Tensor& a) {
@@ -747,7 +773,7 @@ Tensor SumCols(const Tensor& a) {
       }
     });
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("SumCols", std::move(out), {a_impl.get()});
 }
 
 Tensor MeanCols(const Tensor& a) {
@@ -802,7 +828,7 @@ Tensor Softmax(const Tensor& a) {
       }
     });
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("Softmax", std::move(out), {a_impl.get()});
 }
 
 Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
@@ -831,7 +857,7 @@ Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
       a_impl->grad[i] += self.grad[i] * (*mask)[i];
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("Dropout", std::move(out), {a_impl.get()});
 }
 
 Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
@@ -877,7 +903,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
                          g * w * (sig - y_copy[i]) * inv_weight_sum;
                    }
                  });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("BceWithLogits", std::move(out), {l_impl.get()});
 }
 
 Tensor RowKlDivergence(const std::vector<float>& p, const Tensor& q) {
@@ -918,7 +944,7 @@ Tensor RowKlDivergence(const std::vector<float>& p, const Tensor& q) {
       }
     }
   });
-  return MakeFromImpl(std::move(out));
+  return FinishOp("RowKlDivergence", std::move(out), {q_impl.get()});
 }
 
 }  // namespace adamel::nn

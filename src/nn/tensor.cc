@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -155,11 +156,22 @@ void Tensor::ZeroGrad() {
 void Tensor::Backward() {
   ADAMEL_CHECK(defined());
   ADAMEL_CHECK_EQ(impl_->size(), 1) << "Backward() requires a scalar root";
+  // Graphs are single-use: a second Backward() through the same nodes would
+  // double-accumulate into every leaf gradient.
+  ADAMEL_DCHECK(!impl_->backward_consumed)
+      << "double Backward() on the same autograd graph; recompute the "
+         "forward pass first";
 
   // Topological order by iterative post-order DFS over parent edges.
   std::vector<TensorImpl*> order;
   std::unordered_set<TensorImpl*> visited;
   std::vector<std::pair<TensorImpl*, size_t>> stack;
+#ifdef ADAMEL_DEBUG_CHECKS
+  // Nodes on the current DFS path; a parent edge back into this set means
+  // the "graph" is cyclic and the backward walk below would be unsound.
+  std::unordered_set<TensorImpl*> on_path;
+  on_path.insert(impl_.get());
+#endif
   stack.emplace_back(impl_.get(), 0);
   visited.insert(impl_.get());
   while (!stack.empty()) {
@@ -167,14 +179,45 @@ void Tensor::Backward() {
     if (next_child < node->parents.size()) {
       TensorImpl* child = node->parents[next_child].get();
       ++next_child;
+#ifdef ADAMEL_DEBUG_CHECKS
+      ADAMEL_DCHECK(on_path.count(child) == 0)
+          << "autograd graph contains a cycle through a "
+          << child->rows << "x" << child->cols << " node";
+#endif
       if (visited.insert(child).second) {
+#ifdef ADAMEL_DEBUG_CHECKS
+        on_path.insert(child);
+#endif
         stack.emplace_back(child, 0);
       }
     } else {
+#ifdef ADAMEL_DEBUG_CHECKS
+      on_path.erase(node);
+#endif
       order.push_back(node);
       stack.pop_back();
     }
   }
+
+#ifdef ADAMEL_DEBUG_CHECKS
+  // Topological-consistency validation: `order` must place every parent
+  // before its consumer, or the reversed walk would propagate incomplete
+  // gradients. This is a structural invariant of the DFS; checking it here
+  // guards the traversal against future refactors.
+  {
+    std::unordered_map<TensorImpl*, size_t> position;
+    position.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      position.emplace(order[i], i);
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (const auto& parent : order[i]->parents) {
+        ADAMEL_DCHECK_LT(position.at(parent.get()), i)
+            << "autograd topological order is inconsistent";
+      }
+    }
+  }
+#endif
 
   impl_->EnsureGrad();
   impl_->grad[0] = 1.0f;
@@ -183,10 +226,15 @@ void Tensor::Backward() {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward_fn) {
+      ADAMEL_DCHECK(!node->backward_consumed)
+          << "node reused across two Backward() calls; graphs are "
+             "single-use";
       node->EnsureGrad();
       node->backward_fn(*node);
+      node->backward_consumed = true;
     }
   }
+  impl_->backward_consumed = true;
 }
 
 std::string Tensor::DebugString() const {

@@ -7,17 +7,28 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/debug_checks.h"
 
 namespace adamel::nn {
 
 /// Internal node of the autograd graph. Exposed only so that `Tensor` can be
 /// a cheap value type; user code interacts with `Tensor`.
 struct TensorImpl {
+  TensorImpl() { debug::internal::NodeCreated(); }
+  ~TensorImpl() { debug::internal::NodeDestroyed(); }
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int rows = 0;
   int cols = 0;
   std::vector<float> data;
   std::vector<float> grad;  // sized lazily on first accumulation
   bool requires_grad = false;
+
+  // Set once this node's backward_fn has run. Graphs are single-use; the
+  // debug-checks build turns a second Backward() through the same node into
+  // a fatal error instead of silently double-accumulating gradients.
+  bool backward_consumed = false;
 
   // Parents in the compute graph and the function that routes this node's
   // gradient to them. Empty for leaves.

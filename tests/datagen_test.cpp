@@ -257,8 +257,12 @@ TEST(SamplePairsTest, PositivesCoRefer) {
   options.right_sources = {"other"};
   options.positives = 40;
   options.negatives = 0;
-  for (const data::LabeledPair& pair :
-       SamplePairs(world, options, &rng).pairs()) {
+  // Bind the dataset before iterating: ranging directly over
+  // `SamplePairs(...).pairs()` destroys the temporary dataset before the
+  // loop body runs (the range-for lifetime extension does not reach through
+  // the .pairs() accessor until C++23).
+  const data::PairDataset sampled = SamplePairs(world, options, &rng);
+  for (const data::LabeledPair& pair : sampled.pairs()) {
     EXPECT_EQ(pair.left.entity_id, pair.right.entity_id);
   }
 }
@@ -271,8 +275,12 @@ TEST(SamplePairsTest, NegativesDoNotCoRefer) {
   options.right_sources = {"other"};
   options.positives = 0;
   options.negatives = 40;
-  for (const data::LabeledPair& pair :
-       SamplePairs(world, options, &rng).pairs()) {
+  // Bind the dataset before iterating: ranging directly over
+  // `SamplePairs(...).pairs()` destroys the temporary dataset before the
+  // loop body runs (the range-for lifetime extension does not reach through
+  // the .pairs() accessor until C++23).
+  const data::PairDataset sampled = SamplePairs(world, options, &rng);
+  for (const data::LabeledPair& pair : sampled.pairs()) {
     EXPECT_NE(pair.left.entity_id, pair.right.entity_id);
   }
 }
@@ -285,8 +293,12 @@ TEST(SamplePairsTest, SourcesComeFromPools) {
   options.right_sources = {"other"};
   options.positives = 20;
   options.negatives = 20;
-  for (const data::LabeledPair& pair :
-       SamplePairs(world, options, &rng).pairs()) {
+  // Bind the dataset before iterating: ranging directly over
+  // `SamplePairs(...).pairs()` destroys the temporary dataset before the
+  // loop body runs (the range-for lifetime extension does not reach through
+  // the .pairs() accessor until C++23).
+  const data::PairDataset sampled = SamplePairs(world, options, &rng);
+  for (const data::LabeledPair& pair : sampled.pairs()) {
     EXPECT_EQ(pair.left.source, "clean");
     EXPECT_EQ(pair.right.source, "other");
   }
@@ -302,8 +314,12 @@ TEST(SamplePairsTest, WeakLabelNoiseBreaksCoReference) {
   options.negatives = 0;
   options.weak_label_noise = 0.3;
   int mislabeled = 0;
-  for (const data::LabeledPair& pair :
-       SamplePairs(world, options, &rng).pairs()) {
+  // Bind the dataset before iterating: ranging directly over
+  // `SamplePairs(...).pairs()` destroys the temporary dataset before the
+  // loop body runs (the range-for lifetime extension does not reach through
+  // the .pairs() accessor until C++23).
+  const data::PairDataset sampled = SamplePairs(world, options, &rng);
+  for (const data::LabeledPair& pair : sampled.pairs()) {
     EXPECT_EQ(pair.label, data::kMatch);  // label says match...
     if (pair.left.entity_id != pair.right.entity_id) {
       ++mislabeled;  // ...but the records don't co-refer

@@ -1,0 +1,156 @@
+// Tests for the ADAMEL_DEBUG_CHECKS invariant layer: post-op finiteness
+// screening (NaN/Inf origin vs propagation), autograd single-use
+// enforcement, live-node accounting, and the compiled-out behavior of
+// ADAMEL_DCHECK. Registered in every build; the sections that need the
+// checks compiled in skip themselves when the build has them off, so the
+// same binary is meaningful under both -DADAMEL_DEBUG_CHECKS settings.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/debug_checks.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamel::nn {
+namespace {
+
+TEST(DebugChecksTest, DisabledBuildReportsItself) {
+  if (debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "build has ADAMEL_DEBUG_CHECKS on";
+  }
+  EXPECT_EQ(debug::LiveNodeCount(), -1);
+  EXPECT_EQ(debug::GetFiniteScreenMode(), debug::FiniteScreenMode::kOff);
+  // Requesting a mode is a no-op when the hooks are compiled out.
+  debug::SetFiniteScreenMode(debug::FiniteScreenMode::kFatal);
+  EXPECT_EQ(debug::GetFiniteScreenMode(), debug::FiniteScreenMode::kOff);
+  EXPECT_TRUE(debug::NonFiniteEvents().empty());
+}
+
+TEST(DebugChecksTest, DchecksCompileOutWithoutSideEffects) {
+  if (debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "build has ADAMEL_DEBUG_CHECKS on";
+  }
+  int evaluations = 0;
+  auto count_and_fail = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  // The disabled form must type-check its arguments but never run them.
+  ADAMEL_DCHECK(count_and_fail()) << "unreachable";
+  ADAMEL_DCHECK_EQ(1, 2);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DebugChecksTest, LogOfZeroIsAnOriginEvent) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  debug::ScopedFiniteScreenMode record(debug::FiniteScreenMode::kRecord);
+  debug::ClearNonFiniteEvents();
+
+  const Tensor x = Tensor::FromVector(1, 2, {0.0f, 1.0f});
+  const Tensor y = Log(x);            // log(0) = -inf: the origin
+  const Tensor z = MulScalar(y, 2.0f);  // propagates the -inf
+  ASSERT_TRUE(z.defined());
+
+  const auto events = debug::NonFiniteEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].op, "Log");
+  EXPECT_TRUE(events[0].is_origin);
+  EXPECT_EQ(events[0].row, 0);
+  EXPECT_EQ(events[0].col, 0);
+  EXPECT_TRUE(events[0].value < 0.0f);  // -inf
+  EXPECT_EQ(events[1].op, "MulScalar");
+  EXPECT_FALSE(events[1].is_origin) << "poison flowed in, not created here";
+  debug::ClearNonFiniteEvents();
+}
+
+TEST(DebugChecksTest, FiniteOpsRecordNothing) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  debug::ScopedFiniteScreenMode record(debug::FiniteScreenMode::kRecord);
+  debug::ClearNonFiniteEvents();
+  const Tensor a = Tensor::Full(3, 3, 2.0f);
+  const Tensor b = Softmax(MatMul(a, Transpose(a)));
+  ASSERT_TRUE(b.defined());
+  EXPECT_TRUE(debug::NonFiniteEvents().empty());
+}
+
+TEST(DebugChecksDeathTest, FatalModeAbortsAtOrigin) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  EXPECT_DEATH(
+      {
+        debug::ScopedFiniteScreenMode fatal(debug::FiniteScreenMode::kFatal);
+        const Tensor x = Tensor::FromVector(1, 1, {-1.0f});
+        const Tensor y = Sqrt(x);  // sqrt(-1) = NaN at the origin op
+        static_cast<void>(y);
+      },
+      "non-finite origin: Sqrt");
+}
+
+TEST(DebugChecksTest, LiveNodeCountTracksTensorLifetime) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  const int64_t before = debug::LiveNodeCount();
+  {
+    const Tensor a = Tensor::Zeros(4, 4);
+    const Tensor b = AddScalar(a, 1.0f);
+    ASSERT_TRUE(b.defined());
+    EXPECT_EQ(debug::LiveNodeCount(), before + 2);
+  }
+  EXPECT_EQ(debug::LiveNodeCount(), before);
+}
+
+TEST(DebugChecksTest, BackwardReleasesGraphNodes) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  const int64_t before = debug::LiveNodeCount();
+  {
+    Tensor x = Tensor::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f},
+                                  /*requires_grad=*/true);
+    Tensor loss = Sum(Square(x));
+    loss.Backward();
+    EXPECT_FLOAT_EQ(x.GradAt(0, 0), 2.0f);
+  }
+  // Every intermediate node must be released once the handles go away; a
+  // backward_fn capturing its own output would keep the graph alive.
+  EXPECT_EQ(debug::LiveNodeCount(), before);
+}
+
+TEST(DebugChecksDeathTest, DoubleBackwardIsFatal) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  EXPECT_DEATH(
+      {
+        Tensor x = Tensor::FromVector(1, 1, {3.0f}, /*requires_grad=*/true);
+        Tensor loss = Square(x);
+        loss.Backward();
+        loss.Backward();  // would double-accumulate into x.grad
+      },
+      "double Backward");
+}
+
+TEST(DebugChecksTest, ScopedModeRestoresPrevious) {
+  if (!debug::kDebugChecksEnabled) {
+    GTEST_SKIP() << "needs -DADAMEL_DEBUG_CHECKS=ON";
+  }
+  const debug::FiniteScreenMode outer = debug::GetFiniteScreenMode();
+  {
+    debug::ScopedFiniteScreenMode fatal(debug::FiniteScreenMode::kFatal);
+    EXPECT_EQ(debug::GetFiniteScreenMode(),
+              debug::FiniteScreenMode::kFatal);
+  }
+  EXPECT_EQ(debug::GetFiniteScreenMode(), outer);
+}
+
+}  // namespace
+}  // namespace adamel::nn

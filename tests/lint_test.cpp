@@ -1,0 +1,280 @@
+// Fixture tests for adamel_lint: one deliberately-bad source per rule, plus
+// suppression handling and the Status-name collector. These lint in-memory
+// strings through the same LintSource() entry point the CLI uses, so a rule
+// regression fails here before it fails on the real tree.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/lint.h"
+
+namespace adamel::lint {
+namespace {
+
+// Lints `contents` as library code (src/) with no expected include guard.
+std::vector<Finding> LintLibrary(const std::string& contents) {
+  Options options;
+  options.library_code = true;
+  std::set<std::string> status_names = {"WriteFile", "EnsureDirectory"};
+  return LintSource("src/fake/fixture.cc", contents, options, status_names);
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) {
+    rules.push_back(f.rule);
+  }
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = Rules(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+TEST(LintTest, CleanSourceHasNoFindings) {
+  const std::string source = R"cpp(
+#include <vector>
+int Sum(const std::vector<int>& values) {
+  int total = 0;
+  for (int v : values) total += v;
+  return total;
+}
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+// -- nondeterminism ----------------------------------------------------------
+
+TEST(LintTest, FlagsRandCall) {
+  const auto findings = LintLibrary("int f() { return rand() % 10; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondeterminism");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintTest, FlagsRandomDevice) {
+  const auto findings =
+      LintLibrary("#include <random>\nstd::random_device rd;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondeterminism");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintTest, FlagsTimeAndClockNow) {
+  EXPECT_TRUE(HasRule(LintLibrary("long f() { return time(nullptr); }\n"),
+                      "nondeterminism"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary("auto f() { return std::chrono::steady_clock::now(); }\n"),
+      "nondeterminism"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary(
+          "auto f() { return std::chrono::system_clock::now(); }\n"),
+      "nondeterminism"));
+}
+
+TEST(LintTest, DoesNotFlagIdentifiersContainingRand) {
+  // `rand` must match as a call, not as a substring of another identifier.
+  const std::string source = R"cpp(
+int operand = 3;
+int Randomize(int strand) { return operand + strand; }
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+// -- unchecked-status / void-cast-status -------------------------------------
+
+TEST(LintTest, FlagsDiscardedStatusCall) {
+  const auto findings = LintLibrary("void f() { WriteFile(\"x\"); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-status");
+}
+
+TEST(LintTest, FlagsDiscardedMemberStatusCall) {
+  const auto findings =
+      LintLibrary("void f(Writer& w) { w.WriteFile(\"x\"); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-status");
+}
+
+TEST(LintTest, FlagsVoidCastStatus) {
+  // (void) silences [[nodiscard]], so the linter bans it in favor of
+  // ADAMEL_IGNORE_STATUS(expr, reason).
+  const auto findings =
+      LintLibrary("void f() { (void)WriteFile(\"x\"); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "void-cast-status");
+}
+
+TEST(LintTest, AcceptsConsumedStatusCall) {
+  const std::string source = R"cpp(
+Status f() { return WriteFile("x"); }
+void g() {
+  const Status status = WriteFile("y");
+  if (!status.ok()) return;
+}
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+// -- raw-new / cout-debug (library-only rules) -------------------------------
+
+TEST(LintTest, FlagsRawNewInLibraryCode) {
+  const auto findings = LintLibrary("int* f() { return new int(3); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-new");
+}
+
+TEST(LintTest, FlagsMallocInLibraryCode) {
+  EXPECT_TRUE(
+      HasRule(LintLibrary("void* f() { return malloc(8); }\n"), "raw-new"));
+}
+
+TEST(LintTest, FlagsCoutInLibraryCode) {
+  EXPECT_TRUE(HasRule(
+      LintLibrary("#include <iostream>\nvoid f() { std::cout << 1; }\n"),
+      "cout-debug"));
+  EXPECT_TRUE(
+      HasRule(LintLibrary("void f() { printf(\"x\"); }\n"), "cout-debug"));
+}
+
+TEST(LintTest, LibraryRulesAreOffOutsideSrc) {
+  Options options;
+  options.library_code = false;  // bench/ and examples/ may allocate + print
+  const std::set<std::string> no_names;
+  const auto findings = LintSource(
+      "bench/fixture.cpp",
+      "#include <iostream>\nint* f() { std::cout << 1; return new int; }\n",
+      options, no_names);
+  EXPECT_TRUE(findings.empty());
+}
+
+// -- include-guard -----------------------------------------------------------
+
+TEST(LintTest, ExpectedGuardStripsSrcPrefix) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/nn/tensor.h"), "ADAMEL_NN_TENSOR_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("bench/harness.h"),
+            "ADAMEL_BENCH_HARNESS_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/lint/lint.h"),
+            "ADAMEL_TOOLS_LINT_LINT_H_");
+}
+
+TEST(LintTest, FlagsWrongIncludeGuard) {
+  Options options;
+  options.library_code = true;
+  options.expected_guard = "ADAMEL_FAKE_FIXTURE_H_";
+  const std::set<std::string> no_names;
+  const std::string wrong = R"cpp(#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+#endif
+)cpp";
+  const auto findings =
+      LintSource("src/fake/fixture.h", wrong, options, no_names);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+
+  const std::string right = R"cpp(#ifndef ADAMEL_FAKE_FIXTURE_H_
+#define ADAMEL_FAKE_FIXTURE_H_
+#endif
+)cpp";
+  EXPECT_TRUE(
+      LintSource("src/fake/fixture.h", right, options, no_names).empty());
+}
+
+// -- banned-identifier -------------------------------------------------------
+
+TEST(LintTest, FlagsBannedIdentifiers) {
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f(char* d, const char* s) { strcpy(d, s); }\n"),
+      "banned-identifier"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f(char* b) { sprintf(b, \"x\"); }\n"),
+      "banned-identifier"));
+}
+
+// -- suppressions ------------------------------------------------------------
+
+TEST(LintTest, AllowSuppressesOnSameLine) {
+  const auto findings = LintLibrary(
+      "int f() { return rand(); }  "
+      "// adamel-lint: allow(nondeterminism) -- fixture\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, AllowNextLineSuppressesFollowingLine) {
+  const auto findings = LintLibrary(
+      "// adamel-lint: allow-next-line(raw-new) -- fixture\n"
+      "int* f() { return new int(3); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, SuppressionOnlyCoversNamedRule) {
+  // allow(raw-new) does not excuse the rand() on the same line.
+  const auto findings = LintLibrary(
+      "int f() { return rand(); }  // adamel-lint: allow(raw-new)\n");
+  EXPECT_TRUE(HasRule(findings, "nondeterminism"));
+}
+
+TEST(LintTest, UnknownSuppressedRuleIsItselfAFinding) {
+  const auto findings =
+      LintLibrary("int x = 0;  // adamel-lint: allow(no-such-rule)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "bad-suppression");
+}
+
+// -- comments and strings are inert ------------------------------------------
+
+TEST(LintTest, IgnoresTokensInCommentsAndStrings) {
+  const std::string source = R"cpp(
+// rand() in a comment is fine; so is new int.
+/* std::cout << rand(); */
+const char* kDoc = "call rand() and new int";
+const char* kRaw = R"doc(std::random_device inside a raw string)doc";
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+// -- Status-name collection --------------------------------------------------
+
+TEST(LintTest, CollectsStatusReturningNames) {
+  const std::string header = R"cpp(
+Status WriteFile(const std::string& path);
+StatusOr<std::vector<int>> ParseInts(const std::string& text);
+void NotAStatus();
+int AlsoNot(Status s);
+)cpp";
+  std::set<std::string> names;
+  CollectStatusNames(header, &names);
+  EXPECT_EQ(names.count("WriteFile"), 1u);
+  EXPECT_EQ(names.count("ParseInts"), 1u);
+  EXPECT_EQ(names.count("NotAStatus"), 0u);
+  EXPECT_EQ(names.count("AlsoNot"), 0u);
+}
+
+TEST(LintTest, RuleIdListIsStable) {
+  const std::vector<std::string>& rules = RuleIds();
+  for (const char* expected :
+       {"nondeterminism", "unchecked-status", "void-cast-status", "raw-new",
+        "cout-debug", "include-guard", "banned-identifier",
+        "bad-suppression"}) {
+    EXPECT_TRUE(std::find(rules.begin(), rules.end(), expected) !=
+                rules.end())
+        << expected;
+  }
+}
+
+TEST(LintTest, FormatFindingsRendersPathLineRule) {
+  Finding f;
+  f.file = "src/a.cc";
+  f.line = 12;
+  f.rule = "raw-new";
+  f.message = "raw new";
+  EXPECT_EQ(FormatFindings({f}), "src/a.cc:12: [raw-new] raw new\n");
+}
+
+}  // namespace
+}  // namespace adamel::lint

@@ -1,0 +1,632 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace adamel::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// A lightweight C++ token scanner: comments, string/char literals (including
+// raw strings), identifiers, numbers, and punctuation. It does not parse —
+// every rule below is a pattern over this token stream, which is robust
+// against matches inside comments or string literals (the classic failure
+// mode of grep-based checks).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(i + 2, n);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') {
+        delim.push_back(text[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      size_t end = text.find(closer, j);
+      if (end == std::string::npos) {
+        end = n;
+      } else {
+        end += closer.size();
+      }
+      const int start_line = line;
+      line += static_cast<int>(
+          std::count(text.begin() + i, text.begin() + std::min(end, n), '\n'));
+      tokens.push_back({Token::Kind::kString, "<raw-string>", start_line});
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          ++j;
+        }
+        if (text[j] == '\n') {
+          ++line;
+        }
+        ++j;
+      }
+      tokens.push_back({quote == '"' ? Token::Kind::kString
+                                     : Token::Kind::kChar,
+                        "<literal>", line});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) {
+        ++j;
+      }
+      tokens.push_back({Token::Kind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+        ++j;
+      }
+      tokens.push_back({Token::Kind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Compound punctuation the rules care about; everything else is emitted
+    // one character at a time.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      tokens.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      tokens.push_back({Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments
+// ---------------------------------------------------------------------------
+
+constexpr char kAllowMarker[] = "adamel-lint: allow(";
+constexpr char kAllowNextMarker[] = "adamel-lint: allow-next-line(";
+
+// line (1-based) -> rule ids exempted on that line.
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+SuppressionMap ParseSuppressions(const std::string& path,
+                                 const std::string& contents,
+                                 std::vector<Finding>* findings) {
+  SuppressionMap map;
+  const std::vector<std::string>& valid = RuleIds();
+  std::istringstream stream(contents);
+  std::string raw_line;
+  int line = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line;
+    // allow-next-line must be matched first: its marker contains the plain
+    // allow marker as a prefix-free sibling, not a substring, but checking
+    // the longer form first keeps the logic obviously order-independent.
+    int target = 0;
+    size_t pos = raw_line.find(kAllowNextMarker);
+    size_t list_start;
+    if (pos != std::string::npos) {
+      target = line + 1;
+      list_start = pos + sizeof(kAllowNextMarker) - 1;
+    } else {
+      pos = raw_line.find(kAllowMarker);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      target = line;
+      list_start = pos + sizeof(kAllowMarker) - 1;
+    }
+    const size_t close = raw_line.find(')', list_start);
+    if (close == std::string::npos) {
+      findings->push_back({path, line, "bad-suppression",
+                           "unterminated adamel-lint suppression"});
+      continue;
+    }
+    std::string list = raw_line.substr(list_start, close - list_start);
+    std::istringstream items(list);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      const size_t first = item.find_first_not_of(" \t");
+      const size_t last = item.find_last_not_of(" \t");
+      if (first == std::string::npos) {
+        continue;
+      }
+      item = item.substr(first, last - first + 1);
+      if (std::find(valid.begin(), valid.end(), item) == valid.end()) {
+        findings->push_back({path, line, "bad-suppression",
+                             "unknown rule id '" + item +
+                                 "' in adamel-lint suppression"});
+        continue;
+      }
+      map[target].insert(item);
+    }
+  }
+  return map;
+}
+
+bool Suppressed(const SuppressionMap& map, int line, const std::string& rule) {
+  auto it = map.find(line);
+  return it != map.end() && it->second.count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool TokIs(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() && toks[i].kind == Token::Kind::kIdent;
+}
+
+// Walks left from the identifier at `i` across `a.b->c::d` chains and
+// returns the index of the first token of the chain. Chains anchored in a
+// call or index result (e.g. `f(x).Load(...)`) return `i` untouched with
+// `*anchored_in_expr` set; the caller treats those as non-statement uses.
+size_t ChainStart(const std::vector<Token>& toks, size_t i,
+                  bool* anchored_in_expr) {
+  *anchored_in_expr = false;
+  size_t s = i;
+  while (s >= 2 && toks[s - 1].kind == Token::Kind::kPunct &&
+         (toks[s - 1].text == "." || toks[s - 1].text == "->" ||
+          toks[s - 1].text == "::")) {
+    if (toks[s - 2].kind == Token::Kind::kIdent) {
+      s -= 2;
+    } else {
+      *anchored_in_expr = true;
+      return i;
+    }
+  }
+  return s;
+}
+
+// True when the token before `chain_start` puts the expression in statement
+// position: its value is produced and immediately dropped.
+bool InStatementPosition(const std::vector<Token>& toks, size_t chain_start) {
+  if (chain_start == 0) {
+    return true;
+  }
+  const Token& prev = toks[chain_start - 1];
+  if (prev.kind == Token::Kind::kPunct) {
+    return prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+           prev.text == ")" || prev.text == ":";
+  }
+  if (prev.kind == Token::Kind::kIdent) {
+    return prev.text == "else" || prev.text == "do";
+  }
+  return false;
+}
+
+const std::set<std::string>& NondetCallNames() {
+  static const std::set<std::string> kNames = {
+      "rand",    "srand",   "rand_r",  "drand48",  "lrand48",
+      "mrand48", "random",  "srandom", "getrandom"};
+  return kNames;
+}
+
+const std::set<std::string>& BannedCallNames() {
+  static const std::set<std::string> kNames = {
+      "sprintf", "vsprintf", "strcpy", "strcat",   "gets",
+      "tmpnam",  "setjmp",   "longjmp", "asctime", "gmtime",
+      "localtime"};
+  return kNames;
+}
+
+void Report(std::vector<Finding>* findings, const SuppressionMap& supp,
+            const std::string& path, int line, const std::string& rule,
+            std::string message) {
+  if (Suppressed(supp, line, rule)) {
+    return;
+  }
+  findings->push_back({path, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules
+// ---------------------------------------------------------------------------
+
+void CheckNondeterminism(const std::vector<Token>& toks,
+                         const std::string& path, const SuppressionMap& supp,
+                         std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i)) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    const bool member_access =
+        i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (name == "random_device") {
+      Report(findings, supp, path, toks[i].line, "nondeterminism",
+             "std::random_device is a nondeterminism source; seed an "
+             "adamel::Rng from configuration instead");
+      continue;
+    }
+    const bool is_call = TokIs(toks, i + 1, "(");
+    if (!is_call || member_access) {
+      continue;
+    }
+    if (NondetCallNames().count(name) > 0) {
+      Report(findings, supp, path, toks[i].line, "nondeterminism",
+             "'" + name + "()' is a nondeterminism source; use adamel::Rng "
+             "with an explicit seed");
+      continue;
+    }
+    if (name == "time") {
+      // `time(...)` or `std::time(...)`; skip other qualified names.
+      const bool qualified = i >= 1 && toks[i - 1].text == "::";
+      const bool std_qualified =
+          qualified && i >= 2 && toks[i - 2].text == "std";
+      if (!qualified || std_qualified) {
+        Report(findings, supp, path, toks[i].line, "nondeterminism",
+               "'time()' reads the wall clock; it breaks bitwise-identical "
+               "replay and resume");
+      }
+      continue;
+    }
+    if (name == "now" && i >= 2 && toks[i - 1].text == "::" &&
+        IsIdent(toks, i - 2) &&
+        toks[i - 2].text.size() >= 6 &&
+        toks[i - 2].text.compare(toks[i - 2].text.size() - 6, 6, "_clock") ==
+            0) {
+      Report(findings, supp, path, toks[i].line, "nondeterminism",
+             "'" + toks[i - 2].text + "::now()' reads the clock; allowed "
+             "only for whitelisted timing code (suppress with a reason)");
+    }
+  }
+}
+
+void CheckUncheckedStatus(const std::vector<Token>& toks,
+                          const std::string& path, const SuppressionMap& supp,
+                          const std::set<std::string>& status_names,
+                          std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i) || status_names.count(toks[i].text) == 0 ||
+        !TokIs(toks, i + 1, "(")) {
+      continue;
+    }
+    // Skip declarations/definitions: a type name directly before the chain
+    // start means this is `Status Foo(...)`, not a call.
+    bool anchored = false;
+    const size_t s = ChainStart(toks, i, &anchored);
+    if (anchored || !InStatementPosition(toks, s)) {
+      continue;
+    }
+    // `(void)chain(...)` — a blanket cast-to-void discard.
+    if (s >= 3 && toks[s - 1].text == ")" && toks[s - 2].text == "void" &&
+        toks[s - 3].text == "(") {
+      Report(findings, supp, path, toks[i].line, "void-cast-status",
+             "blanket (void) cast discards the Status from '" + toks[i].text +
+                 "'; use ADAMEL_IGNORE_STATUS(expr, \"reason\") instead");
+      continue;
+    }
+    Report(findings, supp, path, toks[i].line, "unchecked-status",
+           "result of Status-returning '" + toks[i].text +
+               "' is discarded; handle it or use "
+               "ADAMEL_IGNORE_STATUS(expr, \"reason\")");
+  }
+}
+
+void CheckLibraryOnlyRules(const std::vector<Token>& toks,
+                           const std::string& path,
+                           const SuppressionMap& supp,
+                           std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i)) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    if (name == "new") {
+      Report(findings, supp, path, toks[i].line, "raw-new",
+             "raw 'new' in library code; use std::make_unique/"
+             "std::make_shared (suppress with a reason for intentional "
+             "leaky singletons)");
+      continue;
+    }
+    const bool is_call = TokIs(toks, i + 1, "(");
+    if (is_call && (name == "malloc" || name == "calloc" ||
+                    name == "realloc" || name == "free")) {
+      Report(findings, supp, path, toks[i].line, "raw-new",
+             "'" + name + "()' in library code; use containers or smart "
+             "pointers");
+      continue;
+    }
+    if (name == "cout" ||
+        (is_call && (name == "printf" || name == "puts"))) {
+      Report(findings, supp, path, toks[i].line, "cout-debug",
+             "stdout writes in src/ are debugging leftovers; return data "
+             "to the caller or suppress with a reason for intended output");
+    }
+  }
+}
+
+void CheckBannedIdentifiers(const std::vector<Token>& toks,
+                            const std::string& path,
+                            const SuppressionMap& supp,
+                            std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i) || !TokIs(toks, i + 1, "(")) {
+      continue;
+    }
+    const bool member_access =
+        i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (!member_access && BannedCallNames().count(toks[i].text) > 0) {
+      Report(findings, supp, path, toks[i].line, "banned-identifier",
+             "'" + toks[i].text + "()' is on the banned-identifier list "
+             "(unsafe or non-reentrant)");
+    }
+  }
+}
+
+void CheckIncludeGuard(const std::vector<Token>& toks, const std::string& path,
+                       const std::string& expected, const SuppressionMap& supp,
+                       std::vector<Finding>* findings) {
+  // Find the first `#ifndef NAME` / `#define NAME` pair.
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!TokIs(toks, i, "#") || !TokIs(toks, i + 1, "ifndef") ||
+        !IsIdent(toks, i + 2)) {
+      continue;
+    }
+    const std::string& guard = toks[i + 2].text;
+    if (guard != expected) {
+      Report(findings, supp, path, toks[i + 2].line, "include-guard",
+             "include guard '" + guard + "' does not match the repo "
+             "convention; expected '" + expected + "'");
+      return;
+    }
+    if (!(TokIs(toks, i + 3, "#") && TokIs(toks, i + 4, "define") &&
+          TokIs(toks, i + 5, expected.c_str()))) {
+      Report(findings, supp, path, toks[i + 2].line, "include-guard",
+             "'#ifndef " + guard + "' is not followed by '#define " + guard +
+                 "'");
+    }
+    return;
+  }
+  Report(findings, supp, path, 1, "include-guard",
+         "header is missing an include guard; expected '#ifndef " + expected +
+             "'");
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking
+// ---------------------------------------------------------------------------
+
+bool IsHeader(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp";
+}
+
+bool IsSource(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+bool SkippedDirectory(const std::string& name) {
+  return name == "CMakeFiles" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() {
+  static const std::vector<std::string> kIds = {
+      "nondeterminism",  "unchecked-status", "void-cast-status",
+      "raw-new",         "cout-debug",       "include-guard",
+      "banned-identifier", "bad-suppression"};
+  return kIds;
+}
+
+std::string ExpectedIncludeGuard(const std::string& relpath) {
+  std::string trimmed = relpath;
+  if (trimmed.rfind("src/", 0) == 0) {
+    trimmed = trimmed.substr(4);
+  }
+  std::string guard = "ADAMEL_";
+  for (char c : trimmed) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CollectStatusNames(const std::string& contents,
+                        std::set<std::string>* names) {
+  const std::vector<Token> toks = Tokenize(contents);
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i)) {
+      continue;
+    }
+    if (toks[i].text == "Status" && IsIdent(toks, i + 1) &&
+        TokIs(toks, i + 2, "(")) {
+      names->insert(toks[i + 1].text);
+      continue;
+    }
+    if (toks[i].text == "StatusOr" && TokIs(toks, i + 1, "<")) {
+      // Skip the template argument list (balanced angle brackets; `>>` is
+      // tokenized as two '>' so plain depth counting works).
+      size_t j = i + 1;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == "<") {
+          ++depth;
+        } else if (toks[j].text == ">") {
+          --depth;
+          if (depth == 0) {
+            break;
+          }
+        }
+        ++j;
+      }
+      if (depth == 0 && IsIdent(toks, j + 1) && TokIs(toks, j + 2, "(")) {
+        names->insert(toks[j + 1].text);
+      }
+    }
+  }
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& contents,
+                                const Options& options,
+                                const std::set<std::string>& status_names) {
+  std::vector<Finding> findings;
+  const SuppressionMap supp = ParseSuppressions(path, contents, &findings);
+  const std::vector<Token> toks = Tokenize(contents);
+
+  CheckNondeterminism(toks, path, supp, &findings);
+  CheckUncheckedStatus(toks, path, supp, status_names, &findings);
+  CheckBannedIdentifiers(toks, path, supp, &findings);
+  if (options.library_code) {
+    CheckLibraryOnlyRules(toks, path, supp, &findings);
+  }
+  if (!options.expected_guard.empty()) {
+    CheckIncludeGuard(toks, path, options.expected_guard, supp, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    fs::recursive_directory_iterator it(base), end;
+    while (it != end) {
+      if (it->is_directory() &&
+          SkippedDirectory(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && IsSource(it->path())) {
+        files.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: learn the Status-returning API surface from every header.
+  std::set<std::string> status_names;
+  for (const fs::path& file : files) {
+    if (IsHeader(file)) {
+      CollectStatusNames(ReadFileOrEmpty(file), &status_names);
+    }
+  }
+
+  // Pass 2: lint every file with location-derived options.
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    const std::string relpath =
+        fs::relative(file, root).generic_string();
+    Options options;
+    options.library_code = relpath.rfind("src/", 0) == 0;
+    if (IsHeader(file)) {
+      options.expected_guard = ExpectedIncludeGuard(relpath);
+    }
+    std::vector<Finding> file_findings =
+        LintSource(relpath, ReadFileOrEmpty(file), options, status_names);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& finding : findings) {
+    out << finding.file << ":" << finding.line << ": [" << finding.rule
+        << "] " << finding.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace adamel::lint

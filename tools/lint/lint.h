@@ -1,0 +1,67 @@
+#ifndef ADAMEL_TOOLS_LINT_LINT_H_
+#define ADAMEL_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace adamel::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;     // path as given to the linter
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id, e.g. "nondeterminism"
+  std::string message;  // human-readable explanation
+};
+
+/// Per-file knobs derived from where the file lives in the repo.
+struct Options {
+  /// True for files under src/ — enables the library-only rules
+  /// (raw-new, cout-debug). Benches and examples may allocate and print.
+  bool library_code = false;
+
+  /// Expected include-guard macro for a header ("" skips the check).
+  std::string expected_guard;
+};
+
+/// Stable ids of every rule the linter enforces, for --list-rules and for
+/// validating suppression comments.
+const std::vector<std::string>& RuleIds();
+
+/// Computes the include-guard macro the repo convention demands for a file
+/// at `relpath` (relative to the repo root, '/'-separated). A leading
+/// "src/" is stripped: "src/nn/tensor.h" -> "ADAMEL_NN_TENSOR_H_", while
+/// "bench/harness.h" -> "ADAMEL_BENCH_HARNESS_H_".
+std::string ExpectedIncludeGuard(const std::string& relpath);
+
+/// Scans a header's contents for declarations returning `Status` or
+/// `StatusOr<...>` and adds the declared function/method names to `names`.
+/// The unchecked-status rule flags discarded calls to these names.
+void CollectStatusNames(const std::string& contents,
+                        std::set<std::string>* names);
+
+/// Token-scans one translation unit and returns every rule violation.
+///
+/// Suppressions: a line containing `adamel-lint: allow(rule-a, rule-b)` in a
+/// comment exempts that line from the named rules; `allow-next-line(...)`
+/// exempts the following line. Every suppression must name valid rule ids —
+/// unknown ids are themselves reported (rule "bad-suppression").
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& contents,
+                                const Options& options,
+                                const std::set<std::string>& status_names);
+
+/// Walks `root`/<subdir> for C++ sources (.h/.cc/.cpp/.hpp/.cxx), first
+/// collecting Status-returning names from every header, then linting each
+/// file with options derived from its location. Build trees (any directory
+/// whose name starts with "build", plus CMakeFiles) are skipped.
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs);
+
+/// Renders findings one per line as "path:line: [rule] message".
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace adamel::lint
+
+#endif  // ADAMEL_TOOLS_LINT_LINT_H_

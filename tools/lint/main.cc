@@ -1,0 +1,44 @@
+// adamel_lint — the repo's static checker.
+//
+// Usage:
+//   adamel_lint <repo-root> <subdir>...   lint the given trees (e.g. src
+//                                         bench examples); exit 1 on findings
+//   adamel_lint --list-rules              print every rule id
+//
+// The checker token-scans C++ sources and enforces the invariants the
+// reproduction depends on: no nondeterminism sources (bitwise-identical
+// resume), no discarded adamel::Status values, no raw allocation or stdout
+// debugging in library code, include-guard naming, and a banned-identifier
+// list. See DESIGN.md §8 for the rules and their rationale.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0] == "--list-rules") {
+    for (const std::string& rule : adamel::lint::RuleIds()) {
+      std::printf("%s\n", rule.c_str());
+    }
+    return 0;
+  }
+  if (args.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: adamel_lint <repo-root> <subdir>... | --list-rules\n");
+    return 2;
+  }
+  const std::string root = args[0];
+  const std::vector<std::string> subdirs(args.begin() + 1, args.end());
+  const std::vector<adamel::lint::Finding> findings =
+      adamel::lint::LintTree(root, subdirs);
+  if (findings.empty()) {
+    std::printf("adamel_lint: clean (%zu trees)\n", subdirs.size());
+    return 0;
+  }
+  std::fputs(adamel::lint::FormatFindings(findings).c_str(), stderr);
+  std::fprintf(stderr, "adamel_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
