@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "0.7204 with both).\n");
   const Status status =
       table.WriteCsv(options.output_dir + "/ablation_features.csv");
+  bench::EmitTelemetry(options, "ablation_features");
   return status.ok() ? 0 : 1;
 }

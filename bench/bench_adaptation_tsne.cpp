@@ -91,5 +91,6 @@ int main(int argc, char** argv) {
       "(domains nearly indistinguishable).\n");
   const Status status =
       table.WriteCsv(options.output_dir + "/adaptation_alignment.csv");
+  bench::EmitTelemetry(options, "adaptation_tsne");
   return status.ok() ? 0 : 1;
 }

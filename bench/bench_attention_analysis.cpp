@@ -174,5 +174,6 @@ int main(int argc, char** argv) {
   bench::WarnIfError(
       subset_table.WriteCsv(options.output_dir + "/attention_subsets.csv"),
       "writing attention_subsets.csv");
+  bench::EmitTelemetry(options, "attention_analysis");
   return 0;
 }

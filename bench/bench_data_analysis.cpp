@@ -126,5 +126,6 @@ int main(int argc, char** argv) {
       "writing data_missing_values.csv");
   bench::WarnIfError(fig12.WriteCsv(options.output_dir + "/data_token_freq.csv"),
               "writing data_token_freq.csv");
+  bench::EmitTelemetry(options, "data_analysis");
   return 0;
 }

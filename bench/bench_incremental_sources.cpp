@@ -5,7 +5,6 @@
 // (CorDel-Attention), recording PRAUC per step and total training runtime.
 // Also reports learnable-parameter counts (Section 4.5 / 5.5).
 
-#include <chrono>
 #include <cstdio>
 
 #include "baselines/cordel.h"
@@ -15,6 +14,7 @@
 #include "datagen/monitor_world.h"
 #include "common/string_util.h"
 #include "eval/report.h"
+#include "obs/clock.h"
 
 int main(int argc, char** argv) {
   using namespace adamel;
@@ -56,14 +56,10 @@ int main(int argc, char** argv) {
       inputs.source_train = &series.train;
       inputs.target_unlabeled = &target_unlabeled;
       inputs.support = &series.support;
-      // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
-      const auto start = std::chrono::steady_clock::now();
+      const int64_t start_ns = obs::NowNanos();
       model->Fit(inputs);
       total_runtime[m] +=
-          // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+          static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
       const double prauc =
           eval::AveragePrecision(model->PredictScores(test), labels);
       min_prauc[m] = std::min(min_prauc[m], prauc);
@@ -97,5 +93,6 @@ int main(int argc, char** argv) {
   bench::WarnIfError(
       summary.WriteCsv(options.output_dir + "/incremental_summary.csv"),
       "writing incremental_summary.csv");
+  bench::EmitTelemetry(options, "incremental_sources");
   return 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "rises to 0.98 on artist, then collapses at lambda = 1.\n");
   const Status status =
       table.WriteCsv(options.output_dir + "/lambda_sweep.csv");
+  bench::EmitTelemetry(options, "lambda_sweep");
   return status.ok() ? 0 : 1;
 }

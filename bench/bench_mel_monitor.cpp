@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
                  status.ToString().c_str());
     return 1;
   }
+  bench::EmitTelemetry(options, "mel_monitor");
   return 0;
 }

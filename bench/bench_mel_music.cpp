@@ -123,5 +123,6 @@ int main(int argc, char** argv) {
                  status.ToString().c_str());
     return 1;
   }
+  bench::EmitTelemetry(options, "mel_music");
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <thread>
 
+#include "bench/harness.h"
 #include "common/parallel.h"
 #include "core/features.h"
 #include "core/model.h"
@@ -146,4 +147,15 @@ BENCHMARK(BM_AveragePrecision)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can finish with a telemetry block
+// like every other bench binary. google-benchmark strips the flags it owns
+// from argv; ParseBenchOptions ignores whatever it does not recognize, so
+// both flag families coexist.
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::EmitTelemetry(options, "micro");
+  return 0;
+}

@@ -11,7 +11,6 @@
 // reports time.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -26,6 +25,7 @@
 #include "eval/report.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "obs/clock.h"
 
 namespace {
 
@@ -37,12 +37,10 @@ double MedianSeconds(int repeats, const std::function<void()>& fn) {
   std::vector<double> times;
   times.reserve(repeats);
   for (int r = 0; r < repeats; ++r) {
-    // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
-    const auto start = std::chrono::steady_clock::now();
+    const int64_t start_ns = obs::NowNanos();
     fn();
-    // adamel-lint: allow-next-line(nondeterminism) -- wall-time measurement
-    const auto stop = std::chrono::steady_clock::now();
-    times.push_back(std::chrono::duration<double>(stop - start).count());
+    const int64_t stop_ns = obs::NowNanos();
+    times.push_back(static_cast<double>(stop_ns - start_ns) * 1e-9);
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
@@ -155,5 +153,6 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+  bench::EmitTelemetry(options, "parallel");
   return 0;
 }

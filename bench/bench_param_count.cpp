@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
       "EntityMatcher-style hierarchical matcher.\n");
   const Status status =
       table.WriteCsv(options.output_dir + "/param_count.csv");
+  bench::EmitTelemetry(options, "param_count");
   return status.ok() ? 0 : 1;
 }

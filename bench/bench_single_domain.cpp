@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
   table.Print();
   const Status status =
       table.WriteCsv(options.output_dir + "/single_domain.csv");
+  bench::EmitTelemetry(options, "single_domain");
   return status.ok() ? 0 : 1;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
       "60.\n");
   const Status status =
       table.WriteCsv(options.output_dir + "/support_sweep.csv");
+  bench::EmitTelemetry(options, "support_sweep");
   return status.ok() ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #include "common/check.h"
 #include "core/trainer.h"
 #include "eval/report.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 
 namespace adamel::bench {
 namespace {
@@ -51,6 +53,20 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     }
   }
   return options;
+}
+
+void EmitTelemetry(const BenchOptions& options,
+                   const std::string& bench_name) {
+  const obs::TelemetrySnapshot snapshot = obs::CaptureSnapshot();
+  std::printf("\ntelemetry %s\n", obs::ToJson(snapshot).c_str());
+  WarnIfError(eval::EnsureDirectory(options.output_dir),
+              "creating output directory " + options.output_dir);
+  const std::string base =
+      options.output_dir + "/" + bench_name + ".telemetry";
+  WarnIfError(obs::WriteSnapshotJsonFile(snapshot, base + ".json"),
+              "writing " + base + ".json");
+  WarnIfError(obs::WriteSnapshotCsvFile(snapshot, base + ".csv"),
+              "writing " + base + ".csv");
 }
 
 std::vector<std::string> ComparisonModelNames() {

@@ -42,6 +42,14 @@ struct BenchOptions {
 /// flags.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
+/// Emits the process-wide telemetry snapshot: prints a `telemetry` JSON
+/// block to stdout next to the bench's results and writes
+/// `<out>/<bench_name>.telemetry.{json,csv}`. Call once at the end of every
+/// bench main. In ADAMEL_TELEMETRY=OFF builds the block still appears with
+/// `"enabled": false` and zeroed metrics, so downstream parsers need no
+/// special case.
+void EmitTelemetry(const BenchOptions& options, const std::string& bench_name);
+
 /// Where `RunRepeated` saves and/or loads per-(config, model, seed)
 /// checkpoints. Empty dirs disable the respective side; `tag` namespaces
 /// different configurations within one bench binary.

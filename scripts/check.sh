@@ -9,28 +9,35 @@
 #                  which runs adamel_lint over src/, bench/, examples/)
 #   2. lint        adamel_lint again, standalone, so a rule violation is
 #                  reported even when ctest is filtered down
-#   3. tsan        ThreadSanitizer build; thread-pool and parallel-ops tests
-#   4. asan        AddressSanitizer build; serialization/checkpoint tests
+#   3. tsan        ThreadSanitizer build; thread-pool, parallel-ops, and
+#                  telemetry tests (obs_test hammers counters/timers from
+#                  many threads)
+#   4. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
+#                  telemetry macros compile to no-ops and nothing depends
+#                  on them being live
+#   5. asan        AddressSanitizer build; serialization/checkpoint tests
 #                  (the code that parses untrusted bytes from disk)
-#   5. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
+#   6. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
 #                  full ctest
-#   6. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
+#   7. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
 #                  ADAMEL_DCHECK family, post-op NaN/Inf screening, and the
 #                  autograd-graph validators
 #
 # Environment:
-#   BUILD_DIR        main build tree (default: build)
-#   TSAN_BUILD_DIR   sanitizer build tree (default: build-tsan)
-#   ASAN_BUILD_DIR   sanitizer build tree (default: build-asan)
-#   UBSAN_BUILD_DIR  sanitizer build tree (default: build-ubsan)
-#   DEBUG_BUILD_DIR  debug-checks build tree (default: build-dbg)
-#   JOBS             parallel build jobs (default: nproc)
+#   BUILD_DIR             main build tree (default: build)
+#   TSAN_BUILD_DIR        sanitizer build tree (default: build-tsan)
+#   NOTELEMETRY_BUILD_DIR telemetry-off build tree (default: build-notel)
+#   ASAN_BUILD_DIR        sanitizer build tree (default: build-asan)
+#   UBSAN_BUILD_DIR       sanitizer build tree (default: build-ubsan)
+#   DEBUG_BUILD_DIR       debug-checks build tree (default: build-dbg)
+#   JOBS                  parallel build jobs (default: nproc)
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+NOTELEMETRY_BUILD_DIR="${NOTELEMETRY_BUILD_DIR:-${REPO_ROOT}/build-notel}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-asan}"
 UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-${REPO_ROOT}/build-ubsan}"
 DEBUG_BUILD_DIR="${DEBUG_BUILD_DIR:-${REPO_ROOT}/build-dbg}"
@@ -50,11 +57,20 @@ echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target parallel_test ops_test
+  --target parallel_test ops_test obs_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
 "${TSAN_BUILD_DIR}/tests/ops_test" --gtest_filter='OpsForward.MatMul*:OpsGradient.MatMul*'
+"${TSAN_BUILD_DIR}/tests/obs_test"
+
+echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
+cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+  -DADAMEL_TELEMETRY=OFF -DADAMEL_WERROR=ON
+cmake --build "${NOTELEMETRY_BUILD_DIR}" -j "${JOBS}"
+
+echo "== notelemetry: full ctest =="
+ctest --test-dir "${NOTELEMETRY_BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== asan: configure + build serialization tests =="
 cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

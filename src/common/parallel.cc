@@ -250,6 +250,8 @@ class ThreadPool {
 
 int NumThreads() { return ThreadPool::Instance().num_threads(); }
 
+bool InParallelRegion() { return tls_in_parallel_region; }
+
 void SetNumThreads(int n) { ThreadPool::Instance().SetNumThreads(n); }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,

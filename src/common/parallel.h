@@ -32,6 +32,11 @@ int NumThreads();
 /// Must not be called from inside a `ParallelFor` body.
 void SetNumThreads(int n);
 
+/// True while the calling thread is executing chunks of a `ParallelFor`
+/// (as a pool worker or as the participating caller). Telemetry uses this
+/// to restrict wall-time phase attribution to orchestrating threads.
+bool InParallelRegion();
+
 /// Runs `fn(chunk_begin, chunk_end)` over every chunk of `[begin, end)`,
 /// where chunk k covers `[begin + k*grain, min(begin + (k+1)*grain, end))`.
 ///

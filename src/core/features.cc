@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/telemetry.h"
 
 namespace adamel::core {
 namespace {
@@ -145,6 +146,9 @@ FeaturizedPairs FeatureExtractor::Featurize(
     const data::PairDataset& dataset) const {
   ADAMEL_CHECK(dataset.schema() == schema_)
       << "dataset schema does not match extractor schema";
+  ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kFeaturize);
+  ADAMEL_TRACE_SCOPE("features.featurize");
+  ADAMEL_COUNTER_ADD("features.pairs", dataset.size());
   FeaturizedPairs result;
   result.pair_count = dataset.size();
   result.feature_count = feature_count();

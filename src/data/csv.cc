@@ -132,6 +132,13 @@ StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
 std::string FormatCsv(const CsvTable& table) {
   std::string out;
   auto append_row = [&out](const std::vector<std::string>& row) {
+    // A one-field row whose field is empty would serialize as a blank line,
+    // which readers (ours included) skip as row-less — silently dropping
+    // the row on a round trip. Quote it so the line is unambiguous.
+    if (row.size() == 1 && row[0].empty()) {
+      out.append("\"\"\n");
+      return;
+    }
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) {
         out.push_back(',');

@@ -10,12 +10,22 @@
 namespace adamel::eval {
 namespace {
 
-// Indices sorted by score descending (stable for reproducibility).
+// Indices sorted by (score descending, index ascending). The index
+// tie-break is explicit — not an accident of sort stability or memory
+// layout — so score-tied pairs rank identically no matter how the caller
+// assembled the vectors. The PR curve emits one point per distinct score
+// (last-of-ties), which additionally makes AP invariant to the order
+// *within* a tie run; the deterministic total order matters for anything
+// consuming the ranking itself.
 std::vector<int> RankDescending(const std::vector<float>& scores) {
   std::vector<int> order(scores.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](int a, int b) { return scores[a] > scores[b]; });
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] > scores[b];
+    }
+    return a < b;
+  });
   return order;
 }
 

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "nn/debug_checks.h"
+#include "obs/telemetry.h"
 
 namespace adamel::nn {
 namespace {
@@ -114,6 +115,8 @@ Tensor BinaryOp(const char* op, const Tensor& a, const Tensor& b, Fwd fwd,
   const auto& ai = *a.impl();
   const auto& bi = *b.impl();
   const auto [rows, cols] = BroadcastShape(ai, bi);
+  ADAMEL_COUNTER_ADD("nn.elemwise.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.elemwise.elems", static_cast<int64_t>(rows) * cols);
   auto out = NewResult(rows, cols);
   // Row-partitioned forward: every output row is written by exactly one
   // chunk, so the result is identical at any thread count.
@@ -187,6 +190,8 @@ Tensor UnaryOp(const char* op, const Tensor& a, Fwd fwd, Dfdv dfdv) {
   const auto& ai = *a.impl();
   auto out = NewResult(ai.rows, ai.cols);
   const int64_t n = static_cast<int64_t>(ai.data.size());
+  ADAMEL_COUNTER_ADD("nn.elemwise.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.elemwise.elems", n);
   const int64_t grain = n >= kElemwiseParallelMin ? kElemwiseGrain : n;
   ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -369,6 +374,11 @@ void GemmPacked(int m, int n, int k, const float* a,
                 bool accumulate) {
   const int panels = (n + kGemmPanel - 1) / kGemmPanel;
   const int64_t flops = static_cast<int64_t>(m) * n * k;
+  // Every MatMul forward and both backward grads funnel through this
+  // kernel, so these two counters cover the model's full GEMM work. The
+  // conventional FLOP estimate is 2*m*n*k (one multiply + one add per MAC).
+  ADAMEL_COUNTER_ADD("nn.gemm.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.gemm.flops", 2 * flops);
   const int64_t grain =
       flops >= kGemmSerialFlops
           ? RowGrain(static_cast<int64_t>(n) * k, kGemmGrainFlops)
@@ -784,6 +794,8 @@ Tensor MeanCols(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   ADAMEL_CHECK(a.defined());
   const auto& ai = *a.impl();
+  ADAMEL_COUNTER_ADD("nn.softmax.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.softmax.rows", ai.rows);
   auto out = NewResult(ai.rows, ai.cols);
   const int64_t softmax_grain =
       static_cast<int64_t>(ai.rows) * ai.cols >= kElemwiseParallelMin

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace adamel::nn {
 namespace {
@@ -402,7 +403,13 @@ std::string CheckpointWriter::Serialize() const {
 }
 
 Status CheckpointWriter::WriteFile(const std::string& path) const {
-  return AtomicWriteFile(path, Serialize());
+  ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kCheckpoint);
+  ADAMEL_TRACE_SCOPE("checkpoint.save");
+  std::string blob = Serialize();
+  ADAMEL_COUNTER_ADD("checkpoint.save.calls", 1);
+  ADAMEL_COUNTER_ADD("checkpoint.save.bytes",
+                     static_cast<int64_t>(blob.size()));
+  return AtomicWriteFile(path, blob);
 }
 
 StatusOr<CheckpointReader> CheckpointReader::Parse(std::string contents) {
@@ -454,10 +461,15 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string contents) {
 
 StatusOr<CheckpointReader> CheckpointReader::ReadFile(
     const std::string& path) {
+  ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kCheckpoint);
+  ADAMEL_TRACE_SCOPE("checkpoint.load");
   StatusOr<std::string> contents = ReadFileToString(path);
   if (!contents.ok()) {
     return contents.status();
   }
+  ADAMEL_COUNTER_ADD("checkpoint.load.calls", 1);
+  ADAMEL_COUNTER_ADD("checkpoint.load.bytes",
+                     static_cast<int64_t>(contents.value().size()));
   return Parse(std::move(contents).value());
 }
 

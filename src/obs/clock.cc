@@ -1,0 +1,49 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace adamel::obs {
+namespace {
+
+std::atomic<bool> g_fake_active{false};
+std::atomic<int64_t> g_fake_now_ns{0};
+
+}  // namespace
+
+int64_t NowNanos() {
+  if (g_fake_active.load(std::memory_order_acquire)) {
+    return g_fake_now_ns.load(std::memory_order_acquire);
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedFakeClock::ScopedFakeClock() {
+  bool expected = false;
+  ADAMEL_CHECK(g_fake_active.compare_exchange_strong(expected, true))
+      << "nested ScopedFakeClock";
+  g_fake_now_ns.store(0, std::memory_order_release);
+}
+
+ScopedFakeClock::~ScopedFakeClock() {
+  g_fake_active.store(false, std::memory_order_release);
+}
+
+void ScopedFakeClock::Advance(int64_t ns) {
+  ADAMEL_CHECK_GE(ns, 0);
+  g_fake_now_ns.fetch_add(ns, std::memory_order_acq_rel);
+}
+
+void ScopedFakeClock::Set(int64_t ns) {
+  g_fake_now_ns.store(ns, std::memory_order_release);
+}
+
+int64_t ScopedFakeClock::now_ns() const {
+  return g_fake_now_ns.load(std::memory_order_acquire);
+}
+
+}  // namespace adamel::obs

@@ -1,0 +1,42 @@
+#ifndef ADAMEL_OBS_CLOCK_H_
+#define ADAMEL_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace adamel::obs {
+
+/// The telemetry clock: monotonic nanoseconds since an arbitrary epoch.
+///
+/// Every duration the telemetry layer records flows through this function —
+/// it is the only place in the repository allowed to read
+/// `std::chrono::steady_clock` directly (`adamel_lint` enforces this with
+/// the `telemetry-clock` rule). Routing all timing through one hook keeps
+/// timing testable: `ScopedFakeClock` swaps in a manually-advanced time
+/// source so timer and profiler tests are exact instead of sleep-and-hope.
+int64_t NowNanos();
+
+/// While alive, `NowNanos()` returns a manually-controlled value (starting
+/// at 0) instead of reading the hardware clock. Construction nests-checks:
+/// only one fake clock may be active per process at a time, and tests that
+/// install one must not run timed code concurrently on other threads (the
+/// fake value itself is atomic, so readers never see torn values).
+class ScopedFakeClock {
+ public:
+  ScopedFakeClock();
+  ~ScopedFakeClock();
+
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+  /// Moves the fake time forward by `ns` (must be >= 0).
+  void Advance(int64_t ns);
+
+  /// Sets the fake time to an absolute value.
+  void Set(int64_t ns);
+
+  int64_t now_ns() const;
+};
+
+}  // namespace adamel::obs
+
+#endif  // ADAMEL_OBS_CLOCK_H_

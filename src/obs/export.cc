@@ -1,0 +1,537 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace adamel::obs {
+namespace {
+
+// Shortest decimal form that round-trips the double, so two identical
+// snapshots render byte-identically and goldens diff cleanly.
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) {
+    return "NaN";  // not standard JSON; never produced by telemetry values
+  }
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+std::string FormatInt(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  return buffer;
+}
+
+// Metric names are [a-zA-Z0-9._-] in practice; escape defensively anyway.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Tiny appender handling indentation and comma placement for one object or
+// array level.
+class JsonWriter {
+ public:
+  JsonWriter(std::string* out, int indent) : out_(out), indent_(indent) {}
+
+  void OpenObject() { Open('{'); }
+  void OpenArray() { Open('['); }
+  void CloseObject() { Close('}'); }
+  void CloseArray() { Close(']'); }
+
+  void Key(std::string_view name) {
+    Separator();
+    *out_ += '"';
+    *out_ += JsonEscape(name);
+    *out_ += "\":";
+    if (indent_ > 0) {
+      *out_ += ' ';
+    }
+    pending_value_ = true;
+  }
+
+  void Value(std::string_view literal) {
+    if (!pending_value_) {
+      Separator();
+    }
+    pending_value_ = false;
+    *out_ += literal;
+  }
+
+ private:
+  void Open(char bracket) {
+    if (!pending_value_) {
+      Separator();
+    }
+    pending_value_ = false;
+    *out_ += bracket;
+    ++depth_;
+    first_.push_back(true);
+  }
+
+  void Close(char bracket) {
+    --depth_;
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      Newline();
+    }
+    *out_ += bracket;
+  }
+
+  void Separator() {
+    if (first_.empty()) {
+      return;
+    }
+    if (!first_.back()) {
+      *out_ += ',';
+    }
+    first_.back() = false;
+    Newline();
+  }
+
+  void Newline() {
+    if (indent_ <= 0) {
+      return;
+    }
+    *out_ += '\n';
+    out_->append(static_cast<size_t>(depth_ * indent_), ' ');
+  }
+
+  std::string* out_;
+  int indent_;
+  int depth_ = 0;
+  bool pending_value_ = false;
+  std::vector<bool> first_;
+};
+
+}  // namespace
+
+std::string ToJson(const TelemetrySnapshot& snapshot, int indent,
+                   int64_t wall_ns) {
+  std::string out;
+  JsonWriter w(&out, indent);
+  w.OpenObject();
+  w.Key("enabled");
+  w.Value(snapshot.enabled ? "true" : "false");
+
+  w.Key("counters");
+  w.OpenObject();
+  for (const CounterSnapshot& c : snapshot.counters) {
+    w.Key(c.name);
+    w.Value(FormatInt(c.value));
+  }
+  w.CloseObject();
+
+  w.Key("gauges");
+  w.OpenObject();
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    w.Key(g.name);
+    w.Value(FormatDouble(g.value));
+  }
+  w.CloseObject();
+
+  w.Key("series");
+  w.OpenObject();
+  for (const SeriesSnapshot& s : snapshot.series) {
+    w.Key(s.name);
+    w.OpenArray();
+    for (const double value : s.values) {
+      w.Value(FormatDouble(value));
+    }
+    w.CloseArray();
+  }
+  w.CloseObject();
+
+  w.Key("timers");
+  w.OpenObject();
+  for (const TimerSnapshot& t : snapshot.timers) {
+    w.Key(t.name);
+    w.OpenObject();
+    w.Key("count");
+    w.Value(FormatInt(t.count));
+    w.Key("total_ns");
+    w.Value(FormatInt(t.total_ns));
+    w.Key("max_ns");
+    w.Value(FormatInt(t.max_ns));
+    w.CloseObject();
+  }
+  w.CloseObject();
+
+  w.Key("histograms");
+  w.OpenObject();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    w.Key(h.name);
+    w.OpenObject();
+    w.Key("bounds");
+    w.OpenArray();
+    for (const double bound : h.upper_bounds) {
+      w.Value(FormatDouble(bound));
+    }
+    w.CloseArray();
+    w.Key("counts");
+    w.OpenArray();
+    for (const int64_t count : h.bucket_counts) {
+      w.Value(FormatInt(count));
+    }
+    w.CloseArray();
+    w.Key("count");
+    w.Value(FormatInt(h.count));
+    w.Key("sum");
+    w.Value(FormatDouble(h.sum));
+    w.CloseObject();
+  }
+  w.CloseObject();
+
+  w.Key("phases");
+  w.OpenObject();
+  for (const PhaseSnapshot& p : snapshot.phases) {
+    w.Key(p.name);
+    w.Value(FormatInt(p.exclusive_ns));
+  }
+  if (wall_ns >= 0) {
+    w.Key("wall_ns");
+    w.Value(FormatInt(wall_ns));
+  }
+  w.CloseObject();
+
+  w.CloseObject();
+  return out;
+}
+
+std::string ToCsv(const TelemetrySnapshot& snapshot) {
+  std::string out = "kind,name,field,value\n";
+  auto row = [&out](std::string_view kind, std::string_view name,
+                    std::string_view field, const std::string& value) {
+    out += kind;
+    out += ',';
+    out += name;
+    out += ',';
+    out += field;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  row("meta", "enabled", "", snapshot.enabled ? "1" : "0");
+  for (const CounterSnapshot& c : snapshot.counters) {
+    row("counter", c.name, "", FormatInt(c.value));
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    row("gauge", g.name, "", FormatDouble(g.value));
+  }
+  for (const SeriesSnapshot& s : snapshot.series) {
+    for (size_t i = 0; i < s.values.size(); ++i) {
+      row("series", s.name, FormatInt(static_cast<int64_t>(i)),
+          FormatDouble(s.values[i]));
+    }
+  }
+  for (const TimerSnapshot& t : snapshot.timers) {
+    row("timer", t.name, "count", FormatInt(t.count));
+    row("timer", t.name, "total_ns", FormatInt(t.total_ns));
+    row("timer", t.name, "max_ns", FormatInt(t.max_ns));
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      const std::string field =
+          i < h.upper_bounds.size()
+              ? "le_" + FormatDouble(h.upper_bounds[i])
+              : std::string("le_inf");
+      row("histogram", h.name, field, FormatInt(h.bucket_counts[i]));
+    }
+    row("histogram", h.name, "count", FormatInt(h.count));
+    row("histogram", h.name, "sum", FormatDouble(h.sum));
+  }
+  for (const PhaseSnapshot& p : snapshot.phases) {
+    row("phase", p.name, "exclusive_ns", FormatInt(p.exclusive_ns));
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return IoError("cannot open for writing: " + path);
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    return IoError("write failed: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status WriteSnapshotJsonFile(const TelemetrySnapshot& snapshot,
+                             const std::string& path, int64_t wall_ns) {
+  return WriteTextFile(path, ToJson(snapshot, /*indent=*/2, wall_ns) + "\n");
+}
+
+Status WriteSnapshotCsvFile(const TelemetrySnapshot& snapshot,
+                            const std::string& path) {
+  return WriteTextFile(path, ToCsv(snapshot));
+}
+
+// -- FlatJsonParse -----------------------------------------------------------
+
+namespace {
+
+// Recursive-descent reader over the numeric subset described in export.h.
+class FlatParser {
+ public:
+  FlatParser(std::string_view text, std::map<std::string, double>* out)
+      : text_(text), out_(out) {}
+
+  Status Run() {
+    SkipSpace();
+    ADAMEL_RETURN_IF_ERROR(ParseValue(""));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return OkStatus();
+  }
+
+ private:
+  Status ParseValue(const std::string& path) {
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(path);
+    }
+    if (c == '[') {
+      return ParseArray(path);
+    }
+    if (c == '"') {
+      return Error("string value at '" + path + "' (numeric document only)");
+    }
+    if (Consume("true")) {
+      return Emit(path, 1.0);
+    }
+    if (Consume("false")) {
+      return Emit(path, 0.0);
+    }
+    if (Consume("null")) {
+      return OkStatus();  // skipped, per contract
+    }
+    return ParseNumber(path);
+  }
+
+  Status ParseObject(const std::string& path) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return OkStatus();
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      ADAMEL_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key \"" + key + "\"");
+      }
+      ++pos_;
+      SkipSpace();
+      const std::string child = path.empty() ? key : path + "/" + key;
+      ADAMEL_RETURN_IF_ERROR(ParseValue(child));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Error("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return OkStatus();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(const std::string& path) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return OkStatus();
+    }
+    int64_t index = 0;
+    for (;;) {
+      SkipSpace();
+      ADAMEL_RETURN_IF_ERROR(ParseValue(path + "/" + FormatInt(index)));
+      ++index;
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Error("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return OkStatus();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          default:
+            return Error("unsupported escape in string");
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(const std::string& path) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value at '" + path + "'");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    return Emit(path, value);
+  }
+
+  Status Emit(const std::string& path, double value) {
+    if (!out_->emplace(path, value).second) {
+      return Error("duplicate path '" + path + "'");
+    }
+    return OkStatus();
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("json parse: " + message + " (offset " +
+                                FormatInt(static_cast<int64_t>(pos_)) + ")");
+  }
+
+  std::string_view text_;
+  std::map<std::string, double>* out_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::map<std::string, double>> FlatJsonParse(std::string_view json) {
+  std::map<std::string, double> out;
+  FlatParser parser(json, &out);
+  ADAMEL_RETURN_IF_ERROR(parser.Run());
+  return out;
+}
+
+}  // namespace adamel::obs

@@ -1,0 +1,59 @@
+#ifndef ADAMEL_OBS_EXPORT_H_
+#define ADAMEL_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/telemetry.h"
+
+namespace adamel::obs {
+
+/// Renders a snapshot as a JSON object:
+///
+///   {
+///     "enabled": true,
+///     "counters": {"nn.gemm.calls": 42, ...},
+///     "gauges": {"train.loss.base": 0.52, ...},
+///     "series": {"train.epoch.loss": [0.7, 0.6], ...},
+///     "timers": {"checkpoint.save":
+///                  {"count": 2, "total_ns": 813, "max_ns": 512}, ...},
+///     "histograms": {"x": {"bounds": [...], "counts": [...],
+///                          "count": 9, "sum": 1.5}, ...},
+///     "phases": {"featurize": 120000, ..., "wall_ns": 950000}
+///   }
+///
+/// All values are numbers or booleans (never strings), keys are
+/// name-sorted, and doubles are printed with round-trippable precision —
+/// two identical snapshots render byte-identically. `indent` is the number
+/// of spaces per nesting level (0 = compact single line).
+///
+/// `wall_ns`, when >= 0, is the caller-measured wall time the phase
+/// breakdown should be compared against; it is emitted alongside the
+/// phases.
+std::string ToJson(const TelemetrySnapshot& snapshot, int indent = 2,
+                   int64_t wall_ns = -1);
+
+/// Renders a snapshot as flat CSV with header `kind,name,field,value`, one
+/// row per scalar. Series rows use the element index as `field`; histogram
+/// bucket rows use `le_<bound>` / `le_inf`.
+std::string ToCsv(const TelemetrySnapshot& snapshot);
+
+/// Writes `ToJson(snapshot)` / `ToCsv(snapshot)` to `path`.
+Status WriteSnapshotJsonFile(const TelemetrySnapshot& snapshot,
+                             const std::string& path, int64_t wall_ns = -1);
+Status WriteSnapshotCsvFile(const TelemetrySnapshot& snapshot,
+                            const std::string& path);
+
+/// Minimal JSON reader for numeric documents (telemetry snapshots, golden
+/// metric files): parses nested objects/arrays of numbers and booleans into
+/// a flat `path -> value` map. Object keys join with '/', array elements
+/// use their index ("series/train.loss/0"); booleans map to 0/1, nulls are
+/// skipped, and any string *value* is an error (the formats this reads
+/// never contain one). Duplicate paths are an error.
+StatusOr<std::map<std::string, double>> FlatJsonParse(std::string_view json);
+
+}  // namespace adamel::obs
+
+#endif  // ADAMEL_OBS_EXPORT_H_

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/telemetry.h"
 
 namespace adamel::text {
 namespace {
@@ -89,9 +90,11 @@ std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto cached = shard.map.find(key);
     if (cached != shard.map.end()) {
+      ADAMEL_COUNTER_ADD("embed.cache.hits", 1);
       return cached->second;
     }
   }
+  ADAMEL_COUNTER_ADD("embed.cache.misses", 1);
   // Compute outside the lock; a racing duplicate insert produces the same
   // value (the embedding is a pure function of the token bytes).
   std::vector<float> sum = ComputeToken(token);
@@ -130,6 +133,11 @@ std::vector<float> HashTextEmbedding::EmbedTokens(
   if (tokens.empty()) {
     return missing_vector_;
   }
+  // Attributes time only on orchestrating threads; the common case —
+  // embedding inside featurization workers — is charged to kFeaturize by
+  // the caller and this scope no-ops (see PhaseProfiler).
+  ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kEmbed);
+  ADAMEL_COUNTER_ADD("embed.tokens", static_cast<int64_t>(tokens.size()));
   const int64_t n = static_cast<int64_t>(tokens.size());
   if (n >= kParallelTokenMin) {
     // Fixed-chunk partial sums combined in chunk order keep the result

@@ -1,0 +1,201 @@
+// Checkpoint-corruption sweeps: take real containers produced by
+// nn/serialize (CheckpointWriter, and a full trained-model checkpoint),
+// then flip bits at every byte offset and truncate at every length. Every
+// corruption must surface as a clean non-OK Status — never a crash, hang,
+// or silently-loaded garbage. checkpoint_test covers the happy paths; this
+// file is the adversarial complement.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/trainer.h"
+#include "data/pair_dataset.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+
+namespace adamel {
+namespace {
+
+// A container with realistic contents: two sections, one holding named
+// tensors (the shape real model checkpoints take).
+std::string MakeCheckpointBlob() {
+  nn::BlobWriter meta;
+  meta.WriteU32(7);
+  meta.WriteString("golden-task");
+
+  nn::BlobWriter weights;
+  Rng rng(11);
+  std::vector<nn::NamedTensor> tensors;
+  tensors.emplace_back("w", nn::Tensor::RandomNormal(3, 4, 1.0f, &rng));
+  tensors.emplace_back("b", nn::Tensor::RandomNormal(1, 4, 1.0f, &rng));
+  nn::WriteNamedTensors(tensors, &weights);
+
+  nn::CheckpointWriter writer;
+  writer.AddSection("meta", meta.TakeBuffer());
+  writer.AddSection("weights", weights.TakeBuffer());
+  return writer.Serialize();
+}
+
+// True when the corrupted blob is cleanly rejected: either Parse fails, or
+// it parses but no longer exposes the original sections intact (a flipped
+// byte inside a section *name* is not CRC-protected, so the container
+// parses — the consumer's by-name lookup is the layer that rejects it).
+bool CleanlyRejected(std::string blob) {
+  const StatusOr<nn::CheckpointReader> parsed =
+      nn::CheckpointReader::Parse(std::move(blob));
+  if (!parsed.ok()) {
+    return true;
+  }
+  return !parsed.value().HasSection("meta") ||
+         !parsed.value().HasSection("weights");
+}
+
+TEST(CorruptionTest, EveryBitFlipIsCleanlyRejected) {
+  const std::string blob = MakeCheckpointBlob();
+  ASSERT_TRUE(nn::CheckpointReader::Parse(blob).ok());
+  for (size_t offset = 0; offset < blob.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[offset] ^= static_cast<char>(1 << bit);
+      EXPECT_TRUE(CleanlyRejected(std::move(corrupted)))
+          << "byte " << offset << " bit " << bit
+          << " corrupted a checkpoint without detection";
+    }
+  }
+}
+
+TEST(CorruptionTest, EveryTruncationIsRejected) {
+  const std::string blob = MakeCheckpointBlob();
+  for (size_t length = 0; length < blob.size(); ++length) {
+    const StatusOr<nn::CheckpointReader> parsed =
+        nn::CheckpointReader::Parse(blob.substr(0, length));
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << length << " parsed";
+  }
+}
+
+TEST(CorruptionTest, TrailingGarbageIsRejected) {
+  std::string blob = MakeCheckpointBlob();
+  blob += "extra";
+  EXPECT_FALSE(nn::CheckpointReader::Parse(std::move(blob)).ok());
+}
+
+TEST(CorruptionTest, BadMagicAndVersionHaveDistinctStatuses) {
+  const std::string blob = MakeCheckpointBlob();
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  const StatusOr<nn::CheckpointReader> magic_result =
+      nn::CheckpointReader::Parse(std::move(bad_magic));
+  ASSERT_FALSE(magic_result.ok());
+  EXPECT_EQ(magic_result.status().code(), StatusCode::kInvalidArgument);
+
+  // The version field is the little-endian u32 after the 4 magic bytes; a
+  // future version is a precondition failure ("upgrade the reader"), not
+  // corruption.
+  std::string bad_version = blob;
+  bad_version[4] = static_cast<char>(nn::kCheckpointVersion + 1);
+  const StatusOr<nn::CheckpointReader> version_result =
+      nn::CheckpointReader::Parse(std::move(bad_version));
+  ASSERT_FALSE(version_result.ok());
+  EXPECT_EQ(version_result.status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CorruptionTest, CorruptPayloadReportsCrcFailure) {
+  const std::string blob = MakeCheckpointBlob();
+  // Flip a bit near the end, well inside the last section's payload.
+  std::string corrupted = blob;
+  corrupted[blob.size() - 3] ^= 0x10;
+  const StatusOr<nn::CheckpointReader> parsed =
+      nn::CheckpointReader::Parse(std::move(corrupted));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("CRC32"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CorruptionTest, BlobReaderNeverReadsPastTruncatedTensors) {
+  // Tensor payloads declare their own sizes; a reader over a truncated
+  // payload must fail on the bounds check, not read out of range.
+  nn::BlobWriter writer;
+  const nn::Tensor tensor = nn::Tensor::Zeros(8, 8);
+  nn::WriteTensor(tensor, &writer);
+  const std::string payload = writer.buffer();
+  for (size_t length = 0; length < payload.size(); ++length) {
+    nn::BlobReader reader{std::string_view(payload).substr(0, length)};
+    const StatusOr<nn::Tensor> read = nn::ReadTensor(&reader);
+    EXPECT_FALSE(read.ok()) << "tensor prefix of length " << length;
+  }
+}
+
+// -- end-to-end: a real trained-model checkpoint ------------------------------
+
+data::Record MakeRecord(std::string source, std::vector<std::string> values) {
+  data::Record record;
+  record.id = "r";
+  record.source = std::move(source);
+  record.values = std::move(values);
+  return record;
+}
+
+data::PairDataset ToyDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  data::PairDataset dataset(data::Schema({"key", "noise"}));
+  for (int i = 0; i < n; ++i) {
+    const bool match = rng.Bernoulli(0.5);
+    const std::string key = "key" + std::to_string(rng.UniformInt(50));
+    const std::string other =
+        match ? key : "key" + std::to_string(rng.UniformInt(50) + 50);
+    data::LabeledPair pair;
+    pair.left = MakeRecord("s0", {key, "blah"});
+    pair.right = MakeRecord("s1", {other, "blub"});
+    pair.label = match ? data::kMatch : data::kNonMatch;
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+TEST(CorruptionTest, TrainedModelFlipSweepNeverLoadsGarbage) {
+  const data::PairDataset train = ToyDataset(60, 34);
+  const data::PairDataset test = ToyDataset(30, 35);
+  core::AdamelConfig config;
+  config.epochs = 1;
+  const core::AdamelTrainer trainer(config);
+  core::MelInputs inputs;
+  inputs.source_train = &train;
+  const core::TrainedAdamel trained =
+      trainer.Fit(core::AdamelVariant::kBase, inputs);
+  const std::vector<float> expected = trained.Predict(test);
+  const std::string path = ::testing::TempDir() + "/corruption_model.ckpt";
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  const StatusOr<std::string> contents = nn::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  const std::string& blob = contents.value();
+
+  // Sampled sweep (every 17th byte, rotating bit) to keep the test fast on
+  // the multi-KB model file; the container-level tests above are
+  // exhaustive. The contract is "never load garbage": a flip either fails
+  // with a clean Status (payload CRC, framing, magic) or — when it lands in
+  // the *name* of a section the loader does not require — loads a model
+  // bitwise identical to the original. No third outcome is acceptable.
+  const std::string flipped_path =
+      ::testing::TempDir() + "/corruption_model_flipped.ckpt";
+  for (size_t offset = 0; offset < blob.size(); offset += 17) {
+    std::string corrupted = blob;
+    corrupted[offset] ^= static_cast<char>(1 << (offset % 8));
+    ASSERT_TRUE(nn::AtomicWriteFile(flipped_path, corrupted).ok());
+    const StatusOr<std::shared_ptr<core::TrainedAdamel>> loaded =
+        core::TrainedAdamel::LoadFromFile(flipped_path);
+    if (loaded.ok()) {
+      EXPECT_EQ((*loaded)->Predict(test), expected)
+          << "flip at byte " << offset << " changed predictions";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adamel

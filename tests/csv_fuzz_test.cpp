@@ -1,0 +1,171 @@
+// Property/fuzz tests for the CSV layer (data/csv.h). The reader's
+// contract: for ANY byte string, ParseCsv either returns a table or a
+// clean InvalidArgument Status — it never crashes, hangs, or exhibits UB.
+// For tables produced by FormatCsv, parsing is the exact inverse. All
+// randomness flows through the repo's seeded Rng, so every "fuzz" case is
+// reproducible from the fixed seeds below.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+
+namespace adamel {
+namespace {
+
+// Characters weighted toward CSV structure so random strings actually
+// exercise the quoting/terminator state machine instead of being plain
+// text.
+std::string RandomCsvText(Rng& rng, int max_len) {
+  static const std::string alphabet = "abc,\"\n\r 123\t;";
+  const int len = rng.UniformInt(max_len + 1);
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(alphabet[static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(alphabet.size())))]);
+  }
+  return out;
+}
+
+// A random field value over the full troublesome alphabet, including
+// embedded quotes, commas, CR, LF, and CRLF sequences.
+std::string RandomField(Rng& rng) {
+  std::string out;
+  const int len = rng.UniformInt(12);
+  for (int i = 0; i < len; ++i) {
+    switch (rng.UniformInt(8)) {
+      case 0:
+        out.push_back('"');
+        break;
+      case 1:
+        out.push_back(',');
+        break;
+      case 2:
+        out.push_back('\n');
+        break;
+      case 3:
+        out.push_back('\r');
+        break;
+      case 4:
+        out += "\r\n";
+        break;
+      default:
+        out.push_back(static_cast<char>('a' + rng.UniformInt(26)));
+    }
+  }
+  return out;
+}
+
+data::CsvTable RandomTable(Rng& rng) {
+  data::CsvTable table;
+  const int columns = rng.UniformInt(1, 6);
+  for (int c = 0; c < columns; ++c) {
+    // Headers must be distinct enough to not matter; values can be nasty.
+    table.header.push_back("col" + std::to_string(c) + RandomField(rng));
+  }
+  const int rows = rng.UniformInt(0, 8);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < columns; ++c) {
+      row.push_back(RandomField(rng));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+TEST(CsvFuzzTest, RandomBytesNeverCrashTheParser) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = RandomCsvText(rng, 64);
+    const StatusOr<data::CsvTable> parsed = data::ParseCsv(text);
+    if (parsed.ok()) {
+      // Structural invariants of any accepted table.
+      for (const std::vector<std::string>& row : parsed.value().rows) {
+        EXPECT_EQ(row.size(), parsed.value().header.size());
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, LongFieldsRoundTrip) {
+  data::CsvTable table;
+  table.header = {"id", "blob"};
+  // A multi-megabyte field with every troublesome character class.
+  std::string giant;
+  giant.reserve(2 << 20);
+  Rng rng(7);
+  while (giant.size() < (2u << 20)) {
+    giant += RandomField(rng);
+    giant += "padding-";
+  }
+  table.rows.push_back({"1", giant});
+  const StatusOr<data::CsvTable> parsed =
+      data::ParseCsv(data::FormatCsv(table));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().rows.size(), 1u);
+  EXPECT_EQ(parsed.value().rows[0][1], giant);
+}
+
+TEST(CsvFuzzTest, FormattedTablesAlwaysParseBackIdentically) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const data::CsvTable table = RandomTable(rng);
+    const std::string text = data::FormatCsv(table);
+    const StatusOr<data::CsvTable> parsed = data::ParseCsv(text);
+    ASSERT_TRUE(parsed.ok())
+        << "trial " << trial << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().header, table.header) << "trial " << trial;
+    EXPECT_EQ(parsed.value().rows, table.rows) << "trial " << trial;
+  }
+}
+
+TEST(CsvFuzzTest, TruncationsOfValidCsvNeverCrash) {
+  data::CsvTable table;
+  table.header = {"a", "b"};
+  table.rows.push_back({"plain", "quoted,\"with\"\nnewline\r\nand cr\r!"});
+  table.rows.push_back({"", "empty-first"});
+  const std::string full = data::FormatCsv(table);
+  // Every prefix of a valid document must parse or fail cleanly; an
+  // unterminated quote must fail with InvalidArgument, not hang or crash.
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    const StatusOr<data::CsvTable> parsed =
+        data::ParseCsv(full.substr(0, cut));
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST(CsvFuzzTest, MalformedInputsReturnStatusNotCrash) {
+  // Canonical malformed cases with their expected failure reason.
+  EXPECT_FALSE(data::ParseCsv("").ok());                  // empty document
+  EXPECT_FALSE(data::ParseCsv("\"unterminated").ok());    // open quote
+  EXPECT_FALSE(data::ParseCsv("a,b\n1\n").ok());          // ragged row
+  EXPECT_FALSE(data::ParseCsv("a,b\n1,2,3\n").ok());      // too many fields
+  EXPECT_FALSE(data::ParseCsv("a,b\r1\r").ok());          // ragged, CR rows
+
+  // Line-terminator zoo: CRLF, bare CR, bare LF all delimit rows.
+  const StatusOr<data::CsvTable> mixed =
+      data::ParseCsv("a,b\r\n1,2\r3,4\n5,6");
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_EQ(mixed.value().rows.size(), 3u);
+  EXPECT_EQ(mixed.value().rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvFuzzTest, QuotedTerminatorsStayInsideFields) {
+  const StatusOr<data::CsvTable> parsed =
+      data::ParseCsv("a,b\n\"x\r\ny\",\"u\rv\"\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().rows.size(), 1u);
+  EXPECT_EQ(parsed.value().rows[0][0], "x\r\ny");
+  EXPECT_EQ(parsed.value().rows[0][1], "u\rv");
+}
+
+}  // namespace
+}  // namespace adamel

@@ -61,6 +61,65 @@ TEST(AveragePrecisionTest, InvariantToMonotoneTransform) {
               AveragePrecision(transformed, labels), 1e-9);
 }
 
+// Regression tests for score-tie handling: the ranking tie-breaks by
+// original index explicitly, and the PR curve collapses each tie run to
+// one point, so AP must be bit-identical no matter how the caller ordered
+// the tied pairs.
+
+TEST(AveragePrecisionTest, AllTiedScoresEqualPrevalenceExactly) {
+  const double ap =
+      AveragePrecision({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0});
+  EXPECT_EQ(ap, 0.5);
+}
+
+TEST(AveragePrecisionTest, LabelOrderWithinTieRunIsIrrelevant) {
+  const std::vector<float> scores = {0.9f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f};
+  const double ap = AveragePrecision(scores, {1, 0, 1, 1, 0, 0});
+  EXPECT_EQ(AveragePrecision(scores, {1, 1, 0, 0, 1, 0}), ap);
+  EXPECT_EQ(AveragePrecision(scores, {1, 1, 1, 0, 0, 0}), ap);
+}
+
+TEST(AveragePrecisionTest, DuplicatedScoresArePermutationInvariant) {
+  // Heavily tied scores (5 distinct values over 60 pairs), whole-dataset
+  // permutations: AP, the PR curve, and best-F1 must all be exactly stable.
+  Rng rng(3);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    scores.push_back(static_cast<float>(rng.UniformInt(5)) / 4.0f);
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  const double ap = AveragePrecision(scores, labels);
+  const double f1 = BestF1(scores, labels);
+  const std::vector<PrPoint> curve = PrecisionRecallCurve(scores, labels);
+
+  std::vector<int> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.Shuffle(order);
+    std::vector<float> permuted_scores;
+    std::vector<int> permuted_labels;
+    for (const int index : order) {
+      permuted_scores.push_back(scores[static_cast<size_t>(index)]);
+      permuted_labels.push_back(labels[static_cast<size_t>(index)]);
+    }
+    EXPECT_EQ(AveragePrecision(permuted_scores, permuted_labels), ap)
+        << "trial " << trial;
+    EXPECT_EQ(BestF1(permuted_scores, permuted_labels), f1)
+        << "trial " << trial;
+    const std::vector<PrPoint> permuted_curve =
+        PrecisionRecallCurve(permuted_scores, permuted_labels);
+    ASSERT_EQ(permuted_curve.size(), curve.size()) << "trial " << trial;
+    for (size_t p = 0; p < curve.size(); ++p) {
+      EXPECT_EQ(permuted_curve[p].threshold, curve[p].threshold);
+      EXPECT_EQ(permuted_curve[p].precision, curve[p].precision);
+      EXPECT_EQ(permuted_curve[p].recall, curve[p].recall);
+    }
+  }
+}
+
 TEST(PrecisionRecallCurveTest, EndsAtFullRecall) {
   const auto curve =
       PrecisionRecallCurve({0.9f, 0.5f, 0.1f}, {1, 0, 1});

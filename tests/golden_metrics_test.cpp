@@ -1,0 +1,248 @@
+// Golden-metrics regression suite: fixed-seed PRAUC / best-F1 for every
+// model in the comparison roster (AdaMEL variants + all five baselines) on
+// a small synthetic Monitor world, checked against tests/golden/*.json.
+//
+// A genuine behavior change (new default hyperparameter, different
+// initialization, altered feature pipeline) shows up here as a metric
+// drift before it shows up in a paper table. To bless an intentional
+// change, regenerate the goldens:
+//
+//   ./tests/golden_metrics_test --update_golden
+//
+// and commit the rewritten JSON. Tolerances absorb platform-level
+// floating-point wiggle (libm differences), not behavior changes; the
+// suite also proves the metrics are thread-count-invariant and that the
+// tolerance band is tight enough to catch a perturbed hyperparameter.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.h"
+#include "bench/harness.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "datagen/monitor_world.h"
+#include "eval/metrics.h"
+#include "obs/export.h"
+
+#ifndef ADAMEL_GOLDEN_DIR
+#define ADAMEL_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace adamel {
+namespace {
+
+bool g_update_golden = false;
+
+// Metrics must agree with the goldens to within this band at any thread
+// count and across toolchains. Empirically the run-to-run spread on one
+// machine is 0 (the stack is bitwise deterministic); 0.02 leaves room for
+// libm/platform drift while still failing on real hyperparameter changes
+// (see PerturbedHyperparameterEscapesTolerance).
+constexpr double kTolerance = 0.02;
+
+struct ModelMetrics {
+  double prauc = 0.0;
+  double f1 = 0.0;
+};
+
+// The golden world: small enough to train the full roster in seconds,
+// large enough that metrics sit strictly between chance and saturation so
+// drift in either direction is visible.
+datagen::MelTask MakeGoldenTask() {
+  datagen::MonitorTaskOptions options;
+  options.seed = 24;
+  options.train_pairs = 400;
+  options.test_positives = 60;
+  options.test_negatives = 200;
+  options.target_unlabeled_pairs = 300;
+  return datagen::MakeMonitorTask(options);
+}
+
+core::AdamelConfig GoldenAdamelConfig() {
+  core::AdamelConfig config;
+  config.epochs = 4;
+  return config;
+}
+
+baselines::BaselineConfig GoldenBaselineConfig() {
+  baselines::BaselineConfig config;
+  config.epochs = 2;
+  config.max_train_pairs = 150;
+  return config;
+}
+
+ModelMetrics ComputeMetrics(const std::string& name,
+                            const datagen::MelTask& task,
+                            const core::AdamelConfig& adamel_config,
+                            const baselines::BaselineConfig& baseline_config) {
+  auto model =
+      bench::MakeModel(name, 42, adamel_config, baseline_config);
+  EXPECT_NE(model, nullptr) << name;
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  model->Fit(inputs);
+  const std::vector<float> scores = model->PredictScores(task.test);
+  const std::vector<int> labels = bench::TestLabels(task.test);
+  ModelMetrics metrics;
+  metrics.prauc = eval::AveragePrecision(scores, labels);
+  metrics.f1 = eval::BestF1(scores, labels);
+  return metrics;
+}
+
+// Trains the whole roster exactly once per process; every test reads from
+// this cache.
+const std::map<std::string, ModelMetrics>& ComputedMetrics() {
+  static const std::map<std::string, ModelMetrics> metrics = [] {
+    const datagen::MelTask task = MakeGoldenTask();
+    std::map<std::string, ModelMetrics> out;
+    for (const std::string& name : bench::ComparisonModelNames()) {
+      out[name] = ComputeMetrics(name, task, GoldenAdamelConfig(),
+                                 GoldenBaselineConfig());
+    }
+    return out;
+  }();
+  return metrics;
+}
+
+std::string GoldenPath() {
+  return std::string(ADAMEL_GOLDEN_DIR) + "/monitor_small.json";
+}
+
+// Shortest decimal form that round-trips, so regenerated goldens diff
+// cleanly (same scheme as the telemetry JSON exporter).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+void WriteGoldenFile(const std::map<std::string, ModelMetrics>& metrics) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, m] : metrics) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "  \"" + name + "\": {\"f1\": " + FormatDouble(m.f1) +
+           ", \"prauc\": " + FormatDouble(m.prauc) + "}";
+  }
+  out += "\n}\n";
+  std::ofstream file(GoldenPath(), std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(file.good()) << "cannot open " << GoldenPath();
+  file << out;
+  file.flush();
+  ASSERT_TRUE(file.good()) << "write failed: " << GoldenPath();
+}
+
+StatusOr<std::map<std::string, double>> ReadGoldenFile() {
+  std::ifstream file(GoldenPath(), std::ios::binary);
+  if (!file) {
+    return IoError("cannot open golden file: " + GoldenPath() +
+                   " (run with --update_golden to generate)");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return obs::FlatJsonParse(text.str());
+}
+
+TEST(GoldenMetricsTest, RosterMatchesGoldenFile) {
+  const std::map<std::string, ModelMetrics>& computed = ComputedMetrics();
+  if (g_update_golden) {
+    WriteGoldenFile(computed);
+    for (const auto& [name, m] : computed) {
+      std::printf("updated %-18s prauc=%.6f f1=%.6f\n", name.c_str(),
+                  m.prauc, m.f1);
+    }
+    return;
+  }
+  const StatusOr<std::map<std::string, double>> golden = ReadGoldenFile();
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  for (const std::string& name : bench::ComparisonModelNames()) {
+    const auto& m = computed.at(name);
+    ASSERT_EQ(golden.value().count(name + "/prauc"), 1u)
+        << name << " missing from " << GoldenPath()
+        << " (run with --update_golden)";
+    const double golden_prauc = golden.value().at(name + "/prauc");
+    const double golden_f1 = golden.value().at(name + "/f1");
+    EXPECT_NEAR(m.prauc, golden_prauc, kTolerance) << name;
+    EXPECT_NEAR(m.f1, golden_f1, kTolerance) << name;
+  }
+}
+
+TEST(GoldenMetricsTest, GoldenFileCoversExactlyTheRoster) {
+  if (g_update_golden) {
+    GTEST_SKIP() << "regenerating goldens";
+  }
+  const StatusOr<std::map<std::string, double>> golden = ReadGoldenFile();
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  // Two flat entries (prauc, f1) per roster model, nothing else — a model
+  // renamed or dropped from the roster must be reflected in the golden.
+  EXPECT_EQ(golden.value().size(),
+            2 * bench::ComparisonModelNames().size());
+}
+
+TEST(GoldenMetricsTest, MetricsAreThreadCountInvariant) {
+  const datagen::MelTask task = MakeGoldenTask();
+  SetNumThreads(1);
+  const ModelMetrics serial = ComputeMetrics(
+      "AdaMEL-hyb", task, GoldenAdamelConfig(), GoldenBaselineConfig());
+  SetNumThreads(4);
+  const ModelMetrics pooled = ComputeMetrics(
+      "AdaMEL-hyb", task, GoldenAdamelConfig(), GoldenBaselineConfig());
+  SetNumThreads(0);  // restore env/hardware default
+  // The compute stack guarantees bitwise thread-count invariance (fixed
+  // chunk boundaries, chunk-order reductions), so this is exact equality,
+  // not a tolerance check.
+  EXPECT_EQ(serial.prauc, pooled.prauc);
+  EXPECT_EQ(serial.f1, pooled.f1);
+}
+
+TEST(GoldenMetricsTest, PerturbedHyperparameterEscapesTolerance) {
+  if (g_update_golden) {
+    GTEST_SKIP() << "regenerating goldens";
+  }
+  // The tolerance band must be tight enough that a real hyperparameter
+  // change fails the suite: halving the training schedule has to move the
+  // flagship model's PRAUC outside the band.
+  const StatusOr<std::map<std::string, double>> golden = ReadGoldenFile();
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  const datagen::MelTask task = MakeGoldenTask();
+  core::AdamelConfig perturbed = GoldenAdamelConfig();
+  perturbed.epochs = 1;
+  const ModelMetrics metrics = ComputeMetrics("AdaMEL-hyb", task, perturbed,
+                                              GoldenBaselineConfig());
+  EXPECT_GT(std::abs(metrics.prauc - golden.value().at("AdaMEL-hyb/prauc")),
+            kTolerance);
+}
+
+}  // namespace
+}  // namespace adamel
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update_golden") {
+      adamel::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

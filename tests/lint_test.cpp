@@ -65,16 +65,40 @@ TEST(LintTest, FlagsRandomDevice) {
   EXPECT_EQ(findings[0].line, 2);
 }
 
-TEST(LintTest, FlagsTimeAndClockNow) {
+TEST(LintTest, FlagsTimeCall) {
   EXPECT_TRUE(HasRule(LintLibrary("long f() { return time(nullptr); }\n"),
                       "nondeterminism"));
+}
+
+// -- telemetry-clock ----------------------------------------------------------
+
+TEST(LintTest, FlagsDirectClockNow) {
   EXPECT_TRUE(HasRule(
       LintLibrary("auto f() { return std::chrono::steady_clock::now(); }\n"),
-      "nondeterminism"));
+      "telemetry-clock"));
   EXPECT_TRUE(HasRule(
       LintLibrary(
           "auto f() { return std::chrono::system_clock::now(); }\n"),
-      "nondeterminism"));
+      "telemetry-clock"));
+}
+
+TEST(LintTest, ObsClockImplementationIsExempt) {
+  // src/obs/clock.cc is the one translation unit allowed to read the chrono
+  // clocks directly; everything else must go through obs::NowNanos().
+  Options options;
+  options.library_code = true;
+  options.obs_clock_allowed = true;
+  const std::set<std::string> no_names;
+  const auto findings = LintSource(
+      "src/obs/clock.cc",
+      "auto f() { return std::chrono::steady_clock::now(); }\n", options,
+      no_names);
+  EXPECT_TRUE(findings.empty());
+
+  // The exemption only covers the clock rule — rand() still fires.
+  const auto rand_findings = LintSource(
+      "src/obs/clock.cc", "int f() { return rand(); }\n", options, no_names);
+  EXPECT_TRUE(HasRule(rand_findings, "nondeterminism"));
 }
 
 TEST(LintTest, DoesNotFlagIdentifiersContainingRand) {
@@ -259,7 +283,7 @@ TEST(LintTest, RuleIdListIsStable) {
   const std::vector<std::string>& rules = RuleIds();
   for (const char* expected :
        {"nondeterminism", "unchecked-status", "void-cast-status", "raw-new",
-        "cout-debug", "include-guard", "banned-identifier",
+        "cout-debug", "include-guard", "banned-identifier", "telemetry-clock",
         "bad-suppression"}) {
     EXPECT_TRUE(std::find(rules.begin(), rules.end(), expected) !=
                 rules.end())

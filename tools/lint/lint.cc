@@ -334,14 +334,28 @@ void CheckNondeterminism(const std::vector<Token>& toks,
       }
       continue;
     }
-    if (name == "now" && i >= 2 && toks[i - 1].text == "::" &&
+  }
+}
+
+// Direct clock reads are banned everywhere except src/obs: all timing must
+// flow through obs::NowNanos() so ScopedFakeClock can fake time in tests
+// and so the nondeterminism surface stays confined to one function.
+void CheckTelemetryClock(const std::vector<Token>& toks,
+                         const std::string& path, const SuppressionMap& supp,
+                         std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i) || !TokIs(toks, i + 1, "(")) {
+      continue;
+    }
+    if (toks[i].text == "now" && i >= 2 && toks[i - 1].text == "::" &&
         IsIdent(toks, i - 2) &&
         toks[i - 2].text.size() >= 6 &&
         toks[i - 2].text.compare(toks[i - 2].text.size() - 6, 6, "_clock") ==
             0) {
-      Report(findings, supp, path, toks[i].line, "nondeterminism",
-             "'" + toks[i - 2].text + "::now()' reads the clock; allowed "
-             "only for whitelisted timing code (suppress with a reason)");
+      Report(findings, supp, path, toks[i].line, "telemetry-clock",
+             "'" + toks[i - 2].text + "::now()' reads the clock directly; "
+             "use adamel::obs::NowNanos() (fakeable via ScopedFakeClock) — "
+             "only src/obs may touch std::chrono clocks");
     }
   }
 }
@@ -490,7 +504,7 @@ const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kIds = {
       "nondeterminism",  "unchecked-status", "void-cast-status",
       "raw-new",         "cout-debug",       "include-guard",
-      "banned-identifier", "bad-suppression"};
+      "banned-identifier", "telemetry-clock",  "bad-suppression"};
   return kIds;
 }
 
@@ -556,6 +570,9 @@ std::vector<Finding> LintSource(const std::string& path,
   const std::vector<Token> toks = Tokenize(contents);
 
   CheckNondeterminism(toks, path, supp, &findings);
+  if (!options.obs_clock_allowed) {
+    CheckTelemetryClock(toks, path, supp, &findings);
+  }
   CheckUncheckedStatus(toks, path, supp, status_names, &findings);
   CheckBannedIdentifiers(toks, path, supp, &findings);
   if (options.library_code) {
@@ -609,6 +626,7 @@ std::vector<Finding> LintTree(const std::string& root,
         fs::relative(file, root).generic_string();
     Options options;
     options.library_code = relpath.rfind("src/", 0) == 0;
+    options.obs_clock_allowed = relpath.rfind("src/obs/", 0) == 0;
     if (IsHeader(file)) {
       options.expected_guard = ExpectedIncludeGuard(relpath);
     }

@@ -21,6 +21,11 @@ struct Options {
   /// (raw-new, cout-debug). Benches and examples may allocate and print.
   bool library_code = false;
 
+  /// True for files under src/obs/ — the telemetry clock implementation is
+  /// the one place allowed to call `std::chrono::*_clock::now()` directly;
+  /// everywhere else the telemetry-clock rule demands obs::NowNanos().
+  bool obs_clock_allowed = false;
+
   /// Expected include-guard macro for a header ("" skips the check).
   std::string expected_guard;
 };
