@@ -139,13 +139,13 @@ int main(int argc, char** argv) {
       subset_inputs.support = &projected.support;
       const core::TrainedAdamel subset_model =
           trainer.Fit(core::AdamelVariant::kHyb, subset_inputs);
-      return eval::AveragePrecision(subset_model.Predict(projected.test),
+      return eval::AveragePrecision(subset_model.ScorePairs(projected.test),
                                     bench::TestLabels(projected.test));
     };
     const double top_score = score_subset(top_attributes);
     const double other_score = score_subset(other_attributes);
     const double all_score = eval::AveragePrecision(
-        model.Predict(spec.task.test), bench::TestLabels(spec.task.test));
+        model.ScorePairs(spec.task.test), bench::TestLabels(spec.task.test));
     char top_cell[64];
     char other_cell[64];
     char all_cell[64];

@@ -57,11 +57,12 @@ int main(int argc, char** argv) {
       inputs.target_unlabeled = &target_unlabeled;
       inputs.support = &series.support;
       const int64_t start_ns = obs::NowNanos();
-      model->Fit(inputs);
+      const Status fit_status = model->Fit(inputs);
+      ADAMEL_CHECK(fit_status.ok()) << fit_status.ToString();
       total_runtime[m] +=
           static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
       const double prauc =
-          eval::AveragePrecision(model->PredictScores(test), labels);
+          eval::AveragePrecision(model->ScorePairs(test).value(), labels);
       min_prauc[m] = std::min(min_prauc[m], prauc);
       max_prauc[m] = std::max(max_prauc[m], prauc);
       parameters[m] = model->ParameterCount();

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     inputs.target_unlabeled = &task.target_unlabeled;
     inputs.support = &task.support;
     // TLER/Ditto and friends size their networks during Fit.
-    model->Fit(inputs);
+    const Status fit_status = model->Fit(inputs);
+    ADAMEL_CHECK(fit_status.ok()) << fit_status.ToString();
     table.AddRow({name, "experiment",
                   std::to_string(model->ParameterCount())});
   }

@@ -1,0 +1,209 @@
+// Online-serving throughput benchmark for src/serve. Trains a small AdaMEL
+// model, registers it in a LinkageService, pre-fills the request queue from
+// concurrent client threads (single-pair requests), then times a
+// single-thread drain under two batcher configurations:
+//
+//   - batch1:  max_batch_pairs = 1   (every forward pass scores one pair)
+//   - batched: max_batch_pairs = 512 (requests coalesce into large passes)
+//
+// Reports requests/second for both, the batched/batch1 speedup, and whether
+// the served scores were bitwise identical to offline ScorePairs across
+// both configurations. Writes <out>/BENCH_serving.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "eval/report.h"
+#include "obs/clock.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace adamel;
+
+struct RunResult {
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+  int64_t batches = 0;
+  int64_t max_batch_pairs = 0;
+  bool bitwise_identical = true;
+};
+
+// Replays `total_requests` single-pair requests from `clients` threads and
+// checks every response against the offline scores.
+RunResult RunConfig(const std::shared_ptr<const core::AdamelLinkage>& model,
+                    const data::PairDataset& test,
+                    const std::vector<float>& offline, int max_batch_pairs,
+                    int clients, int total_requests) {
+  serve::ServiceOptions options;
+  options.batcher.worker_threads = 0;  // pump mode: drain is the timed phase
+  options.batcher.max_batch_pairs = max_batch_pairs;
+  options.batcher.max_queue_pairs = 1 << 16;
+  serve::LinkageService service(options);
+  {
+    const Status registered = service.registry().Register("adamel", 1, model);
+    ADAMEL_CHECK(registered.ok()) << registered.ToString();
+  }
+
+  std::vector<bool> identical(clients, true);
+  const int per_client = total_requests / clients;
+  // Request payloads are built outside the timed region: the benchmark
+  // measures the serving engine, not client-side dataset slicing.
+  std::vector<std::vector<std::pair<int, data::PairDataset>>> streams(clients);
+  for (int c = 0; c < clients; ++c) {
+    streams[c].reserve(per_client);
+    for (int r = 0; r < per_client; ++r) {
+      const int index = (c * per_client + r) % test.size();
+      streams[c].emplace_back(
+          index, data::PairSpan(test).Subspan(index, 1).ToDataset());
+    }
+  }
+
+  // Phase 1 (untimed): concurrent clients flood the queue — the arrival
+  // pattern micro-batching exists for.
+  std::vector<std::vector<std::future<serve::ScoreResponse>>> futures(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      futures[c].reserve(per_client);
+      for (int r = 0; r < per_client; ++r) {
+        serve::ScoreRequest request;
+        request.model = "adamel";
+        request.pairs = std::move(streams[c][r].second);
+        futures[c].push_back(service.SubmitAsync(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // Phase 2 (timed): one thread drains the queue. Throughput differences
+  // between the two configurations are purely the batcher's doing — same
+  // pairs, same model, same (single) execution thread.
+  const int64_t start_ns = obs::NowNanos();
+  while (service.PumpOnce() > 0) {
+  }
+  const double seconds =
+      static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
+
+  for (int c = 0; c < clients; ++c) {
+    for (int r = 0; r < per_client; ++r) {
+      const serve::ScoreResponse response = futures[c][r].get();
+      if (!response.status.ok() || response.scores.size() != 1 ||
+          response.scores[0] != offline[streams[c][r].first]) {
+        identical[c] = false;
+      }
+    }
+  }
+
+  RunResult result;
+  result.seconds = seconds;
+  result.requests_per_second =
+      seconds > 0.0 ? (per_client * clients) / seconds : 0.0;
+  const serve::BatcherStats stats = service.stats();
+  result.batches = stats.batches;
+  result.max_batch_pairs = stats.max_batch_pairs;
+  result.bitwise_identical =
+      std::all_of(identical.begin(), identical.end(), [](bool b) { return b; });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                     "creating output directory " + options.output_dir);
+
+  datagen::MusicTaskOptions task_options;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  core::AdamelConfig config;
+  config.epochs = options.quick ? 1 : 2;
+  config.seed = 5;
+  // Serving-sized model: per-pair forward cost low enough that per-request
+  // dispatch overhead — the thing micro-batching amortizes — is visible.
+  config.embed_dim = 24;
+  config.latent_dim = 16;
+  config.attention_dim = 16;
+  config.hidden_dim = 32;
+  auto model = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  {
+    const Status fitted = model->Fit(inputs);
+    ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  }
+  const data::PairDataset& test = task.test;
+  StatusOr<std::vector<float>> offline = model->ScorePairs(test);
+  ADAMEL_CHECK(offline.ok()) << offline.status().ToString();
+
+  const int clients = 4;
+  const int total_requests = options.quick ? 1000 : 2000;
+  std::fprintf(stderr, "[serving] %d clients, %d requests, batch1...\n",
+               clients, total_requests);
+  const RunResult batch1 =
+      RunConfig(model, test, offline.value(), 1, clients, total_requests);
+  std::fprintf(stderr, "[serving] batched (max_batch_pairs=512)...\n");
+  const RunResult batched =
+      RunConfig(model, test, offline.value(), 512, clients, total_requests);
+
+  const double speedup = batch1.requests_per_second > 0.0
+                             ? batched.requests_per_second /
+                                   batch1.requests_per_second
+                             : 0.0;
+  const bool deterministic =
+      batch1.bitwise_identical && batched.bitwise_identical;
+
+  const std::string path = options.output_dir + "/BENCH_serving.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"clients\": %d,\n", clients);
+  std::fprintf(out, "  \"requests\": %d,\n", total_requests);
+  std::fprintf(out, "  \"drain_threads\": 1,\n");
+  std::fprintf(out,
+               "  \"note\": \"Single-pair request stream, queue pre-filled by "
+               "concurrent clients, drained by one thread; batched "
+               "coalesces up to 512 pairs per forward pass. "
+               "scores_bitwise_identical compares every served score "
+               "against offline ScorePairs.\",\n");
+  std::fprintf(out,
+               "  \"batch1\": {\"seconds\": %.4f, \"requests_per_second\": "
+               "%.1f, \"batches\": %lld, \"max_batch_pairs\": %lld},\n",
+               batch1.seconds, batch1.requests_per_second,
+               static_cast<long long>(batch1.batches),
+               static_cast<long long>(batch1.max_batch_pairs));
+  std::fprintf(out,
+               "  \"batched\": {\"seconds\": %.4f, \"requests_per_second\": "
+               "%.1f, \"batches\": %lld, \"max_batch_pairs\": %lld},\n",
+               batched.seconds, batched.requests_per_second,
+               static_cast<long long>(batched.batches),
+               static_cast<long long>(batched.max_batch_pairs));
+  std::fprintf(out, "  \"batched_speedup\": %.2f,\n", speedup);
+  std::fprintf(out, "  \"scores_bitwise_identical\": %s\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s (speedup %.2fx, deterministic=%s)\n", path.c_str(),
+              speedup, deterministic ? "true" : "false");
+  bench::EmitTelemetry(options, "serving");
+  if (!deterministic) {
+    std::fprintf(stderr, "[serving] FAIL: served scores diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -65,9 +65,10 @@ int main(int argc, char** argv) {
       inputs.source_train = &task.source_train;
       inputs.target_unlabeled = &task.target_unlabeled;
       inputs.support = &task.support;
-      model->Fit(inputs);
+      const Status fit_status = model->Fit(inputs);
+      ADAMEL_CHECK(fit_status.ok()) << fit_status.ToString();
       const double f1 =
-          eval::BestF1(model->PredictScores(task.test), labels);
+          eval::BestF1(model->ScorePairs(task.test).value(), labels);
       row.push_back(FormatDouble(100.0 * f1, 1));
     }
     const auto ref = kPaperReference.find(key);

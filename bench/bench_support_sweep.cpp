@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
       config.seed = 42 + s;
       const core::AdamelTrainer trainer(config);
       few_scores.push_back(eval::AveragePrecision(
-          trainer.Fit(core::AdamelVariant::kFew, inputs).Predict(task.test),
+          trainer.Fit(core::AdamelVariant::kFew, inputs).ScorePairs(task.test),
           labels));
       hyb_scores.push_back(eval::AveragePrecision(
-          trainer.Fit(core::AdamelVariant::kHyb, inputs).Predict(task.test),
+          trainer.Fit(core::AdamelVariant::kHyb, inputs).ScorePairs(task.test),
           labels));
     }
     table.AddRow({std::to_string(size),

@@ -133,8 +133,10 @@ double FitAndScore(core::EntityLinkageModel* model,
   inputs.source_train = &task.source_train;
   inputs.target_unlabeled = &task.target_unlabeled;
   inputs.support = &task.support;
-  model->Fit(inputs);
-  return eval::AveragePrecision(model->PredictScores(task.test),
+  const Status fit_status = model->Fit(inputs);
+  ADAMEL_CHECK(fit_status.ok())
+      << model->Name() << ": " << fit_status.ToString();
+  return eval::AveragePrecision(model->ScorePairs(task.test).value(),
                                 TestLabels(task.test));
 }
 
@@ -170,7 +172,7 @@ eval::RunStats RunRepeated(
     }
     double prauc;
     if (fitted) {
-      prauc = eval::AveragePrecision(model->PredictScores(task.test),
+      prauc = eval::AveragePrecision(model->ScorePairs(task.test).value(),
                                      TestLabels(task.test));
     } else {
       prauc = FitAndScore(model.get(), task);

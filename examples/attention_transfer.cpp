@@ -62,9 +62,9 @@ int main() {
                   hyb.MeanAttention(task.test));
 
   const double base_prauc =
-      eval::AveragePrecision(base.Predict(task.test), labels);
+      eval::AveragePrecision(base.ScorePairs(task.test), labels);
   const double hyb_prauc =
-      eval::AveragePrecision(hyb.Predict(task.test), labels);
+      eval::AveragePrecision(hyb.ScorePairs(task.test), labels);
   std::printf("\nPRAUC: base %.4f -> hyb %.4f (adaptation gain %+0.4f)\n",
               base_prauc, hyb_prauc, hyb_prauc - base_prauc);
   std::printf(

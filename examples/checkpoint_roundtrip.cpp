@@ -70,8 +70,8 @@ int main() {
   }
 
   // 3. The resumed model must match the uninterrupted one bitwise.
-  const std::vector<float> reference = uninterrupted.Predict(task.test);
-  const std::vector<float> after_resume = (*resumed)->Predict(task.test);
+  const std::vector<float> reference = uninterrupted.ScorePairs(task.test);
+  const std::vector<float> after_resume = (*resumed)->ScorePairs(task.test);
   int mismatches = 0;
   for (size_t i = 0; i < reference.size(); ++i) {
     if (reference[i] != after_resume[i]) {
@@ -94,7 +94,7 @@ int main() {
                  loaded.status().ToString().c_str());
     return 1;
   }
-  const std::vector<float> after_reload = (*loaded)->Predict(task.test);
+  const std::vector<float> after_reload = (*loaded)->ScorePairs(task.test);
   int reload_mismatches = 0;
   for (size_t i = 0; i < after_resume.size(); ++i) {
     if (after_resume[i] != after_reload[i]) {

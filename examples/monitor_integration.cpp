@@ -43,7 +43,7 @@ int main() {
       labels.push_back(pair.label == data::kMatch ? 1 : 0);
     }
     const double prauc =
-        eval::AveragePrecision(model.Predict(test), labels);
+        eval::AveragePrecision(model.ScorePairs(test), labels);
     const auto importance = model.MeanAttention(test);
     std::printf("%-8zu %-10d %-8.4f %s (%.4f)\n",
                 series.step_sources[step].size(), test.size(), prauc,

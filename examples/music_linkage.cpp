@@ -71,7 +71,7 @@ int main() {
     pair.right = feed[candidate.right];
     candidate_pairs.Add(std::move(pair));
   }
-  const std::vector<float> scores = model.Predict(candidate_pairs);
+  const std::vector<float> scores = model.ScorePairs(candidate_pairs);
 
   // Quality accounting against the generator's ground truth.
   int emitted = 0;

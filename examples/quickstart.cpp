@@ -52,7 +52,7 @@ int main() {
         core::AdamelVariant::kFew, core::AdamelVariant::kHyb}) {
     const core::TrainedAdamel model = trainer.Fit(variant, inputs);
     // 3. Score the unseen pairs.
-    const std::vector<float> scores = model.Predict(task.test);
+    const std::vector<float> scores = model.ScorePairs(task.test);
     const double prauc = eval::AveragePrecision(scores, test_labels);
     std::printf("%-12s PRAUC = %.4f   (%lld parameters)\n",
                 core::AdamelVariantName(variant), prauc,

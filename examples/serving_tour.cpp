@@ -1,0 +1,190 @@
+// Serving tour: the offline-to-online path through src/serve —
+//
+//   1. train an AdaMEL-base model and checkpoint it (the offline half),
+//   2. load the checkpoint into a LinkageService's warm ModelRegistry,
+//      including the typed failures an operator sees when the roster or
+//      the file is wrong (kFailedPrecondition / kNotFound / kDataLoss),
+//   3. serve concurrent clients through the micro-batcher: worker threads
+//      coalesce same-model requests into larger forward passes,
+//   4. show a per-request deadline expiring (kDeadlineExceeded) and an
+//      unknown model failing fast (kNotFound) without touching the queue,
+//   5. verify every served score is bitwise identical to offline
+//      ScorePairs, then read the serve.* telemetry the engine recorded.
+//
+// See DESIGN.md §10 for why coalescing cannot change the scores.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/deepmatcher.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+#include "serve/service.h"
+
+int main() {
+  using namespace adamel;
+
+  // ---------------------------------------------------------------------
+  // 1. Offline half: train on the music world and write a checkpoint.
+  // ---------------------------------------------------------------------
+  datagen::MusicTaskOptions task_options;
+  task_options.seed = 13;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+
+  core::AdamelConfig config;
+  config.seed = 21;
+  config.epochs = 2;
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+
+  auto trained = std::make_unique<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  if (const Status fitted = trained->Fit(inputs); !fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.ToString().c_str());
+    return 1;
+  }
+  const std::vector<float> offline = trained->ScorePairs(task.test).value();
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  const std::string ckpt = dir + "/adamel_serving_tour.ckpt";
+  if (const Status saved = trained->SaveCheckpoint(ckpt); !saved.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained AdaMEL-base (%lld params), checkpoint at %s\n",
+              static_cast<long long>(trained->ParameterCount()), ckpt.c_str());
+  trained.reset();  // from here on, only the checkpoint survives
+
+  // ---------------------------------------------------------------------
+  // 2. Online half: a LinkageService with two scoring workers, its model
+  // loaded from the checkpoint. The registry's error codes distinguish
+  // the three ways a load goes wrong — probe them first.
+  // ---------------------------------------------------------------------
+  serve::ServiceOptions options;
+  options.batcher.worker_threads = 2;
+  options.batcher.max_batch_pairs = 256;
+  serve::LinkageService service(options);
+
+  const Status unsupported = service.registry().LoadFromCheckpoint(
+      "deepmatcher", 1, std::make_unique<baselines::DeepMatcherModel>(), ckpt);
+  std::printf("load into DeepMatcher:   %s\n", unsupported.ToString().c_str());
+  const Status missing = service.registry().LoadFromCheckpoint(
+      "music", 1,
+      std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kBase, config),
+      dir + "/no_such_file.ckpt");
+  std::printf("load from missing path:  %s\n", missing.ToString().c_str());
+
+  const Status loaded = service.registry().LoadFromCheckpoint(
+      "music", 1,
+      std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kBase, config),
+      ckpt);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  for (const serve::ModelInfo& info : service.registry().List()) {
+    std::printf("registry: %s v%d (%s)\n", info.name.c_str(), info.version,
+                info.model_kind.c_str());
+  }
+
+  // ---------------------------------------------------------------------
+  // 3. Concurrent clients. Each submits small slices of the test set; the
+  // batcher coalesces them into shared forward passes on the workers.
+  // ---------------------------------------------------------------------
+  constexpr int kClients = 3;
+  constexpr int kSliceSize = 5;
+  const int slices = task.test.size() / kSliceSize;
+  std::vector<std::vector<std::future<serve::ScoreResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int s = c; s < slices; s += kClients) {
+        serve::ScoreRequest request;
+        request.model = "music";  // version 0 = latest
+        request.pairs = data::PairSpan(task.test)
+                            .Subspan(s * kSliceSize, kSliceSize)
+                            .ToDataset();
+        futures[c].push_back(service.SubmitAsync(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  // 4. The failure modes a live service must answer quickly: an unknown
+  // model resolves immediately (never enters the queue), and an already
+  // expired deadline is rejected at admission.
+  serve::ScoreRequest unknown;
+  unknown.model = "typo";
+  unknown.pairs = data::PairSpan(task.test).Subspan(0, 1).ToDataset();
+  std::printf("unknown model:           %s\n",
+              service.SubmitAsync(std::move(unknown))
+                  .get()
+                  .status.ToString()
+                  .c_str());
+  serve::ScoreRequest late;
+  late.model = "music";
+  late.pairs = data::PairSpan(task.test).Subspan(0, 1).ToDataset();
+  late.deadline_ns = obs::NowNanos() - 1;
+  std::printf("expired deadline:        %s\n",
+              service.SubmitAsync(std::move(late))
+                  .get()
+                  .status.ToString()
+                  .c_str());
+
+  // ---------------------------------------------------------------------
+  // 5. Collect responses and check them against the offline scores.
+  // ---------------------------------------------------------------------
+  int served_pairs = 0;
+  int mismatches = 0;
+  for (int c = 0; c < kClients; ++c) {
+    int slice = c;
+    for (std::future<serve::ScoreResponse>& future : futures[c]) {
+      const serve::ScoreResponse response = future.get();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+      for (int i = 0; i < kSliceSize; ++i) {
+        served_pairs += 1;
+        if (response.scores[i] != offline[slice * kSliceSize + i]) {
+          mismatches += 1;
+        }
+      }
+      slice += kClients;
+    }
+  }
+  service.Shutdown();
+
+  const serve::BatcherStats stats = service.stats();
+  std::printf(
+      "\nserved %d pairs in %lld batches (largest %lld pairs, "
+      "%lld requests coalesced); %d scores differ from offline\n",
+      served_pairs, static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.max_batch_pairs),
+      static_cast<long long>(stats.coalesced_requests), mismatches);
+
+  // The same story as seen by the telemetry layer (empty under
+  // -DADAMEL_TELEMETRY=OFF; the batcher stats above never are).
+  const obs::TelemetrySnapshot snapshot = obs::CaptureSnapshot();
+  for (const obs::CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name.rfind("serve.", 0) == 0) {
+      std::printf("%-28s %lld\n", counter.name.c_str(),
+                  static_cast<long long>(counter.value));
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -53,7 +53,7 @@ int main() {
   const core::TrainedAdamel model =
       trainer.Fit(core::AdamelVariant::kHyb, inputs);
 
-  const std::vector<float> scores = model.Predict(task.test);
+  const std::vector<float> scores = model.ScorePairs(task.test);
   std::vector<int> labels;
   labels.reserve(task.test.size());
   for (const data::LabeledPair& pair : task.test.pairs()) {

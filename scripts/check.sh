@@ -9,17 +9,20 @@
 #                  which runs adamel_lint over src/, bench/, examples/)
 #   2. lint        adamel_lint again, standalone, so a rule violation is
 #                  reported even when ctest is filtered down
-#   3. tsan        ThreadSanitizer build; thread-pool, parallel-ops, and
-#                  telemetry tests (obs_test hammers counters/timers from
-#                  many threads)
-#   4. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
+#   3. serve       bench_serving --quick smoke: the serving engine must
+#                  coalesce and stay bitwise identical to offline scoring
+#                  (the binary exits nonzero if served scores diverge)
+#   4. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
+#                  telemetry, and serving tests (serve_test hammers the
+#                  micro-batcher and registry from concurrent clients)
+#   5. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
 #                  telemetry macros compile to no-ops and nothing depends
 #                  on them being live
-#   5. asan        AddressSanitizer build; serialization/checkpoint tests
+#   6. asan        AddressSanitizer build; serialization/checkpoint tests
 #                  (the code that parses untrusted bytes from disk)
-#   6. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
+#   7. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
 #                  full ctest
-#   7. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
+#   8. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
 #                  ADAMEL_DCHECK family, post-op NaN/Inf screening, and the
 #                  autograd-graph validators
 #
@@ -53,16 +56,21 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 echo "== lint: adamel_lint over src/ bench/ examples/ =="
 "${BUILD_DIR}/tools/lint/adamel_lint" "${REPO_ROOT}" src bench examples
 
+echo "== serve: bench_serving --quick smoke (bitwise determinism gate) =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
+"${BUILD_DIR}/bench/bench_serving" --quick --out "${BUILD_DIR}/bench_smoke"
+
 echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target parallel_test ops_test obs_test
+  --target parallel_test ops_test obs_test serve_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
 "${TSAN_BUILD_DIR}/tests/ops_test" --gtest_filter='OpsForward.MatMul*:OpsGradient.MatMul*'
 "${TSAN_BUILD_DIR}/tests/obs_test"
+"${TSAN_BUILD_DIR}/tests/serve_test"
 
 echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
 cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

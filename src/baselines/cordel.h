@@ -27,9 +27,9 @@ class CorDelModel : public core::EntityLinkageModel {
   ~CorDelModel() override;
 
   std::string Name() const override { return "CorDel-Attention"; }
-  void Fit(const core::MelInputs& inputs) override;
-  std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const override;
+  Status Fit(const core::MelInputs& inputs) override;
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override;
   int64_t ParameterCount() const override;
 
  private:

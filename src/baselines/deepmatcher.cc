@@ -64,8 +64,8 @@ nn::Tensor DeepMatcherModel::PairLogit(const TokenizedPair& pair) const {
   return network_->head.Forward(network_->highway.Forward(features));
 }
 
-void DeepMatcherModel::Fit(const core::MelInputs& inputs) {
-  ADAMEL_CHECK(inputs.source_train != nullptr);
+Status DeepMatcherModel::Fit(const core::MelInputs& inputs) {
+  ADAMEL_RETURN_IF_ERROR(core::ValidateMelInputs(inputs));
   schema_ = inputs.source_train->schema();
   Rng rng(config_.seed);
   const data::PairDataset train =
@@ -102,12 +102,15 @@ void DeepMatcherModel::Fit(const core::MelInputs& inputs) {
       }
     }
   }
+  return OkStatus();
 }
 
-std::vector<float> DeepMatcherModel::PredictScores(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(network_ != nullptr) << "PredictScores before Fit";
-  const data::PairDataset projected = dataset.Reproject(schema_);
+StatusOr<std::vector<float>> DeepMatcherModel::ScorePairs(
+    data::PairSpan batch) const {
+  if (network_ == nullptr) {
+    return FailedPreconditionError(Name() + ": ScorePairs before Fit");
+  }
+  const data::PairDataset projected = batch.ToDataset().Reproject(schema_);
   const std::vector<TokenizedPair> pairs =
       TokenizeDataset(projected, config_.token_crop);
   std::vector<float> scores;

@@ -79,8 +79,8 @@ std::vector<float> DittoLikeModel::PairVector(
   return vec;
 }
 
-void DittoLikeModel::Fit(const core::MelInputs& inputs) {
-  ADAMEL_CHECK(inputs.source_train != nullptr);
+Status DittoLikeModel::Fit(const core::MelInputs& inputs) {
+  ADAMEL_RETURN_IF_ERROR(core::ValidateMelInputs(inputs));
   schema_ = inputs.source_train->schema();
   Rng rng(config_.seed);
   const data::PairDataset train =
@@ -102,6 +102,7 @@ void DittoLikeModel::Fit(const core::MelInputs& inputs) {
     corpus.push_back(right_serialized.back());
     labels.push_back(pair.label == data::kMatch ? 1.0f : 0.0f);
   }
+  // adamel-lint: allow-next-line(unchecked-status) -- TfIdf::Fit returns void
   tfidf_.Fit(corpus);
 
   embedding_ = std::make_unique<text::HashTextEmbedding>(
@@ -140,12 +141,15 @@ void DittoLikeModel::Fit(const core::MelInputs& inputs) {
       }
     }
   }
+  return OkStatus();
 }
 
-std::vector<float> DittoLikeModel::PredictScores(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(network_ != nullptr) << "PredictScores before Fit";
-  const data::PairDataset projected = dataset.Reproject(schema_);
+StatusOr<std::vector<float>> DittoLikeModel::ScorePairs(
+    data::PairSpan batch) const {
+  if (network_ == nullptr) {
+    return FailedPreconditionError(Name() + ": ScorePairs before Fit");
+  }
+  const data::PairDataset projected = batch.ToDataset().Reproject(schema_);
   text::TokenizerOptions tokenizer_options;
   tokenizer_options.crop_size = config_.token_crop;
   const text::Tokenizer tokenizer(tokenizer_options);

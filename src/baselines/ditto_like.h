@@ -32,9 +32,9 @@ class DittoLikeModel : public core::EntityLinkageModel {
   ~DittoLikeModel() override;
 
   std::string Name() const override { return "Ditto-like"; }
-  void Fit(const core::MelInputs& inputs) override;
-  std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const override;
+  Status Fit(const core::MelInputs& inputs) override;
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override;
   int64_t ParameterCount() const override;
 
   /// Serialized token stream of one record ("col <attr> val <tokens>").

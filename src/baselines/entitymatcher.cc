@@ -154,8 +154,8 @@ nn::Tensor EntityMatcherModel::FeaturizeDataset(
                                 std::move(values));
 }
 
-void EntityMatcherModel::Fit(const core::MelInputs& inputs) {
-  ADAMEL_CHECK(inputs.source_train != nullptr);
+Status EntityMatcherModel::Fit(const core::MelInputs& inputs) {
+  ADAMEL_RETURN_IF_ERROR(core::ValidateMelInputs(inputs));
   schema_ = inputs.source_train->schema();
   Rng rng(config_.seed);
   const data::PairDataset train =
@@ -196,12 +196,15 @@ void EntityMatcherModel::Fit(const core::MelInputs& inputs) {
       }
     }
   }
+  return OkStatus();
 }
 
-std::vector<float> EntityMatcherModel::PredictScores(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(network_ != nullptr) << "PredictScores before Fit";
-  const data::PairDataset projected = dataset.Reproject(schema_);
+StatusOr<std::vector<float>> EntityMatcherModel::ScorePairs(
+    data::PairSpan batch) const {
+  if (network_ == nullptr) {
+    return FailedPreconditionError(Name() + ": ScorePairs before Fit");
+  }
+  const data::PairDataset projected = batch.ToDataset().Reproject(schema_);
   const std::vector<TokenizedPair> pairs =
       TokenizeDataset(projected, config_.token_crop);
   const nn::Tensor features = FeaturizeDataset(pairs);

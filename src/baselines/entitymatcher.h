@@ -30,9 +30,9 @@ class EntityMatcherModel : public core::EntityLinkageModel {
   ~EntityMatcherModel() override;
 
   std::string Name() const override { return "EntityMatcher"; }
-  void Fit(const core::MelInputs& inputs) override;
-  std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const override;
+  Status Fit(const core::MelInputs& inputs) override;
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override;
   int64_t ParameterCount() const override;
 
   /// Alignment statistics per attribute per direction.

@@ -74,8 +74,8 @@ std::vector<float> TlerModel::SimilarityFeatures(const data::LabeledPair& pair,
   return row;
 }
 
-void TlerModel::Fit(const core::MelInputs& inputs) {
-  ADAMEL_CHECK(inputs.source_train != nullptr);
+Status TlerModel::Fit(const core::MelInputs& inputs) {
+  ADAMEL_RETURN_IF_ERROR(core::ValidateMelInputs(inputs));
   schema_ = inputs.source_train->schema();
   Rng rng(config_.seed);
   const data::PairDataset train =
@@ -94,12 +94,15 @@ void TlerModel::Fit(const core::MelInputs& inputs) {
     loss.Backward();
     optimizer.Step();
   }
+  return OkStatus();
 }
 
-std::vector<float> TlerModel::PredictScores(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(weights_ != nullptr) << "PredictScores before Fit";
-  const data::PairDataset projected = dataset.Reproject(schema_);
+StatusOr<std::vector<float>> TlerModel::ScorePairs(
+    data::PairSpan batch) const {
+  if (weights_ == nullptr) {
+    return FailedPreconditionError(Name() + ": ScorePairs before Fit");
+  }
+  const data::PairDataset projected = batch.ToDataset().Reproject(schema_);
   const nn::Tensor features = FeaturizeDataset(projected, config_.token_crop);
   const nn::Tensor probs = nn::Sigmoid(weights_->Forward(features));
   std::vector<float> scores(projected.size());

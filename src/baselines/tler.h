@@ -23,13 +23,14 @@ class TlerModel : public core::EntityLinkageModel {
   explicit TlerModel(BaselineConfig config = {});
 
   std::string Name() const override { return "TLER"; }
-  void Fit(const core::MelInputs& inputs) override;
-  std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const override;
+  Status Fit(const core::MelInputs& inputs) override;
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override;
   int64_t ParameterCount() const override;
 
   /// Checkpoint support: schema + token crop + logistic-regression weights.
   /// A loaded model predicts bitwise identically to the saved one.
+  bool SupportsCheckpointing() const override { return true; }
   Status SaveCheckpoint(const std::string& path) const override;
   Status LoadCheckpoint(const std::string& path) override;
 

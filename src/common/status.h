@@ -17,6 +17,15 @@ enum class StatusCode {
   kOutOfRange = 4,
   kInternal = 5,
   kIoError = 6,
+  /// A file existed but its contents are unusable (corrupt, truncated,
+  /// failed CRC). Distinct from kNotFound (no file) and from
+  /// kFailedPrecondition (the operation is unsupported): the serving
+  /// registry routes each to a different operator action.
+  kDataLoss = 7,
+  /// A request's deadline passed before the work completed.
+  kDeadlineExceeded = 8,
+  /// Admission control rejected the request (queue at capacity).
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -66,6 +75,9 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// Holds either a value of type `T` or an error `Status`.
 ///

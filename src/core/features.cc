@@ -142,29 +142,27 @@ StatusOr<std::shared_ptr<FeatureExtractor>> FeatureExtractor::Load(
       embedding_dim, tokenizer);
 }
 
-FeaturizedPairs FeatureExtractor::Featurize(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(dataset.schema() == schema_)
-      << "dataset schema does not match extractor schema";
+FeaturizedPairs FeatureExtractor::Featurize(data::PairSpan batch) const {
+  ADAMEL_CHECK(batch.schema() == schema_)
+      << "batch schema does not match extractor schema";
   ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kFeaturize);
   ADAMEL_TRACE_SCOPE("features.featurize");
-  ADAMEL_COUNTER_ADD("features.pairs", dataset.size());
+  ADAMEL_COUNTER_ADD("features.pairs", batch.size());
   FeaturizedPairs result;
-  result.pair_count = dataset.size();
+  result.pair_count = batch.size();
   result.feature_count = feature_count();
   result.embed_dim = embed_dim();
   const int width = result.feature_count * result.embed_dim;
-  ADAMEL_CHECK_GT(dataset.size(), 0) << "cannot featurize an empty dataset";
+  ADAMEL_CHECK_GT(batch.size(), 0) << "cannot featurize an empty batch";
   // Each pair writes a disjoint row of the preallocated matrix, so the
   // per-pair loop parallelizes embarrassingly and deterministically.
-  std::vector<float> values(static_cast<size_t>(dataset.size()) * width);
-  result.labels.resize(dataset.size());
-  result.int_labels.resize(dataset.size());
-  ParallelFor(0, dataset.size(), kFeaturizeGrain,
+  std::vector<float> values(static_cast<size_t>(batch.size()) * width);
+  result.labels.resize(batch.size());
+  result.int_labels.resize(batch.size());
+  ParallelFor(0, batch.size(), kFeaturizeGrain,
               [&](int64_t lo, int64_t hi) {
                 for (int64_t i = lo; i < hi; ++i) {
-                  const data::LabeledPair& pair =
-                      dataset.pair(static_cast<int>(i));
+                  const data::LabeledPair& pair = batch[static_cast<int>(i)];
                   const std::vector<float> row = FeaturizePair(pair);
                   std::memcpy(&values[static_cast<size_t>(i) * width],
                               row.data(), row.size() * sizeof(float));
@@ -173,7 +171,7 @@ FeaturizedPairs FeatureExtractor::Featurize(
                 }
               });
   result.matrix =
-      nn::Tensor::FromVector(dataset.size(), width, std::move(values));
+      nn::Tensor::FromVector(batch.size(), width, std::move(values));
   return result;
 }
 

@@ -52,8 +52,9 @@ class FeatureExtractor {
   /// Featurizes one pair: F*D floats.
   std::vector<float> FeaturizePair(const data::LabeledPair& pair) const;
 
-  /// Featurizes a whole dataset (schema must match).
-  FeaturizedPairs Featurize(const data::PairDataset& dataset) const;
+  /// Featurizes a batch of pairs (schema must match). Takes a span, so both
+  /// whole datasets and serving micro-batches featurize through one path.
+  FeaturizedPairs Featurize(data::PairSpan batch) const;
 
   /// Serializes the full featurization config — schema, feature mode,
   /// embedding dimension, tokenizer options — so a saved model carries

@@ -1,0 +1,50 @@
+#include "core/linkage_model.h"
+
+#include "common/check.h"
+
+namespace adamel::core {
+
+Status ValidateMelInputs(const MelInputs& inputs, bool need_target,
+                         bool need_support) {
+  if (inputs.source_train == nullptr) {
+    return InvalidArgumentError("MelInputs.source_train is null");
+  }
+  if (inputs.source_train->empty()) {
+    return InvalidArgumentError("MelInputs.source_train is empty");
+  }
+  if (inputs.source_train->schema().size() == 0) {
+    return InvalidArgumentError("MelInputs.source_train has an empty schema");
+  }
+  if (need_target) {
+    if (inputs.target_unlabeled == nullptr) {
+      return InvalidArgumentError(
+          "MelInputs.target_unlabeled is null but the variant requires D_T");
+    }
+    if (inputs.target_unlabeled->empty()) {
+      return InvalidArgumentError(
+          "MelInputs.target_unlabeled is empty but the variant requires D_T");
+    }
+  }
+  if (need_support) {
+    if (inputs.support == nullptr) {
+      return InvalidArgumentError(
+          "MelInputs.support is null but the variant requires S_U");
+    }
+    if (inputs.support->empty()) {
+      return InvalidArgumentError(
+          "MelInputs.support is empty but the variant requires S_U");
+    }
+  }
+  return OkStatus();
+}
+
+// adamel-lint: allow-next-line(banned-identifier) -- deprecated shim definition
+std::vector<float> EntityLinkageModel::PredictScores(
+    const data::PairDataset& dataset) const {
+  StatusOr<std::vector<float>> scores = ScorePairs(dataset);
+  ADAMEL_CHECK(scores.ok()) << Name()
+                            << "::ScorePairs: " << scores.status().ToString();
+  return std::move(scores).value();
+}
+
+}  // namespace adamel::core

@@ -19,9 +19,17 @@ struct MelInputs {
   const data::PairDataset* support = nullptr;           // S_U (labeled)
 };
 
+/// Validates the mandatory parts of `inputs` before training: a non-null,
+/// non-empty `source_train` with a non-empty schema. `need_target` /
+/// `need_support` additionally require those roles to be present and
+/// non-empty (the AdaMEL variant requirements of Algorithms 1-3). Returns
+/// `InvalidArgumentError` naming the offending field.
+Status ValidateMelInputs(const MelInputs& inputs, bool need_target = false,
+                         bool need_support = false);
+
 /// Common interface for every entity-linkage learner in this repository
-/// (AdaMEL variants and all baselines), so the benchmark harness can run
-/// them uniformly.
+/// (AdaMEL variants and all baselines), so the benchmark harness and the
+/// serving layer can run them uniformly.
 class EntityLinkageModel {
  public:
   virtual ~EntityLinkageModel() = default;
@@ -29,15 +37,33 @@ class EntityLinkageModel {
   /// Display name used in result tables ("AdaMEL-hyb", "DeepMatcher", ...).
   virtual std::string Name() const = 0;
 
-  /// Trains the model. May be called once per instance.
-  virtual void Fit(const MelInputs& inputs) = 0;
+  /// Trains the model. May be called once per instance. Invalid inputs
+  /// (null/empty `source_train`, missing variant-required roles) are
+  /// reported as `InvalidArgumentError` instead of undefined behavior.
+  virtual Status Fit(const MelInputs& inputs) = 0;
 
-  /// Match probabilities in [0,1] for every pair of `dataset`, in order.
-  virtual std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const = 0;
+  /// Match probabilities in [0,1] for every pair of `batch`, in order.
+  /// The single scoring entry point: offline evaluation and the serving
+  /// micro-batcher both call it, which is what makes serve-path scores
+  /// bitwise comparable to offline ones. Calling before a successful
+  /// `Fit`/`LoadCheckpoint` is `FailedPreconditionError`.
+  virtual StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const = 0;
+
+  /// Deprecated pre-`ScorePairs` name, kept for one PR as a thin shim.
+  /// Dies on scoring errors (the legacy contract). `adamel_lint` bans new
+  /// call sites under the banned-identifier rule.
+  // adamel-lint: allow-next-line(banned-identifier) -- deprecated shim decl
+  std::vector<float> PredictScores(const data::PairDataset& dataset) const;
 
   /// Number of learnable parameters (Section 4.5 / 5.5 comparison).
   virtual int64_t ParameterCount() const = 0;
+
+  /// True when this learner implements Save/LoadCheckpoint. The serving
+  /// registry consults this before touching any file so "model cannot
+  /// checkpoint" (kFailedPrecondition) stays distinct from "file missing"
+  /// (kNotFound) and "file corrupt" (kDataLoss).
+  virtual bool SupportsCheckpointing() const { return false; }
 
   /// Saves the fitted model to `path` (crash-safe write). The default
   /// declines: not every learner has checkpoint support, and the bench

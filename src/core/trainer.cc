@@ -405,9 +405,8 @@ TrainedAdamel::TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
   ADAMEL_CHECK(model_ != nullptr);
 }
 
-std::vector<float> TrainedAdamel::Predict(
-    const data::PairDataset& dataset) const {
-  const FeaturizedPairs features = extractor_->Featurize(dataset);
+std::vector<float> TrainedAdamel::ScorePairs(data::PairSpan batch) const {
+  const FeaturizedPairs features = extractor_->Featurize(batch);
   ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kEval);
   ADAMEL_TRACE_SCOPE("predict.score");
   ADAMEL_COUNTER_ADD("predict.pairs", features.pair_count);
@@ -429,6 +428,12 @@ std::vector<float> TrainedAdamel::Predict(
     }
   });
   return scores;
+}
+
+// adamel-lint: allow-next-line(banned-identifier) -- deprecated shim definition
+std::vector<float> TrainedAdamel::Predict(
+    const data::PairDataset& dataset) const {
+  return ScorePairs(dataset);
 }
 
 std::vector<std::vector<float>> TrainedAdamel::AttentionVectors(
@@ -834,14 +839,23 @@ std::string AdamelLinkage::Name() const {
   return AdamelVariantName(variant_);
 }
 
-void AdamelLinkage::Fit(const MelInputs& inputs) {
+Status AdamelLinkage::Fit(const MelInputs& inputs) {
+  const bool need_target = variant_ == AdamelVariant::kZero ||
+                           variant_ == AdamelVariant::kHyb;
+  const bool need_support = variant_ == AdamelVariant::kFew ||
+                            variant_ == AdamelVariant::kHyb;
+  ADAMEL_RETURN_IF_ERROR(
+      ValidateMelInputs(inputs, need_target, need_support));
   trained_ = std::make_unique<TrainedAdamel>(trainer_.Fit(variant_, inputs));
+  return OkStatus();
 }
 
-std::vector<float> AdamelLinkage::PredictScores(
-    const data::PairDataset& dataset) const {
-  ADAMEL_CHECK(trained_ != nullptr) << "PredictScores before Fit";
-  return trained_->Predict(dataset);
+StatusOr<std::vector<float>> AdamelLinkage::ScorePairs(
+    data::PairSpan batch) const {
+  if (trained_ == nullptr) {
+    return FailedPreconditionError(Name() + ": ScorePairs before Fit");
+  }
+  return trained_->ScorePairs(batch);
 }
 
 int64_t AdamelLinkage::ParameterCount() const {

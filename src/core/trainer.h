@@ -22,7 +22,17 @@ class TrainedAdamel {
   TrainedAdamel(std::shared_ptr<FeatureExtractor> extractor,
                 std::shared_ptr<AdamelModel> model);
 
-  /// Match probabilities for every pair (sigmoid of Eq. (7) logits).
+  /// Match probabilities for every pair of `batch` (sigmoid of Eq. (7)
+  /// logits). Infallible — a TrainedAdamel is always fitted — and bitwise
+  /// independent of how pairs are grouped into batches: scoring chunks by a
+  /// fixed internal batch size, and every per-pair value depends only on
+  /// that pair's row. The serving micro-batcher relies on this to coalesce
+  /// concurrent requests without changing their scores.
+  std::vector<float> ScorePairs(data::PairSpan batch) const;
+
+  /// Deprecated pre-`ScorePairs` name, kept for one PR as a thin shim
+  /// (`adamel_lint` bans new call sites).
+  // adamel-lint: allow-next-line(banned-identifier) -- deprecated shim decl
   std::vector<float> Predict(const data::PairDataset& dataset) const;
 
   /// Attention vector f(x_i) per pair — the transferable knowledge K. Used
@@ -129,10 +139,11 @@ class AdamelLinkage : public EntityLinkageModel {
   AdamelLinkage(AdamelVariant variant, AdamelConfig config = {});
 
   std::string Name() const override;
-  void Fit(const MelInputs& inputs) override;
-  std::vector<float> PredictScores(
-      const data::PairDataset& dataset) const override;
+  Status Fit(const MelInputs& inputs) override;
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override;
   int64_t ParameterCount() const override;
+  bool SupportsCheckpointing() const override { return true; }
   Status SaveCheckpoint(const std::string& path) const override;
   Status LoadCheckpoint(const std::string& path) override;
 

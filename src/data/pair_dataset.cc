@@ -172,4 +172,17 @@ PairDataset SampleSupportSet(const PairDataset& dataset, int positives,
   return dataset.Filter(chosen);
 }
 
+const Schema& PairSpan::schema() const {
+  static const Schema kEmpty;
+  return schema_ != nullptr ? *schema_ : kEmpty;
+}
+
+PairDataset PairSpan::ToDataset() const {
+  PairDataset dataset(schema());
+  for (const LabeledPair& pair : *this) {
+    dataset.Add(pair);
+  }
+  return dataset;
+}
+
 }  // namespace adamel::data

@@ -80,6 +80,45 @@ class PairDataset {
   std::vector<LabeledPair> pairs_;
 };
 
+/// Non-owning view over a contiguous run of `LabeledPair`s sharing one
+/// schema — the batch currency of the scoring API (`ScorePairs`) and the
+/// serving micro-batcher. Implicitly constructible from a `PairDataset`, so
+/// every dataset call site works unchanged; the span itself is two pointers
+/// and a count, cheap to pass by value. The viewed pairs and schema must
+/// outlive the span.
+class PairSpan {
+ public:
+  PairSpan() = default;
+  /// Views a whole dataset (implicit by design: datasets are spans).
+  PairSpan(const PairDataset& dataset)  // NOLINT(runtime/explicit)
+      : schema_(&dataset.schema()),
+        data_(dataset.pairs().data()),
+        size_(dataset.size()) {}
+  PairSpan(const Schema* schema, const LabeledPair* data, int size)
+      : schema_(schema), data_(data), size_(size) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Schema& schema() const;
+  const LabeledPair& operator[](int index) const { return data_[index]; }
+  const LabeledPair* begin() const { return data_; }
+  const LabeledPair* end() const { return data_ + size_; }
+
+  /// Views the half-open sub-range [offset, offset + count).
+  PairSpan Subspan(int offset, int count) const {
+    return PairSpan(schema_, data_ + offset, count);
+  }
+
+  /// Materializes the viewed pairs into an owning dataset (needed by
+  /// learners that re-project onto their training schema).
+  PairDataset ToDataset() const;
+
+ private:
+  const Schema* schema_ = nullptr;
+  const LabeledPair* data_ = nullptr;
+  int size_ = 0;
+};
+
 /// Splits `dataset` into (train, test) with `train_fraction` of the pairs in
 /// train, stratified by label so both splits keep the class balance.
 std::pair<PairDataset, PairDataset> StratifiedSplit(const PairDataset& dataset,

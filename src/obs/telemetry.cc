@@ -107,6 +107,12 @@ const std::vector<double>& DefaultLatencyBoundsNs() {
   return bounds;
 }
 
+const std::vector<double>& DefaultCountBoundsPow2() {
+  static const std::vector<double> bounds = {1,  2,   4,   8,   16,  32,
+                                             64, 128, 256, 512, 1024, 2048};
+  return bounds;
+}
+
 // -- TimerStat --------------------------------------------------------------
 
 void TimerStat::Record(int64_t duration_ns) {

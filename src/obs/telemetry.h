@@ -115,6 +115,10 @@ class Histogram {
 /// to 10s.
 const std::vector<double>& DefaultLatencyBoundsNs();
 
+/// Default histogram bounds for small counts (batch sizes, queue depths):
+/// powers of two from 1 to 2048.
+const std::vector<double>& DefaultCountBoundsPow2();
+
 /// Aggregated durations for one named scope. Cells are striped by
 /// `ThreadIndex() % kStripes` and cache-line aligned, so concurrent scope
 /// exits from pool workers never contend on one line; reads sum the
@@ -342,6 +346,17 @@ TelemetrySnapshot CaptureSnapshot();
     ADAMEL_OBS_CONCAT_(adamel_histogram_, __LINE__)->Record(value);        \
   } while (0)
 
+/// Like ADAMEL_HISTOGRAM_RECORD with explicit bucket upper bounds (a
+/// `std::vector<double>` expression; applied on first creation only). For
+/// non-duration quantities, e.g. serving batch sizes.
+#define ADAMEL_HISTOGRAM_RECORD_BOUNDS(name, bounds, value)                \
+  do {                                                                     \
+    static ::adamel::obs::Histogram* ADAMEL_OBS_CONCAT_(                   \
+        adamel_histogram_, __LINE__) =                                     \
+        ::adamel::obs::Registry::Global().GetHistogram(name, bounds);      \
+    ADAMEL_OBS_CONCAT_(adamel_histogram_, __LINE__)->Record(value);        \
+  } while (0)
+
 /// RAII: times the rest of the enclosing block into timer `name`.
 #define ADAMEL_TRACE_SCOPE(name)                                           \
   static ::adamel::obs::TimerStat* ADAMEL_OBS_CONCAT_(adamel_timer_site_,  \
@@ -363,6 +378,7 @@ TelemetrySnapshot CaptureSnapshot();
 #define ADAMEL_GAUGE_SET(name, value) ((void)0)
 #define ADAMEL_SERIES_APPEND(name, value) ((void)0)
 #define ADAMEL_HISTOGRAM_RECORD(name, value) ((void)0)
+#define ADAMEL_HISTOGRAM_RECORD_BOUNDS(name, bounds, value) ((void)0)
 #define ADAMEL_TRACE_SCOPE(name) ((void)0)
 #define ADAMEL_PHASE_SCOPE(phase) ((void)0)
 

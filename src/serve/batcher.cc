@@ -1,0 +1,308 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+
+namespace adamel::serve {
+namespace {
+
+// Real-time slice for worker condition waits. Deadlines and batch windows
+// are decided by re-reading obs::NowNanos() after every slice, so a
+// ScopedFakeClock advanced by a test is noticed within one slice without
+// the wait itself depending on fake time.
+constexpr std::chrono::microseconds kWaitSlice{200};
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(BatcherOptions options) : options_(options) {
+  ADAMEL_CHECK(options_.max_batch_pairs > 0)
+      << "max_batch_pairs must be positive, got " << options_.max_batch_pairs;
+  ADAMEL_CHECK(options_.max_queue_pairs > 0)
+      << "max_queue_pairs must be positive, got " << options_.max_queue_pairs;
+  ADAMEL_CHECK(options_.max_batch_delay_ns >= 0)
+      << "max_batch_delay_ns must be >= 0, got "
+      << options_.max_batch_delay_ns;
+  ADAMEL_CHECK(options_.worker_threads >= 0)
+      << "worker_threads must be >= 0, got " << options_.worker_threads;
+  workers_.reserve(options_.worker_threads);
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
+  std::promise<ScoreResponse> promise;
+  std::future<ScoreResponse> future = promise.get_future();
+  const int64_t now = obs::NowNanos();
+
+  if (item.model == nullptr) {
+    ScoreResponse response;
+    response.status = InvalidArgumentError("ScoreRequest carries no model");
+    promise.set_value(std::move(response));
+    return future;
+  }
+  if (item.pairs.empty()) {
+    ScoreResponse response;  // nothing to score: trivially done
+    promise.set_value(std::move(response));
+    return future;
+  }
+  if (item.deadline_ns > 0 && item.deadline_ns <= now) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    ADAMEL_COUNTER_ADD("serve.timeouts", 1);
+    ScoreResponse response;
+    response.status =
+        DeadlineExceededError("deadline already expired at submission");
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      ScoreResponse response;
+      response.status =
+          FailedPreconditionError("micro-batcher is shut down");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (queued_pairs_ + item.pairs.size() > options_.max_queue_pairs) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ADAMEL_COUNTER_ADD("serve.rejected", 1);
+      ScoreResponse response;
+      response.status = ResourceExhaustedError(
+          "serving queue full: " + std::to_string(queued_pairs_) +
+          " pairs queued, request adds " + std::to_string(item.pairs.size()) +
+          ", limit " + std::to_string(options_.max_queue_pairs));
+      promise.set_value(std::move(response));
+      return future;
+    }
+    auto pending = std::make_unique<Pending>();
+    pending->item = std::move(item);
+    pending->promise = std::move(promise);
+    pending->enqueue_ns = now;
+    queued_pairs_ += pending->item.pairs.size();
+    queue_.push_back(std::move(pending));
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    ADAMEL_COUNTER_ADD("serve.admitted", 1);
+    ADAMEL_GAUGE_SET("serve.queue_pairs", static_cast<double>(queued_pairs_));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    while (queue_.empty() && !stop_) {
+      cv_.wait_for(lock, kWaitSlice);
+    }
+    if (stop_) {
+      return;  // Shutdown drains whatever is still queued.
+    }
+    std::vector<std::unique_ptr<Pending>> batch =
+        CollectBatch(&lock, /*wait_for_window=*/true);
+    if (batch.empty()) {
+      continue;
+    }
+    lock.unlock();
+    ExecuteBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
+    std::unique_lock<std::mutex>* lock, bool wait_for_window) {
+  std::vector<std::unique_ptr<Pending>> batch;
+  if (queue_.empty()) {
+    return batch;
+  }
+  std::unique_ptr<Pending> head = std::move(queue_.front());
+  queue_.pop_front();
+  int total_pairs = head->item.pairs.size();
+  queued_pairs_ -= total_pairs;
+  const core::EntityLinkageModel* model = head->item.model.get();
+  const data::Schema schema = head->item.pairs.schema();
+  // The batch stays open until the delay window closes, the head's own
+  // deadline would pass, or the batch is full — whichever comes first.
+  int64_t window_end = obs::NowNanos() + options_.max_batch_delay_ns;
+  if (head->item.deadline_ns > 0 && head->item.deadline_ns < window_end) {
+    window_end = head->item.deadline_ns;
+  }
+  batch.push_back(std::move(head));
+
+  while (true) {
+    // Pull every co-batchable request (same warm model, same schema) that
+    // still fits; non-matching requests keep their FIFO position.
+    for (auto it = queue_.begin();
+         it != queue_.end() && total_pairs < options_.max_batch_pairs;) {
+      Pending& candidate = **it;
+      if (candidate.item.model.get() == model &&
+          candidate.item.pairs.schema() == schema &&
+          total_pairs + candidate.item.pairs.size() <=
+              options_.max_batch_pairs) {
+        total_pairs += candidate.item.pairs.size();
+        queued_pairs_ -= candidate.item.pairs.size();
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!wait_for_window || stop_ ||
+        total_pairs >= options_.max_batch_pairs ||
+        obs::NowNanos() >= window_end) {
+      break;
+    }
+    cv_.wait_for(*lock, kWaitSlice);
+  }
+  ADAMEL_GAUGE_SET("serve.queue_pairs", static_cast<double>(queued_pairs_));
+  return batch;
+}
+
+int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
+  if (batch.empty()) {
+    return 0;
+  }
+  const int completed = static_cast<int>(batch.size());
+  const int64_t start = obs::NowNanos();
+
+  // Requests whose deadline passed while queued fail without being scored;
+  // the rest of the batch is unaffected.
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (std::unique_ptr<Pending>& pending : batch) {
+    const int64_t queue_ns = start - pending->enqueue_ns;
+    ADAMEL_HISTOGRAM_RECORD("serve.queue_wait_ns",
+                            static_cast<double>(queue_ns));
+    if (pending->item.deadline_ns > 0 && pending->item.deadline_ns <= start) {
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      ADAMEL_COUNTER_ADD("serve.timeouts", 1);
+      ScoreResponse response;
+      response.status = DeadlineExceededError(
+          "deadline expired after " + std::to_string(queue_ns) +
+          "ns in the serving queue");
+      response.queue_ns = queue_ns;
+      pending->promise.set_value(std::move(response));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) {
+    return completed;
+  }
+
+  int total_pairs = 0;
+  for (const std::unique_ptr<Pending>& pending : live) {
+    total_pairs += pending->item.pairs.size();
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (live.size() > 1) {
+    coalesced_requests_.fetch_add(static_cast<int64_t>(live.size()),
+                                  std::memory_order_relaxed);
+  }
+  int64_t seen_max = max_batch_pairs_.load(std::memory_order_relaxed);
+  while (total_pairs > seen_max &&
+         !max_batch_pairs_.compare_exchange_weak(seen_max, total_pairs,
+                                                 std::memory_order_relaxed)) {
+  }
+  ADAMEL_HISTOGRAM_RECORD_BOUNDS("serve.batch_pairs",
+                                 obs::DefaultCountBoundsPow2(),
+                                 static_cast<double>(total_pairs));
+
+  StatusOr<std::vector<float>> scored = [&]() -> StatusOr<std::vector<float>> {
+    ADAMEL_TRACE_SCOPE("serve.execute");
+    if (live.size() == 1) {
+      return live.front()->item.model->ScorePairs(live.front()->item.pairs);
+    }
+    // Coalesce into one contiguous batch. Scoring is row-independent and
+    // internally chunked at a fixed size, so each request's scores are
+    // bitwise identical to scoring its pairs alone.
+    data::PairDataset merged(live.front()->item.pairs.schema());
+    for (const std::unique_ptr<Pending>& pending : live) {
+      merged.Append(pending->item.pairs);
+    }
+    return live.front()->item.model->ScorePairs(merged);
+  }();
+
+  if (!scored.ok()) {
+    for (std::unique_ptr<Pending>& pending : live) {
+      ScoreResponse response;
+      response.status = scored.status();
+      response.batch_pairs = total_pairs;
+      response.queue_ns = start - pending->enqueue_ns;
+      pending->promise.set_value(std::move(response));
+    }
+    return completed;
+  }
+  pairs_scored_.fetch_add(total_pairs, std::memory_order_relaxed);
+
+  const std::vector<float>& scores = scored.value();
+  ADAMEL_CHECK(static_cast<int>(scores.size()) == total_pairs)
+      << "ScorePairs returned " << scores.size() << " scores for "
+      << total_pairs << " pairs";
+  int offset = 0;
+  for (std::unique_ptr<Pending>& pending : live) {
+    const int count = pending->item.pairs.size();
+    ScoreResponse response;
+    response.scores.assign(scores.begin() + offset,
+                           scores.begin() + offset + count);
+    response.batch_pairs = total_pairs;
+    response.queue_ns = start - pending->enqueue_ns;
+    pending->promise.set_value(std::move(response));
+    offset += count;
+  }
+  return completed;
+}
+
+int MicroBatcher::RunOnce() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch = CollectBatch(&lock, /*wait_for_window=*/false);
+  }
+  return ExecuteBatch(std::move(batch));
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  // Workers are gone; drain the remaining queue inline so every admitted
+  // request still gets its response.
+  while (RunOnce() > 0) {
+  }
+}
+
+BatcherStats MicroBatcher::stats() const {
+  BatcherStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.timed_out = timed_out_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.pairs_scored = pairs_scored_.load(std::memory_order_relaxed);
+  stats.coalesced_requests =
+      coalesced_requests_.load(std::memory_order_relaxed);
+  stats.max_batch_pairs = max_batch_pairs_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int MicroBatcher::queued_pairs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_pairs_;
+}
+
+}  // namespace adamel::serve

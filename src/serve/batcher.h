@@ -1,0 +1,152 @@
+#ifndef ADAMEL_SERVE_BATCHER_H_
+#define ADAMEL_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/linkage_model.h"
+#include "data/pair_dataset.h"
+
+namespace adamel::serve {
+
+/// One admitted unit of scoring work: a resolved warm model plus the pairs
+/// to score. The service builds these from `ScoreRequest`s after registry
+/// lookup, so the batcher never touches the registry.
+struct BatchWorkItem {
+  std::shared_ptr<const core::EntityLinkageModel> model;
+  data::PairDataset pairs;
+  /// Absolute `obs::NowNanos()` deadline; 0 = none. Requests whose deadline
+  /// passes before execution starts get `kDeadlineExceeded` without being
+  /// scored.
+  int64_t deadline_ns = 0;
+};
+
+/// Outcome of one request.
+struct ScoreResponse {
+  Status status;
+  /// Match probabilities, one per request pair (empty on error).
+  std::vector<float> scores;
+  /// Pairs in the coalesced batch this request executed in (diagnostics).
+  int batch_pairs = 0;
+  /// Nanoseconds between admission and execution start.
+  int64_t queue_ns = 0;
+};
+
+/// Micro-batching knobs.
+struct BatcherOptions {
+  /// Coalescing stops once a batch holds this many pairs.
+  int max_batch_pairs = 256;
+  /// How long a batch head may wait for co-batchable requests before the
+  /// batch executes anyway.
+  int64_t max_batch_delay_ns = 2'000'000;  // 2 ms
+  /// Admission bound: total pairs queued (not yet picked up by a worker).
+  /// Submissions beyond it are rejected with `kResourceExhausted`.
+  int max_queue_pairs = 8192;
+  /// Worker threads executing batches. 0 = pump mode: nothing runs until
+  /// `RunOnce()` is called (deterministic single-threaded tests).
+  int worker_threads = 2;
+};
+
+/// Monotonic totals since construction (plain-value snapshot). Kept by the
+/// batcher itself — independent of the telemetry build flag — so tests and
+/// the bench assert on them in ADAMEL_TELEMETRY=OFF builds too.
+struct BatcherStats {
+  int64_t submitted = 0;         // admitted into the queue
+  int64_t rejected = 0;          // refused at admission (queue full)
+  int64_t timed_out = 0;         // expired before execution
+  int64_t batches = 0;           // coalesced batches executed
+  int64_t pairs_scored = 0;      // pairs actually scored
+  int64_t coalesced_requests = 0;  // requests that shared a batch
+  int64_t max_batch_pairs = 0;   // largest batch executed
+};
+
+/// Dynamic micro-batcher: a bounded FIFO of admitted requests, coalesced by
+/// model into batches of up to `max_batch_pairs` pairs within a
+/// `max_batch_delay_ns` window, executed through the model's `ScorePairs`.
+///
+/// Determinism: a request's scores are bitwise identical to calling
+/// `ScorePairs` offline on the same pairs, no matter which requests it was
+/// coalesced with — scoring is row-independent and chunked by a fixed
+/// internal batch size (see `TrainedAdamel::ScorePairs`).
+///
+/// Time: all decisions (deadlines, batch windows, queue-wait attribution)
+/// read `obs::NowNanos()`, so `ScopedFakeClock` drives them in tests.
+/// Workers block on a condition variable in short real-time slices and
+/// re-read the clock on every wakeup, which keeps fake-clock tests prompt.
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherOptions options);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Admission control + enqueue. The returned future is always eventually
+  /// fulfilled: rejected/expired requests resolve immediately, admitted ones
+  /// when their batch executes (or at `Shutdown`).
+  std::future<ScoreResponse> Submit(BatchWorkItem item);
+
+  /// Pump mode: coalesces and executes one batch from the current queue on
+  /// the calling thread, without waiting for a batch window. Returns the
+  /// number of requests completed (0 when the queue is empty).
+  int RunOnce();
+
+  /// Stops workers and drains every queued request on the calling thread.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  BatcherStats stats() const;
+
+  /// Pairs currently queued (admission-control view; excludes batches
+  /// already being executed).
+  int queued_pairs() const;
+
+ private:
+  struct Pending {
+    BatchWorkItem item;
+    std::promise<ScoreResponse> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop();
+
+  /// Pops a batch head and coalesces co-batchable requests (same model,
+  /// same schema) up to `max_batch_pairs`. When `wait_for_window` is true,
+  /// keeps the batch open until the window or head deadline closes. Returns
+  /// the batch (may be empty when woken with an empty queue).
+  std::vector<std::unique_ptr<Pending>> CollectBatch(
+      std::unique_lock<std::mutex>* lock, bool wait_for_window);
+
+  /// Scores one coalesced batch and fulfills its promises. Called without
+  /// the lock held.
+  int ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+
+  const BatcherOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  int queued_pairs_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> timed_out_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> pairs_scored_{0};
+  std::atomic<int64_t> coalesced_requests_{0};
+  std::atomic<int64_t> max_batch_pairs_{0};
+};
+
+}  // namespace adamel::serve
+
+#endif  // ADAMEL_SERVE_BATCHER_H_

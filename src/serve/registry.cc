@@ -1,0 +1,120 @@
+#include "serve/registry.h"
+
+#include <sys/stat.h>
+
+#include <limits>
+
+#include "obs/telemetry.h"
+
+namespace adamel::serve {
+
+Status ModelRegistry::Register(
+    const std::string& name, int version,
+    std::shared_ptr<const core::EntityLinkageModel> model) {
+  if (model == nullptr) {
+    return InvalidArgumentError("cannot register a null model as '" + name +
+                                "'");
+  }
+  if (name.empty()) {
+    return InvalidArgumentError("model name must be non-empty");
+  }
+  if (version < 1) {
+    return InvalidArgumentError("model version must be >= 1 (got " +
+                                std::to_string(version) + " for '" + name +
+                                "'); version 0 is reserved for latest");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      models_.emplace(std::make_pair(name, version), std::move(model));
+  if (!inserted) {
+    return InvalidArgumentError("model '" + name + "' version " +
+                                std::to_string(version) +
+                                " is already registered");
+  }
+  ADAMEL_GAUGE_SET("serve.registry.models",
+                   static_cast<double>(models_.size()));
+  ADAMEL_COUNTER_ADD("serve.registry.adds", 1);
+  return OkStatus();
+}
+
+Status ModelRegistry::LoadFromCheckpoint(
+    const std::string& name, int version,
+    std::unique_ptr<core::EntityLinkageModel> model, const std::string& path) {
+  if (model == nullptr) {
+    return InvalidArgumentError("cannot load a null model as '" + name + "'");
+  }
+  // Probe checkpoint support before touching the filesystem: an unsupported
+  // model type must fail kFailedPrecondition even when the file is missing
+  // or corrupt, so operators fix the roster instead of chasing file issues.
+  if (!model->SupportsCheckpointing()) {
+    return FailedPreconditionError(
+        model->Name() + " does not support checkpointing; cannot load '" +
+        name + "' from '" + path + "'");
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return NotFoundError("no checkpoint file at '" + path + "'");
+  }
+  const Status loaded = model->LoadCheckpoint(path);
+  if (!loaded.ok()) {
+    // The file exists and the model type supports checkpointing, so any
+    // load failure means the bytes on disk are unusable for this model.
+    ADAMEL_COUNTER_ADD("serve.registry.load_failures", 1);
+    return DataLossError("checkpoint '" + path + "' is unusable for '" +
+                         name + "': " + loaded.ToString());
+  }
+  return Register(name, version, std::move(model));
+}
+
+StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
+    const std::string& name, int version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version > 0) {
+    const auto it = models_.find(std::make_pair(name, version));
+    if (it == models_.end()) {
+      return NotFoundError("no model '" + name + "' version " +
+                           std::to_string(version) + " in the registry");
+    }
+    return it->second;
+  }
+  // version 0: highest registered version of `name`. The map orders keys by
+  // (name, version), so the entry just before upper_bound(name, +inf) is the
+  // latest version when it still carries the right name.
+  const auto it = models_.upper_bound(
+      std::make_pair(name, std::numeric_limits<int>::max()));
+  if (it == models_.begin()) {
+    return NotFoundError("no model '" + name + "' in the registry");
+  }
+  const auto prev = std::prev(it);
+  if (prev->first.first != name) {
+    return NotFoundError("no model '" + name + "' in the registry");
+  }
+  return prev->second;
+}
+
+bool ModelRegistry::Remove(const std::string& name, int version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool erased = models_.erase(std::make_pair(name, version)) > 0;
+  if (erased) {
+    ADAMEL_GAUGE_SET("serve.registry.models",
+                     static_cast<double>(models_.size()));
+  }
+  return erased;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelInfo> result;
+  result.reserve(models_.size());
+  for (const auto& [key, model] : models_) {
+    result.push_back(ModelInfo{key.first, key.second, model->Name()});
+  }
+  return result;
+}
+
+int ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(models_.size());
+}
+
+}  // namespace adamel::serve

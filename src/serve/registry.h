@@ -1,0 +1,70 @@
+#ifndef ADAMEL_SERVE_REGISTRY_H_
+#define ADAMEL_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/linkage_model.h"
+
+namespace adamel::serve {
+
+/// One registry entry, as reported by `ModelRegistry::List`.
+struct ModelInfo {
+  std::string name;
+  int version = 0;
+  std::string model_kind;  // the model's display Name()
+};
+
+/// Warm model registry: fitted `EntityLinkageModel`s keyed by (name,
+/// version), handed out as shared const pointers so in-flight requests keep
+/// a model alive across `Remove`/re-`Add`. All methods are thread-safe; the
+/// returned models are immutable by contract (scoring is const).
+///
+/// Checkpoint loads surface three distinct, typed failures so an operator
+/// can tell them apart without parsing messages:
+///  - `kFailedPrecondition`: the model type has no checkpoint support
+///    (detected *before* touching the filesystem);
+///  - `kNotFound`: no file at the given path;
+///  - `kDataLoss`: the file exists but is corrupt, truncated, or written by
+///    a different model kind/architecture.
+class ModelRegistry {
+ public:
+  /// Registers a fitted model under (name, version). `version` must be
+  /// >= 1; duplicate keys and null models are `InvalidArgumentError`.
+  Status Register(const std::string& name, int version,
+             std::shared_ptr<const core::EntityLinkageModel> model);
+
+  /// Restores `model` from the checkpoint at `path` and registers it under
+  /// (name, version). See the class comment for the error-code contract.
+  Status LoadFromCheckpoint(const std::string& name, int version,
+                            std::unique_ptr<core::EntityLinkageModel> model,
+                            const std::string& path);
+
+  /// Looks up (name, version); `version == 0` resolves to the highest
+  /// registered version of `name`. Unknown keys are `NotFoundError`.
+  StatusOr<std::shared_ptr<const core::EntityLinkageModel>> Get(
+      const std::string& name, int version = 0) const;
+
+  /// Removes one entry; returns false when it was not present.
+  bool Remove(const std::string& name, int version);
+
+  /// All entries in (name, version) order.
+  std::vector<ModelInfo> List() const;
+
+  int size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, int>,
+           std::shared_ptr<const core::EntityLinkageModel>>
+      models_;
+};
+
+}  // namespace adamel::serve
+
+#endif  // ADAMEL_SERVE_REGISTRY_H_

@@ -1,0 +1,35 @@
+#include "serve/service.h"
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/linkage_model.h"
+
+namespace adamel::serve {
+
+LinkageService::LinkageService(ServiceOptions options)
+    : batcher_(options.batcher) {}
+
+std::future<ScoreResponse> LinkageService::SubmitAsync(ScoreRequest request) {
+  StatusOr<std::shared_ptr<const core::EntityLinkageModel>> model =
+      registry_.Get(request.model, request.version);
+  if (!model.ok()) {
+    std::promise<ScoreResponse> promise;
+    std::future<ScoreResponse> future = promise.get_future();
+    ScoreResponse response;
+    response.status = model.status();
+    promise.set_value(std::move(response));
+    return future;
+  }
+  BatchWorkItem item;
+  item.model = std::move(model).value();
+  item.pairs = std::move(request.pairs);
+  item.deadline_ns = request.deadline_ns;
+  return batcher_.Submit(std::move(item));
+}
+
+ScoreResponse LinkageService::Score(ScoreRequest request) {
+  return SubmitAsync(std::move(request)).get();
+}
+
+}  // namespace adamel::serve

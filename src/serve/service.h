@@ -1,0 +1,79 @@
+#ifndef ADAMEL_SERVE_SERVICE_H_
+#define ADAMEL_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "data/pair_dataset.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+
+namespace adamel::serve {
+
+/// One scoring request against a registered model.
+struct ScoreRequest {
+  /// Registry name of the model to score with.
+  std::string model;
+  /// Registry version; 0 resolves to the latest registered version.
+  int version = 0;
+  /// Pairs to score (owned by the request; the service keeps them alive
+  /// until the response is delivered).
+  data::PairDataset pairs;
+  /// Absolute `obs::NowNanos()` deadline; 0 = none.
+  int64_t deadline_ns = 0;
+};
+
+/// Knobs for a `LinkageService`.
+struct ServiceOptions {
+  BatcherOptions batcher;
+};
+
+/// Online linkage scoring: a warm `ModelRegistry` in front of a
+/// `MicroBatcher`. Callers register fitted models (directly or from
+/// checkpoints), then submit concurrent `ScoreRequest`s; the service
+/// resolves the model at submission time (so an unknown model fails fast
+/// with `kNotFound`) and hands the work to the batcher, which coalesces
+/// same-model requests into larger forward passes.
+///
+/// Scores returned through the service are bitwise identical to calling
+/// `ScorePairs` on the same model offline — see the `MicroBatcher` class
+/// comment for the determinism argument.
+class LinkageService {
+ public:
+  explicit LinkageService(ServiceOptions options = {});
+
+  /// The model roster. Models added here are immediately servable; removal
+  /// does not interrupt in-flight requests (they hold shared ownership).
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  /// Admits the request and returns a future for its response. The future
+  /// is always eventually fulfilled; registry misses, admission rejections,
+  /// and expired deadlines resolve it immediately with a typed error.
+  std::future<ScoreResponse> SubmitAsync(ScoreRequest request);
+
+  /// Blocking convenience wrapper around `SubmitAsync`. Only valid with
+  /// `worker_threads > 0` (in pump mode it would wait forever).
+  ScoreResponse Score(ScoreRequest request);
+
+  /// Pump mode (worker_threads == 0): executes one batch on the calling
+  /// thread. Returns the number of requests completed.
+  int PumpOnce() { return batcher_.RunOnce(); }
+
+  /// Stops workers and drains the queue. Idempotent; also run on
+  /// destruction.
+  void Shutdown() { batcher_.Shutdown(); }
+
+  BatcherStats stats() const { return batcher_.stats(); }
+  int queued_pairs() const { return batcher_.queued_pairs(); }
+
+ private:
+  ModelRegistry registry_;
+  MicroBatcher batcher_;
+};
+
+}  // namespace adamel::serve
+
+#endif  // ADAMEL_SERVE_SERVICE_H_

@@ -138,8 +138,8 @@ TEST(AllBaselinesTest, FitPredictBeatsChanceOnEasyTask) {
   core::MelInputs inputs;
   inputs.source_train = &train;
   for (auto& model : AllBaselines()) {
-    model->Fit(inputs);
-    const std::vector<float> scores = model->PredictScores(test);
+    ASSERT_TRUE(model->Fit(inputs).ok()) << model->Name();
+    const std::vector<float> scores = model->ScorePairs(test).value();
     ASSERT_EQ(scores.size(), 100u) << model->Name();
     for (float s : scores) {
       EXPECT_GE(s, 0.0f);
@@ -170,8 +170,8 @@ TEST(AllBaselinesTest, PredictHandlesWiderSchema) {
   core::MelInputs inputs;
   inputs.source_train = &train;
   for (auto& model : AllBaselines()) {
-    model->Fit(inputs);
-    EXPECT_EQ(model->PredictScores(wide_test).size(), 30u) << model->Name();
+    ASSERT_TRUE(model->Fit(inputs).ok()) << model->Name();
+    EXPECT_EQ(model->ScorePairs(wide_test).value().size(), 30u) << model->Name();
   }
 }
 
@@ -198,9 +198,9 @@ TEST(DeepMatcherTest, DeterministicWithSeed) {
   inputs.source_train = &train;
   DeepMatcherModel a(config);
   DeepMatcherModel b(config);
-  a.Fit(inputs);
-  b.Fit(inputs);
-  EXPECT_EQ(a.PredictScores(train), b.PredictScores(train));
+  ASSERT_TRUE(a.Fit(inputs).ok());
+  ASSERT_TRUE(b.Fit(inputs).ok());
+  EXPECT_EQ(a.ScorePairs(train).value(), b.ScorePairs(train).value());
 }
 
 TEST(EntityMatcherTest, ParameterHeavyByDesign) {
@@ -210,7 +210,7 @@ TEST(EntityMatcherTest, ParameterHeavyByDesign) {
   core::MelInputs inputs;
   inputs.source_train = &train;
   EntityMatcherModel model(FastConfig());
-  model.Fit(inputs);
+  ASSERT_TRUE(model.Fit(inputs).ok());
   EXPECT_GT(model.ParameterCount(), 200000);
 }
 

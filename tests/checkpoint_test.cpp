@@ -248,7 +248,7 @@ TEST(TrainedAdamelCheckpointTest, FileRoundTripPredictsBitwise) {
       TrainedAdamel::LoadFromFile(path);
   ASSERT_TRUE(loaded.ok());
 
-  EXPECT_EQ((*loaded)->Predict(test), trained.Predict(test));
+  EXPECT_EQ((*loaded)->ScorePairs(test), trained.ScorePairs(test));
   EXPECT_EQ((*loaded)->ParameterCount(), trained.ParameterCount());
 }
 
@@ -358,7 +358,7 @@ TEST(FitWithCheckpointTest, ResumeEqualsUninterruptedRun) {
       AdamelVariant::kHyb, inputs, options, &resumed_history);
   ASSERT_TRUE(resumed.ok());
 
-  EXPECT_EQ((*resumed)->Predict(test), uninterrupted.Predict(test));
+  EXPECT_EQ((*resumed)->ScorePairs(test), uninterrupted.ScorePairs(test));
   ASSERT_EQ(resumed_history.size(), uninterrupted_history.size());
   for (size_t e = 0; e < resumed_history.size(); ++e) {
     EXPECT_EQ(resumed_history[e].base_loss, uninterrupted_history[e].base_loss)
@@ -391,7 +391,7 @@ TEST(FitWithCheckpointTest, CompletedCheckpointShortCircuits) {
   StatusOr<std::shared_ptr<TrainedAdamel>> second =
       trainer.FitWithCheckpoint(AdamelVariant::kBase, inputs, options);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ((*second)->Predict(test), (*first)->Predict(test));
+  EXPECT_EQ((*second)->ScorePairs(test), (*first)->ScorePairs(test));
 }
 
 TEST(FitWithCheckpointTest, RejectsVariantMismatch) {
@@ -510,13 +510,13 @@ TEST(LinkageCheckpointTest, AdamelLinkageRoundTrips) {
   inputs.source_train = &train;
 
   AdamelLinkage original(AdamelVariant::kBase, config);
-  original.Fit(inputs);
+  ASSERT_TRUE(original.Fit(inputs).ok());
   const std::string path = TempPath("linkage_roundtrip.ckpt");
   ASSERT_TRUE(original.SaveCheckpoint(path).ok());
 
   AdamelLinkage restored(AdamelVariant::kBase, config);
   ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
-  EXPECT_EQ(restored.PredictScores(test), original.PredictScores(test));
+  EXPECT_EQ(restored.ScorePairs(test).value(), original.ScorePairs(test).value());
 }
 
 TEST(LinkageCheckpointTest, SaveBeforeFitFails) {
@@ -532,13 +532,13 @@ TEST(LinkageCheckpointTest, TlerRoundTrips) {
   inputs.source_train = &train;
 
   baselines::TlerModel original;
-  original.Fit(inputs);
+  ASSERT_TRUE(original.Fit(inputs).ok());
   const std::string path = TempPath("tler_roundtrip.ckpt");
   ASSERT_TRUE(original.SaveCheckpoint(path).ok());
 
   baselines::TlerModel restored;
   ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
-  EXPECT_EQ(restored.PredictScores(test), original.PredictScores(test));
+  EXPECT_EQ(restored.ScorePairs(test).value(), original.ScorePairs(test).value());
   EXPECT_EQ(restored.ParameterCount(), original.ParameterCount());
 }
 
@@ -549,7 +549,7 @@ TEST(LinkageCheckpointTest, TlerRejectsAdamelFile) {
   MelInputs inputs;
   inputs.source_train = &train;
   AdamelLinkage adamel(AdamelVariant::kBase, config);
-  adamel.Fit(inputs);
+  ASSERT_TRUE(adamel.Fit(inputs).ok());
   const std::string path = TempPath("adamel_for_tler.ckpt");
   ASSERT_TRUE(adamel.SaveCheckpoint(path).ok());
 

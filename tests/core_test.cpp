@@ -225,7 +225,7 @@ TEST(AdamelTrainerTest, LearnsSeparableToyTask) {
   for (const auto& pair : test.pairs()) {
     labels.push_back(pair.label == data::kMatch ? 1 : 0);
   }
-  EXPECT_GT(eval::AveragePrecision(model.Predict(test), labels), 0.95);
+  EXPECT_GT(eval::AveragePrecision(model.ScorePairs(test), labels), 0.95);
 }
 
 TEST(AdamelTrainerTest, PredictionsAreProbabilities) {
@@ -236,7 +236,7 @@ TEST(AdamelTrainerTest, PredictionsAreProbabilities) {
   MelInputs inputs;
   inputs.source_train = &train;
   const TrainedAdamel model = trainer.Fit(AdamelVariant::kBase, inputs);
-  for (float score : model.Predict(train)) {
+  for (float score : model.ScorePairs(train)) {
     EXPECT_GE(score, 0.0f);
     EXPECT_LE(score, 1.0f);
   }
@@ -251,9 +251,9 @@ TEST(AdamelTrainerTest, DeterministicGivenSeed) {
   MelInputs inputs;
   inputs.source_train = &train;
   const std::vector<float> a =
-      trainer.Fit(AdamelVariant::kBase, inputs).Predict(train);
+      trainer.Fit(AdamelVariant::kBase, inputs).ScorePairs(train);
   const std::vector<float> b =
-      trainer.Fit(AdamelVariant::kBase, inputs).Predict(train);
+      trainer.Fit(AdamelVariant::kBase, inputs).ScorePairs(train);
   EXPECT_EQ(a, b);
 }
 
@@ -345,7 +345,7 @@ TEST(AdamelTrainerTest, LambdaOneDisablesBaseSupervision) {
   }
   // Chance AP is the positive prevalence (~0.5); a supervised model hits
   // ~1.0 (see LearnsSeparableToyTask).
-  EXPECT_LT(eval::AveragePrecision(model.Predict(test), labels), 0.85);
+  EXPECT_LT(eval::AveragePrecision(model.ScorePairs(test), labels), 0.85);
 }
 
 TEST(AdamelTrainerTest, AttentionVectorsMatchFeatureCount) {
@@ -408,8 +408,8 @@ TEST(AdamelLinkageTest, ImplementsInterfaceEndToEnd) {
   inputs.source_train = &train;
   inputs.target_unlabeled = &target;
   inputs.support = &support;
-  linkage.Fit(inputs);
-  EXPECT_EQ(linkage.PredictScores(train).size(), 80u);
+  ASSERT_TRUE(linkage.Fit(inputs).ok());
+  EXPECT_EQ(linkage.ScorePairs(train).value().size(), 80u);
   EXPECT_GT(linkage.ParameterCount(), 0);
 }
 

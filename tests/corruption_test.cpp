@@ -169,7 +169,7 @@ TEST(CorruptionTest, TrainedModelFlipSweepNeverLoadsGarbage) {
   inputs.source_train = &train;
   const core::TrainedAdamel trained =
       trainer.Fit(core::AdamelVariant::kBase, inputs);
-  const std::vector<float> expected = trained.Predict(test);
+  const std::vector<float> expected = trained.ScorePairs(test);
   const std::string path = ::testing::TempDir() + "/corruption_model.ckpt";
   ASSERT_TRUE(trained.SaveToFile(path).ok());
   const StatusOr<std::string> contents = nn::ReadFileToString(path);
@@ -191,7 +191,7 @@ TEST(CorruptionTest, TrainedModelFlipSweepNeverLoadsGarbage) {
     const StatusOr<std::shared_ptr<core::TrainedAdamel>> loaded =
         core::TrainedAdamel::LoadFromFile(flipped_path);
     if (loaded.ok()) {
-      EXPECT_EQ((*loaded)->Predict(test), expected)
+      EXPECT_EQ((*loaded)->ScorePairs(test), expected)
           << "flip at byte " << offset << " changed predictions";
     }
   }

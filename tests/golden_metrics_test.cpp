@@ -93,8 +93,9 @@ ModelMetrics ComputeMetrics(const std::string& name,
   inputs.source_train = &task.source_train;
   inputs.target_unlabeled = &task.target_unlabeled;
   inputs.support = &task.support;
-  model->Fit(inputs);
-  const std::vector<float> scores = model->PredictScores(task.test);
+  const Status fit_status = model->Fit(inputs);
+  EXPECT_TRUE(fit_status.ok()) << fit_status.ToString();
+  const std::vector<float> scores = model->ScorePairs(task.test).value();
   const std::vector<int> labels = bench::TestLabels(task.test);
   ModelMetrics metrics;
   metrics.prauc = eval::AveragePrecision(scores, labels);

@@ -51,7 +51,7 @@ TEST(IntegrationTest, MusicTaskTrainsAllVariantsAboveChance) {
         core::AdamelVariant::kFew, core::AdamelVariant::kHyb}) {
     const core::TrainedAdamel model = trainer.Fit(variant, inputs);
     const double prauc =
-        eval::AveragePrecision(model.Predict(task.test), labels);
+        eval::AveragePrecision(model.ScorePairs(task.test), labels);
     EXPECT_GT(prauc, prevalence + 0.2)
         << core::AdamelVariantName(variant);
   }
@@ -75,10 +75,10 @@ TEST(IntegrationTest, AdaptationHelpsOnDisjointScenario) {
   config.seed = 42;
   const core::AdamelTrainer trainer(config);
   const double base = eval::AveragePrecision(
-      trainer.Fit(core::AdamelVariant::kBase, inputs).Predict(task.test),
+      trainer.Fit(core::AdamelVariant::kBase, inputs).ScorePairs(task.test),
       labels);
   const double hyb = eval::AveragePrecision(
-      trainer.Fit(core::AdamelVariant::kHyb, inputs).Predict(task.test),
+      trainer.Fit(core::AdamelVariant::kHyb, inputs).ScorePairs(task.test),
       labels);
   EXPECT_GT(hyb, base);
 }
@@ -106,10 +106,10 @@ TEST(IntegrationTest, PairDatasetsSurviveCsvRoundTripAndRetrain) {
   const core::AdamelTrainer trainer(FastConfig(7));
   const auto pred_orig =
       trainer.Fit(core::AdamelVariant::kBase, inputs_orig)
-          .Predict(task.test);
+          .ScorePairs(task.test);
   const auto pred_loaded =
       trainer.Fit(core::AdamelVariant::kBase, inputs_loaded)
-          .Predict(task.test);
+          .ScorePairs(task.test);
   EXPECT_EQ(pred_orig, pred_loaded);
 }
 
@@ -152,7 +152,7 @@ TEST(IntegrationTest, AttributeProjectionPipeline) {
   const core::TrainedAdamel model =
       trainer.Fit(core::AdamelVariant::kBase, inputs);
   const double prauc =
-      eval::AveragePrecision(model.Predict(test), Labels(test));
+      eval::AveragePrecision(model.ScorePairs(test), Labels(test));
   EXPECT_GT(prauc, 0.55);
   EXPECT_EQ(model.extractor().feature_count(), 6);
 }
@@ -172,7 +172,7 @@ TEST(IntegrationTest, BenchmarkDifficultyOrderingHolds) {
     inputs.source_train = &task.source_train;
     const core::TrainedAdamel model =
         trainer.Fit(core::AdamelVariant::kBase, inputs);
-    return eval::BestF1(model.Predict(task.test), Labels(task.test));
+    return eval::BestF1(model.ScorePairs(task.test), Labels(task.test));
   };
   EXPECT_GT(score(easy), score(hard) + 0.05);
 }
@@ -195,7 +195,7 @@ TEST(IntegrationTest, IncrementalSeriesIsTrainableAcrossSteps) {
     const core::TrainedAdamel model =
         trainer.Fit(core::AdamelVariant::kHyb, inputs);
     const double prauc = eval::AveragePrecision(
-        model.Predict(series.step_tests[step]),
+        model.ScorePairs(series.step_tests[step]),
         Labels(series.step_tests[step]));
     EXPECT_GT(prauc, 0.4) << "step " << step;
   }

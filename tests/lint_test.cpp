@@ -220,6 +220,24 @@ TEST(LintTest, FlagsBannedIdentifiers) {
       "banned-identifier"));
 }
 
+TEST(LintTest, FlagsDeprecatedScoringNames) {
+  // The old scoring entry points are flagged even as member calls, so
+  // migrated code cannot quietly reintroduce them.
+  EXPECT_TRUE(HasRule(
+      LintLibrary("float f(M& m, D& d) { return m.Predict(d)[0]; }\n"),
+      "banned-identifier"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary("float f(M* m, D& d) { return m->PredictScores(d)[0]; }\n"),
+      "banned-identifier"));
+}
+
+TEST(LintTest, DeprecatedScoringNamesAreSuppressible) {
+  const auto findings = LintLibrary(
+      "// adamel-lint: allow-next-line(banned-identifier) -- shim fixture\n"
+      "float f(M& m, D& d) { return m.Predict(d)[0]; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 // -- suppressions ------------------------------------------------------------
 
 TEST(LintTest, AllowSuppressesOnSameLine) {

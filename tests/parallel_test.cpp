@@ -247,9 +247,9 @@ TEST(ParallelTrainingTest, TrainerEpochBitwiseDeterministicAcrossThreads) {
 
   // Inference must agree bitwise too (parallel batch prediction).
   SetNumThreads(1);
-  const std::vector<float> scores1 = model1.Predict(task.test);
+  const std::vector<float> scores1 = model1.ScorePairs(task.test);
   SetNumThreads(4);
-  const std::vector<float> scores4 = model1.Predict(task.test);
+  const std::vector<float> scores4 = model1.ScorePairs(task.test);
   EXPECT_EQ(scores1, scores4);
 }
 

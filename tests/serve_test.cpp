@@ -1,0 +1,532 @@
+// Tests for src/serve: the warm model registry (typed checkpoint-error
+// contract), the micro-batcher (deadlines, backpressure, coalescing
+// determinism), and the end-to-end LinkageService under concurrency.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepmatcher.h"
+#include "baselines/tler.h"
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "nn/serialize.h"
+#include "obs/clock.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace adamel::serve {
+namespace {
+
+data::Record MakeRecord(std::vector<std::string> values) {
+  data::Record record;
+  record.id = "r";
+  record.source = "s";
+  record.values = std::move(values);
+  return record;
+}
+
+data::LabeledPair MakePair(std::vector<std::string> left,
+                           std::vector<std::string> right, int label) {
+  data::LabeledPair pair;
+  pair.left = MakeRecord(std::move(left));
+  pair.right = MakeRecord(std::move(right));
+  pair.label = label;
+  return pair;
+}
+
+// Pairs match iff the "key" attribute shares its token.
+data::PairDataset ToyDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  data::PairDataset dataset(data::Schema({"key", "noise"}));
+  for (int i = 0; i < n; ++i) {
+    const bool match = rng.Bernoulli(0.5);
+    const std::string key = "key" + std::to_string(rng.UniformInt(50));
+    const std::string other =
+        match ? key : "key" + std::to_string(rng.UniformInt(50) + 50);
+    dataset.Add(MakePair({key, "blah" + std::to_string(rng.UniformInt(9))},
+                         {other, "blub" + std::to_string(rng.UniformInt(9))},
+                         match ? data::kMatch : data::kNonMatch));
+  }
+  return dataset;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+core::AdamelConfig FastConfig() {
+  core::AdamelConfig config;
+  config.epochs = 2;
+  return config;
+}
+
+// Trains a small AdaMEL-base linkage model on a toy task.
+std::unique_ptr<core::AdamelLinkage> TrainToyLinkage(uint64_t seed) {
+  const data::PairDataset train = ToyDataset(60, seed);
+  core::MelInputs inputs;
+  inputs.source_train = &train;
+  auto model = std::make_unique<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, FastConfig());
+  const Status fitted = model->Fit(inputs);
+  ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  return model;
+}
+
+data::PairDataset Slice(const data::PairDataset& dataset, int offset,
+                        int count) {
+  return data::PairSpan(dataset).Subspan(offset, count).ToDataset();
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ModelRegistryTest, RegisterGetLatestRemove) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Register("m", 1, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  std::shared_ptr<const core::EntityLinkageModel> v1 = TrainToyLinkage(1);
+  std::shared_ptr<const core::EntityLinkageModel> v2 = TrainToyLinkage(2);
+  EXPECT_EQ(registry.Register("m", 0, v1).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry.Register("m", 1, v1).ok());
+  ASSERT_TRUE(registry.Register("m", 2, v2).ok());
+  EXPECT_EQ(registry.Register("m", 2, v2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 2);
+
+  ASSERT_TRUE(registry.Get("m", 1).ok());
+  EXPECT_EQ(registry.Get("m", 1).value().get(), v1.get());
+  // Version 0 resolves to the latest registered version.
+  EXPECT_EQ(registry.Get("m").value().get(), v2.get());
+  EXPECT_EQ(registry.Get("m", 3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Get("other").status().code(), StatusCode::kNotFound);
+
+  const std::vector<ModelInfo> listed = registry.List();
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].name, "m");
+  EXPECT_EQ(listed[0].version, 1);
+  EXPECT_EQ(listed[0].model_kind, "AdaMEL-base");
+
+  EXPECT_TRUE(registry.Remove("m", 2));
+  EXPECT_FALSE(registry.Remove("m", 2));
+  EXPECT_EQ(registry.Get("m").value().get(), v1.get());
+}
+
+TEST(ModelRegistryTest, LatestDoesNotBleedAcrossNames) {
+  // "a" has a high version; Get("b", 0) must not pick it up via the
+  // upper_bound scan.
+  ModelRegistry registry;
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(3);
+  ASSERT_TRUE(registry.Register("a", 7, model).ok());
+  EXPECT_EQ(registry.Get("b").status().code(), StatusCode::kNotFound);
+}
+
+// Regression: a model type without checkpoint support must fail
+// kFailedPrecondition — not kDataLoss — even when the file at the path is
+// present and corrupt. The roster mistake is diagnosed before the file.
+TEST(ModelRegistryTest, UnsupportedModelFailsPreconditionNotDataLoss) {
+  const std::string path = TempPath("serve_unsupported.ckpt");
+  ASSERT_TRUE(nn::AtomicWriteFile(path, "not a checkpoint").ok());
+
+  ModelRegistry registry;
+  ASSERT_FALSE(baselines::DeepMatcherModel().SupportsCheckpointing());
+  const Status corrupt_file = registry.LoadFromCheckpoint(
+      "dm", 1, std::make_unique<baselines::DeepMatcherModel>(), path);
+  EXPECT_EQ(corrupt_file.code(), StatusCode::kFailedPrecondition);
+
+  const Status missing_file = registry.LoadFromCheckpoint(
+      "dm", 1, std::make_unique<baselines::DeepMatcherModel>(),
+      TempPath("serve_does_not_exist.ckpt"));
+  EXPECT_EQ(missing_file.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.size(), 0);
+}
+
+TEST(ModelRegistryTest, MissingCheckpointFileIsNotFound) {
+  ModelRegistry registry;
+  const Status loaded = registry.LoadFromCheckpoint(
+      "adamel", 1,
+      std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kBase,
+                                            FastConfig()),
+      TempPath("serve_missing.ckpt"));
+  EXPECT_EQ(loaded.code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, CorruptCheckpointFileIsDataLoss) {
+  const std::string path = TempPath("serve_corrupt.ckpt");
+  std::unique_ptr<core::AdamelLinkage> trained = TrainToyLinkage(4);
+  ASSERT_TRUE(trained->SaveCheckpoint(path).ok());
+  StatusOr<std::string> bytes = nn::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = std::move(bytes).value();
+  ASSERT_GT(corrupted.size(), 64u);
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  ASSERT_TRUE(nn::AtomicWriteFile(path, corrupted).ok());
+
+  ModelRegistry registry;
+  const Status loaded = registry.LoadFromCheckpoint(
+      "adamel", 1,
+      std::make_unique<core::AdamelLinkage>(core::AdamelVariant::kBase,
+                                            FastConfig()),
+      path);
+  EXPECT_EQ(loaded.code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelRegistryTest, WrongModelKindCheckpointIsDataLoss) {
+  // A TLER model handed an AdaMEL checkpoint: the file exists and is intact,
+  // but is unusable for this model — kDataLoss, not kFailedPrecondition.
+  const std::string path = TempPath("serve_wrong_kind.ckpt");
+  ASSERT_TRUE(TrainToyLinkage(5)->SaveCheckpoint(path).ok());
+
+  ModelRegistry registry;
+  const Status loaded = registry.LoadFromCheckpoint(
+      "tler", 1, std::make_unique<baselines::TlerModel>(), path);
+  EXPECT_EQ(loaded.code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelRegistryTest, CheckpointRoundTripServesIdenticalScores) {
+  const std::string path = TempPath("serve_roundtrip.ckpt");
+  std::unique_ptr<core::AdamelLinkage> trained = TrainToyLinkage(6);
+  const data::PairDataset test = ToyDataset(25, 7);
+  const std::vector<float> offline = trained->ScorePairs(test).value();
+  ASSERT_TRUE(trained->SaveCheckpoint(path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry
+                  .LoadFromCheckpoint(
+                      "adamel", 1,
+                      std::make_unique<core::AdamelLinkage>(
+                          core::AdamelVariant::kBase, FastConfig()),
+                      path)
+                  .ok());
+  const auto model = registry.Get("adamel");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->ScorePairs(test).value(), offline);
+}
+
+// ----------------------------------------------------------------- batcher
+
+BatcherOptions PumpOptions() {
+  BatcherOptions options;
+  options.worker_threads = 0;  // nothing runs until RunOnce()
+  return options;
+}
+
+TEST(MicroBatcherTest, EmptyAndNullRequestsResolveImmediately) {
+  MicroBatcher batcher(PumpOptions());
+  BatchWorkItem null_model;
+  null_model.pairs = ToyDataset(3, 8);
+  EXPECT_EQ(batcher.Submit(std::move(null_model)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(8);
+  BatchWorkItem empty;
+  empty.model = model;
+  ScoreResponse response = batcher.Submit(std::move(empty)).get();
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.scores.empty());
+  EXPECT_EQ(batcher.stats().submitted, 0);
+}
+
+TEST(MicroBatcherTest, DeadlineExpiredAtSubmit) {
+  obs::ScopedFakeClock clock;
+  clock.Set(5'000);
+  MicroBatcher batcher(PumpOptions());
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(9);
+
+  BatchWorkItem item;
+  item.model = model;
+  item.pairs = ToyDataset(4, 10);
+  item.deadline_ns = 4'000;  // already in the past
+  EXPECT_EQ(batcher.Submit(std::move(item)).get().status.code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(batcher.stats().timed_out, 1);
+  EXPECT_EQ(batcher.stats().submitted, 0);
+}
+
+TEST(MicroBatcherTest, DeadlineExpiresInQueue) {
+  obs::ScopedFakeClock clock;
+  MicroBatcher batcher(PumpOptions());
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(11);
+
+  BatchWorkItem item;
+  item.model = model;
+  item.pairs = ToyDataset(4, 12);
+  item.deadline_ns = 1'000;
+  std::future<ScoreResponse> future = batcher.Submit(std::move(item));
+  EXPECT_EQ(batcher.queued_pairs(), 4);
+
+  clock.Advance(2'000);  // the request expires while queued
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  const ScoreResponse response = future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.queue_ns, 2'000);
+  EXPECT_EQ(batcher.stats().timed_out, 1);
+  EXPECT_EQ(batcher.stats().pairs_scored, 0);
+}
+
+TEST(MicroBatcherTest, BackpressureRejectsWhenQueueFull) {
+  BatcherOptions options = PumpOptions();
+  options.max_queue_pairs = 10;
+  MicroBatcher batcher(options);
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(13);
+  const data::PairDataset six = ToyDataset(6, 14);
+
+  BatchWorkItem first;
+  first.model = model;
+  first.pairs = six;
+  std::future<ScoreResponse> admitted = batcher.Submit(std::move(first));
+
+  BatchWorkItem second;
+  second.model = model;
+  second.pairs = six;  // 6 + 6 > 10: rejected
+  EXPECT_EQ(batcher.Submit(std::move(second)).get().status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.stats().rejected, 1);
+
+  // Draining the queue frees capacity again.
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_TRUE(admitted.get().status.ok());
+  BatchWorkItem third;
+  third.model = model;
+  third.pairs = six;
+  std::future<ScoreResponse> readmitted = batcher.Submit(std::move(third));
+  EXPECT_EQ(batcher.queued_pairs(), 6);
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_TRUE(readmitted.get().status.ok());
+}
+
+TEST(MicroBatcherTest, CoalescedScoresAreBitwiseIdenticalToOffline) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(15);
+  const data::PairDataset test = ToyDataset(30, 16);
+  const std::vector<float> offline = model->ScorePairs(test).value();
+
+  MicroBatcher batcher(PumpOptions());
+  // Three requests slicing the same test set; one RunOnce must coalesce
+  // them into a single forward pass.
+  const int cuts[4] = {0, 11, 17, 30};
+  std::vector<std::future<ScoreResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    BatchWorkItem item;
+    item.model = model;
+    item.pairs = Slice(test, cuts[i], cuts[i + 1] - cuts[i]);
+    futures.push_back(batcher.Submit(std::move(item)));
+  }
+  EXPECT_EQ(batcher.RunOnce(), 3);
+
+  for (int i = 0; i < 3; ++i) {
+    ScoreResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_pairs, 30);
+    const std::vector<float> expected(offline.begin() + cuts[i],
+                                      offline.begin() + cuts[i + 1]);
+    EXPECT_EQ(response.scores, expected) << "request " << i;
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.coalesced_requests, 3);
+  EXPECT_EQ(stats.pairs_scored, 30);
+  EXPECT_EQ(stats.max_batch_pairs, 30);
+}
+
+TEST(MicroBatcherTest, MaxBatchPairsSplitsBatches) {
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(17);
+  const data::PairDataset test = ToyDataset(20, 18);
+
+  BatcherOptions options = PumpOptions();
+  options.max_batch_pairs = 10;
+  MicroBatcher batcher(options);
+  std::vector<std::future<ScoreResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    BatchWorkItem item;
+    item.model = model;
+    item.pairs = Slice(test, 5 * i, 5);
+    futures.push_back(batcher.Submit(std::move(item)));
+  }
+  EXPECT_EQ(batcher.RunOnce(), 2);  // 5 + 5 fills the 10-pair cap
+  EXPECT_EQ(batcher.RunOnce(), 2);
+  for (auto& future : futures) {
+    ScoreResponse response = future.get();
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_pairs, 10);
+  }
+  EXPECT_EQ(batcher.stats().batches, 2);
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsQueuedRequests) {
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(19);
+  auto batcher = std::make_unique<MicroBatcher>(PumpOptions());
+  BatchWorkItem item;
+  item.model = model;
+  item.pairs = ToyDataset(5, 20);
+  std::future<ScoreResponse> future = batcher->Submit(std::move(item));
+  batcher.reset();  // destructor must fulfill the promise
+  EXPECT_TRUE(future.get().status.ok());
+}
+
+// ----------------------------------------------------------------- service
+
+TEST(LinkageServiceTest, UnknownModelFailsFastWithNotFound) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  LinkageService service(options);
+  ScoreRequest request;
+  request.model = "nope";
+  request.pairs = ToyDataset(3, 21);
+  EXPECT_EQ(service.SubmitAsync(std::move(request)).get().status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LinkageServiceTest, PumpModeScoresMatchOffline) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(22);
+  const data::PairDataset test = ToyDataset(12, 23);
+  const std::vector<float> offline = model->ScorePairs(test).value();
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  ScoreRequest request;
+  request.model = "adamel";
+  request.pairs = test;
+  std::future<ScoreResponse> future = service.SubmitAsync(std::move(request));
+  EXPECT_EQ(service.PumpOnce(), 1);
+  EXPECT_EQ(future.get().scores, offline);
+}
+
+TEST(LinkageServiceTest, WorkerThreadsServeBitwiseIdenticalScores) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(24);
+  const data::PairDataset test = ToyDataset(40, 25);
+  const std::vector<float> offline = model->ScorePairs(test).value();
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 2;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  std::vector<std::future<ScoreResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    ScoreRequest request;
+    request.model = "adamel";
+    request.pairs = Slice(test, 5 * i, 5);
+    futures.push_back(service.SubmitAsync(std::move(request)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    ScoreResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const std::vector<float> expected(offline.begin() + 5 * i,
+                                      offline.begin() + 5 * (i + 1));
+    EXPECT_EQ(response.scores, expected) << "request " << i;
+  }
+  EXPECT_EQ(service.stats().pairs_scored, 40);
+}
+
+// TSan concurrency suite: N client threads hammer M models through one
+// service while another thread mutates the registry. Run under
+// ADAMEL_SANITIZE=thread in CI.
+TEST(LinkageServiceTest, ConcurrentClientsAcrossModels) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 6;
+
+  std::shared_ptr<const core::AdamelLinkage> model_a = TrainToyLinkage(26);
+  std::shared_ptr<const core::AdamelLinkage> model_b = TrainToyLinkage(27);
+  const data::PairDataset test = ToyDataset(24, 28);
+  const std::vector<float> offline_a = model_a->ScorePairs(test).value();
+  const std::vector<float> offline_b = model_b->ScorePairs(test).value();
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 3;
+  options.batcher.max_batch_pairs = 16;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("a", 1, model_a).ok());
+  ASSERT_TRUE(service.registry().Register("b", 1, model_b).ok());
+
+  std::vector<std::vector<ScoreResponse>> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &service, &test, &responses] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        ScoreRequest request;
+        request.model = (c + r) % 2 == 0 ? "a" : "b";
+        request.pairs = Slice(test, 4 * ((c + r) % 6), 4);
+        responses[c].push_back(service.Score(std::move(request)));
+      }
+    });
+  }
+  // Registry churn while requests are in flight: a later version appears,
+  // in-flight requests keep their resolved model alive.
+  std::thread churn([&service, &model_a] {
+    ASSERT_TRUE(service.registry().Register("a", 2, model_a).ok());
+    service.registry().Remove("a", 2);
+  });
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  churn.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), static_cast<size_t>(kRequestsPerClient));
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      const ScoreResponse& response = responses[c][r];
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      const std::vector<float>& offline =
+          (c + r) % 2 == 0 ? offline_a : offline_b;
+      const int offset = 4 * ((c + r) % 6);
+      const std::vector<float> expected(offline.begin() + offset,
+                                        offline.begin() + offset + 4);
+      EXPECT_EQ(response.scores, expected);
+    }
+  }
+  const BatcherStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.timed_out, 0);
+}
+
+// ---------------------------------------------------------- Fit validation
+
+TEST(FitValidationTest, NullSourceTrainIsInvalidArgument) {
+  core::AdamelLinkage linkage(core::AdamelVariant::kBase, FastConfig());
+  core::MelInputs inputs;  // source_train left null
+  EXPECT_EQ(linkage.Fit(inputs).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FitValidationTest, EmptySourceTrainIsInvalidArgument) {
+  core::AdamelLinkage linkage(core::AdamelVariant::kBase, FastConfig());
+  const data::PairDataset empty(data::Schema({"key", "noise"}));
+  core::MelInputs inputs;
+  inputs.source_train = &empty;
+  EXPECT_EQ(linkage.Fit(inputs).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FitValidationTest, HybWithoutTargetOrSupportIsInvalidArgument) {
+  core::AdamelLinkage linkage(core::AdamelVariant::kHyb, FastConfig());
+  const data::PairDataset train = ToyDataset(10, 29);
+  core::MelInputs inputs;
+  inputs.source_train = &train;  // kHyb also needs target + support
+  EXPECT_EQ(linkage.Fit(inputs).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FitValidationTest, BaselinesValidateInputsToo) {
+  baselines::TlerModel tler;
+  core::MelInputs inputs;
+  EXPECT_EQ(tler.Fit(inputs).code(), StatusCode::kInvalidArgument);
+  baselines::DeepMatcherModel deepmatcher;
+  EXPECT_EQ(deepmatcher.Fit(inputs).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FitValidationTest, ScoreBeforeFitIsFailedPrecondition) {
+  const core::AdamelLinkage unfitted(core::AdamelVariant::kBase);
+  EXPECT_EQ(unfitted.ScorePairs(ToyDataset(3, 30)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace adamel::serve

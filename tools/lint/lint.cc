@@ -283,6 +283,14 @@ const std::set<std::string>& BannedCallNames() {
   return kNames;
 }
 
+// Names removed from the scoring API; the shims stay for one release, but
+// new call sites must use the replacement. Unlike BannedCallNames these are
+// methods, so member-access calls are flagged too.
+const std::set<std::string>& DeprecatedCallNames() {
+  static const std::set<std::string> kNames = {"Predict", "PredictScores"};
+  return kNames;
+}
+
 void Report(std::vector<Finding>* findings, const SuppressionMap& supp,
             const std::string& path, int line, const std::string& rule,
             std::string message) {
@@ -438,6 +446,11 @@ void CheckBannedIdentifiers(const std::vector<Token>& toks,
       Report(findings, supp, path, toks[i].line, "banned-identifier",
              "'" + toks[i].text + "()' is on the banned-identifier list "
              "(unsafe or non-reentrant)");
+    }
+    if (DeprecatedCallNames().count(toks[i].text) > 0) {
+      Report(findings, supp, path, toks[i].line, "banned-identifier",
+             "'" + toks[i].text + "()' is deprecated; call ScorePairs() "
+             "instead");
     }
   }
 }
