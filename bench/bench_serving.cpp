@@ -8,7 +8,10 @@
 //
 // Reports requests/second for both, the batched/batch1 speedup, and whether
 // the served scores were bitwise identical to offline ScorePairs across
-// both configurations. Writes <out>/BENCH_serving.json.
+// both configurations. A third configuration replays the batched run with
+// `quantized = true` (int8 serving path): its scores are checked bitwise
+// against offline ScorePairsQuantized, and its throughput is reported as
+// `quantized_speedup_vs_fp32`. Writes <out>/BENCH_serving.json.
 
 #include <algorithm>
 #include <cstdio>
@@ -41,7 +44,7 @@ struct RunResult {
 RunResult RunConfig(const std::shared_ptr<const core::AdamelLinkage>& model,
                     const data::PairDataset& test,
                     const std::vector<float>& offline, int max_batch_pairs,
-                    int clients, int total_requests) {
+                    int clients, int total_requests, bool quantized = false) {
   serve::ServiceOptions options;
   options.batcher.worker_threads = 0;  // pump mode: drain is the timed phase
   options.batcher.max_batch_pairs = max_batch_pairs;
@@ -78,6 +81,7 @@ RunResult RunConfig(const std::shared_ptr<const core::AdamelLinkage>& model,
         serve::ScoreRequest request;
         request.model = "adamel";
         request.pairs = std::move(streams[c][r].second);
+        request.quantized = quantized;
         futures[c].push_back(service.SubmitAsync(std::move(request)));
       }
     });
@@ -148,6 +152,17 @@ int main(int argc, char** argv) {
   StatusOr<std::vector<float>> offline = model->ScorePairs(test);
   ADAMEL_CHECK(offline.ok()) << offline.status().ToString();
 
+  // Int8 twin, calibrated on a slice of the training pairs. Its offline
+  // scores are the bitwise reference for the quantized serving run.
+  {
+    const int calib = std::min(256, task.source_train.size());
+    const Status enabled = model->EnableQuantizedScoring(
+        data::PairSpan(task.source_train).Subspan(0, calib));
+    ADAMEL_CHECK(enabled.ok()) << enabled.ToString();
+  }
+  StatusOr<std::vector<float>> offline_q = model->ScorePairsQuantized(test);
+  ADAMEL_CHECK(offline_q.ok()) << offline_q.status().ToString();
+
   const int clients = 4;
   const int total_requests = options.quick ? 1000 : 2000;
   std::fprintf(stderr, "[serving] %d clients, %d requests, batch1...\n",
@@ -157,13 +172,22 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[serving] batched (max_batch_pairs=512)...\n");
   const RunResult batched =
       RunConfig(model, test, offline.value(), 512, clients, total_requests);
+  std::fprintf(stderr, "[serving] quantized (max_batch_pairs=512, int8)...\n");
+  const RunResult quantized =
+      RunConfig(model, test, offline_q.value(), 512, clients, total_requests,
+                /*quantized=*/true);
 
   const double speedup = batch1.requests_per_second > 0.0
                              ? batched.requests_per_second /
                                    batch1.requests_per_second
                              : 0.0;
+  const double quantized_speedup =
+      batched.requests_per_second > 0.0
+          ? quantized.requests_per_second / batched.requests_per_second
+          : 0.0;
   const bool deterministic =
-      batch1.bitwise_identical && batched.bitwise_identical;
+      batch1.bitwise_identical && batched.bitwise_identical &&
+      quantized.bitwise_identical;
 
   const std::string path = options.output_dir + "/BENCH_serving.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -178,9 +202,11 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"note\": \"Single-pair request stream, queue pre-filled by "
                "concurrent clients, drained by one thread; batched "
-               "coalesces up to 512 pairs per forward pass. "
+               "coalesces up to 512 pairs per forward pass; quantized "
+               "replays the batched run through the int8 path. "
                "scores_bitwise_identical compares every served score "
-               "against offline ScorePairs.\",\n");
+               "against its offline reference (ScorePairs for fp32 runs, "
+               "ScorePairsQuantized for the int8 run).\",\n");
   std::fprintf(out,
                "  \"batch1\": {\"seconds\": %.4f, \"requests_per_second\": "
                "%.1f, \"batches\": %lld, \"max_batch_pairs\": %lld},\n",
@@ -193,7 +219,15 @@ int main(int argc, char** argv) {
                batched.seconds, batched.requests_per_second,
                static_cast<long long>(batched.batches),
                static_cast<long long>(batched.max_batch_pairs));
+  std::fprintf(out,
+               "  \"quantized\": {\"seconds\": %.4f, \"requests_per_second\": "
+               "%.1f, \"batches\": %lld, \"max_batch_pairs\": %lld},\n",
+               quantized.seconds, quantized.requests_per_second,
+               static_cast<long long>(quantized.batches),
+               static_cast<long long>(quantized.max_batch_pairs));
   std::fprintf(out, "  \"batched_speedup\": %.2f,\n", speedup);
+  std::fprintf(out, "  \"quantized_speedup_vs_fp32\": %.2f,\n",
+               quantized_speedup);
   std::fprintf(out, "  \"scores_bitwise_identical\": %s\n",
                deterministic ? "true" : "false");
   std::fprintf(out, "}\n");

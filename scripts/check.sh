@@ -12,17 +12,22 @@
 #   3. serve       bench_serving --quick smoke: the serving engine must
 #                  coalesce and stay bitwise identical to offline scoring
 #                  (the binary exits nonzero if served scores diverge)
-#   4. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
+#   4. scalar      ADAMEL_FORCE_SCALAR=1 full ctest against the tier-1
+#                  build — pins the kernel dispatch to the scalar backend,
+#                  proving nothing depends on SIMD being present and the
+#                  bitwise parity contract holds end to end
+#   5. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
 #                  telemetry, and serving tests (serve_test hammers the
 #                  micro-batcher and registry from concurrent clients)
-#   5. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
+#   6. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
 #                  telemetry macros compile to no-ops and nothing depends
 #                  on them being live
-#   6. asan        AddressSanitizer build; serialization/checkpoint tests
-#                  (the code that parses untrusted bytes from disk)
-#   7. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
+#   7. asan        AddressSanitizer build; serialization/checkpoint tests
+#                  (the code that parses untrusted bytes from disk) plus
+#                  kernels_test (hand-vectorized loads/stores and packing)
+#   8. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
 #                  full ctest
-#   8. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
+#   9. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
 #                  ADAMEL_DCHECK family, post-op NaN/Inf screening, and the
 #                  autograd-graph validators
 #
@@ -60,6 +65,10 @@ echo "== serve: bench_serving --quick smoke (bitwise determinism gate) =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
 "${BUILD_DIR}/bench/bench_serving" --quick --out "${BUILD_DIR}/bench_smoke"
 
+echo "== scalar: full ctest with ADAMEL_FORCE_SCALAR=1 =="
+ADAMEL_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -j "${JOBS}"
+
 echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
@@ -84,11 +93,12 @@ echo "== asan: configure + build serialization tests =="
 cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=address
 cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}" \
-  --target serialize_test checkpoint_test
+  --target serialize_test checkpoint_test kernels_test
 
-echo "== asan: run serialization tests =="
+echo "== asan: run serialization + kernel tests =="
 "${ASAN_BUILD_DIR}/tests/serialize_test"
 "${ASAN_BUILD_DIR}/tests/checkpoint_test"
+"${ASAN_BUILD_DIR}/tests/kernels_test"
 
 echo "== ubsan: configure + build =="
 cmake -B "${UBSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

@@ -77,6 +77,30 @@ class EntityLinkageModel {
   virtual Status LoadCheckpoint(const std::string& /*path*/) {
     return FailedPreconditionError(Name() + " does not support checkpointing");
   }
+
+  /// True when `ScorePairsQuantized` is ready to serve (a quantized twin
+  /// was built or loaded). The serving layer consults this so a request
+  /// flagged quantized fails fast with kFailedPrecondition instead of
+  /// mid-batch.
+  virtual bool SupportsQuantizedScoring() const { return false; }
+
+  /// Int8-quantized counterpart of `ScorePairs`: same contract (ordering,
+  /// batch-split invariance, determinism), different arithmetic — scores
+  /// track the fp32 path within the golden 2% metric bands instead of
+  /// bitwise. Opt-in: serving only routes here when a request asks for it.
+  /// The default declines — most learners have no quantized path.
+  virtual StatusOr<std::vector<float>> ScorePairsQuantized(
+      data::PairSpan /*batch*/) const {
+    return FailedPreconditionError(Name() +
+                                   " does not support quantized scoring");
+  }
+
+  /// Builds the quantized serving state from a calibration batch. The
+  /// default declines, matching `ScorePairsQuantized`.
+  virtual Status EnableQuantizedScoring(data::PairSpan /*calibration*/) {
+    return FailedPreconditionError(Name() +
+                                   " does not support quantized scoring");
+  }
 };
 
 }  // namespace adamel::core

@@ -1,0 +1,81 @@
+#ifndef ADAMEL_CORE_QUANTIZED_MODEL_H_
+#define ADAMEL_CORE_QUANTIZED_MODEL_H_
+
+// Int8-quantized serving twin of AdamelModel.
+//
+// Built offline from a trained model plus a calibration batch: weights get
+// symmetric per-tensor int8 scales from their trained values, activations
+// get scales from a dense fp32 forward over the calibration rows (max-abs
+// observed at each quantized GEMM input). Inference then runs the four GEMM
+// families (per-feature projections, attention W, both classifier layers)
+// in int8 with int32 accumulation and the transcendentals through the
+// kernel-layer polynomial — so quantized scores are bitwise identical on
+// every kernel backend and at any thread count, while accuracy is bounded
+// end to end by the golden-metrics 2% bands rather than bitwise parity
+// with the fp32 path.
+//
+// This type is inference-only and immutable after Build/Load; serving
+// threads may Score concurrently.
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "nn/quantize.h"
+#include "nn/serialize.h"
+
+namespace adamel::core {
+
+class QuantizedAdamelModel {
+ public:
+  /// Quantizes `model` and calibrates activation scales on `calibration`
+  /// (`rows` x feature_count*embed_dim, row-major — a featurized pair
+  /// batch). Fails if `rows` < 1.
+  static StatusOr<std::shared_ptr<const QuantizedAdamelModel>> Build(
+      const AdamelModel& model, const float* calibration, int rows);
+
+  /// Sigmoid match scores for `h` (`rows` x feature_count*embed_dim).
+  std::vector<float> Score(const float* h, int rows) const;
+
+  /// Serializes scales + int8 weights (row-major, so the packed kernel
+  /// layout can evolve without a format break).
+  void Save(nn::BlobWriter* writer) const;
+
+  /// Reconstructs a model written by `Save`.
+  static StatusOr<std::shared_ptr<const QuantizedAdamelModel>> Load(
+      nn::BlobReader* reader);
+
+  int feature_count() const { return feature_count_; }
+  int input_cols() const { return feature_count_ * embed_dim_; }
+
+ private:
+  QuantizedAdamelModel() = default;
+
+  int feature_count_ = 0;
+  int embed_dim_ = 0;
+  int latent_dim_ = 0;
+  int attention_dim_ = 0;
+  int hidden_dim_ = 0;
+
+  // Eq. (4) per-feature projections.
+  std::vector<nn::QuantizedGemmB> proj_w_;
+  std::vector<std::vector<float>> proj_b_;
+  std::vector<float> proj_in_scale_;
+  // Eq. (5) shared attention parameters; `a` is a small dot product and
+  // stays fp32.
+  nn::QuantizedGemmB attn_w_;
+  std::vector<float> attn_a_;
+  float attn_in_scale_ = 0.0f;
+  // Eq. (7) classifier layers.
+  nn::QuantizedGemmB cls0_w_;
+  std::vector<float> cls0_b_;
+  float cls0_in_scale_ = 0.0f;
+  nn::QuantizedGemmB cls1_w_;
+  std::vector<float> cls1_b_;
+  float cls1_in_scale_ = 0.0f;
+};
+
+}  // namespace adamel::core
+
+#endif  // ADAMEL_CORE_QUANTIZED_MODEL_H_

@@ -436,6 +436,42 @@ std::vector<float> TrainedAdamel::Predict(
   return ScorePairs(dataset);
 }
 
+Status TrainedAdamel::EnableQuantizedScoring(data::PairSpan calibration) {
+  if (calibration.empty()) {
+    return InvalidArgumentError("quantization calibration span is empty");
+  }
+  const FeaturizedPairs features = extractor_->Featurize(calibration);
+  StatusOr<std::shared_ptr<const QuantizedAdamelModel>> quantized =
+      QuantizedAdamelModel::Build(*model_, features.matrix.data().data(),
+                                  features.pair_count);
+  if (!quantized.ok()) {
+    return quantized.status();
+  }
+  quantized_ = std::move(quantized).value();
+  return OkStatus();
+}
+
+StatusOr<std::vector<float>> TrainedAdamel::ScorePairsQuantized(
+    data::PairSpan batch) const {
+  if (quantized_ == nullptr) {
+    return FailedPreconditionError(
+        "quantized scoring requested before EnableQuantizedScoring (or a "
+        "checkpoint without a quantized section)");
+  }
+  const FeaturizedPairs features = extractor_->Featurize(batch);
+  ADAMEL_PHASE_SCOPE(::adamel::obs::Phase::kEval);
+  ADAMEL_TRACE_SCOPE("predict.score_quantized");
+  ADAMEL_COUNTER_ADD("predict.quantized_pairs", features.pair_count);
+  if (features.pair_count == 0) {
+    return std::vector<float>();
+  }
+  // Per-pair values depend only on that pair's feature row (the quantized
+  // forward is row-local), so like ScorePairs this is bitwise independent
+  // of how callers split pairs into batches.
+  return quantized_->Score(features.matrix.data().data(),
+                           features.pair_count);
+}
+
 std::vector<std::vector<float>> TrainedAdamel::AttentionVectors(
     const data::PairDataset& dataset) const {
   const FeaturizedPairs features = extractor_->Featurize(dataset);
@@ -495,6 +531,13 @@ Status TrainedAdamel::SaveToFile(const std::string& path) const {
     model_->Save(&blob);
     writer.AddSection("model", blob.TakeBuffer());
   }
+  // Optional: readers without quantized support simply ignore the extra
+  // section, and files written before this section existed still load.
+  if (quantized_ != nullptr) {
+    nn::BlobWriter blob;
+    quantized_->Save(&blob);
+    writer.AddSection("quantized", blob.TakeBuffer());
+  }
   return writer.WriteFile(path);
 }
 
@@ -545,8 +588,26 @@ StatusOr<std::shared_ptr<TrainedAdamel>> TrainedAdamel::LoadFromFile(
     return InvalidArgumentError(
         "corrupt checkpoint: model feature count does not match extractor");
   }
-  return std::make_shared<TrainedAdamel>(std::move(extractor).value(),
-                                         std::move(model).value());
+  auto trained = std::make_shared<TrainedAdamel>(std::move(extractor).value(),
+                                                 std::move(model).value());
+  if (reader.HasSection("quantized")) {
+    StatusOr<nn::BlobReader> quantized_or = reader.Section("quantized");
+    if (!quantized_or.ok()) {
+      return quantized_or.status();
+    }
+    nn::BlobReader quantized_blob = quantized_or.value();
+    StatusOr<std::shared_ptr<const QuantizedAdamelModel>> quantized =
+        QuantizedAdamelModel::Load(&quantized_blob);
+    if (!quantized.ok()) {
+      return quantized.status();
+    }
+    if ((*quantized)->feature_count() != trained->model().feature_count()) {
+      return InvalidArgumentError(
+          "corrupt checkpoint: quantized feature count does not match model");
+    }
+    trained->quantized_ = std::move(quantized).value();
+  }
+  return trained;
 }
 
 AdamelTrainer::AdamelTrainer(AdamelConfig config) : config_(config) {}
@@ -878,6 +939,27 @@ Status AdamelLinkage::LoadCheckpoint(const std::string& path) {
   }
   trained_ = std::make_unique<TrainedAdamel>(*loaded.value());
   return OkStatus();
+}
+
+bool AdamelLinkage::SupportsQuantizedScoring() const {
+  return trained_ != nullptr && trained_->HasQuantized();
+}
+
+StatusOr<std::vector<float>> AdamelLinkage::ScorePairsQuantized(
+    data::PairSpan batch) const {
+  if (trained_ == nullptr) {
+    return FailedPreconditionError(Name() +
+                                   ": ScorePairsQuantized before Fit");
+  }
+  return trained_->ScorePairsQuantized(batch);
+}
+
+Status AdamelLinkage::EnableQuantizedScoring(data::PairSpan calibration) {
+  if (trained_ == nullptr) {
+    return FailedPreconditionError(Name() +
+                                   ": EnableQuantizedScoring before Fit");
+  }
+  return trained_->EnableQuantizedScoring(calibration);
 }
 
 const TrainedAdamel& AdamelLinkage::trained() const {

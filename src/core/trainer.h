@@ -11,6 +11,7 @@
 #include "core/features.h"
 #include "core/linkage_model.h"
 #include "core/model.h"
+#include "core/quantized_model.h"
 #include "data/pair_dataset.h"
 #include "nn/serialize.h"
 
@@ -46,6 +47,23 @@ class TrainedAdamel {
   std::vector<std::pair<std::string, double>> MeanAttention(
       const data::PairDataset& dataset) const;
 
+  /// Builds the int8-quantized serving twin: weights from the trained
+  /// model, activation scales calibrated on `calibration` (typically a
+  /// sample of training pairs). Replaces any previous quantized state, and
+  /// is persisted by `SaveToFile` as an optional checkpoint section.
+  Status EnableQuantizedScoring(data::PairSpan calibration);
+
+  /// True when a quantized twin exists (built here or loaded from a
+  /// checkpoint).
+  bool HasQuantized() const { return quantized_ != nullptr; }
+
+  /// Int8 scores (see core/quantized_model.h): bitwise deterministic across
+  /// batch splits, thread counts, and kernel backends, but NOT bitwise
+  /// equal to `ScorePairs` — accuracy parity is held to the golden 2%
+  /// PR-AUC/F1 bands instead. `FailedPreconditionError` until
+  /// `EnableQuantizedScoring` has run (or a quantized checkpoint loaded).
+  StatusOr<std::vector<float>> ScorePairsQuantized(data::PairSpan batch) const;
+
   int64_t ParameterCount() const { return model_->ParameterCount(); }
   const FeatureExtractor& extractor() const { return *extractor_; }
   const AdamelModel& model() const { return *model_; }
@@ -63,6 +81,7 @@ class TrainedAdamel {
  private:
   std::shared_ptr<FeatureExtractor> extractor_;
   std::shared_ptr<AdamelModel> model_;
+  std::shared_ptr<const QuantizedAdamelModel> quantized_;
 };
 
 /// Training diagnostics (one entry per epoch).
@@ -146,6 +165,10 @@ class AdamelLinkage : public EntityLinkageModel {
   bool SupportsCheckpointing() const override { return true; }
   Status SaveCheckpoint(const std::string& path) const override;
   Status LoadCheckpoint(const std::string& path) override;
+  bool SupportsQuantizedScoring() const override;
+  StatusOr<std::vector<float>> ScorePairsQuantized(
+      data::PairSpan batch) const override;
+  Status EnableQuantizedScoring(data::PairSpan calibration) override;
 
   /// Access to the trained model (after Fit) for attention analysis.
   const TrainedAdamel& trained() const;

@@ -1,0 +1,23 @@
+#ifndef ADAMEL_NN_KERNELS_BACKENDS_H_
+#define ADAMEL_NN_KERNELS_BACKENDS_H_
+
+// Internal wiring between the per-ISA translation units and dispatch.cc.
+// Not part of the public kernels.h surface.
+
+#include "nn/kernels/kernels.h"
+
+namespace adamel::nn::kernels::internal {
+
+/// The portable reference backend. Always available.
+const KernelBackend& ScalarBackend();
+
+/// SSE4.1 backend, or null when this build targets a non-x86 architecture.
+/// (Whether the CPU can actually run it is dispatch.cc's CPUID problem.)
+const KernelBackend* SseBackend();
+
+/// AVX2 backend, or null when this build targets a non-x86 architecture.
+const KernelBackend* Avx2Backend();
+
+}  // namespace adamel::nn::kernels::internal
+
+#endif  // ADAMEL_NN_KERNELS_BACKENDS_H_

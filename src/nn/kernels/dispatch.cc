@@ -1,0 +1,201 @@
+// Runtime backend selection + packing.
+//
+// Selection happens once, at first use: the widest ISA both this build and
+// this CPU support, unless the environment pins one (ADAMEL_FORCE_SCALAR=1
+// or ADAMEL_KERNEL_BACKEND=scalar|sse|avx2). Tests/benches may re-pin via
+// SetBackendForTesting between workloads; the active pointer is atomic so a
+// read never tears, but switching while kernels run is the caller's bug.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/kernels/backends.h"
+#include "nn/kernels/kernels.h"
+
+namespace adamel::nn::kernels {
+namespace {
+
+bool CpuSupports(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse:
+      return __builtin_cpu_supports("sse4.1") != 0;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+const KernelBackend* CompiledBackend(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &internal::ScalarBackend();
+    case Isa::kSse:
+      return internal::SseBackend();
+    case Isa::kAvx2:
+      return internal::Avx2Backend();
+  }
+  return nullptr;
+}
+
+// Widest usable backend honoring the environment overrides. Unknown
+// ADAMEL_KERNEL_BACKEND values fall back to auto-detection rather than
+// aborting: serving boxes set this from config, and a typo should degrade,
+// not crash.
+const KernelBackend* DetectDefault() {
+  const char* force_scalar = std::getenv("ADAMEL_FORCE_SCALAR");
+  if (force_scalar != nullptr && force_scalar[0] != '\0' &&
+      std::strcmp(force_scalar, "0") != 0) {
+    return &internal::ScalarBackend();
+  }
+  if (const char* named = std::getenv("ADAMEL_KERNEL_BACKEND")) {
+    const std::string want(named);
+    for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx2}) {
+      if (want == IsaName(isa) && CpuSupports(isa)) {
+        if (const KernelBackend* backend = CompiledBackend(isa)) {
+          return backend;
+        }
+      }
+    }
+  }
+  for (Isa isa : {Isa::kAvx2, Isa::kSse}) {
+    if (CpuSupports(isa)) {
+      if (const KernelBackend* backend = CompiledBackend(isa)) {
+        return backend;
+      }
+    }
+  }
+  return &internal::ScalarBackend();
+}
+
+std::atomic<const KernelBackend*>& ActiveSlot() {
+  static std::atomic<const KernelBackend*> slot{DetectDefault()};
+  return slot;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse:
+      return "sse";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelBackend& Active() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+Isa ActiveIsa() {
+  const KernelBackend* active = &Active();
+  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx2}) {
+    if (CompiledBackend(isa) == active) {
+      return isa;
+    }
+  }
+  return Isa::kScalar;
+}
+
+const KernelBackend* BackendFor(Isa isa) {
+  if (!CpuSupports(isa)) {
+    return nullptr;
+  }
+  return CompiledBackend(isa);
+}
+
+void SetBackendForTesting(Isa isa) {
+  const KernelBackend* backend = BackendFor(isa);
+  ADAMEL_CHECK(backend != nullptr)
+      << "kernel backend " << IsaName(isa) << " unavailable on this CPU";
+  ActiveSlot().store(backend, std::memory_order_release);
+}
+
+void ResetBackendForTesting() {
+  ActiveSlot().store(DetectDefault(), std::memory_order_release);
+}
+
+std::vector<Isa> AvailableIsas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx2}) {
+    if (BackendFor(isa) != nullptr) {
+      isas.push_back(isa);
+    }
+  }
+  return isas;
+}
+
+std::vector<float> PackPanelsF32(const float* src, int k, int n) {
+  const int panels = (n + kGemmPanel - 1) / kGemmPanel;
+  std::vector<float> packed(static_cast<size_t>(panels) * k * kGemmPanel,
+                            0.0f);
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kGemmPanel;
+    const int width = std::min(kGemmPanel, n - j0);
+    float* panel = &packed[static_cast<size_t>(p) * k * kGemmPanel];
+    for (int kk = 0; kk < k; ++kk) {
+      const float* src_row = src + static_cast<size_t>(kk) * n + j0;
+      float* dst = panel + static_cast<size_t>(kk) * kGemmPanel;
+      for (int jj = 0; jj < width; ++jj) {
+        dst[jj] = src_row[jj];
+      }
+    }
+  }
+  return packed;
+}
+
+std::vector<float> PackPanelsTransposedF32(const float* src, int k, int n) {
+  const int panels = (n + kGemmPanel - 1) / kGemmPanel;
+  std::vector<float> packed(static_cast<size_t>(panels) * k * kGemmPanel,
+                            0.0f);
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kGemmPanel;
+    const int width = std::min(kGemmPanel, n - j0);
+    float* panel = &packed[static_cast<size_t>(p) * k * kGemmPanel];
+    for (int jj = 0; jj < width; ++jj) {
+      const float* src_row = src + static_cast<size_t>(j0 + jj) * k;
+      for (int kk = 0; kk < k; ++kk) {
+        panel[static_cast<size_t>(kk) * kGemmPanel + jj] = src_row[kk];
+      }
+    }
+  }
+  return packed;
+}
+
+std::vector<int8_t> PackPanelsS8(const int8_t* src, int k, int n) {
+  const int panels = (n + kGemmPanel - 1) / kGemmPanel;
+  const int k_padded = (k + kQuantKUnroll - 1) / kQuantKUnroll * kQuantKUnroll;
+  std::vector<int8_t> packed(static_cast<size_t>(panels) * k_padded *
+                                 kGemmPanel,
+                             0);
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kGemmPanel;
+    const int width = std::min(kGemmPanel, n - j0);
+    int8_t* panel = &packed[static_cast<size_t>(p) * k_padded * kGemmPanel];
+    for (int kk = 0; kk < k; ++kk) {
+      const int8_t* src_row = src + static_cast<size_t>(kk) * n + j0;
+      int8_t* line = panel + static_cast<size_t>(kk / kQuantKUnroll) *
+                                 kGemmPanel * kQuantKUnroll +
+                     (kk % kQuantKUnroll);
+      for (int jj = 0; jj < width; ++jj) {
+        line[jj * kQuantKUnroll] = src_row[jj];
+      }
+    }
+  }
+  return packed;
+}
+
+}  // namespace adamel::nn::kernels

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "nn/debug_checks.h"
+#include "nn/kernels/kernels.h"
 #include "obs/telemetry.h"
 
 namespace adamel::nn {
@@ -24,11 +25,17 @@ namespace {
 constexpr int64_t kElemwiseParallelMin = 1 << 14;
 // Target elements per elementwise chunk.
 constexpr int64_t kElemwiseGrain = 1 << 12;
-// MatMuls below this many multiply-adds use the plain serial loop (the
-// packing pass would dominate).
-constexpr int64_t kGemmSerialFlops = 1 << 14;
-// Target multiply-adds per GEMM row chunk.
-constexpr int64_t kGemmGrainFlops = 1 << 16;
+// MatMuls below this many multiply-adds never fan out to the pool. The
+// model's per-feature GEMMs (latent 16..64, a few hundred rows) sit well
+// under this: at those shapes a pool dispatch on an oversubscribed core
+// costs more than the multiply itself (the train_epoch_hyb 2-thread
+// regression in BENCH_parallel.json came from exactly these small GEMMs
+// fanning out).
+constexpr int64_t kGemmSerialFlops = 1 << 18;
+// Target multiply-adds per GEMM row chunk once a GEMM is big enough to
+// split. Matches kGemmSerialFlops so a GEMM just past the serial threshold
+// splits into ~2 chunks, not dozens of tiny ones.
+constexpr int64_t kGemmGrainFlops = 1 << 18;
 
 inline int64_t RowGrain(int64_t cols_per_row, int64_t target) {
   return std::max<int64_t>(1, target / std::max<int64_t>(1, cols_per_row));
@@ -245,18 +252,61 @@ Tensor AddScalar(const Tensor& a, float value) {
       [](float, float) { return 1.0f; });
 }
 
+// MulScalar and Relu run their forward (and Relu's backward) through the
+// dispatched kernel table — the two hottest elementwise ops on the serving
+// path. Every backend computes the identical expression, so routing through
+// kernels::Active() changes nothing bitwise (see nn/kernels/kernels.h).
 Tensor MulScalar(const Tensor& a, float value) {
-  return UnaryOp(
-      "MulScalar", a, [value](float v) { return v * value; },
-      [value](float, float) { return value; });
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.rows, ai.cols);
+  const int64_t n = static_cast<int64_t>(ai.data.size());
+  ADAMEL_COUNTER_ADD("nn.elemwise.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.elemwise.elems", n);
+  const int64_t grain = n >= kElemwiseParallelMin ? kElemwiseGrain : n;
+  const kernels::KernelBackend& backend = kernels::Active();
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    backend.scale(ai.data.data() + lo, value, out->data.data() + lo, hi - lo);
+  });
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, value, grain](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    ParallelFor(0, static_cast<int64_t>(self.data.size()), grain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    a_impl->grad[i] += self.grad[i] * value;
+                  }
+                });
+  });
+  return FinishOp("MulScalar", std::move(out), {a_impl.get()});
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      "Relu", a, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+  ADAMEL_CHECK(a.defined());
+  const auto& ai = *a.impl();
+  auto out = NewResult(ai.rows, ai.cols);
+  const int64_t n = static_cast<int64_t>(ai.data.size());
+  ADAMEL_COUNTER_ADD("nn.elemwise.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.elemwise.elems", n);
+  const int64_t grain = n >= kElemwiseParallelMin ? kElemwiseGrain : n;
+  const kernels::KernelBackend& backend = kernels::Active();
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    backend.relu(ai.data.data() + lo, out->data.data() + lo, hi - lo);
+  });
+  auto a_impl = a.impl();
+  AttachBackward(out, {a_impl}, [a_impl, grain](TensorImpl& self) {
+    a_impl->EnsureGrad();
+    const kernels::KernelBackend& bwd = kernels::Active();
+    ParallelFor(0, static_cast<int64_t>(self.data.size()), grain,
+                [&](int64_t lo, int64_t hi) {
+                  bwd.relu_grad(a_impl->data.data() + lo,
+                                self.grad.data() + lo,
+                                a_impl->grad.data() + lo, hi - lo);
+                });
+  });
+  return FinishOp("Relu", std::move(out), {a_impl.get()});
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -315,64 +365,31 @@ namespace {
 // -- Packed GEMM --------------------------------------------------------------
 //
 // C(M x N) (+)= A(M x K) * B(K x N), with B pre-packed into panels of
-// kGemmPanel output columns: packed[p][k][jj] = B[k][p*kGemmPanel + jj]
-// (zero-padded past N). The panel layout makes the k-loop stream contiguous
-// 64-byte lines while the jj-lanes stay independent, so the kernel
-// vectorizes without -ffast-math. Each output element is accumulated by a
-// single k-ascending accumulator, and rows are partitioned across threads
-// with fixed chunking — results are bitwise identical at any thread count.
-//
-// Unlike the previous kernel there is no `a == 0.0f` skip: dense inputs pay
-// no branch per multiply, and NaN/Inf propagate through zero activations
-// (0 * NaN must stay NaN).
-constexpr int kGemmPanel = 16;
+// kernels::kGemmPanel output columns (see nn/kernels/kernels.h). The inner
+// loops live in src/nn/kernels behind a runtime-dispatched backend table
+// (scalar / SSE4.1 / AVX2); every backend accumulates each output element
+// with a single k-ascending accumulator and no FMA contraction, so results
+// are bitwise identical across backends AND at any thread count (rows are
+// partitioned with fixed chunking). There is no `a == 0.0f` skip: dense
+// inputs pay no branch per multiply, and NaN/Inf propagate through zero
+// activations (0 * NaN must stay NaN).
 
 // Packs `src` (k_dim x n_dim, row-major) into panels.
 std::vector<float> PackPanels(const float* src, int k_dim, int n_dim) {
-  const int panels = (n_dim + kGemmPanel - 1) / kGemmPanel;
-  std::vector<float> packed(
-      static_cast<size_t>(panels) * k_dim * kGemmPanel, 0.0f);
-  for (int p = 0; p < panels; ++p) {
-    const int j0 = p * kGemmPanel;
-    const int width = std::min(kGemmPanel, n_dim - j0);
-    float* panel = &packed[static_cast<size_t>(p) * k_dim * kGemmPanel];
-    for (int k = 0; k < k_dim; ++k) {
-      const float* src_row = src + static_cast<size_t>(k) * n_dim + j0;
-      float* dst = panel + static_cast<size_t>(k) * kGemmPanel;
-      for (int jj = 0; jj < width; ++jj) {
-        dst[jj] = src_row[jj];
-      }
-    }
-  }
-  return packed;
+  return kernels::PackPanelsF32(src, k_dim, n_dim);
 }
 
 // Packs the transpose of `src` (src is n_dim x k_dim, row-major; the packed
 // operand is src^T with shape k_dim x n_dim).
 std::vector<float> PackPanelsTransposed(const float* src, int k_dim,
                                         int n_dim) {
-  const int panels = (n_dim + kGemmPanel - 1) / kGemmPanel;
-  std::vector<float> packed(
-      static_cast<size_t>(panels) * k_dim * kGemmPanel, 0.0f);
-  for (int p = 0; p < panels; ++p) {
-    const int j0 = p * kGemmPanel;
-    const int width = std::min(kGemmPanel, n_dim - j0);
-    float* panel = &packed[static_cast<size_t>(p) * k_dim * kGemmPanel];
-    for (int jj = 0; jj < width; ++jj) {
-      const float* src_row = src + static_cast<size_t>(j0 + jj) * k_dim;
-      for (int k = 0; k < k_dim; ++k) {
-        panel[static_cast<size_t>(k) * kGemmPanel + jj] = src_row[k];
-      }
-    }
-  }
-  return packed;
+  return kernels::PackPanelsTransposedF32(src, k_dim, n_dim);
 }
 
 // Row-parallel packed kernel; `accumulate` selects `+=` (gradients) vs `=`.
 void GemmPacked(int m, int n, int k, const float* a,
                 const std::vector<float>& packed_b, float* c,
                 bool accumulate) {
-  const int panels = (n + kGemmPanel - 1) / kGemmPanel;
   const int64_t flops = static_cast<int64_t>(m) * n * k;
   // Every MatMul forward and both backward grads funnel through this
   // kernel, so these two counters cover the model's full GEMM work. The
@@ -383,34 +400,9 @@ void GemmPacked(int m, int n, int k, const float* a,
       flops >= kGemmSerialFlops
           ? RowGrain(static_cast<int64_t>(n) * k, kGemmGrainFlops)
           : m;
+  const kernels::KernelBackend& backend = kernels::Active();
   ParallelFor(0, m, grain, [&](int64_t ib, int64_t ie) {
-    for (int i = static_cast<int>(ib); i < ie; ++i) {
-      const float* a_row = a + static_cast<size_t>(i) * k;
-      float* c_row = c + static_cast<size_t>(i) * n;
-      for (int p = 0; p < panels; ++p) {
-        const float* panel =
-            &packed_b[static_cast<size_t>(p) * k * kGemmPanel];
-        float acc[kGemmPanel] = {0.0f};
-        for (int kk = 0; kk < k; ++kk) {
-          const float av = a_row[kk];
-          const float* b_line = panel + static_cast<size_t>(kk) * kGemmPanel;
-          for (int jj = 0; jj < kGemmPanel; ++jj) {
-            acc[jj] += av * b_line[jj];
-          }
-        }
-        const int j0 = p * kGemmPanel;
-        const int width = std::min(kGemmPanel, n - j0);
-        if (accumulate) {
-          for (int jj = 0; jj < width; ++jj) {
-            c_row[j0 + jj] += acc[jj];
-          }
-        } else {
-          for (int jj = 0; jj < width; ++jj) {
-            c_row[j0 + jj] = acc[jj];
-          }
-        }
-      }
-    }
+    backend.gemm_f32_block(a, ib, ie, k, n, packed_b.data(), c, accumulate);
   });
 }
 
@@ -801,14 +793,16 @@ Tensor Softmax(const Tensor& a) {
       static_cast<int64_t>(ai.rows) * ai.cols >= kElemwiseParallelMin
           ? RowGrain(ai.cols, kElemwiseGrain)
           : ai.rows;
-  // Rows are independent: each chunk owns a disjoint row range.
+  // Rows are independent: each chunk owns a disjoint row range. The row-max
+  // and normalize passes run through the dispatched kernels (bitwise
+  // backend-invariant); the exp + denominator pass stays scalar libm — the
+  // exact fp32 contract keeps std::exp on the default path, and the double
+  // accumulator is inherently sequential.
+  const kernels::KernelBackend& backend = kernels::Active();
   ParallelFor(0, ai.rows, softmax_grain, [&](int64_t rb, int64_t re) {
     for (int r = static_cast<int>(rb); r < re; ++r) {
       const size_t base = static_cast<size_t>(r) * ai.cols;
-      float row_max = ai.data[base];
-      for (int c = 1; c < ai.cols; ++c) {
-        row_max = std::max(row_max, ai.data[base + c]);
-      }
+      const float row_max = backend.row_max(&ai.data[base], ai.cols);
       double denom = 0.0;
       for (int c = 0; c < ai.cols; ++c) {
         const float e = std::exp(ai.data[base + c] - row_max);
@@ -816,9 +810,7 @@ Tensor Softmax(const Tensor& a) {
         denom += e;
       }
       const float inv = static_cast<float>(1.0 / denom);
-      for (int c = 0; c < ai.cols; ++c) {
-        out->data[base + c] *= inv;
-      }
+      backend.scale(&out->data[base], inv, &out->data[base], ai.cols);
     }
   });
   auto a_impl = a.impl();

@@ -1,0 +1,98 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "nn/kernels/kernels.h"
+#include "obs/telemetry.h"
+
+namespace adamel::nn {
+namespace {
+
+// Same fan-out policy as the fp32 GEMM in ops.cc: shape-pure thresholds so
+// results never depend on the thread count. Int8 MACs are cheaper than
+// float ones, so the serial threshold matches the retuned fp32 value.
+constexpr int64_t kQuantSerialFlops = 1 << 18;
+constexpr int64_t kQuantGrainFlops = 1 << 18;
+
+}  // namespace
+
+float MaxAbs(const float* x, int64_t n) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    m = std::max(m, std::fabs(x[i]));
+  }
+  return m;
+}
+
+float SymmetricScale(float maxabs) {
+  return maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+}
+
+QuantizedGemmB QuantizeForGemm(const float* w, int k, int n) {
+  ADAMEL_CHECK_GT(k, 0);
+  ADAMEL_CHECK_GT(n, 0);
+  QuantizedGemmB out;
+  out.k = k;
+  out.n = n;
+  out.k_padded = (k + kernels::kQuantKUnroll - 1) / kernels::kQuantKUnroll *
+                 kernels::kQuantKUnroll;
+  const int64_t total = static_cast<int64_t>(k) * n;
+  out.scale = SymmetricScale(MaxAbs(w, total));
+  std::vector<int8_t> rowmajor(static_cast<size_t>(total));
+  kernels::Active().quantize_s8(w, 1.0f / out.scale, rowmajor.data(), total);
+  out.packed = kernels::PackPanelsS8(rowmajor.data(), k, n);
+  return out;
+}
+
+void QuantizedGemm(const float* a, int m, int k, float a_scale,
+                   const QuantizedGemmB& b, const float* bias, float* c) {
+  ADAMEL_CHECK_EQ(k, b.k) << "QuantizedGemm inner dimensions";
+  ADAMEL_CHECK_GT(a_scale, 0.0f);
+  const int n = b.n;
+  const int k_padded = b.k_padded;
+  const int64_t flops = static_cast<int64_t>(m) * n * k;
+  ADAMEL_COUNTER_ADD("nn.qgemm.calls", 1);
+  ADAMEL_COUNTER_ADD("nn.qgemm.flops", 2 * flops);
+
+  // Quantize A row-wise into the zero-padded int8 layout the kernel reads.
+  const kernels::KernelBackend& backend = kernels::Active();
+  std::vector<int8_t> aq(static_cast<size_t>(m) * k_padded, 0);
+  const float inv_a = 1.0f / a_scale;
+  const int64_t quant_grain =
+      flops >= kQuantSerialFlops
+          ? std::max<int64_t>(1, kQuantGrainFlops /
+                                     std::max<int64_t>(1, static_cast<int64_t>(
+                                                              n) *
+                                                              k))
+          : m;
+  ParallelFor(0, m, quant_grain, [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      backend.quantize_s8(a + static_cast<size_t>(i) * k, inv_a,
+                          aq.data() + static_cast<size_t>(i) * k_padded, k);
+    }
+  });
+
+  // Integer GEMM (exact on every backend), then dequantize + bias.
+  std::vector<int32_t> acc(static_cast<size_t>(m) * n);
+  ParallelFor(0, m, quant_grain, [&](int64_t rb, int64_t re) {
+    backend.gemm_s8_block(aq.data(), rb, re, k_padded, n, b.packed.data(),
+                          acc.data());
+  });
+  const float dequant = a_scale * b.scale;
+  ParallelFor(0, m, quant_grain, [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const int32_t* acc_row = acc.data() + static_cast<size_t>(i) * n;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float v = static_cast<float>(acc_row[j]) * dequant;
+        c_row[j] = bias != nullptr ? v + bias[j] : v;
+      }
+    }
+  });
+}
+
+}  // namespace adamel::nn

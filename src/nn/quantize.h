@@ -1,0 +1,52 @@
+#ifndef ADAMEL_NN_QUANTIZE_H_
+#define ADAMEL_NN_QUANTIZE_H_
+
+// Int8 symmetric per-tensor quantization on top of the kernel layer.
+//
+// Scheme: q = clamp(round_to_nearest_even(x / scale), -127, 127) with
+// scale = maxabs / 127 (symmetric, zero-point 0, so a GEMM needs no
+// zero-point correction terms). Weights are quantized offline from their
+// trained values; activations use scales calibrated from a representative
+// batch (see core/quantized_model.h). The int8 GEMM accumulates in int32 —
+// integer-exact — so quantized scores are bitwise identical on every kernel
+// backend; only the quantization itself loses precision, and the golden
+// 2% PR-AUC/F1 bands bound that loss end to end.
+
+#include <cstdint>
+#include <vector>
+
+namespace adamel::nn {
+
+/// A weight matrix quantized for use as the B operand of the int8 GEMM:
+/// values are packed into the pair-interleaved panel layout of
+/// kernels::PackPanelsS8 (k padded to a multiple of kernels::kQuantKUnroll).
+struct QuantizedGemmB {
+  int k = 0;            // logical inner dimension (rows of B)
+  int n = 0;            // output columns
+  int k_padded = 0;     // packed inner extent
+  float scale = 0.0f;   // dequant: float = q * scale
+  std::vector<int8_t> packed;
+};
+
+/// maxabs over `n` floats (0 for n == 0; NaN-free input assumed — weights
+/// and calibrated activations are screened upstream).
+float MaxAbs(const float* x, int64_t n);
+
+/// Symmetric scale for int8: maxabs / 127, with a floor that keeps the
+/// all-zero tensor representable (scale 1 — every value quantizes to 0).
+float SymmetricScale(float maxabs);
+
+/// Quantizes and packs `w` (k x n row-major) for the int8 GEMM B slot.
+QuantizedGemmB QuantizeForGemm(const float* w, int k, int n);
+
+/// C(m x n, float) = A(m x k, float) * Bq, dequantized with
+/// a_scale * Bq.scale, plus optional `bias` (length n, may be null).
+/// A is quantized row-wise with the fixed `a_scale` (calibrated offline).
+/// Row-parallel with fixed chunking: bitwise deterministic at any thread
+/// count and across kernel backends.
+void QuantizedGemm(const float* a, int m, int k, float a_scale,
+                   const QuantizedGemmB& b, const float* bias, float* c);
+
+}  // namespace adamel::nn
+
+#endif  // ADAMEL_NN_QUANTIZE_H_

@@ -128,6 +128,7 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
   queued_pairs_ -= total_pairs;
   const core::EntityLinkageModel* model = head->item.model.get();
   const data::Schema schema = head->item.pairs.schema();
+  const bool quantized = head->item.quantized;
   // The batch stays open until the delay window closes, the head's own
   // deadline would pass, or the batch is full — whichever comes first.
   int64_t window_end = obs::NowNanos() + options_.max_batch_delay_ns;
@@ -143,6 +144,7 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
          it != queue_.end() && total_pairs < options_.max_batch_pairs;) {
       Pending& candidate = **it;
       if (candidate.item.model.get() == model &&
+          candidate.item.quantized == quantized &&
           candidate.item.pairs.schema() == schema &&
           total_pairs + candidate.item.pairs.size() <=
               options_.max_batch_pairs) {
@@ -215,10 +217,21 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
                                  obs::DefaultCountBoundsPow2(),
                                  static_cast<double>(total_pairs));
 
+  // Quantized-ness is part of the coalescing key, so the head speaks for
+  // the whole batch.
+  const bool quantized = live.front()->item.quantized;
+  const auto score =
+      [&](const data::PairDataset& pairs) -> StatusOr<std::vector<float>> {
+    const core::EntityLinkageModel& model = *live.front()->item.model;
+    if (quantized) {
+      return model.ScorePairsQuantized(pairs);
+    }
+    return model.ScorePairs(pairs);
+  };
   StatusOr<std::vector<float>> scored = [&]() -> StatusOr<std::vector<float>> {
     ADAMEL_TRACE_SCOPE("serve.execute");
     if (live.size() == 1) {
-      return live.front()->item.model->ScorePairs(live.front()->item.pairs);
+      return score(live.front()->item.pairs);
     }
     // Coalesce into one contiguous batch. Scoring is row-independent and
     // internally chunked at a fixed size, so each request's scores are
@@ -227,7 +240,7 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     for (const std::unique_ptr<Pending>& pending : live) {
       merged.Append(pending->item.pairs);
     }
-    return live.front()->item.model->ScorePairs(merged);
+    return score(merged);
   }();
 
   if (!scored.ok()) {

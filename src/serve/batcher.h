@@ -27,6 +27,10 @@ struct BatchWorkItem {
   /// passes before execution starts get `kDeadlineExceeded` without being
   /// scored.
   int64_t deadline_ns = 0;
+  /// Route through `ScorePairsQuantized` instead of `ScorePairs`. Part of
+  /// the coalescing key: quantized and fp32 requests never share a batch,
+  /// so each request's scores stay independent of its batch-mates' mode.
+  bool quantized = false;
 };
 
 /// Outcome of one request.

@@ -23,8 +23,23 @@ std::future<ScoreResponse> LinkageService::SubmitAsync(ScoreRequest request) {
   }
   BatchWorkItem item;
   item.model = std::move(model).value();
+  if (request.quantized && !item.model->SupportsQuantizedScoring()) {
+    // Fail at submission, not mid-batch: the caller learns immediately that
+    // this model has no quantized twin instead of poisoning a coalesced
+    // batch's execution.
+    std::promise<ScoreResponse> promise;
+    std::future<ScoreResponse> future = promise.get_future();
+    ScoreResponse response;
+    response.status = FailedPreconditionError(
+        "model '" + request.model +
+        "' does not support quantized scoring; submit with quantized=false "
+        "or enable quantized scoring before registering");
+    promise.set_value(std::move(response));
+    return future;
+  }
   item.pairs = std::move(request.pairs);
   item.deadline_ns = request.deadline_ns;
+  item.quantized = request.quantized;
   return batcher_.Submit(std::move(item));
 }
 

@@ -23,6 +23,11 @@ struct ScoreRequest {
   data::PairDataset pairs;
   /// Absolute `obs::NowNanos()` deadline; 0 = none.
   int64_t deadline_ns = 0;
+  /// Opt-in: score through the model's int8-quantized path
+  /// (`ScorePairsQuantized`) instead of exact fp32. Fails fast with
+  /// `kFailedPrecondition` at submission when the resolved model has no
+  /// quantized twin. Quantized and fp32 requests never share a batch.
+  bool quantized = false;
 };
 
 /// Knobs for a `LinkageService`.

@@ -252,6 +252,55 @@ TEST(TrainedAdamelCheckpointTest, FileRoundTripPredictsBitwise) {
   EXPECT_EQ((*loaded)->ParameterCount(), trained.ParameterCount());
 }
 
+TEST(TrainedAdamelCheckpointTest, QuantizedTwinRoundTripsBitwise) {
+  const data::PairDataset train = ToyDataset(80, 36);
+  const data::PairDataset test = ToyDataset(40, 37);
+  AdamelConfig config;
+  config.epochs = 2;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+
+  // Before calibration the quantized path declines.
+  EXPECT_FALSE(trained.HasQuantized());
+  EXPECT_EQ(trained.ScorePairsQuantized(test).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(trained.EnableQuantizedScoring(data::PairSpan(train)).ok());
+  ASSERT_TRUE(trained.HasQuantized());
+  const std::vector<float> before = trained.ScorePairsQuantized(test).value();
+
+  // The quantized twin rides along in the checkpoint: a reload needs no
+  // re-calibration and scores bitwise identically (int8 weights and scales
+  // are exact to serialize).
+  const std::string path = TempPath("trained_quantized.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE((*loaded)->HasQuantized());
+  EXPECT_EQ((*loaded)->ScorePairsQuantized(test).value(), before);
+  // The fp32 path is untouched by the optional section.
+  EXPECT_EQ((*loaded)->ScorePairs(test), trained.ScorePairs(test));
+}
+
+TEST(TrainedAdamelCheckpointTest, CheckpointWithoutQuantizedSectionLoads) {
+  const data::PairDataset train = ToyDataset(60, 38);
+  AdamelConfig config;
+  config.epochs = 1;
+  const AdamelTrainer trainer(config);
+  MelInputs inputs;
+  inputs.source_train = &train;
+  const TrainedAdamel trained = trainer.Fit(AdamelVariant::kBase, inputs);
+  const std::string path = TempPath("trained_no_quantized.ckpt");
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  StatusOr<std::shared_ptr<TrainedAdamel>> loaded =
+      TrainedAdamel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE((*loaded)->HasQuantized());
+}
+
 TEST(TrainedAdamelCheckpointTest, RejectsCorruptFile) {
   const data::PairDataset train = ToyDataset(60, 33);
   AdamelConfig config;

@@ -217,6 +217,41 @@ TEST(GoldenMetricsTest, MetricsAreThreadCountInvariant) {
   EXPECT_EQ(serial.f1, pooled.f1);
 }
 
+TEST(GoldenMetricsTest, QuantizedScoringStaysInsideGoldenBands) {
+  if (g_update_golden) {
+    GTEST_SKIP() << "regenerating goldens";
+  }
+  // The int8 serving path is NOT bitwise equal to fp32 — its accuracy
+  // contract is exactly this: PRAUC/F1 on the golden task stay inside the
+  // same tolerance band as the fp32 scores. A quantization scheme that
+  // degrades the model shows up here.
+  const StatusOr<std::map<std::string, double>> golden = ReadGoldenFile();
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  const datagen::MelTask task = MakeGoldenTask();
+  auto model = bench::MakeModel("AdaMEL-hyb", 42, GoldenAdamelConfig(),
+                                GoldenBaselineConfig());
+  ASSERT_NE(model, nullptr);
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+  ASSERT_TRUE(model->Fit(inputs).ok());
+  ASSERT_FALSE(model->SupportsQuantizedScoring());
+  const int calib = std::min(256, task.source_train.size());
+  ASSERT_TRUE(model
+                  ->EnableQuantizedScoring(
+                      data::PairSpan(task.source_train).Subspan(0, calib))
+                  .ok());
+  ASSERT_TRUE(model->SupportsQuantizedScoring());
+  const std::vector<float> scores =
+      model->ScorePairsQuantized(task.test).value();
+  const std::vector<int> labels = bench::TestLabels(task.test);
+  EXPECT_NEAR(eval::AveragePrecision(scores, labels),
+              golden.value().at("AdaMEL-hyb/prauc"), kTolerance);
+  EXPECT_NEAR(eval::BestF1(scores, labels),
+              golden.value().at("AdaMEL-hyb/f1"), kTolerance);
+}
+
 TEST(GoldenMetricsTest, PerturbedHyperparameterEscapesTolerance) {
   if (g_update_golden) {
     GTEST_SKIP() << "regenerating goldens";

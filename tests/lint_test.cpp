@@ -179,6 +179,51 @@ TEST(LintTest, LibraryRulesAreOffOutsideSrc) {
 
 // -- include-guard -----------------------------------------------------------
 
+// -- raw-intrinsic -----------------------------------------------------------
+
+TEST(LintTest, FlagsIntrinsicCallInLibraryCode) {
+  const auto findings = LintLibrary(
+      "float Sum(__m128 v) { return _mm_cvtss_f32(_mm_hadd_ps(v, v)); }\n");
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "raw-intrinsic");
+  }
+}
+
+TEST(LintTest, FlagsIntrinsicsHeaderInclude) {
+  const auto findings = LintLibrary("#include <immintrin.h>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-intrinsic");
+  const auto x86 = LintLibrary("#include <x86intrin.h>\n");
+  ASSERT_EQ(x86.size(), 1u);
+  EXPECT_EQ(x86[0].rule, "raw-intrinsic");
+}
+
+TEST(LintTest, KernelsDirectoryMayUseIntrinsics) {
+  Options options;
+  options.library_code = true;
+  options.intrinsics_allowed = true;  // src/nn/kernels/ in LintTree
+  const auto findings = LintSource(
+      "src/nn/kernels/kernels_sse.cc",
+      "#include <immintrin.h>\n__m128 Zero() { return _mm_setzero_ps(); }\n",
+      options, {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, IntrinsicRuleIsOffOutsideLibraryCode) {
+  Options options;
+  options.library_code = false;  // bench/ may use __rdtsc etc.
+  const auto findings = LintSource(
+      "bench/bench_kernels.cpp", "#include <x86intrin.h>\n", options, {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, DoesNotFlagOrdinaryUnderscoreIdentifiers) {
+  // `_mm`/`__m` prefix matching must not catch unrelated names.
+  EXPECT_TRUE(LintLibrary("int member_mm = 0; int m__m = member_mm;\n")
+                  .empty());
+}
+
 TEST(LintTest, ExpectedGuardStripsSrcPrefix) {
   EXPECT_EQ(ExpectedIncludeGuard("src/nn/tensor.h"), "ADAMEL_NN_TENSOR_H_");
   EXPECT_EQ(ExpectedIncludeGuard("bench/harness.h"),
@@ -302,7 +347,7 @@ TEST(LintTest, RuleIdListIsStable) {
   for (const char* expected :
        {"nondeterminism", "unchecked-status", "void-cast-status", "raw-new",
         "cout-debug", "include-guard", "banned-identifier", "telemetry-clock",
-        "bad-suppression"}) {
+        "bad-suppression", "raw-intrinsic"}) {
     EXPECT_TRUE(std::find(rules.begin(), rules.end(), expected) !=
                 rules.end())
         << expected;

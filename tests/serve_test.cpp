@@ -427,6 +427,91 @@ TEST(LinkageServiceTest, WorkerThreadsServeBitwiseIdenticalScores) {
   EXPECT_EQ(service.stats().pairs_scored, 40);
 }
 
+// ------------------------------------------------------- quantized routing
+
+TEST(LinkageServiceTest, QuantizedRequestRoutesToQuantizedPath) {
+  std::unique_ptr<core::AdamelLinkage> trained = TrainToyLinkage(26);
+  const data::PairDataset calibration = ToyDataset(40, 27);
+  ASSERT_TRUE(
+      trained->EnableQuantizedScoring(data::PairSpan(calibration)).ok());
+  std::shared_ptr<const core::AdamelLinkage> model = std::move(trained);
+  const data::PairDataset test = ToyDataset(12, 28);
+  const std::vector<float> offline_fp32 = model->ScorePairs(test).value();
+  const std::vector<float> offline_q =
+      model->ScorePairsQuantized(test).value();
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  ScoreRequest request;
+  request.model = "adamel";
+  request.pairs = test;
+  request.quantized = true;
+  std::future<ScoreResponse> future = service.SubmitAsync(std::move(request));
+  EXPECT_EQ(service.PumpOnce(), 1);
+  const ScoreResponse response = future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  // Served quantized scores are bitwise the offline quantized ones — and
+  // genuinely different arithmetic from fp32 (sanity check the routing).
+  EXPECT_EQ(response.scores, offline_q);
+  EXPECT_NE(response.scores, offline_fp32);
+}
+
+TEST(LinkageServiceTest, QuantizedAndFp32RequestsNeverShareABatch) {
+  std::unique_ptr<core::AdamelLinkage> trained = TrainToyLinkage(29);
+  ASSERT_TRUE(
+      trained->EnableQuantizedScoring(data::PairSpan(ToyDataset(40, 30)))
+          .ok());
+  std::shared_ptr<const core::AdamelLinkage> model = std::move(trained);
+  const data::PairDataset test = ToyDataset(10, 31);
+  const std::vector<float> offline_fp32 = model->ScorePairs(test).value();
+  const std::vector<float> offline_q =
+      model->ScorePairsQuantized(test).value();
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  options.batcher.max_batch_pairs = 64;  // both would fit in one batch
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  std::vector<std::future<ScoreResponse>> futures;
+  for (const bool quantized : {false, true}) {
+    ScoreRequest request;
+    request.model = "adamel";
+    request.pairs = test;
+    request.quantized = quantized;
+    futures.push_back(service.SubmitAsync(std::move(request)));
+  }
+  while (service.PumpOnce() > 0) {
+  }
+  // Same model, same schema, but different scoring mode: the coalescing
+  // key keeps them apart, so each run through its own forward pass.
+  EXPECT_EQ(service.stats().batches, 2);
+  EXPECT_EQ(futures[0].get().scores, offline_fp32);
+  EXPECT_EQ(futures[1].get().scores, offline_q);
+}
+
+TEST(LinkageServiceTest, QuantizedWithoutSupportFailsFastAtSubmission) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(32);
+  ASSERT_FALSE(model->SupportsQuantizedScoring());
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  ScoreRequest request;
+  request.model = "adamel";
+  request.pairs = ToyDataset(4, 33);
+  request.quantized = true;
+  // Resolves immediately — no pump needed — with a typed error.
+  EXPECT_EQ(service.SubmitAsync(std::move(request)).get().status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.stats().submitted, 0);
+}
+
 // TSan concurrency suite: N client threads hammer M models through one
 // service while another thread mutates the registry. Run under
 // ADAMEL_SANITIZE=thread in CI.

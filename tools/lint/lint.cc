@@ -432,6 +432,39 @@ void CheckLibraryOnlyRules(const std::vector<Token>& toks,
   }
 }
 
+// Raw SIMD usage outside src/nn/kernels/: intrinsic calls (`_mm*`), vector
+// register types (`__m128/__m256/__m512` and variants), and the intrinsic
+// headers. Library code must call through the kernels::KernelBackend
+// dispatch table instead, so every ISA-specific instruction lives behind
+// the runtime-dispatched seam and the forced-scalar CI job exercises a
+// genuinely intrinsic-free path.
+void CheckRawIntrinsics(const std::vector<Token>& toks,
+                        const std::string& path, const SuppressionMap& supp,
+                        std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i)) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    if (name.rfind("_mm", 0) == 0 || name.rfind("__m", 0) == 0) {
+      Report(findings, supp, path, toks[i].line, "raw-intrinsic",
+             "'" + name + "' is a raw SIMD intrinsic/type; only "
+             "src/nn/kernels/ may use intrinsics — call through "
+             "kernels::Active() instead");
+      continue;
+    }
+    // `#include <immintrin.h>` and friends tokenize as
+    // `# include < NAME . h >`.
+    if (name.size() >= 6 &&
+        name.compare(name.size() - 6, 6, "intrin") == 0 &&
+        TokIs(toks, i + 1, ".") && TokIs(toks, i + 2, "h")) {
+      Report(findings, supp, path, toks[i].line, "raw-intrinsic",
+             "'<" + name + ".h>' is an intrinsics header; only "
+             "src/nn/kernels/ may include it");
+    }
+  }
+}
+
 void CheckBannedIdentifiers(const std::vector<Token>& toks,
                             const std::string& path,
                             const SuppressionMap& supp,
@@ -517,7 +550,8 @@ const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kIds = {
       "nondeterminism",  "unchecked-status", "void-cast-status",
       "raw-new",         "cout-debug",       "include-guard",
-      "banned-identifier", "telemetry-clock",  "bad-suppression"};
+      "banned-identifier", "telemetry-clock",  "bad-suppression",
+      "raw-intrinsic"};
   return kIds;
 }
 
@@ -590,6 +624,9 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckBannedIdentifiers(toks, path, supp, &findings);
   if (options.library_code) {
     CheckLibraryOnlyRules(toks, path, supp, &findings);
+    if (!options.intrinsics_allowed) {
+      CheckRawIntrinsics(toks, path, supp, &findings);
+    }
   }
   if (!options.expected_guard.empty()) {
     CheckIncludeGuard(toks, path, options.expected_guard, supp, &findings);
@@ -640,6 +677,7 @@ std::vector<Finding> LintTree(const std::string& root,
     Options options;
     options.library_code = relpath.rfind("src/", 0) == 0;
     options.obs_clock_allowed = relpath.rfind("src/obs/", 0) == 0;
+    options.intrinsics_allowed = relpath.rfind("src/nn/kernels/", 0) == 0;
     if (IsHeader(file)) {
       options.expected_guard = ExpectedIncludeGuard(relpath);
     }

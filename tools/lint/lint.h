@@ -26,6 +26,13 @@ struct Options {
   /// everywhere else the telemetry-clock rule demands obs::NowNanos().
   bool obs_clock_allowed = false;
 
+  /// True for files under src/nn/kernels/ — the one library directory
+  /// allowed to use raw SIMD intrinsics (`_mm*`, `__m128/256/512`,
+  /// `<immintrin.h>`). Everywhere else in src/ the raw-intrinsic rule
+  /// demands going through the kernel dispatch table, so ISA-specific code
+  /// stays behind one runtime-dispatched seam.
+  bool intrinsics_allowed = false;
+
   /// Expected include-guard macro for a header ("" skips the check).
   std::string expected_guard;
 };
