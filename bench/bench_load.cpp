@@ -1,0 +1,430 @@
+// Open-loop sustained-load benchmark for src/serve, built on the
+// serve::LoadGen harness. Trains two registry models ("adamel", with an
+// int8-quantized twin, and a smaller "adamel-lite"), then replays seeded
+// arrival schedules — steady, diurnal, burst, multi-tenant-skewed — against
+// a LinkageService with a three-tenant traffic mix (fp32 with a 50 ms
+// deadline, quantized with a 25 ms deadline, lite with no deadline).
+//
+// Each schedule runs in deterministic mode (pump-mode service + fake clock
+// + synthetic batch cost; same seed => bitwise-identical metrics) under two
+// batcher configurations: fixed constants and the adaptive controller
+// (BatcherOptions::adaptive). The full suite adds one wall-clock run
+// (worker threads + real client pacing) on the steady schedule. Writes
+// <out>/BENCH_load.json — numbers and booleans only, so the file round-trips
+// through obs::FlatJsonParse — then re-reads and gates on it:
+//
+//   - malformed JSON or missing keys            => exit 1
+//   - any served score != offline reference     => exit 1
+//   - steady deadline-miss rate > --max_miss_rate  => exit 1
+//   - burst: adaptive worse than fixed on BOTH p99 and miss rate => exit 1
+//
+// Flags (in addition to the common bench flags): --schedule=NAME|all,
+// --duration_s=S, --qps=Q, --load_seed=N, --max_miss_rate=R.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/trainer.h"
+#include "datagen/music_world.h"
+#include "eval/report.h"
+#include "nn/serialize.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace adamel;
+
+struct LoadFlags {
+  std::string schedule = "all";
+  double duration_s = 2.0;
+  double qps = 6000.0;
+  uint64_t seed = 1;
+  double max_miss_rate = 0.05;
+};
+
+// Pulls the bench_load-specific flags out of argv (both --flag=value and
+// --flag value forms); everything else is left to ParseBenchOptions.
+LoadFlags ParseLoadFlags(int argc, char** argv) {
+  LoadFlags flags;
+  const auto value_of = [&](int* i, const char* name) -> const char* {
+    const size_t name_len = std::strlen(name);
+    const char* arg = argv[*i];
+    if (std::strncmp(arg, name, name_len) == 0 && arg[name_len] == '=') {
+      return arg + name_len + 1;
+    }
+    if (std::strcmp(arg, name) == 0 && *i + 1 < argc) {
+      ++*i;
+      return argv[*i];
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(&i, "--schedule")) {
+      flags.schedule = v;
+    } else if (const char* v = value_of(&i, "--duration_s")) {
+      flags.duration_s = std::atof(v);
+    } else if (const char* v = value_of(&i, "--qps")) {
+      flags.qps = std::atof(v);
+    } else if (const char* v = value_of(&i, "--load_seed")) {
+      flags.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of(&i, "--max_miss_rate")) {
+      flags.max_miss_rate = std::atof(v);
+    }
+  }
+  return flags;
+}
+
+struct Setup {
+  data::PairDataset test;
+  std::shared_ptr<core::AdamelLinkage> adamel;
+  std::shared_ptr<core::AdamelLinkage> lite;
+  std::vector<float> offline_fp32;
+  std::vector<float> offline_quant;
+  std::vector<float> offline_lite;
+  std::vector<serve::TenantSpec> tenants;
+  std::vector<const std::vector<float>*> offline_refs;
+};
+
+Setup BuildSetup(bool quick) {
+  datagen::MusicTaskOptions task_options;
+  task_options.seed = 11;
+  const datagen::MelTask task = datagen::MakeMusicTask(task_options);
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+
+  Setup setup;
+  setup.test = task.test;
+
+  // Serving-sized primary model (same shape as bench_serving) plus its
+  // int8 twin for the quantized tenant.
+  core::AdamelConfig config;
+  config.epochs = quick ? 1 : 2;
+  config.seed = 5;
+  config.embed_dim = 24;
+  config.latent_dim = 16;
+  config.attention_dim = 16;
+  config.hidden_dim = 32;
+  setup.adamel = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  {
+    const Status fitted = setup.adamel->Fit(inputs);
+    ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+    const int calib = std::min(256, task.source_train.size());
+    const Status enabled = setup.adamel->EnableQuantizedScoring(
+        data::PairSpan(task.source_train).Subspan(0, calib));
+    ADAMEL_CHECK(enabled.ok()) << enabled.ToString();
+  }
+
+  // A second registered model so the skewed schedule exercises real
+  // multi-tenant coalescing boundaries (different model => never batched
+  // with the primary).
+  core::AdamelConfig lite_config = config;
+  lite_config.seed = 7;
+  lite_config.embed_dim = 16;
+  lite_config.latent_dim = 12;
+  lite_config.attention_dim = 12;
+  lite_config.hidden_dim = 24;
+  setup.lite = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, lite_config);
+  {
+    const Status fitted = setup.lite->Fit(inputs);
+    ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  }
+
+  StatusOr<std::vector<float>> fp32 = setup.adamel->ScorePairs(setup.test);
+  ADAMEL_CHECK(fp32.ok()) << fp32.status().ToString();
+  setup.offline_fp32 = std::move(fp32).value();
+  StatusOr<std::vector<float>> quant =
+      setup.adamel->ScorePairsQuantized(setup.test);
+  ADAMEL_CHECK(quant.ok()) << quant.status().ToString();
+  setup.offline_quant = std::move(quant).value();
+  StatusOr<std::vector<float>> lite = setup.lite->ScorePairs(setup.test);
+  ADAMEL_CHECK(lite.ok()) << lite.status().ToString();
+  setup.offline_lite = std::move(lite).value();
+
+  // Traffic mix: mixed models, mixed scoring modes, mixed deadlines and
+  // request sizes. Deadlines are anchored to the scheduled arrival.
+  serve::TenantSpec fp32_tenant;
+  fp32_tenant.model = "adamel";
+  fp32_tenant.weight = 0.5;
+  fp32_tenant.deadline_ns = 50'000'000;  // 50 ms
+  serve::TenantSpec quant_tenant;
+  quant_tenant.model = "adamel";
+  quant_tenant.weight = 0.3;
+  quant_tenant.quantized = true;
+  quant_tenant.deadline_ns = 25'000'000;  // 25 ms
+  serve::TenantSpec lite_tenant;
+  lite_tenant.model = "adamel-lite";
+  lite_tenant.weight = 0.2;
+  lite_tenant.pairs_per_request = 2;  // no deadline, bulkier requests
+  setup.tenants = {fp32_tenant, quant_tenant, lite_tenant};
+  setup.offline_refs = {&setup.offline_fp32, &setup.offline_quant,
+                        &setup.offline_lite};
+  return setup;
+}
+
+serve::ServiceOptions MakeServiceOptions(bool adaptive, int workers) {
+  serve::ServiceOptions options;
+  options.batcher.worker_threads = workers;
+  options.batcher.max_batch_pairs = 64;
+  options.batcher.max_batch_delay_ns = 2'000'000;  // 2 ms
+  options.batcher.max_queue_pairs = 4096;
+  options.batcher.adaptive = adaptive;
+  options.batcher.min_batch_delay_ns = 100'000;      // 0.1 ms when shallow
+  options.batcher.adaptive_max_batch_pairs = 256;  // widened cap under load
+  return options;
+}
+
+void RegisterModels(serve::LinkageService* service, const Setup& setup) {
+  Status registered = service->registry().Register("adamel", 1, setup.adamel);
+  ADAMEL_CHECK(registered.ok()) << registered.ToString();
+  registered = service->registry().Register("adamel-lite", 1, setup.lite);
+  ADAMEL_CHECK(registered.ok()) << registered.ToString();
+}
+
+serve::LoadGenOptions MakeLoadOptions(const Setup& setup,
+                                      serve::ArrivalSchedule schedule,
+                                      const LoadFlags& flags) {
+  serve::LoadGenOptions options;
+  options.schedule = schedule;
+  options.target_qps = flags.qps;
+  options.duration_s = flags.duration_s;
+  options.seed = flags.seed;
+  options.tenants = setup.tenants;
+  return options;
+}
+
+serve::LoadMetrics RunDeterministic(const Setup& setup,
+                                    serve::ArrivalSchedule schedule,
+                                    const LoadFlags& flags, bool adaptive) {
+  serve::LinkageService service(MakeServiceOptions(adaptive, /*workers=*/0));
+  RegisterModels(&service, setup);
+  serve::LoadGen loadgen(&service, &setup.test, setup.offline_refs,
+                         MakeLoadOptions(setup, schedule, flags));
+  obs::ScopedFakeClock clock;
+  return loadgen.RunDeterministic(&clock);
+}
+
+serve::LoadMetrics RunWallClock(const Setup& setup,
+                                serve::ArrivalSchedule schedule,
+                                const LoadFlags& flags) {
+  serve::LinkageService service(
+      MakeServiceOptions(/*adaptive=*/true, /*workers=*/2));
+  RegisterModels(&service, setup);
+  serve::LoadGen loadgen(&service, &setup.test, setup.offline_refs,
+                         MakeLoadOptions(setup, schedule, flags));
+  return loadgen.RunWallClock(/*client_threads=*/2);
+}
+
+// One run as a JSON object of numbers/booleans only — the whole file must
+// survive obs::FlatJsonParse, which rejects string values.
+void EmitRun(std::FILE* out, const char* key, const serve::LoadMetrics& m,
+             bool last) {
+  std::fprintf(out,
+               "      \"%s\": {\"offered\": %lld, \"completed\": %lld, "
+               "\"deadline_missed\": %lld, \"shed\": %lld, \"failed\": %lld, "
+               "\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+               "\"elapsed_s\": %.4f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"deadline_miss_rate\": %.4f, "
+               "\"shed_rate\": %.4f, \"scores_bitwise_identical\": %s}%s\n",
+               key, static_cast<long long>(m.offered),
+               static_cast<long long>(m.completed),
+               static_cast<long long>(m.deadline_missed),
+               static_cast<long long>(m.shed),
+               static_cast<long long>(m.failed), m.offered_qps,
+               m.achieved_qps, m.elapsed_s, m.p50_ms, m.p95_ms, m.p99_ms,
+               m.deadline_miss_rate, m.shed_rate,
+               m.scores_bitwise_identical ? "true" : "false",
+               last ? "" : ",");
+}
+
+void PrintSummary(const char* config, const serve::LoadMetrics& m) {
+  std::fprintf(stderr,
+               "[load] %-7s %-13s %-8s offered %.0f qps, achieved %.0f qps, "
+               "p50 %.2f ms, p99 %.2f ms, miss %.2f%%, shed %.2f%%\n",
+               m.schedule.c_str(), m.mode.c_str(), config, m.offered_qps,
+               m.achieved_qps, m.p50_ms, m.p99_ms,
+               100.0 * m.deadline_miss_rate, 100.0 * m.shed_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const LoadFlags flags = ParseLoadFlags(argc, argv);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                     "creating output directory " + options.output_dir);
+
+  std::vector<serve::ArrivalSchedule> schedules;
+  if (flags.schedule == "all") {
+    schedules = {serve::ArrivalSchedule::kSteady,
+                 serve::ArrivalSchedule::kDiurnal,
+                 serve::ArrivalSchedule::kBurst,
+                 serve::ArrivalSchedule::kSkewed};
+  } else {
+    StatusOr<serve::ArrivalSchedule> parsed =
+        serve::ParseSchedule(flags.schedule);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    schedules = {parsed.value()};
+  }
+
+  std::fprintf(stderr, "[load] training 2 models (quick=%d)...\n",
+               options.quick ? 1 : 0);
+  const Setup setup = BuildSetup(options.quick);
+
+  // One deterministic run per (schedule, batching config); the full suite
+  // ("all", not quick) adds a wall-clock steady run for real-thread numbers.
+  struct Row {
+    serve::LoadMetrics fixed;
+    serve::LoadMetrics adaptive;
+    bool has_wall = false;
+    serve::LoadMetrics wall;
+  };
+  std::map<std::string, Row> rows;
+  for (const serve::ArrivalSchedule schedule : schedules) {
+    Row row;
+    row.fixed = RunDeterministic(setup, schedule, flags, /*adaptive=*/false);
+    PrintSummary("fixed", row.fixed);
+    row.adaptive = RunDeterministic(setup, schedule, flags, /*adaptive=*/true);
+    PrintSummary("adaptive", row.adaptive);
+    if (schedule == serve::ArrivalSchedule::kSteady &&
+        flags.schedule == "all" && !options.quick) {
+      row.wall = RunWallClock(setup, schedule, flags);
+      row.has_wall = true;
+      PrintSummary("adaptive", row.wall);
+    }
+    rows[serve::ScheduleName(schedule)] = std::move(row);
+  }
+
+  bool all_bitwise = true;
+  for (const auto& [name, row] : rows) {
+    all_bitwise = all_bitwise && row.fixed.scores_bitwise_identical &&
+                  row.adaptive.scores_bitwise_identical &&
+                  (!row.has_wall || row.wall.scores_bitwise_identical);
+  }
+  // The adaptive controller has to earn its keep where fixed constants
+  // hurt: on the burst schedule it must improve p99 or deadline misses
+  // (and not regress the other).
+  bool burst_ok = true;
+  if (const auto it = rows.find("burst"); it != rows.end()) {
+    const serve::LoadMetrics& fixed = it->second.fixed;
+    const serve::LoadMetrics& adaptive = it->second.adaptive;
+    const bool p99_better = adaptive.p99_ms < fixed.p99_ms;
+    const bool miss_better =
+        adaptive.deadline_miss_rate < fixed.deadline_miss_rate;
+    const bool p99_no_worse = adaptive.p99_ms <= fixed.p99_ms;
+    const bool miss_no_worse =
+        adaptive.deadline_miss_rate <= fixed.deadline_miss_rate;
+    burst_ok = (p99_better && miss_no_worse) || (miss_better && p99_no_worse);
+  }
+
+  const std::string path = options.output_dir + "/BENCH_load.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"target_qps\": %.1f,\n", flags.qps);
+  std::fprintf(out, "  \"duration_s\": %.2f,\n", flags.duration_s);
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(flags.seed));
+  std::fprintf(out, "  \"tenants\": %d,\n",
+               static_cast<int>(setup.tenants.size()));
+  std::fprintf(out, "  \"quick\": %s,\n", options.quick ? "true" : "false");
+  std::fprintf(out, "  \"runs\": {\n");
+  size_t emitted = 0;
+  for (const auto& [name, row] : rows) {
+    ++emitted;
+    std::fprintf(out, "    \"%s\": {\n", name.c_str());
+    EmitRun(out, "det_fixed", row.fixed, /*last=*/false);
+    EmitRun(out, "det_adaptive", row.adaptive, /*last=*/!row.has_wall);
+    if (row.has_wall) {
+      EmitRun(out, "wall_adaptive", row.wall, /*last=*/true);
+    }
+    std::fprintf(out, "    }%s\n", emitted == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"burst_adaptive_beats_fixed\": %s,\n",
+               burst_ok ? "true" : "false");
+  std::fprintf(out, "  \"scores_bitwise_identical\": %s\n",
+               all_bitwise ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  bench::EmitTelemetry(options, "load");
+
+  // Self-gate: re-read the file through the same parser CI and the golden
+  // tooling use, then enforce the acceptance thresholds from the parsed
+  // values (not the in-memory ones), so a malformed emit fails here.
+  StatusOr<std::string> contents = nn::ReadFileToString(path);
+  if (!contents.ok()) {
+    std::fprintf(stderr, "[load] FAIL: %s\n",
+                 contents.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<std::map<std::string, double>> parsed =
+      obs::FlatJsonParse(contents.value());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "[load] FAIL: malformed BENCH_load.json: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const std::map<std::string, double>& flat = parsed.value();
+  int failures = 0;
+  const auto require = [&](const std::string& key, double want,
+                           const char* what) {
+    const auto it = flat.find(key);
+    if (it == flat.end()) {
+      std::fprintf(stderr, "[load] FAIL: %s missing from JSON\n",
+                   key.c_str());
+      ++failures;
+    } else if (it->second != want) {
+      std::fprintf(stderr, "[load] FAIL: %s (%s = %g, want %g)\n", what,
+                   key.c_str(), it->second, want);
+      ++failures;
+    }
+  };
+  require("scores_bitwise_identical", 1.0, "served scores diverged offline");
+  if (rows.count("burst") > 0) {
+    require("burst_adaptive_beats_fixed", 1.0,
+            "adaptive batching did not beat fixed constants on burst");
+  }
+  for (const auto& [name, row] : rows) {
+    if (name != "steady") {
+      continue;  // bursty schedules are allowed to miss; steady is the SLO
+    }
+    for (const char* config : {"det_fixed", "det_adaptive"}) {
+      const std::string key =
+          "runs/" + name + "/" + config + "/deadline_miss_rate";
+      const auto it = flat.find(key);
+      if (it == flat.end()) {
+        std::fprintf(stderr, "[load] FAIL: %s missing from JSON\n",
+                     key.c_str());
+        ++failures;
+      } else if (it->second > flags.max_miss_rate) {
+        std::fprintf(stderr,
+                     "[load] FAIL: steady miss rate %.4f > limit %.4f (%s)\n",
+                     it->second, flags.max_miss_rate, key.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    return 1;
+  }
+  std::printf("load gate ok (bitwise=%s, burst_adaptive_beats_fixed=%s)\n",
+              all_bitwise ? "true" : "false", burst_ok ? "true" : "false");
+  return 0;
+}

@@ -12,22 +12,28 @@
 #   3. serve       bench_serving --quick smoke: the serving engine must
 #                  coalesce and stay bitwise identical to offline scoring
 #                  (the binary exits nonzero if served scores diverge)
-#   4. scalar      ADAMEL_FORCE_SCALAR=1 full ctest against the tier-1
+#   4. load        bench_load steady smoke: the open-loop load harness must
+#                  hold the steady-schedule deadline-miss rate under the
+#                  gate threshold, keep served scores bitwise identical,
+#                  and emit BENCH_load.json that FlatJsonParse accepts (the
+#                  binary re-reads its own output and exits nonzero on any
+#                  of these)
+#   5. scalar      ADAMEL_FORCE_SCALAR=1 full ctest against the tier-1
 #                  build — pins the kernel dispatch to the scalar backend,
 #                  proving nothing depends on SIMD being present and the
 #                  bitwise parity contract holds end to end
-#   5. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
+#   6. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
 #                  telemetry, and serving tests (serve_test hammers the
 #                  micro-batcher and registry from concurrent clients)
-#   6. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
+#   7. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
 #                  telemetry macros compile to no-ops and nothing depends
 #                  on them being live
-#   7. asan        AddressSanitizer build; serialization/checkpoint tests
+#   8. asan        AddressSanitizer build; serialization/checkpoint tests
 #                  (the code that parses untrusted bytes from disk) plus
 #                  kernels_test (hand-vectorized loads/stores and packing)
-#   8. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
+#   9. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
 #                  full ctest
-#   9. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
+#  10. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
 #                  ADAMEL_DCHECK family, post-op NaN/Inf screening, and the
 #                  autograd-graph validators
 #
@@ -65,6 +71,11 @@ echo "== serve: bench_serving --quick smoke (bitwise determinism gate) =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
 "${BUILD_DIR}/bench/bench_serving" --quick --out "${BUILD_DIR}/bench_smoke"
 
+echo "== load: bench_load steady smoke (open-loop deadline/shed gate) =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_load
+"${BUILD_DIR}/bench/bench_load" --quick --schedule=steady --duration_s=2 \
+  --out "${BUILD_DIR}/bench_smoke"
+
 echo "== scalar: full ctest with ADAMEL_FORCE_SCALAR=1 =="
 ADAMEL_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -j "${JOBS}"
@@ -73,13 +84,14 @@ echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target parallel_test ops_test obs_test serve_test
+  --target parallel_test ops_test obs_test serve_test loadgen_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
 "${TSAN_BUILD_DIR}/tests/ops_test" --gtest_filter='OpsForward.MatMul*:OpsGradient.MatMul*'
 "${TSAN_BUILD_DIR}/tests/obs_test"
 "${TSAN_BUILD_DIR}/tests/serve_test"
+"${TSAN_BUILD_DIR}/tests/loadgen_test"
 
 echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
 cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

@@ -1,9 +1,11 @@
 #include "obs/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -111,6 +113,68 @@ const std::vector<double>& DefaultCountBoundsPow2() {
   static const std::vector<double> bounds = {1,  2,   4,   8,   16,  32,
                                              64, 128, 256, 512, 1024, 2048};
   return bounds;
+}
+
+const std::vector<double>& FineLatencyBoundsNs() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> grid;
+    // Geometric grid 1us .. 10s, ratio 2^(1/4). Bounds are computed as
+    // exact powers so the grid is identical on every platform.
+    const double ratio = std::pow(2.0, 0.25);
+    double bound = 1e3;
+    while (bound <= 1e10) {
+      grid.push_back(bound);
+      bound *= ratio;
+    }
+    return grid;
+  }();
+  return bounds;
+}
+
+HistogramSnapshot SnapshotHistogram(std::string_view name,
+                                    const Histogram& histogram) {
+  HistogramSnapshot snapshot;
+  snapshot.name = std::string(name);
+  snapshot.upper_bounds = histogram.upper_bounds();
+  snapshot.bucket_counts.resize(snapshot.upper_bounds.size() + 1);
+  for (size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    snapshot.bucket_counts[i] = histogram.bucket_count(i);
+  }
+  snapshot.count = histogram.total_count();
+  snapshot.sum = histogram.sum();
+  return snapshot;
+}
+
+double HistogramPercentile(const HistogramSnapshot& snapshot, double q) {
+  ADAMEL_CHECK(q >= 0.0 && q <= 100.0) << "percentile out of range: " << q;
+  if (snapshot.count <= 0) {
+    return 0.0;
+  }
+  // Rank of the target observation (1-based, nearest-rank with
+  // interpolation inside the containing bucket).
+  const double rank = q / 100.0 * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.bucket_counts[i]);
+    if (in_bucket <= 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= rank) {
+      if (i >= snapshot.upper_bounds.size()) {
+        // +inf bucket: no finite upper edge to interpolate toward.
+        return snapshot.upper_bounds.empty() ? 0.0
+                                             : snapshot.upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : snapshot.upper_bounds[i - 1];
+      const double upper = snapshot.upper_bounds[i];
+      const double fraction =
+          std::max(0.0, std::min(1.0, (rank - cumulative) / in_bucket));
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // q == 100 with rounding: the largest observed bucket's upper edge.
+  return snapshot.upper_bounds.empty() ? 0.0 : snapshot.upper_bounds.back();
 }
 
 // -- TimerStat --------------------------------------------------------------

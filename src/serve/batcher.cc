@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -28,6 +29,18 @@ MicroBatcher::MicroBatcher(BatcherOptions options) : options_(options) {
       << options_.max_batch_delay_ns;
   ADAMEL_CHECK(options_.worker_threads >= 0)
       << "worker_threads must be >= 0, got " << options_.worker_threads;
+  ADAMEL_CHECK(options_.deadline_slack_ns >= 0)
+      << "deadline_slack_ns must be >= 0, got " << options_.deadline_slack_ns;
+  if (options_.adaptive) {
+    ADAMEL_CHECK(options_.min_batch_delay_ns >= 0 &&
+                 options_.min_batch_delay_ns <= options_.max_batch_delay_ns)
+        << "min_batch_delay_ns must be in [0, max_batch_delay_ns], got "
+        << options_.min_batch_delay_ns;
+    ADAMEL_CHECK(options_.adaptive_max_batch_pairs == 0 ||
+                 options_.adaptive_max_batch_pairs >= options_.max_batch_pairs)
+        << "adaptive_max_batch_pairs must be 0 or >= max_batch_pairs, got "
+        << options_.adaptive_max_batch_pairs;
+  }
   workers_.reserve(options_.worker_threads);
   for (int i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -44,11 +57,13 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
   if (item.model == nullptr) {
     ScoreResponse response;
     response.status = InvalidArgumentError("ScoreRequest carries no model");
+    response.done_ns = now;
     promise.set_value(std::move(response));
     return future;
   }
   if (item.pairs.empty()) {
     ScoreResponse response;  // nothing to score: trivially done
+    response.done_ns = now;
     promise.set_value(std::move(response));
     return future;
   }
@@ -58,6 +73,7 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
     ScoreResponse response;
     response.status =
         DeadlineExceededError("deadline already expired at submission");
+    response.done_ns = now;
     promise.set_value(std::move(response));
     return future;
   }
@@ -68,17 +84,27 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
       ScoreResponse response;
       response.status =
           FailedPreconditionError("micro-batcher is shut down");
+      response.done_ns = now;
       promise.set_value(std::move(response));
       return future;
     }
-    if (queued_pairs_ + item.pairs.size() > options_.max_queue_pairs) {
+    // Admission bounds everything the batcher is responsible for: pairs
+    // still queued plus pairs collected into open/executing batches whose
+    // responses have not been delivered. Counting only the queue would let
+    // each worker hide up to max_batch_pairs extra pairs behind the gate.
+    const int outstanding =
+        queued_pairs_ + inflight_pairs_.load(std::memory_order_relaxed);
+    if (outstanding + item.pairs.size() > options_.max_queue_pairs) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       ADAMEL_COUNTER_ADD("serve.rejected", 1);
       ScoreResponse response;
       response.status = ResourceExhaustedError(
           "serving queue full: " + std::to_string(queued_pairs_) +
-          " pairs queued, request adds " + std::to_string(item.pairs.size()) +
+          " pairs queued + " +
+          std::to_string(outstanding - queued_pairs_) +
+          " in flight, request adds " + std::to_string(item.pairs.size()) +
           ", limit " + std::to_string(options_.max_queue_pairs));
+      response.done_ns = now;
       promise.set_value(std::move(response));
       return future;
     }
@@ -122,42 +148,90 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
   if (queue_.empty()) {
     return batch;
   }
+
+  // Effective knobs for this batch. Fixed mode uses the configured
+  // constants; adaptive mode derives them from the queue depth observed
+  // now (head included), once per batch:
+  //   delay  = min_delay + fill * (max_delay - min_delay),
+  //            fill = min(1, depth / max_batch_pairs)
+  //   cap    = max_batch_pairs, widened toward adaptive_max_batch_pairs
+  //            when the backlog already exceeds a full batch
+  // A shallow queue closes the window almost immediately (nothing to wait
+  // for); a deep one keeps the full window and drains in larger passes.
+  int64_t delay_ns = options_.max_batch_delay_ns;
+  int pair_cap = options_.max_batch_pairs;
+  if (options_.adaptive) {
+    const int depth = queued_pairs_;
+    const double fill =
+        std::min(1.0, static_cast<double>(depth) /
+                          static_cast<double>(options_.max_batch_pairs));
+    delay_ns = options_.min_batch_delay_ns +
+               static_cast<int64_t>(
+                   fill * static_cast<double>(options_.max_batch_delay_ns -
+                                              options_.min_batch_delay_ns));
+    if (depth > options_.max_batch_pairs) {
+      const int ceiling = options_.adaptive_max_batch_pairs > 0
+                              ? options_.adaptive_max_batch_pairs
+                              : 4 * options_.max_batch_pairs;
+      pair_cap = std::min(depth, ceiling);
+    }
+    ADAMEL_GAUGE_SET("serve.effective_batch_delay_ns",
+                     static_cast<double>(delay_ns));
+    ADAMEL_GAUGE_SET("serve.effective_batch_pairs",
+                     static_cast<double>(pair_cap));
+  }
+
   std::unique_ptr<Pending> head = std::move(queue_.front());
   queue_.pop_front();
   int total_pairs = head->item.pairs.size();
   queued_pairs_ -= total_pairs;
+  inflight_pairs_.fetch_add(total_pairs, std::memory_order_relaxed);
   const core::EntityLinkageModel* model = head->item.model.get();
   const data::Schema schema = head->item.pairs.schema();
   const bool quantized = head->item.quantized;
-  // The batch stays open until the delay window closes, the head's own
-  // deadline would pass, or the batch is full — whichever comes first.
-  int64_t window_end = obs::NowNanos() + options_.max_batch_delay_ns;
-  if (head->item.deadline_ns > 0 && head->item.deadline_ns < window_end) {
-    window_end = head->item.deadline_ns;
-  }
+  // The batch stays open until the delay window closes, the tightest
+  // member deadline approaches, or the batch is full — whichever comes
+  // first. The close lands `deadline_slack_ns` *before* the tightest
+  // deadline: execution starts at or after the close, so closing exactly
+  // at the deadline would expire that member every time.
+  int64_t window_end = obs::NowNanos() + delay_ns;
+  const auto shrink_to_deadline = [&](int64_t deadline_ns) {
+    if (deadline_ns <= 0) {
+      return;
+    }
+    const int64_t close = deadline_ns - options_.deadline_slack_ns;
+    if (close < window_end) {
+      window_end = close;
+    }
+  };
+  shrink_to_deadline(head->item.deadline_ns);
   batch.push_back(std::move(head));
 
   while (true) {
     // Pull every co-batchable request (same warm model, same schema) that
-    // still fits; non-matching requests keep their FIFO position.
+    // still fits; non-matching requests keep their FIFO position. Each
+    // joiner's deadline shrinks the window too — a coalesced request with
+    // a tighter deadline than the head must not expire while the window
+    // is held open on the head's budget.
     for (auto it = queue_.begin();
-         it != queue_.end() && total_pairs < options_.max_batch_pairs;) {
+         it != queue_.end() && total_pairs < pair_cap;) {
       Pending& candidate = **it;
       if (candidate.item.model.get() == model &&
           candidate.item.quantized == quantized &&
           candidate.item.pairs.schema() == schema &&
-          total_pairs + candidate.item.pairs.size() <=
-              options_.max_batch_pairs) {
+          total_pairs + candidate.item.pairs.size() <= pair_cap) {
         total_pairs += candidate.item.pairs.size();
         queued_pairs_ -= candidate.item.pairs.size();
+        inflight_pairs_.fetch_add(candidate.item.pairs.size(),
+                                  std::memory_order_relaxed);
+        shrink_to_deadline(candidate.item.deadline_ns);
         batch.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
         ++it;
       }
     }
-    if (!wait_for_window || stop_ ||
-        total_pairs >= options_.max_batch_pairs ||
+    if (!wait_for_window || stop_ || total_pairs >= pair_cap ||
         obs::NowNanos() >= window_end) {
       break;
     }
@@ -173,6 +247,17 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
   }
   const int completed = static_cast<int>(batch.size());
   const int64_t start = obs::NowNanos();
+
+  // Every pair in this batch was moved from the queue counter to the
+  // in-flight counter by CollectBatch; release them all once the batch's
+  // promises are fulfilled, whatever the outcome.
+  int batch_pairs_total = 0;
+  for (const std::unique_ptr<Pending>& pending : batch) {
+    batch_pairs_total += pending->item.pairs.size();
+  }
+  const auto release_inflight = [&] {
+    inflight_pairs_.fetch_sub(batch_pairs_total, std::memory_order_relaxed);
+  };
 
   // Requests whose deadline passed while queued fail without being scored;
   // the rest of the batch is unaffected.
@@ -190,12 +275,14 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
           "deadline expired after " + std::to_string(queue_ns) +
           "ns in the serving queue");
       response.queue_ns = queue_ns;
+      response.done_ns = start;
       pending->promise.set_value(std::move(response));
     } else {
       live.push_back(std::move(pending));
     }
   }
   if (live.empty()) {
+    release_inflight();
     return completed;
   }
 
@@ -243,14 +330,21 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     return score(merged);
   }();
 
+  const int64_t done = obs::NowNanos();
   if (!scored.ok()) {
+    // A failed forward pass must be visible in operational stats, not just
+    // in each request's Status: count the batch and export a counter.
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    ADAMEL_COUNTER_ADD("serve.failed", 1);
     for (std::unique_ptr<Pending>& pending : live) {
       ScoreResponse response;
       response.status = scored.status();
       response.batch_pairs = total_pairs;
       response.queue_ns = start - pending->enqueue_ns;
+      response.done_ns = done;
       pending->promise.set_value(std::move(response));
     }
+    release_inflight();
     return completed;
   }
   pairs_scored_.fetch_add(total_pairs, std::memory_order_relaxed);
@@ -267,9 +361,11 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
                            scores.begin() + offset + count);
     response.batch_pairs = total_pairs;
     response.queue_ns = start - pending->enqueue_ns;
+    response.done_ns = done;
     pending->promise.set_value(std::move(response));
     offset += count;
   }
+  release_inflight();
   return completed;
 }
 
@@ -306,6 +402,7 @@ BatcherStats MicroBatcher::stats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.timed_out = timed_out_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
   stats.pairs_scored = pairs_scored_.load(std::memory_order_relaxed);
   stats.coalesced_requests =
       coalesced_requests_.load(std::memory_order_relaxed);
@@ -316,6 +413,10 @@ BatcherStats MicroBatcher::stats() const {
 int MicroBatcher::queued_pairs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queued_pairs_;
+}
+
+int MicroBatcher::inflight_pairs() const {
+  return inflight_pairs_.load(std::memory_order_relaxed);
 }
 
 }  // namespace adamel::serve

@@ -42,6 +42,10 @@ struct ScoreResponse {
   int batch_pairs = 0;
   /// Nanoseconds between admission and execution start.
   int64_t queue_ns = 0;
+  /// Absolute `obs::NowNanos()` at which this response was fulfilled (the
+  /// promise was set). Open-loop load measurement subtracts the intended
+  /// arrival time from this to get coordinated-omission-free latency.
+  int64_t done_ns = 0;
 };
 
 /// Micro-batching knobs.
@@ -51,12 +55,33 @@ struct BatcherOptions {
   /// How long a batch head may wait for co-batchable requests before the
   /// batch executes anyway.
   int64_t max_batch_delay_ns = 2'000'000;  // 2 ms
-  /// Admission bound: total pairs queued (not yet picked up by a worker).
+  /// Admission bound: total pairs the batcher is responsible for — queued
+  /// plus in-flight (collected into an open window or executing batch).
   /// Submissions beyond it are rejected with `kResourceExhausted`.
   int max_queue_pairs = 8192;
   /// Worker threads executing batches. 0 = pump mode: nothing runs until
   /// `RunOnce()` is called (deterministic single-threaded tests).
   int worker_threads = 2;
+  /// A batch window closes this long *before* the tightest member deadline,
+  /// so the batch starts executing while that request can still meet it.
+  /// Closing exactly at the deadline would guarantee expiry: execution
+  /// starts at or after the close, and `deadline <= start` is a miss.
+  int64_t deadline_slack_ns = 200'000;  // 0.2 ms
+  /// Adaptive micro-batching (off by default): scale the effective batch
+  /// window and pair cap with queue depth instead of using the fixed
+  /// constants above. A shallow queue closes the window after
+  /// `min_batch_delay_ns` (a lone request is not held hostage waiting for
+  /// joiners that are not coming); a deep queue keeps the full window and
+  /// widens the effective pair cap up to `adaptive_max_batch_pairs` so a
+  /// backlog drains in fewer, larger forward passes. Scores stay bitwise
+  /// identical to offline in either mode — the controller changes *when*
+  /// pairs are scored, never what is computed.
+  bool adaptive = false;
+  /// Floor for the adaptive batch window (effective window when the queue
+  /// is empty behind the head).
+  int64_t min_batch_delay_ns = 100'000;  // 0.1 ms
+  /// Effective pair-cap ceiling under backlog; 0 = 4 * max_batch_pairs.
+  int adaptive_max_batch_pairs = 0;
 };
 
 /// Monotonic totals since construction (plain-value snapshot). Kept by the
@@ -67,6 +92,7 @@ struct BatcherStats {
   int64_t rejected = 0;          // refused at admission (queue full)
   int64_t timed_out = 0;         // expired before execution
   int64_t batches = 0;           // coalesced batches executed
+  int64_t failed = 0;            // batches whose ScorePairs returned an error
   int64_t pairs_scored = 0;      // pairs actually scored
   int64_t coalesced_requests = 0;  // requests that shared a batch
   int64_t max_batch_pairs = 0;   // largest batch executed
@@ -109,9 +135,15 @@ class MicroBatcher {
 
   BatcherStats stats() const;
 
-  /// Pairs currently queued (admission-control view; excludes batches
-  /// already being executed).
+  const BatcherOptions& options() const { return options_; }
+
+  /// Pairs currently waiting in the queue (not yet collected into a batch).
   int queued_pairs() const;
+
+  /// Pairs collected into an open batch window or executing batch whose
+  /// responses are not yet delivered. Admission control bounds
+  /// `queued_pairs() + inflight_pairs()` by `max_queue_pairs`.
+  int inflight_pairs() const;
 
  private:
   struct Pending {
@@ -123,9 +155,12 @@ class MicroBatcher {
   void WorkerLoop();
 
   /// Pops a batch head and coalesces co-batchable requests (same model,
-  /// same schema) up to `max_batch_pairs`. When `wait_for_window` is true,
-  /// keeps the batch open until the window or head deadline closes. Returns
-  /// the batch (may be empty when woken with an empty queue).
+  /// same schema) up to the effective pair cap. When `wait_for_window` is
+  /// true, keeps the batch open until the window closes — the effective
+  /// delay elapses, or `deadline_slack_ns` before the *tightest deadline of
+  /// any member* (not just the head: a coalesced joiner with a tighter
+  /// deadline pulls the close forward). Returns the batch (may be empty
+  /// when woken with an empty queue).
   std::vector<std::unique_ptr<Pending>> CollectBatch(
       std::unique_lock<std::mutex>* lock, bool wait_for_window);
 
@@ -142,10 +177,16 @@ class MicroBatcher {
   bool stop_ = false;
   std::vector<std::thread> workers_;
 
+  /// Pairs collected out of the queue but not yet responded to. Atomic
+  /// because `ExecuteBatch` decrements it without the lock; mutated under
+  /// the lock in `CollectBatch` so admission sees a consistent total.
+  std::atomic<int> inflight_pairs_{0};
+
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> timed_out_{0};
   std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> pairs_scored_{0};
   std::atomic<int64_t> coalesced_requests_{0};
   std::atomic<int64_t> max_batch_pairs_{0};

@@ -1,0 +1,392 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adamel::serve {
+namespace {
+
+// Real-time pacing slice for wall-clock clients: sleep at most this long
+// between clock checks so arrivals land within ~a slice of their schedule.
+constexpr std::chrono::nanoseconds kPaceSlice{200'000};
+
+}  // namespace
+
+const char* ScheduleName(ArrivalSchedule schedule) {
+  switch (schedule) {
+    case ArrivalSchedule::kSteady:
+      return "steady";
+    case ArrivalSchedule::kDiurnal:
+      return "diurnal";
+    case ArrivalSchedule::kBurst:
+      return "burst";
+    case ArrivalSchedule::kSkewed:
+      return "skewed";
+  }
+  return "unknown";
+}
+
+StatusOr<ArrivalSchedule> ParseSchedule(std::string_view name) {
+  if (name == "steady") {
+    return ArrivalSchedule::kSteady;
+  }
+  if (name == "diurnal") {
+    return ArrivalSchedule::kDiurnal;
+  }
+  if (name == "burst") {
+    return ArrivalSchedule::kBurst;
+  }
+  if (name == "skewed") {
+    return ArrivalSchedule::kSkewed;
+  }
+  return InvalidArgumentError("unknown arrival schedule '" +
+                              std::string(name) +
+                              "' (want steady|diurnal|burst|skewed)");
+}
+
+std::vector<RequestEvent> BuildSchedule(const LoadGenOptions& options,
+                                        int dataset_pairs) {
+  ADAMEL_CHECK(!options.tenants.empty()) << "schedule needs >= 1 tenant";
+  ADAMEL_CHECK(options.target_qps > 0.0) << "target_qps must be positive";
+  ADAMEL_CHECK(options.duration_s > 0.0) << "duration_s must be positive";
+  ADAMEL_CHECK(dataset_pairs > 0) << "dataset is empty";
+  ADAMEL_CHECK(options.diurnal_amplitude >= 0.0 &&
+               options.diurnal_amplitude < 1.0)
+      << "diurnal_amplitude must be in [0, 1)";
+  ADAMEL_CHECK(options.burst_factor >= 1.0 && options.burst_duty > 0.0 &&
+               options.burst_duty <= 1.0 && options.burst_count > 0)
+      << "bad burst shape";
+
+  const double duration_ns = options.duration_s * 1e9;
+  const double mean = options.target_qps * 1e-9;  // requests per ns
+  // Burst shape: quiet base rate with `burst_count` windows of
+  // `burst_factor` x base, normalized so the mean stays target_qps.
+  const double burst_base =
+      mean / (1.0 + (options.burst_factor - 1.0) * options.burst_duty);
+  const double burst_period = duration_ns / options.burst_count;
+  const auto rate_at = [&](double t) {
+    switch (options.schedule) {
+      case ArrivalSchedule::kSteady:
+      case ArrivalSchedule::kSkewed:
+        return mean;
+      case ArrivalSchedule::kDiurnal:
+        return mean * (1.0 + options.diurnal_amplitude *
+                                 std::sin(2.0 * 3.14159265358979323846 * t /
+                                          duration_ns));
+      case ArrivalSchedule::kBurst:
+        return std::fmod(t, burst_period) <
+                       options.burst_duty * burst_period
+                   ? burst_base * options.burst_factor
+                   : burst_base;
+    }
+    return mean;
+  };
+  double peak = mean;
+  if (options.schedule == ArrivalSchedule::kDiurnal) {
+    peak = mean * (1.0 + options.diurnal_amplitude);
+  } else if (options.schedule == ArrivalSchedule::kBurst) {
+    peak = burst_base * options.burst_factor;
+  }
+
+  std::vector<double> weights;
+  weights.reserve(options.tenants.size());
+  for (const TenantSpec& tenant : options.tenants) {
+    ADAMEL_CHECK(tenant.weight > 0.0) << "tenant weight must be positive";
+    ADAMEL_CHECK(tenant.pairs_per_request > 0 &&
+                 tenant.pairs_per_request <= dataset_pairs)
+        << "tenant pairs_per_request out of range";
+    weights.push_back(tenant.weight);
+  }
+
+  // Non-homogeneous Poisson via thinning: candidate arrivals at the peak
+  // rate, accepted with probability rate(t)/peak. Everything is drawn from
+  // one seeded Rng, so the schedule is bitwise reproducible.
+  Rng rng(options.seed);
+  std::vector<RequestEvent> events;
+  events.reserve(static_cast<size_t>(options.target_qps *
+                                     options.duration_s * 1.1) +
+                 16);
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.Uniform()) / peak;
+    if (t >= duration_ns) {
+      break;
+    }
+    if (rng.Uniform() >= rate_at(t) / peak) {
+      continue;
+    }
+    RequestEvent event;
+    event.arrival_ns = static_cast<int64_t>(t);
+    event.tenant =
+        options.schedule == ArrivalSchedule::kSkewed
+            ? rng.Zipf(static_cast<int>(options.tenants.size()),
+                       options.skew_zipf_s)
+            : rng.Categorical(weights);
+    const TenantSpec& tenant = options.tenants[event.tenant];
+    event.pair_count = tenant.pairs_per_request;
+    event.pair_offset =
+        rng.UniformInt(dataset_pairs - event.pair_count + 1);
+    events.push_back(event);
+  }
+  return events;
+}
+
+LoadGen::LoadGen(LinkageService* service, const data::PairDataset* dataset,
+                 std::vector<const std::vector<float>*> offline_per_tenant,
+                 LoadGenOptions options)
+    : service_(service),
+      dataset_(dataset),
+      offline_per_tenant_(std::move(offline_per_tenant)),
+      options_(std::move(options)) {
+  ADAMEL_CHECK(service_ != nullptr) << "LoadGen needs a service";
+  ADAMEL_CHECK(dataset_ != nullptr && dataset_->size() > 0)
+      << "LoadGen needs a non-empty dataset";
+  ADAMEL_CHECK(offline_per_tenant_.size() == options_.tenants.size())
+      << "one offline reference per tenant, got "
+      << offline_per_tenant_.size() << " for " << options_.tenants.size()
+      << " tenants";
+  for (const std::vector<float>* offline : offline_per_tenant_) {
+    ADAMEL_CHECK(offline != nullptr &&
+                 static_cast<int>(offline->size()) == dataset_->size())
+        << "offline reference must cover the full dataset";
+  }
+  schedule_ = BuildSchedule(options_, dataset_->size());
+}
+
+ScoreRequest LoadGen::MakeRequest(const RequestEvent& event,
+                                  int64_t start_ns) const {
+  const TenantSpec& tenant = options_.tenants[event.tenant];
+  ScoreRequest request;
+  request.model = tenant.model;
+  request.version = tenant.version;
+  request.quantized = tenant.quantized;
+  request.pairs = data::PairSpan(*dataset_)
+                      .Subspan(event.pair_offset, event.pair_count)
+                      .ToDataset();
+  if (tenant.deadline_ns > 0) {
+    // Budget anchored to the *scheduled* arrival: a request submitted late
+    // (server busy, client thread behind) has already spent part of it.
+    request.deadline_ns = start_ns + event.arrival_ns + tenant.deadline_ns;
+  }
+  return request;
+}
+
+void LoadGen::Absorb(const RequestEvent& event, const ScoreResponse& response,
+                     int64_t latency_ns, LoadMetrics* metrics,
+                     obs::Histogram* latency_hist) const {
+  if (response.status.ok()) {
+    ++metrics->completed;
+    const std::vector<float>& offline = *offline_per_tenant_[event.tenant];
+    bool identical =
+        static_cast<int>(response.scores.size()) == event.pair_count;
+    for (int j = 0; identical && j < event.pair_count; ++j) {
+      identical = response.scores[static_cast<size_t>(j)] ==
+                  offline[static_cast<size_t>(event.pair_offset + j)];
+    }
+    if (!identical) {
+      metrics->scores_bitwise_identical = false;
+    }
+    const double ns = static_cast<double>(std::max<int64_t>(0, latency_ns));
+    latency_hist->Record(ns);
+    ADAMEL_HISTOGRAM_RECORD_BOUNDS("serve.e2e_latency_ns",
+                                   obs::FineLatencyBoundsNs(), ns);
+    return;
+  }
+  switch (response.status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      ++metrics->deadline_missed;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++metrics->shed;
+      break;
+    default:
+      ++metrics->failed;
+      break;
+  }
+}
+
+void LoadGen::Finalize(double elapsed_s, const obs::Histogram& latency_hist,
+                       LoadMetrics* metrics) const {
+  metrics->elapsed_s = elapsed_s;
+  metrics->offered_qps =
+      metrics->duration_s > 0.0
+          ? static_cast<double>(metrics->offered) / metrics->duration_s
+          : 0.0;
+  metrics->achieved_qps =
+      elapsed_s > 0.0 ? static_cast<double>(metrics->completed) / elapsed_s
+                      : 0.0;
+  const obs::HistogramSnapshot snapshot =
+      obs::SnapshotHistogram("e2e_latency_ns", latency_hist);
+  metrics->p50_ms = obs::HistogramPercentile(snapshot, 50.0) * 1e-6;
+  metrics->p95_ms = obs::HistogramPercentile(snapshot, 95.0) * 1e-6;
+  metrics->p99_ms = obs::HistogramPercentile(snapshot, 99.0) * 1e-6;
+  if (metrics->offered > 0) {
+    metrics->deadline_miss_rate =
+        static_cast<double>(metrics->deadline_missed) /
+        static_cast<double>(metrics->offered);
+    metrics->shed_rate = static_cast<double>(metrics->shed) /
+                         static_cast<double>(metrics->offered);
+  }
+}
+
+LoadMetrics LoadGen::RunDeterministic(obs::ScopedFakeClock* clock) {
+  ADAMEL_CHECK(clock != nullptr) << "deterministic mode needs a fake clock";
+  ADAMEL_CHECK(service_->batcher_options().worker_threads == 0)
+      << "deterministic mode requires a pump-mode service "
+         "(worker_threads == 0)";
+
+  obs::Histogram latency_hist(obs::FineLatencyBoundsNs());
+  LoadMetrics metrics;
+  metrics.schedule = ScheduleName(options_.schedule);
+  metrics.mode = "deterministic";
+  metrics.offered = static_cast<int64_t>(schedule_.size());
+  metrics.duration_s = options_.duration_s;
+
+  const int64_t start_ns = clock->now_ns();
+  struct Outstanding {
+    size_t event;
+    std::future<ScoreResponse> future;
+  };
+  std::vector<Outstanding> outstanding;
+  outstanding.reserve(64);
+  // Stamps every resolved response at `stamp_ns`. In fake time, promise
+  // fulfillment and the synthetic cost advance are two separate steps, so
+  // the loadgen (which knows the post-cost clock) owns completion stamping
+  // rather than trusting ScoreResponse::done_ns.
+  const auto absorb_ready = [&](int64_t stamp_ns) {
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      if (it->future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const RequestEvent& event = schedule_[it->event];
+        const ScoreResponse response = it->future.get();
+        Absorb(event, response,
+               stamp_ns - (start_ns + event.arrival_ns), &metrics,
+               &latency_hist);
+        it = outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  BatcherStats last = service_->stats();
+  size_t next = 0;
+  while (next < schedule_.size() || !outstanding.empty()) {
+    const int64_t now = clock->now_ns();
+    // 1) Submit every arrival due by now. An arrival that fell inside the
+    // previous batch's synthetic cost window is submitted late — exactly
+    // what a busy single-threaded server would observe — but its deadline
+    // stays anchored to the scheduled arrival.
+    bool submitted = false;
+    while (next < schedule_.size() &&
+           start_ns + schedule_[next].arrival_ns <= now) {
+      outstanding.push_back(
+          {next, service_->SubmitAsync(MakeRequest(schedule_[next],
+                                                   start_ns))});
+      ++next;
+      submitted = true;
+    }
+    if (submitted) {
+      absorb_ready(now);  // sheds / expired-at-submit resolve inline
+    }
+    // 2) Drain one batch and charge its synthetic fake-time cost.
+    if (service_->queued_pairs() > 0) {
+      service_->PumpOnce();
+      const BatcherStats stats = service_->stats();
+      const int64_t cost =
+          options_.det_batch_overhead_ns * (stats.batches - last.batches) +
+          options_.det_pair_cost_ns *
+              (stats.pairs_scored - last.pairs_scored);
+      last = stats;
+      if (cost > 0) {
+        clock->Advance(cost);
+      }
+      absorb_ready(clock->now_ns());
+      continue;
+    }
+    // 3) Idle: jump the clock to the next arrival.
+    if (next < schedule_.size()) {
+      clock->Set(start_ns + schedule_[next].arrival_ns);
+      continue;
+    }
+    absorb_ready(clock->now_ns());
+    ADAMEL_CHECK(outstanding.empty())
+        << outstanding.size() << " requests never resolved";
+  }
+
+  Finalize(static_cast<double>(clock->now_ns() - start_ns) * 1e-9,
+           latency_hist, &metrics);
+  return metrics;
+}
+
+LoadMetrics LoadGen::RunWallClock(int client_threads) {
+  ADAMEL_CHECK(service_->batcher_options().worker_threads > 0)
+      << "wall-clock mode requires service worker threads";
+  ADAMEL_CHECK(client_threads > 0) << "need >= 1 client thread";
+
+  obs::Histogram latency_hist(obs::FineLatencyBoundsNs());
+  LoadMetrics metrics;
+  metrics.schedule = ScheduleName(options_.schedule);
+  metrics.mode = "wall_clock";
+  metrics.offered = static_cast<int64_t>(schedule_.size());
+  metrics.duration_s = options_.duration_s;
+
+  // Payloads are built before the run starts: the load generator measures
+  // the serving engine, not client-side dataset slicing. Deadlines are
+  // anchored to start_ns, which includes a small lead so client-thread
+  // startup does not skew the first arrivals.
+  const int64_t start_ns = obs::NowNanos() + 5'000'000;
+  std::vector<ScoreRequest> requests;
+  requests.reserve(schedule_.size());
+  for (const RequestEvent& event : schedule_) {
+    requests.push_back(MakeRequest(event, start_ns));
+  }
+
+  std::vector<std::future<ScoreResponse>> futures(schedule_.size());
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      // Round-robin partition of the time-sorted schedule keeps each
+      // client's submissions in arrival order.
+      for (size_t i = static_cast<size_t>(c); i < schedule_.size();
+           i += static_cast<size_t>(client_threads)) {
+        const int64_t due = start_ns + schedule_[i].arrival_ns;
+        while (true) {
+          const int64_t now = obs::NowNanos();
+          if (now >= due) {
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::min(std::chrono::nanoseconds(due - now), kPaceSlice));
+        }
+        futures[i] = service_->SubmitAsync(std::move(requests[i]));
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  // Open-loop latency: fulfillment time (stamped by the batcher) minus the
+  // *scheduled* arrival, so time a request spent waiting behind a slow
+  // server — or a late client thread — is charged to it, never omitted.
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const ScoreResponse response = futures[i].get();
+    Absorb(schedule_[i], response,
+           response.done_ns - (start_ns + schedule_[i].arrival_ns), &metrics,
+           &latency_hist);
+  }
+  Finalize(static_cast<double>(obs::NowNanos() - start_ns) * 1e-9,
+           latency_hist, &metrics);
+  return metrics;
+}
+
+}  // namespace adamel::serve

@@ -1,0 +1,181 @@
+#ifndef ADAMEL_SERVE_LOADGEN_H_
+#define ADAMEL_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/pair_dataset.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+#include "serve/service.h"
+
+/// Open-loop sustained-load generator for the serving engine.
+///
+/// The serving benchmark that motivated micro-batching (`bench_serving`)
+/// measures a *pre-filled* queue: every request is already waiting when the
+/// drain starts, so it says nothing about latency under a live arrival
+/// process, deadline misses, or backpressure. This module closes that gap:
+/// it builds a seeded arrival schedule (a non-homogeneous Poisson process
+/// shaped by `ArrivalSchedule`), drives a `LinkageService` at the offered
+/// rate *without waiting for responses* (open loop — the arrival process
+/// never slows down because the server is behind), and reports
+/// coordinated-omission-free latency percentiles plus deadline-miss and
+/// shed rates.
+///
+/// Two execution modes:
+///  - **Deterministic** (`RunDeterministic`): pump-mode service + caller
+///    fake clock. A single-threaded event loop interleaves arrivals and
+///    `PumpOnce` drains, charging a synthetic fake-time cost per executed
+///    batch (`det_batch_overhead_ns + det_pair_cost_ns * pairs`). The same
+///    seed replays to bitwise-identical metrics, so load numbers can be
+///    regression-tested. Scoring itself still runs for real — served
+///    scores are checked bitwise against the offline reference.
+///  - **Wall-clock** (`RunWallClock`): worker-thread service + real
+///    threads pacing arrivals against the real clock. Realistic numbers,
+///    not replayable.
+namespace adamel::serve {
+
+/// Arrival-process shapes. All shapes are normalized so the *mean* offered
+/// rate equals `LoadGenOptions::target_qps`.
+enum class ArrivalSchedule {
+  kSteady = 0,  // constant rate
+  kDiurnal,     // one sinusoidal day: rate * (1 ± diurnal_amplitude)
+  kBurst,       // quiet base rate with periodic bursts of burst_factor x
+  kSkewed,      // steady rate, tenant picks Zipf-skewed (hot tenant)
+};
+
+/// Stable lowercase name ("steady", "diurnal", "burst", "skewed").
+const char* ScheduleName(ArrivalSchedule schedule);
+
+/// Parses a `ScheduleName` string; unknown names are InvalidArgumentError.
+StatusOr<ArrivalSchedule> ParseSchedule(std::string_view name);
+
+/// One traffic class in the mix: which registry model it hits, how much of
+/// the traffic it is, in which scoring mode, and with what latency budget.
+struct TenantSpec {
+  std::string model;        // registry name
+  int version = 0;          // 0 = latest
+  double weight = 1.0;      // relative share of requests
+  bool quantized = false;   // route through the int8 path
+  int64_t deadline_ns = 0;  // per-request budget from *scheduled arrival*;
+                            // 0 = no deadline
+  int pairs_per_request = 1;
+};
+
+struct LoadGenOptions {
+  ArrivalSchedule schedule = ArrivalSchedule::kSteady;
+  /// Mean offered rate (requests per second of schedule time).
+  double target_qps = 1000.0;
+  /// Schedule length in seconds (fake seconds in deterministic mode).
+  double duration_s = 2.0;
+  uint64_t seed = 1;
+  std::vector<TenantSpec> tenants;
+
+  /// Synthetic fake-time cost charged per executed batch in deterministic
+  /// mode. Chosen so that batch overhead dominates per-pair work, which is
+  /// what makes coalescing (and the adaptive pair-cap widening) matter.
+  int64_t det_batch_overhead_ns = 3'000'000;  // 3 ms per forward pass
+  int64_t det_pair_cost_ns = 30'000;          // 30 us per pair
+
+  /// Shape knobs.
+  double burst_factor = 5.0;      // burst rate = factor * base rate
+  double burst_duty = 0.2;        // fraction of time inside a burst
+  int burst_count = 4;            // bursts per run
+  double diurnal_amplitude = 0.6; // rate swing around the mean, in [0, 1)
+  double skew_zipf_s = 1.1;       // tenant skew exponent for kSkewed
+};
+
+/// One scheduled request: when it arrives (offset from run start), which
+/// tenant issues it, and which slice of the evaluation set it scores.
+struct RequestEvent {
+  int64_t arrival_ns = 0;
+  int tenant = 0;
+  int pair_offset = 0;
+  int pair_count = 1;
+};
+
+/// Builds the full arrival schedule: a thinned Poisson process with the
+/// schedule's rate shape, tenants drawn per `TenantSpec::weight` (Zipf over
+/// tenants for kSkewed), pair slices drawn uniformly from a dataset of
+/// `dataset_pairs` pairs. Bitwise reproducible from the seed; sorted by
+/// arrival time.
+std::vector<RequestEvent> BuildSchedule(const LoadGenOptions& options,
+                                        int dataset_pairs);
+
+/// Aggregate outcome of one load run. Every request in the schedule lands
+/// in exactly one of completed / deadline_missed / shed / failed.
+struct LoadMetrics {
+  std::string schedule;
+  std::string mode;  // "deterministic" or "wall_clock"
+  int64_t offered = 0;          // requests in the schedule
+  int64_t completed = 0;        // scored OK
+  int64_t deadline_missed = 0;  // kDeadlineExceeded (at submit or in queue)
+  int64_t shed = 0;             // kResourceExhausted at admission
+  int64_t failed = 0;           // any other error
+  double duration_s = 0.0;      // schedule length
+  double elapsed_s = 0.0;       // run span incl. drain (fake or wall)
+  double offered_qps = 0.0;     // offered / duration_s
+  double achieved_qps = 0.0;    // completed / elapsed_s
+  /// End-to-end latency percentiles over *completed* requests, measured
+  /// from the scheduled arrival time (coordinated-omission-free) to
+  /// response fulfillment. Estimated via obs::HistogramPercentile on a
+  /// FineLatencyBoundsNs grid.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double deadline_miss_rate = 0.0;  // deadline_missed / offered
+  double shed_rate = 0.0;           // shed / offered
+  /// Every served score equaled the offline reference byte-for-byte.
+  bool scores_bitwise_identical = true;
+};
+
+/// Drives one `LinkageService` through one schedule. The service must
+/// already have every tenant's model registered; `offline_per_tenant[i]`
+/// holds tenant i's reference scores over the full dataset (computed
+/// offline with `ScorePairs` or `ScorePairsQuantized` to match the
+/// tenant's mode) for the bitwise check.
+class LoadGen {
+ public:
+  LoadGen(LinkageService* service, const data::PairDataset* dataset,
+          std::vector<const std::vector<float>*> offline_per_tenant,
+          LoadGenOptions options);
+
+  /// Deterministic mode. Requires a pump-mode service (`worker_threads ==
+  /// 0`) and a caller-installed fake clock (the loadgen advances it, so the
+  /// caller must not run concurrent timed code). Same seed + same service
+  /// options => bitwise-identical LoadMetrics.
+  LoadMetrics RunDeterministic(obs::ScopedFakeClock* clock);
+
+  /// Wall-clock mode. Requires a worker-thread service; `client_threads`
+  /// real threads pace the arrival schedule against the real clock.
+  LoadMetrics RunWallClock(int client_threads = 2);
+
+  const std::vector<RequestEvent>& schedule() const { return schedule_; }
+
+ private:
+  /// Classifies one response into the metrics and records its latency.
+  void Absorb(const RequestEvent& event, const ScoreResponse& response,
+              int64_t latency_ns, LoadMetrics* metrics,
+              obs::Histogram* latency_hist) const;
+
+  /// Fills the derived fields (rates, QPS, percentiles) after all
+  /// responses are absorbed.
+  void Finalize(double elapsed_s, const obs::Histogram& latency_hist,
+                LoadMetrics* metrics) const;
+
+  ScoreRequest MakeRequest(const RequestEvent& event,
+                           int64_t start_ns) const;
+
+  LinkageService* service_;
+  const data::PairDataset* dataset_;
+  std::vector<const std::vector<float>*> offline_per_tenant_;
+  LoadGenOptions options_;
+  std::vector<RequestEvent> schedule_;
+};
+
+}  // namespace adamel::serve
+
+#endif  // ADAMEL_SERVE_LOADGEN_H_

@@ -73,6 +73,8 @@ class LinkageService {
 
   BatcherStats stats() const { return batcher_.stats(); }
   int queued_pairs() const { return batcher_.queued_pairs(); }
+  int inflight_pairs() const { return batcher_.inflight_pairs(); }
+  const BatcherOptions& batcher_options() const { return batcher_.options(); }
 
  private:
   ModelRegistry registry_;

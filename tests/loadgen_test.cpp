@@ -1,0 +1,235 @@
+// Tests for src/serve/loadgen: seeded-schedule determinism, open-loop
+// accounting (every request lands in exactly one outcome bucket), exact
+// replay of deterministic runs, and a small wall-clock run (the TSan CI job
+// runs this binary for the real-thread path).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "obs/clock.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+
+namespace adamel::serve {
+namespace {
+
+data::Record MakeRecord(std::vector<std::string> values) {
+  data::Record record;
+  record.id = "r";
+  record.source = "s";
+  record.values = std::move(values);
+  return record;
+}
+
+data::PairDataset ToyDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  data::PairDataset dataset(data::Schema({"key", "noise"}));
+  for (int i = 0; i < n; ++i) {
+    const bool match = rng.Bernoulli(0.5);
+    const std::string key = "key" + std::to_string(rng.UniformInt(50));
+    data::LabeledPair pair;
+    pair.left = MakeRecord({key, "blah" + std::to_string(rng.UniformInt(9))});
+    pair.right = MakeRecord(
+        {match ? key : "key" + std::to_string(rng.UniformInt(50) + 50),
+         "blub" + std::to_string(rng.UniformInt(9))});
+    pair.label = match ? data::kMatch : data::kNonMatch;
+    dataset.Add(pair);
+  }
+  return dataset;
+}
+
+std::shared_ptr<const core::AdamelLinkage> TrainToyLinkage(uint64_t seed) {
+  const data::PairDataset train = ToyDataset(60, seed);
+  core::MelInputs inputs;
+  inputs.source_train = &train;
+  core::AdamelConfig config;
+  config.epochs = 2;
+  auto model = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  const Status fitted = model->Fit(inputs);
+  ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  return model;
+}
+
+bool SameEvent(const RequestEvent& a, const RequestEvent& b) {
+  return a.arrival_ns == b.arrival_ns && a.tenant == b.tenant &&
+         a.pair_offset == b.pair_offset && a.pair_count == b.pair_count;
+}
+
+LoadGenOptions SmallOptions(ArrivalSchedule schedule, uint64_t seed) {
+  LoadGenOptions options;
+  options.schedule = schedule;
+  options.target_qps = 400.0;
+  options.duration_s = 0.5;
+  options.seed = seed;
+  TenantSpec relaxed;
+  relaxed.model = "m";
+  relaxed.weight = 0.6;  // no deadline
+  TenantSpec tight;
+  tight.model = "m";
+  tight.weight = 0.4;
+  tight.deadline_ns = 10'000'000;  // 10 ms from scheduled arrival
+  options.tenants = {relaxed, tight};
+  return options;
+}
+
+TEST(LoadGenScheduleTest, ParseScheduleRoundTripsAndRejectsUnknown) {
+  for (const ArrivalSchedule schedule :
+       {ArrivalSchedule::kSteady, ArrivalSchedule::kDiurnal,
+        ArrivalSchedule::kBurst, ArrivalSchedule::kSkewed}) {
+    StatusOr<ArrivalSchedule> parsed =
+        ParseSchedule(ScheduleName(schedule));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), schedule);
+  }
+  EXPECT_EQ(ParseSchedule("sawtooth").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LoadGenScheduleTest, BuildScheduleIsDeterministicInSeed) {
+  const LoadGenOptions options = SmallOptions(ArrivalSchedule::kBurst, 7);
+  const std::vector<RequestEvent> first = BuildSchedule(options, 32);
+  const std::vector<RequestEvent> second = BuildSchedule(options, 32);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(SameEvent(first[i], second[i])) << "event " << i;
+  }
+
+  LoadGenOptions reseeded = options;
+  reseeded.seed = 8;
+  const std::vector<RequestEvent> other = BuildSchedule(reseeded, 32);
+  bool differs = other.size() != first.size();
+  for (size_t i = 0; !differs && i < first.size(); ++i) {
+    differs = !SameEvent(first[i], other[i]);
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical schedules";
+}
+
+TEST(LoadGenScheduleTest, ScheduleMatchesShapeAndRange) {
+  const LoadGenOptions options = SmallOptions(ArrivalSchedule::kSteady, 9);
+  const std::vector<RequestEvent> events = BuildSchedule(options, 32);
+  // ~200 expected arrivals (Poisson): accept a generous +/- 5 sigma.
+  EXPECT_GT(events.size(), 120u);
+  EXPECT_LT(events.size(), 280u);
+  const int64_t duration_ns =
+      static_cast<int64_t>(options.duration_s * 1e9);
+  int64_t previous = 0;
+  for (const RequestEvent& event : events) {
+    EXPECT_GE(event.arrival_ns, previous);  // sorted by construction
+    EXPECT_LT(event.arrival_ns, duration_ns);
+    previous = event.arrival_ns;
+    ASSERT_GE(event.tenant, 0);
+    ASSERT_LT(event.tenant, 2);
+    EXPECT_GE(event.pair_offset, 0);
+    EXPECT_LE(event.pair_offset + event.pair_count, 32);
+  }
+}
+
+// The tentpole determinism claim: the same seed against a fresh pump-mode
+// service replays to *identical* metrics, latencies included, because fake
+// time only moves by the synthetic batch cost.
+TEST(LoadGenRunTest, DeterministicReplayIdenticalMetrics) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(41);
+  const data::PairDataset dataset = ToyDataset(32, 42);
+  const std::vector<float> offline = model->ScorePairs(dataset).value();
+
+  const auto run_once = [&]() -> LoadMetrics {
+    ServiceOptions service_options;
+    service_options.batcher.worker_threads = 0;
+    service_options.batcher.max_batch_pairs = 8;
+    LinkageService service(service_options);
+    ADAMEL_CHECK(service.registry().Register("m", 1, model).ok());
+    LoadGen loadgen(&service, &dataset, {&offline, &offline},
+                    SmallOptions(ArrivalSchedule::kBurst, 7));
+    obs::ScopedFakeClock clock;
+    return loadgen.RunDeterministic(&clock);
+  };
+
+  const LoadMetrics first = run_once();
+  const LoadMetrics second = run_once();
+
+  EXPECT_EQ(first.schedule, "burst");
+  EXPECT_EQ(first.mode, "deterministic");
+  EXPECT_GT(first.offered, 0);
+  EXPECT_GT(first.completed, 0);
+  EXPECT_TRUE(first.scores_bitwise_identical);
+  // Open-loop accounting: every scheduled request has exactly one outcome.
+  EXPECT_EQ(first.offered, first.completed + first.deadline_missed +
+                               first.shed + first.failed);
+  EXPECT_EQ(first.failed, 0);
+
+  EXPECT_EQ(first.offered, second.offered);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.deadline_missed, second.deadline_missed);
+  EXPECT_EQ(first.shed, second.shed);
+  EXPECT_EQ(first.failed, second.failed);
+  EXPECT_EQ(first.elapsed_s, second.elapsed_s);
+  EXPECT_EQ(first.offered_qps, second.offered_qps);
+  EXPECT_EQ(first.achieved_qps, second.achieved_qps);
+  EXPECT_EQ(first.p50_ms, second.p50_ms);
+  EXPECT_EQ(first.p95_ms, second.p95_ms);
+  EXPECT_EQ(first.p99_ms, second.p99_ms);
+  EXPECT_EQ(first.deadline_miss_rate, second.deadline_miss_rate);
+  EXPECT_EQ(first.shed_rate, second.shed_rate);
+  EXPECT_EQ(second.scores_bitwise_identical, true);
+}
+
+// Adaptive batching must not change *what* is computed, only when: served
+// scores stay bitwise identical under the controller.
+TEST(LoadGenRunTest, AdaptiveModeKeepsScoresBitwiseIdentical) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(43);
+  const data::PairDataset dataset = ToyDataset(32, 44);
+  const std::vector<float> offline = model->ScorePairs(dataset).value();
+
+  ServiceOptions service_options;
+  service_options.batcher.worker_threads = 0;
+  service_options.batcher.max_batch_pairs = 8;
+  service_options.batcher.adaptive = true;
+  service_options.batcher.adaptive_max_batch_pairs = 32;
+  LinkageService service(service_options);
+  ADAMEL_CHECK(service.registry().Register("m", 1, model).ok());
+  LoadGen loadgen(&service, &dataset, {&offline, &offline},
+                  SmallOptions(ArrivalSchedule::kBurst, 11));
+  obs::ScopedFakeClock clock;
+  const LoadMetrics metrics = loadgen.RunDeterministic(&clock);
+  EXPECT_GT(metrics.completed, 0);
+  EXPECT_TRUE(metrics.scores_bitwise_identical);
+  EXPECT_EQ(metrics.offered, metrics.completed + metrics.deadline_missed +
+                                 metrics.shed + metrics.failed);
+}
+
+// Wall-clock mode with real client threads and a worker-thread service;
+// exercised under TSan in CI.
+TEST(LoadGenRunTest, WallClockSmallRunCompletes) {
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(45);
+  const data::PairDataset dataset = ToyDataset(32, 46);
+  const std::vector<float> offline = model->ScorePairs(dataset).value();
+
+  ServiceOptions service_options;
+  service_options.batcher.worker_threads = 2;
+  LinkageService service(service_options);
+  ADAMEL_CHECK(service.registry().Register("m", 1, model).ok());
+
+  LoadGenOptions options = SmallOptions(ArrivalSchedule::kSteady, 13);
+  options.target_qps = 200.0;
+  options.duration_s = 0.3;
+  LoadGen loadgen(&service, &dataset, {&offline, &offline}, options);
+  const LoadMetrics metrics = loadgen.RunWallClock(/*client_threads=*/2);
+
+  EXPECT_EQ(metrics.mode, "wall_clock");
+  EXPECT_EQ(metrics.offered, static_cast<int64_t>(loadgen.schedule().size()));
+  EXPECT_EQ(metrics.offered, metrics.completed + metrics.deadline_missed +
+                                 metrics.shed + metrics.failed);
+  EXPECT_GT(metrics.completed, 0);
+  EXPECT_EQ(metrics.failed, 0);
+  EXPECT_TRUE(metrics.scores_bitwise_identical);
+  EXPECT_GT(metrics.elapsed_s, 0.0);
+}
+
+}  // namespace
+}  // namespace adamel::serve

@@ -2,9 +2,12 @@
 // contract), the micro-batcher (deadlines, backpressure, coalescing
 // determinism), and the end-to-end LinkageService under concurrency.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -367,6 +370,160 @@ TEST(MicroBatcherTest, ShutdownDrainsQueuedRequests) {
   std::future<ScoreResponse> future = batcher->Submit(std::move(item));
   batcher.reset();  // destructor must fulfill the promise
   EXPECT_TRUE(future.get().status.ok());
+}
+
+// Regression: the batch window used to shrink to the *head's* deadline
+// only, so a coalesced joiner with a tighter deadline expired while the
+// window was held open on the head's (here: unlimited) budget. The window
+// must close deadline_slack_ns before the tightest member deadline.
+TEST(MicroBatcherTest, TightDeadlineJoinerClosesBatchWindow) {
+  obs::ScopedFakeClock clock;  // outlives the batcher and its worker
+  BatcherOptions options;
+  options.worker_threads = 1;
+  options.max_batch_delay_ns = 50'000'000;  // 50 ms: head holds a long window
+  MicroBatcher batcher(options);
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(34);
+  const data::PairDataset test = ToyDataset(4, 35);
+
+  BatchWorkItem head;
+  head.model = model;
+  head.pairs = Slice(test, 0, 2);  // no deadline
+  std::future<ScoreResponse> head_future = batcher.Submit(std::move(head));
+  // Fake time stands still, so the worker sits inside the head's batch
+  // window re-scanning the queue; wait until it has pulled the head.
+  for (int i = 0; i < 5000 && batcher.inflight_pairs() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(batcher.inflight_pairs(), 2);
+
+  BatchWorkItem joiner;
+  joiner.model = model;
+  joiner.pairs = Slice(test, 2, 2);
+  joiner.deadline_ns = 1'000'000;  // 1 ms, far tighter than the open window
+  std::future<ScoreResponse> joiner_future =
+      batcher.Submit(std::move(joiner));
+  for (int i = 0; i < 5000 && batcher.inflight_pairs() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(batcher.inflight_pairs(), 4);
+
+  // Past the shrunken window close (deadline - slack) but before the
+  // joiner's deadline: the batch must execute now, with both requests
+  // scored, instead of holding until the 50 ms window expires the joiner.
+  clock.Advance(1'000'000 - options.deadline_slack_ns / 2);
+  ASSERT_EQ(joiner_future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  ASSERT_EQ(head_future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  const ScoreResponse joined = joiner_future.get();
+  EXPECT_TRUE(joined.status.ok()) << joined.status.ToString();
+  EXPECT_EQ(joined.batch_pairs, 4);  // it did coalesce with the head
+  EXPECT_TRUE(head_future.get().status.ok());
+  EXPECT_EQ(batcher.stats().timed_out, 0);
+}
+
+// Scores every pair 0.5 after blocking until Release(); lets a test hold a
+// collected batch in the executing state.
+class BlockingModel : public core::EntityLinkageModel {
+ public:
+  std::string Name() const override { return "blocking-stub"; }
+  Status Fit(const core::MelInputs& /*inputs*/) override { return OkStatus(); }
+  int64_t ParameterCount() const override { return 0; }
+
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan batch) const override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++scoring_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    return std::vector<float>(static_cast<size_t>(batch.size()), 0.5f);
+  }
+
+  void WaitUntilScoring() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return scoring_ > 0; });
+  }
+  void Release() const {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;  // sticky: later batches score without blocking
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable int scoring_ = 0;
+  mutable bool released_ = false;
+};
+
+// Regression: admission used to count only *queued* pairs, so pairs pulled
+// into a collected-but-unfinished batch vanished from the gate and a burst
+// could hold ~workers x max_batch_pairs extra pairs. The true bound is
+// queued + in-flight <= max_queue_pairs.
+TEST(MicroBatcherTest, AdmissionBoundCountsInFlightPairs) {
+  auto blocking = std::make_shared<BlockingModel>();
+  BatcherOptions options = PumpOptions();
+  options.max_queue_pairs = 10;
+  MicroBatcher batcher(options);
+  const data::PairDataset six = ToyDataset(6, 36);
+
+  BatchWorkItem first;
+  first.model = blocking;
+  first.pairs = six;
+  std::future<ScoreResponse> admitted = batcher.Submit(std::move(first));
+  std::thread pump([&batcher] { EXPECT_EQ(batcher.RunOnce(), 1); });
+  blocking->WaitUntilScoring();
+  // The batch is executing: nothing queued, six pairs in flight — and they
+  // still count against the admission bound.
+  EXPECT_EQ(batcher.queued_pairs(), 0);
+  EXPECT_EQ(batcher.inflight_pairs(), 6);
+  BatchWorkItem second;
+  second.model = blocking;
+  second.pairs = six;  // 6 in flight + 6 > 10: rejected
+  EXPECT_EQ(batcher.Submit(std::move(second)).get().status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.stats().rejected, 1);
+
+  blocking->Release();
+  pump.join();
+  EXPECT_TRUE(admitted.get().status.ok());
+  EXPECT_EQ(batcher.inflight_pairs(), 0);
+  // Finishing the batch frees the capacity its pairs held.
+  BatchWorkItem third;
+  third.model = blocking;
+  third.pairs = six;
+  std::future<ScoreResponse> readmitted = batcher.Submit(std::move(third));
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_TRUE(readmitted.get().status.ok());
+}
+
+// Scoring always fails; the batch must show up in BatcherStats::failed.
+class FailingModel : public core::EntityLinkageModel {
+ public:
+  std::string Name() const override { return "failing-stub"; }
+  Status Fit(const core::MelInputs& /*inputs*/) override { return OkStatus(); }
+  int64_t ParameterCount() const override { return 0; }
+  StatusOr<std::vector<float>> ScorePairs(
+      data::PairSpan /*batch*/) const override {
+    return InternalError("forward pass exploded");
+  }
+};
+
+TEST(MicroBatcherTest, FailedBatchesAreCountedInStats) {
+  MicroBatcher batcher(PumpOptions());
+  BatchWorkItem item;
+  item.model = std::make_shared<FailingModel>();
+  item.pairs = ToyDataset(3, 37);
+  std::future<ScoreResponse> future = batcher.Submit(std::move(item));
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_EQ(future.get().status.code(), StatusCode::kInternal);
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.pairs_scored, 0);
+  EXPECT_EQ(batcher.inflight_pairs(), 0);
 }
 
 // ----------------------------------------------------------------- service
