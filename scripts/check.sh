@@ -9,6 +9,12 @@
 #                  which runs adamel_lint over src/, bench/, examples/)
 #   2. lint        adamel_lint again, standalone, so a rule violation is
 #                  reported even when ctest is filtered down
+#   2b. tsa        Clang -Wthread-safety build of the whole tree
+#                  (-DADAMEL_THREAD_SAFETY=ON): proves every
+#                  ADAMEL_GUARDED_BY / ADAMEL_REQUIRES lock contract in the
+#                  concurrent core. Skipped with a notice when no clang++
+#                  is on PATH (the analysis is Clang-only; CI always runs
+#                  it)
 #   3. serve       bench_serving --quick smoke: the serving engine must
 #                  coalesce and stay bitwise identical to offline scoring
 #                  (the binary exits nonzero if served scores diverge)
@@ -24,7 +30,9 @@
 #                  bitwise parity contract holds end to end
 #   6. tsan        ThreadSanitizer build; thread-pool, parallel-ops,
 #                  telemetry, and serving tests (serve_test hammers the
-#                  micro-batcher and registry from concurrent clients)
+#                  micro-batcher and registry from concurrent clients;
+#                  deadlock_test exercises the DESIGN.md §8.4 lock-order
+#                  contracts with a model that re-enters the service)
 #   7. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
 #                  telemetry macros compile to no-ops and nothing depends
 #                  on them being live
@@ -39,6 +47,7 @@
 #
 # Environment:
 #   BUILD_DIR             main build tree (default: build)
+#   TSA_BUILD_DIR         clang thread-safety build tree (default: build-tsa)
 #   TSAN_BUILD_DIR        sanitizer build tree (default: build-tsan)
 #   NOTELEMETRY_BUILD_DIR telemetry-off build tree (default: build-notel)
 #   ASAN_BUILD_DIR        sanitizer build tree (default: build-asan)
@@ -50,6 +59,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+TSA_BUILD_DIR="${TSA_BUILD_DIR:-${REPO_ROOT}/build-tsa}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 NOTELEMETRY_BUILD_DIR="${NOTELEMETRY_BUILD_DIR:-${REPO_ROOT}/build-notel}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-asan}"
@@ -66,6 +76,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== lint: adamel_lint over src/ bench/ examples/ =="
 "${BUILD_DIR}/tools/lint/adamel_lint" "${REPO_ROOT}" src bench examples
+
+echo "== tsa: clang -Wthread-safety build (lock-discipline proof) =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B "${TSA_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
+    -DCMAKE_CXX_COMPILER=clang++ -DADAMEL_THREAD_SAFETY=ON -DADAMEL_WERROR=ON
+  cmake --build "${TSA_BUILD_DIR}" -j "${JOBS}"
+else
+  echo "tsa: clang++ not found on PATH; skipping (CI runs this gate)"
+fi
 
 echo "== serve: bench_serving --quick smoke (bitwise determinism gate) =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
@@ -84,7 +103,8 @@ echo "== tsan: configure + build parallel tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target parallel_test ops_test obs_test serve_test loadgen_test
+  --target parallel_test ops_test obs_test serve_test loadgen_test \
+  deadlock_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
@@ -92,6 +112,7 @@ echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/obs_test"
 "${TSAN_BUILD_DIR}/tests/serve_test"
 "${TSAN_BUILD_DIR}/tests/loadgen_test"
+"${TSAN_BUILD_DIR}/tests/deadlock_test"
 
 echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
 cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

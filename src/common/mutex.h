@@ -1,0 +1,174 @@
+#ifndef ADAMEL_COMMON_MUTEX_H_
+#define ADAMEL_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace adamel {
+
+/// Annotated synchronization primitives.
+///
+/// All lock-based code outside src/common/ must use these wrappers instead
+/// of naked `std::mutex`/`std::lock_guard`/`std::unique_lock` (enforced by
+/// the `raw-mutex` lint rule), so every guarded member can carry an
+/// `ADAMEL_GUARDED_BY` contract that Clang's `-Wthread-safety` checks.
+/// The wrappers are zero-overhead: each is a thin shell over the exact
+/// `std::` primitive the code used before, with attributes that compile to
+/// nothing off-Clang.
+///
+/// Lock-order discipline: a thread holding a higher-rank mutex must never
+/// acquire a lower-rank one. The repo-wide hierarchy is tabulated in
+/// DESIGN.md §8.4 and exercised by tests/deadlock_test under TSan.
+
+/// Tag selecting the adopting constructor of a scoped lock: the calling
+/// thread already holds the mutex (e.g. via a successful `TryLock`) and
+/// transfers ownership to the scope.
+struct AdoptLockT {
+  explicit AdoptLockT() = default;
+};
+inline constexpr AdoptLockT kAdoptLock{};
+
+class CondVar;
+
+/// A standard mutex carrying the `capability` attribute so members can be
+/// declared `ADAMEL_GUARDED_BY(mu_)` and helpers `ADAMEL_REQUIRES(mu_)`.
+class ADAMEL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ADAMEL_ACQUIRE() { mu_.lock(); }
+  void Unlock() ADAMEL_RELEASE() { mu_.unlock(); }
+  bool TryLock() ADAMEL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope: acquires in the constructor, releases in the
+/// destructor. The `kAdoptLock` overload takes over a mutex the caller
+/// already holds (annotated `ADAMEL_REQUIRES`, the documented Clang
+/// pattern for adopting scoped capabilities).
+class ADAMEL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ADAMEL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  MutexLock(Mutex& mu, AdoptLockT) ADAMEL_REQUIRES(mu) : mu_(mu) {}
+  ~MutexLock() ADAMEL_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Like MutexLock, but the scope can release early via `Release()` — the
+/// annotated equivalent of `std::unique_lock::unlock()` for paths that
+/// drop the lock before doing unguarded work (e.g. degrading to serial
+/// execution in the thread pool).
+class ADAMEL_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) ADAMEL_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ReleasableMutexLock(Mutex& mu, AdoptLockT) ADAMEL_REQUIRES(mu) : mu_(mu) {}
+  ~ReleasableMutexLock() ADAMEL_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  void Release() ADAMEL_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to `adamel::Mutex`. Untimed waits require a
+/// predicate (the `cv-wait-no-predicate` lint rule bans bare `wait()`);
+/// timed slice waits (`WaitFor`) may omit one because the caller's loop
+/// re-checks its condition against a fake-clock-aware deadline each slice.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` is true, releasing `mu` while waiting. The
+  /// caller must hold `mu`; it is held again on return.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) ADAMEL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Blocks for at most `timeout`, releasing `mu` while waiting. Returns
+  /// std::cv_status::timeout if the wait timed out. Callers loop on their
+  /// own condition; spurious wakeups are expected and harmless.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         std::chrono::duration<Rep, Period> timeout)
+      ADAMEL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's scope
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Annotated test-and-set spinlock for very short critical sections on hot
+/// paths (e.g. `obs::Series` sample appends) where a futex round-trip
+/// would dominate the guarded work.
+class ADAMEL_CAPABILITY("mutex") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() ADAMEL_ACQUIRE() {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      // Spin; critical sections guarded by SpinLock are a few dozen ns.
+    }
+  }
+  void Unlock() ADAMEL_RELEASE() { flag_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<int> flag_{0};
+};
+
+/// RAII scope for SpinLock.
+class ADAMEL_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) ADAMEL_ACQUIRE(lock) : lock_(lock) {
+    lock_.Lock();
+  }
+  ~SpinLockGuard() ADAMEL_RELEASE() { lock_.Unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace adamel
+
+#endif  // ADAMEL_COMMON_MUTEX_H_

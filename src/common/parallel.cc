@@ -1,12 +1,13 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace adamel {
 namespace {
@@ -18,15 +19,17 @@ thread_local bool tls_in_parallel_region = false;
 // One in-flight ParallelFor. Chunk boundaries are a pure function of
 // (begin, grain, num_chunks); workers claim chunk indices with a fetch-add.
 struct Job {
-  int64_t begin = 0;
-  int64_t end = 0;
-  int64_t grain = 1;
-  int64_t num_chunks = 0;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  // The chunk geometry and body are immutable for the lifetime of a job —
+  // workers read them freely without any lock.
+  const int64_t begin;
+  const int64_t end;
+  const int64_t grain;
+  const int64_t num_chunks;
+  const std::function<void(int64_t, int64_t)>* const fn;
   std::atomic<int64_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::exception_ptr error ADAMEL_GUARDED_BY(error_mutex);
 };
 
 int HardwareThreads() {
@@ -53,20 +56,21 @@ class ThreadPool {
     return *pool;
   }
 
-  int num_threads() {
-    std::lock_guard<std::mutex> lock(config_mutex_);
+  int num_threads() ADAMEL_EXCLUDES(config_mutex_) {
+    MutexLock lock(config_mutex_);
     return ResolvedThreadsLocked();
   }
 
-  void SetNumThreads(int n) {
-    std::lock_guard<std::mutex> lock(config_mutex_);
+  void SetNumThreads(int n) ADAMEL_EXCLUDES(config_mutex_) {
+    MutexLock lock(config_mutex_);
     override_threads_ = n >= 1 ? n : 0;
     // Tear down workers so the next ParallelFor respawns the right number.
     StopWorkersLocked();
   }
 
   void Run(int64_t begin, int64_t end, int64_t grain,
-           const std::function<void(int64_t, int64_t)>& fn) {
+           const std::function<void(int64_t, int64_t)>& fn)
+      ADAMEL_EXCLUDES(config_mutex_, job_mutex_) {
     const int64_t g = grain < 1 ? 1 : grain;
     const int64_t chunks = ParallelChunkCount(begin, end, g);
     if (chunks == 0) {
@@ -76,33 +80,28 @@ class ThreadPool {
       RunSerial(begin, end, g, fn);
       return;
     }
-    std::unique_lock<std::mutex> config_lock(config_mutex_, std::try_to_lock);
-    if (!config_lock.owns_lock()) {
+    if (!config_mutex_.TryLock()) {
       // Another thread's ParallelFor owns the pool; degrade to serial rather
       // than blocking — the pool has no spare capacity anyway.
       RunSerial(begin, end, g, fn);
       return;
     }
+    ReleasableMutexLock config_lock(config_mutex_, kAdoptLock);
     const int threads = ResolvedThreadsLocked();
     if (threads <= 1) {
-      config_lock.unlock();
+      config_lock.Release();
       RunSerial(begin, end, g, fn);
       return;
     }
     EnsureWorkersLocked(threads - 1);
 
-    Job job;
-    job.begin = begin;
-    job.end = end;
-    job.grain = g;
-    job.num_chunks = chunks;
-    job.fn = &fn;
+    Job job{begin, end, g, chunks, &fn};
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       job_ = &job;
       ++generation_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
 
     // The caller participates as one more worker.
     ProcessChunks(&job);
@@ -110,19 +109,28 @@ class ThreadPool {
     // Wait for every worker that joined the job to leave it before the Job
     // (a stack object) goes out of scope.
     {
-      std::unique_lock<std::mutex> lock(job_mutex_);
-      done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+      MutexLock lock(job_mutex_);
+      done_cv_.Wait(job_mutex_, [this]() ADAMEL_REQUIRES(job_mutex_) {
+        return active_workers_ == 0;
+      });
       job_ = nullptr;
     }
-    if (job.error) {
-      std::rethrow_exception(job.error);
+    // Workers are gone (active_workers_ == 0), but read the error under its
+    // mutex anyway so the GUARDED_BY contract holds unconditionally.
+    std::exception_ptr error;
+    {
+      MutexLock lock(job.error_mutex);
+      error = job.error;
+    }
+    if (error) {
+      std::rethrow_exception(error);
     }
   }
 
  private:
   ThreadPool() = default;
 
-  int ResolvedThreadsLocked() {
+  int ResolvedThreadsLocked() ADAMEL_REQUIRES(config_mutex_) {
     if (override_threads_ >= 1) {
       return override_threads_;
     }
@@ -160,7 +168,7 @@ class ThreadPool {
       try {
         (*job->fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job->error_mutex);
+        MutexLock lock(job->error_mutex);
         if (!job->error) {
           job->error = std::current_exception();
         }
@@ -170,15 +178,16 @@ class ThreadPool {
     tls_in_parallel_region = was_in_region;
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() ADAMEL_EXCLUDES(job_mutex_) {
     uint64_t seen_generation = 0;
     for (;;) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(job_mutex_);
-        work_cv_.wait(lock, [this, seen_generation] {
-          return shutdown_ || generation_ != seen_generation;
-        });
+        MutexLock lock(job_mutex_);
+        work_cv_.Wait(job_mutex_,
+                      [this, seen_generation]() ADAMEL_REQUIRES(job_mutex_) {
+                        return shutdown_ || generation_ != seen_generation;
+                      });
         if (shutdown_) {
           return;
         }
@@ -193,21 +202,20 @@ class ThreadPool {
       }
       ProcessChunks(job);
       {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(job_mutex_);
         --active_workers_;
       }
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 
-  // Both called with config_mutex_ held.
-  void EnsureWorkersLocked(int count) {
+  void EnsureWorkersLocked(int count) ADAMEL_REQUIRES(config_mutex_) {
     if (static_cast<int>(workers_.size()) == count) {
       return;
     }
     StopWorkersLocked();
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       shutdown_ = false;
     }
     workers_.reserve(count);
@@ -216,15 +224,15 @@ class ThreadPool {
     }
   }
 
-  void StopWorkersLocked() {
+  void StopWorkersLocked() ADAMEL_REQUIRES(config_mutex_) {
     if (workers_.empty()) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       shutdown_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& worker : workers_) {
       worker.join();
     }
@@ -232,18 +240,20 @@ class ThreadPool {
   }
 
   // Serializes pool configuration and job submission (one job at a time).
-  std::mutex config_mutex_;
-  int override_threads_ = 0;
-  std::vector<std::thread> workers_;
+  // Rank 4 in the lock hierarchy (DESIGN.md §8.4): acquired before
+  // job_mutex_ on every path that holds both.
+  Mutex config_mutex_ ADAMEL_ACQUIRED_BEFORE(job_mutex_);
+  int override_threads_ ADAMEL_GUARDED_BY(config_mutex_) = 0;
+  std::vector<std::thread> workers_ ADAMEL_GUARDED_BY(config_mutex_);
 
-  // Job hand-off state, guarded by job_mutex_.
-  std::mutex job_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Job* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int active_workers_ = 0;
-  bool shutdown_ = false;
+  // Job hand-off state (rank 5, leaf).
+  Mutex job_mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  Job* job_ ADAMEL_GUARDED_BY(job_mutex_) = nullptr;
+  uint64_t generation_ ADAMEL_GUARDED_BY(job_mutex_) = 0;
+  int active_workers_ ADAMEL_GUARDED_BY(job_mutex_) = 0;
+  bool shutdown_ ADAMEL_GUARDED_BY(job_mutex_) = false;
 };
 
 }  // namespace

@@ -1,0 +1,88 @@
+#ifndef ADAMEL_COMMON_THREAD_ANNOTATIONS_H_
+#define ADAMEL_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros.
+///
+/// These expand to `__attribute__((...))` under Clang (where
+/// `-Wthread-safety` checks them) and to nothing everywhere else, so
+/// annotated code compiles unchanged on GCC. The vocabulary mirrors the
+/// documented Clang capability model:
+///
+///   - `ADAMEL_CAPABILITY` / `ADAMEL_SCOPED_CAPABILITY` mark a class as a
+///     lockable capability (adamel::Mutex) or an RAII scope that acquires
+///     one (adamel::MutexLock).
+///   - `ADAMEL_GUARDED_BY(mu)` on a data member means reads and writes
+///     require holding `mu`; `ADAMEL_PT_GUARDED_BY(mu)` guards the pointee
+///     of a pointer member.
+///   - `ADAMEL_REQUIRES(mu)` on a function means the caller must already
+///     hold `mu` — this is how "private helper assumes the lock is held"
+///     becomes a compile-checked contract instead of a comment.
+///   - `ADAMEL_ACQUIRE` / `ADAMEL_RELEASE` / `ADAMEL_TRY_ACQUIRE` annotate
+///     functions that change which capabilities the caller holds.
+///   - `ADAMEL_EXCLUDES(mu)` declares a function must be called *without*
+///     `mu` held (deadlock prevention for self-locking public APIs).
+///   - `ADAMEL_NO_THREAD_SAFETY_ANALYSIS` opts a function out entirely.
+///     Outside src/common/ every use must carry a justification comment
+///     (enforced by review; see DESIGN.md §8).
+///
+/// Enable checking with `-DADAMEL_THREAD_SAFETY=ON` (Clang only), which
+/// adds `-Wthread-safety -Wthread-safety-beta` promoted to errors.
+
+#if defined(__clang__)
+#define ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+#define ADAMEL_CAPABILITY(x) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define ADAMEL_SCOPED_CAPABILITY \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define ADAMEL_GUARDED_BY(x) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define ADAMEL_PT_GUARDED_BY(x) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ADAMEL_ACQUIRED_BEFORE(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ADAMEL_ACQUIRED_AFTER(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define ADAMEL_REQUIRES(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define ADAMEL_REQUIRES_SHARED(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ADAMEL_ACQUIRE(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ADAMEL_ACQUIRE_SHARED(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define ADAMEL_RELEASE(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define ADAMEL_RELEASE_SHARED(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define ADAMEL_TRY_ACQUIRE(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define ADAMEL_EXCLUDES(...) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ADAMEL_ASSERT_CAPABILITY(x) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ADAMEL_RETURN_CAPABILITY(x) \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define ADAMEL_NO_THREAD_SAFETY_ANALYSIS \
+  ADAMEL_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ADAMEL_COMMON_THREAD_ANNOTATIONS_H_

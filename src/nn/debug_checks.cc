@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cmath>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "nn/tensor.h"
 
 namespace adamel::nn::debug {
@@ -18,8 +18,10 @@ namespace {
 std::atomic<FiniteScreenMode> g_mode{FiniteScreenMode::kRecord};
 std::atomic<int64_t> g_live_nodes{0};
 
-std::mutex& EventMutex() {
-  static std::mutex* mutex = new std::mutex();  // adamel-lint: allow(raw-new) -- intentional leaky singleton
+// Guards EventLog(); rank 7 (leaf) in the lock hierarchy (DESIGN.md §8.4).
+// Every access to the log goes through a MutexLock on this mutex.
+Mutex& EventMutex() {
+  static Mutex* mutex = new Mutex();  // adamel-lint: allow(raw-new) -- intentional leaky singleton
   return *mutex;
 }
 
@@ -51,12 +53,12 @@ FiniteScreenMode GetFiniteScreenMode() {
 }
 
 std::vector<NonFiniteEvent> NonFiniteEvents() {
-  std::lock_guard<std::mutex> lock(EventMutex());
+  MutexLock lock(EventMutex());
   return EventLog();
 }
 
 void ClearNonFiniteEvents() {
-  std::lock_guard<std::mutex> lock(EventMutex());
+  MutexLock lock(EventMutex());
   EventLog().clear();
 }
 
@@ -96,7 +98,7 @@ void ScreenOp(const char* op, const TensorImpl& out,
                         << event.value << " at (" << event.row << ", "
                         << event.col << ") from all-finite inputs";
   }
-  std::lock_guard<std::mutex> lock(EventMutex());
+  MutexLock lock(EventMutex());
   EventLog().push_back(std::move(event));
 }
 

@@ -4,10 +4,10 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 
 namespace adamel::obs {
@@ -20,43 +20,20 @@ int ThreadIndex() {
 
 // -- Series -----------------------------------------------------------------
 
-namespace {
-
-class SpinGuard {
- public:
-  explicit SpinGuard(std::atomic<int>* spin) : spin_(spin) {
-    int expected = 0;
-    while (!spin_->compare_exchange_weak(expected, 1,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-      expected = 0;
-    }
-  }
-  ~SpinGuard() { spin_->store(0, std::memory_order_release); }
-
-  SpinGuard(const SpinGuard&) = delete;
-  SpinGuard& operator=(const SpinGuard&) = delete;
-
- private:
-  std::atomic<int>* spin_;
-};
-
-}  // namespace
-
 void Series::Append(double value) {
-  SpinGuard guard(&spin_);
+  SpinLockGuard guard(spin_);
   if (values_.size() < kMaxValues) {
     values_.push_back(value);
   }
 }
 
 std::vector<double> Series::Values() const {
-  SpinGuard guard(&spin_);
+  SpinLockGuard guard(spin_);
   return values_;
 }
 
 void Series::Reset() {
-  SpinGuard guard(&spin_);
+  SpinLockGuard guard(spin_);
   values_.clear();
 }
 
@@ -328,15 +305,22 @@ PhaseScope::~PhaseScope() {
 // -- Registry ---------------------------------------------------------------
 
 struct Registry::Impl {
-  mutable std::mutex mutex;
+  /// Rank 6 (leaf) in the lock hierarchy (DESIGN.md §8.4): guards only the
+  /// lookup maps; metric mutation is lock-free atomics on stable pointers.
+  mutable Mutex mutex;
   // std::map keeps snapshot order name-sorted with zero work at capture
   // time. Values are unique_ptrs so metric addresses are stable across
   // rehash-free inserts and live for the process lifetime.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Series>, std::less<>> series;
-  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      ADAMEL_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      ADAMEL_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series
+      ADAMEL_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers
+      ADAMEL_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      ADAMEL_GUARDED_BY(mutex);
 };
 
 Registry& Registry::Global() {
@@ -353,7 +337,7 @@ Registry::Impl& Registry::impl() const {
 
 Counter* Registry::GetCounter(std::string_view name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.counters.find(name);
   if (it == state.counters.end()) {
     it = state.counters
@@ -365,7 +349,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 
 Gauge* Registry::GetGauge(std::string_view name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.gauges.find(name);
   if (it == state.gauges.end()) {
     it = state.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -376,7 +360,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 
 Series* Registry::GetSeries(std::string_view name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.series.find(name);
   if (it == state.series.end()) {
     it = state.series.emplace(std::string(name), std::make_unique<Series>())
@@ -387,7 +371,7 @@ Series* Registry::GetSeries(std::string_view name) {
 
 TimerStat* Registry::GetTimer(std::string_view name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.timers.find(name);
   if (it == state.timers.end()) {
     it = state.timers
@@ -400,7 +384,7 @@ TimerStat* Registry::GetTimer(std::string_view name) {
 Histogram* Registry::GetHistogram(std::string_view name,
                                   const std::vector<double>& upper_bounds) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.histograms.find(name);
   if (it == state.histograms.end()) {
     it = state.histograms
@@ -414,7 +398,7 @@ Histogram* Registry::GetHistogram(std::string_view name,
 TelemetrySnapshot Registry::Snapshot() const {
   Impl& state = impl();
   TelemetrySnapshot snapshot;
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   snapshot.counters.reserve(state.counters.size());
   for (const auto& [name, counter] : state.counters) {
     snapshot.counters.push_back({name, counter->value()});
@@ -457,7 +441,7 @@ TelemetrySnapshot Registry::Snapshot() const {
 
 void Registry::ResetAllForTest() {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   for (auto& [name, counter] : state.counters) {
     counter->Reset();
   }

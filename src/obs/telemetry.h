@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 /// Telemetry subsystem: typed counters, gauges, per-epoch series, latency
@@ -73,7 +75,7 @@ class Gauge {
 
 /// Append-only sequence of doubles (one value per epoch/step), for
 /// trajectories like the per-epoch loss curve or grad-norm history.
-/// Appends lock a per-series mutex — series record at epoch granularity,
+/// Appends take a per-series spinlock — series record at epoch granularity,
 /// never inside hot loops — and the length is capped so a runaway loop
 /// cannot grow the registry without bound.
 class Series {
@@ -85,8 +87,8 @@ class Series {
   void Reset();
 
  private:
-  mutable std::atomic<int> spin_{0};  // tiny spinlock; appends are rare
-  std::vector<double> values_;
+  mutable SpinLock spin_;  // appends are rare; critical section is tiny
+  std::vector<double> values_ ADAMEL_GUARDED_BY(spin_);
 };
 
 /// Fixed-bucket histogram. Bucket upper bounds are set at creation and

@@ -79,7 +79,7 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       ScoreResponse response;
       response.status =
@@ -118,32 +118,34 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
     ADAMEL_COUNTER_ADD("serve.admitted", 1);
     ADAMEL_GAUGE_SET("serve.queue_pairs", static_cast<double>(queued_pairs_));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
 void MicroBatcher::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    while (queue_.empty() && !stop_) {
-      cv_.wait_for(lock, kWaitSlice);
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !stop_) {
+        cv_.WaitFor(mutex_, kWaitSlice);
+      }
+      if (stop_) {
+        return;  // Shutdown drains whatever is still queued.
+      }
+      batch = CollectBatch(/*wait_for_window=*/true);
     }
-    if (stop_) {
-      return;  // Shutdown drains whatever is still queued.
+    // The lock is dropped before calling out: ExecuteBatch runs the model's
+    // forward pass and fulfills promises, neither of which may happen under
+    // mutex_ (lock-order contract, DESIGN.md §8.4).
+    if (!batch.empty()) {
+      ExecuteBatch(std::move(batch));
     }
-    std::vector<std::unique_ptr<Pending>> batch =
-        CollectBatch(&lock, /*wait_for_window=*/true);
-    if (batch.empty()) {
-      continue;
-    }
-    lock.unlock();
-    ExecuteBatch(std::move(batch));
-    lock.lock();
   }
 }
 
 std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
-    std::unique_lock<std::mutex>* lock, bool wait_for_window) {
+    bool wait_for_window) {
   std::vector<std::unique_ptr<Pending>> batch;
   if (queue_.empty()) {
     return batch;
@@ -235,7 +237,7 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
         obs::NowNanos() >= window_end) {
       break;
     }
-    cv_.wait_for(*lock, kWaitSlice);
+    cv_.WaitFor(mutex_, kWaitSlice);
   }
   ADAMEL_GAUGE_SET("serve.queue_pairs", static_cast<double>(queued_pairs_));
   return batch;
@@ -372,18 +374,18 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
 int MicroBatcher::RunOnce() {
   std::vector<std::unique_ptr<Pending>> batch;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch = CollectBatch(&lock, /*wait_for_window=*/false);
+    MutexLock lock(mutex_);
+    batch = CollectBatch(/*wait_for_window=*/false);
   }
   return ExecuteBatch(std::move(batch));
 }
 
 void MicroBatcher::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -411,7 +413,7 @@ BatcherStats MicroBatcher::stats() const {
 }
 
 int MicroBatcher::queued_pairs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_pairs_;
 }
 

@@ -2,16 +2,16 @@
 #define ADAMEL_SERVE_BATCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/linkage_model.h"
 #include "data/pair_dataset.h"
 
@@ -122,23 +122,23 @@ class MicroBatcher {
   /// Admission control + enqueue. The returned future is always eventually
   /// fulfilled: rejected/expired requests resolve immediately, admitted ones
   /// when their batch executes (or at `Shutdown`).
-  std::future<ScoreResponse> Submit(BatchWorkItem item);
+  std::future<ScoreResponse> Submit(BatchWorkItem item) ADAMEL_EXCLUDES(mutex_);
 
   /// Pump mode: coalesces and executes one batch from the current queue on
   /// the calling thread, without waiting for a batch window. Returns the
   /// number of requests completed (0 when the queue is empty).
-  int RunOnce();
+  int RunOnce() ADAMEL_EXCLUDES(mutex_);
 
   /// Stops workers and drains every queued request on the calling thread.
   /// Idempotent; also run by the destructor.
-  void Shutdown();
+  void Shutdown() ADAMEL_EXCLUDES(mutex_);
 
   BatcherStats stats() const;
 
   const BatcherOptions& options() const { return options_; }
 
   /// Pairs currently waiting in the queue (not yet collected into a batch).
-  int queued_pairs() const;
+  int queued_pairs() const ADAMEL_EXCLUDES(mutex_);
 
   /// Pairs collected into an open batch window or executing batch whose
   /// responses are not yet delivered. Admission control bounds
@@ -152,7 +152,7 @@ class MicroBatcher {
     int64_t enqueue_ns = 0;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() ADAMEL_EXCLUDES(mutex_);
 
   /// Pops a batch head and coalesces co-batchable requests (same model,
   /// same schema) up to the effective pair cap. When `wait_for_window` is
@@ -160,21 +160,27 @@ class MicroBatcher {
   /// delay elapses, or `deadline_slack_ns` before the *tightest deadline of
   /// any member* (not just the head: a coalesced joiner with a tighter
   /// deadline pulls the close forward). Returns the batch (may be empty
-  /// when woken with an empty queue).
-  std::vector<std::unique_ptr<Pending>> CollectBatch(
-      std::unique_lock<std::mutex>* lock, bool wait_for_window);
+  /// when woken with an empty queue). The caller must hold `mutex_`; the
+  /// window wait releases it slice-by-slice through `cv_`.
+  std::vector<std::unique_ptr<Pending>> CollectBatch(bool wait_for_window)
+      ADAMEL_REQUIRES(mutex_);
 
-  /// Scores one coalesced batch and fulfills its promises. Called without
-  /// the lock held.
-  int ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+  /// Scores one coalesced batch and fulfills its promises. Must be called
+  /// without the lock held: the model's `ScorePairs` is arbitrary outside
+  /// code, and calling out under `mutex_` is the lock-order violation
+  /// DESIGN.md §8.4 forbids (tests/deadlock_test exercises this contract).
+  int ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch)
+      ADAMEL_EXCLUDES(mutex_);
 
   const BatcherOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  int queued_pairs_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Pending>> queue_ ADAMEL_GUARDED_BY(mutex_);
+  int queued_pairs_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  bool stop_ ADAMEL_GUARDED_BY(mutex_) = false;
+  /// Only touched by the constructor and by `Shutdown` (which external
+  /// callers serialize; the destructor runs it too), never by workers.
   std::vector<std::thread> workers_;
 
   /// Pairs collected out of the queue but not yet responded to. Atomic

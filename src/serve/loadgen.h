@@ -137,6 +137,12 @@ struct LoadMetrics {
 /// holds tenant i's reference scores over the full dataset (computed
 /// offline with `ScorePairs` or `ScorePairsQuantized` to match the
 /// tenant's mode) for the bitwise check.
+///
+/// Deliberately mutex-free (DESIGN.md §8.4): wall-clock client threads
+/// write results into disjoint per-request slots sized up front, and the
+/// join at the end of the run is the only synchronization point. The class
+/// therefore carries no ADAMEL_GUARDED_BY state — there is nothing shared
+/// to guard.
 class LoadGen {
  public:
   LoadGen(LinkageService* service, const data::PairDataset* dataset,

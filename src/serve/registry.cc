@@ -23,7 +23,7 @@ Status ModelRegistry::Register(
                                 std::to_string(version) + " for '" + name +
                                 "'); version 0 is reserved for latest");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto [it, inserted] =
       models_.emplace(std::make_pair(name, version), std::move(model));
   if (!inserted) {
@@ -68,7 +68,7 @@ Status ModelRegistry::LoadFromCheckpoint(
 
 StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
     const std::string& name, int version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (version > 0) {
     const auto it = models_.find(std::make_pair(name, version));
     if (it == models_.end()) {
@@ -93,7 +93,7 @@ StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
 }
 
 bool ModelRegistry::Remove(const std::string& name, int version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const bool erased = models_.erase(std::make_pair(name, version)) > 0;
   if (erased) {
     ADAMEL_GAUGE_SET("serve.registry.models",
@@ -103,7 +103,7 @@ bool ModelRegistry::Remove(const std::string& name, int version) {
 }
 
 std::vector<ModelInfo> ModelRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<ModelInfo> result;
   result.reserve(models_.size());
   for (const auto& [key, model] : models_) {
@@ -113,7 +113,7 @@ std::vector<ModelInfo> ModelRegistry::List() const {
 }
 
 int ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(models_.size());
 }
 

@@ -3,12 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/linkage_model.h"
 
 namespace adamel::serve {
@@ -59,10 +60,13 @@ class ModelRegistry {
   int size() const;
 
  private:
-  mutable std::mutex mutex_;
+  /// Rank 1 in the lock hierarchy (DESIGN.md §8.4): the service resolves a
+  /// model under this mutex, releases it, and only then submits to the
+  /// batcher — registry and batcher locks are never held together.
+  mutable Mutex mutex_;
   std::map<std::pair<std::string, int>,
            std::shared_ptr<const core::EntityLinkageModel>>
-      models_;
+      models_ ADAMEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace adamel::serve

@@ -87,7 +87,7 @@ std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
       token_cache_[HashBytes(token, 0) & (kCacheShards - 1)];
   std::string key(token);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto cached = shard.map.find(key);
     if (cached != shard.map.end()) {
       ADAMEL_COUNTER_ADD("embed.cache.hits", 1);
@@ -98,7 +98,7 @@ std::vector<float> HashTextEmbedding::EmbedToken(std::string_view token) const {
   // Compute outside the lock; a racing duplicate insert produces the same
   // value (the embedding is a pure function of the token bytes).
   std::vector<float> sum = ComputeToken(token);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.map.emplace(std::move(key), std::move(sum)).first->second;
 }
 

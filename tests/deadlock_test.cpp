@@ -1,0 +1,218 @@
+// Lock-order contract tests for the serving stack (DESIGN.md §8.4), meant
+// to run under ThreadSanitizer (scripts/check.sh `tsan` stage and the CI
+// tsan job), where a lock-order inversion or a callback invoked under a
+// mutex surfaces as a deadlock report instead of a silent hang.
+//
+// The contracts exercised:
+//   1. The service resolves models under the registry mutex (rank 1),
+//      releases it, and only then submits to the batcher — the two locks
+//      are never held together.
+//   2. The batcher executes `ScorePairs` with no lock held
+//      (`MicroBatcher::ExecuteBatch` is ADAMEL_EXCLUDES(mutex_)), so a
+//      model is free to call back into the registry or the batcher's own
+//      accessors while scoring.
+//
+// A `ReentrantModel` makes the second contract observable: its ScorePairs
+// re-enters the registry (rank 1) and the batcher (rank 2). If a batch
+// were executed under either mutex, these callbacks would self-deadlock or
+// invert the documented order.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/linkage_model.h"
+#include "data/pair_dataset.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace adamel::serve {
+namespace {
+
+data::Record MakeRecord(std::vector<std::string> values) {
+  data::Record record;
+  record.id = "r";
+  record.source = "s";
+  record.values = std::move(values);
+  return record;
+}
+
+data::PairDataset TinyDataset(int n) {
+  data::PairDataset dataset(data::Schema({"key"}));
+  for (int i = 0; i < n; ++i) {
+    data::LabeledPair pair;
+    pair.left = MakeRecord({"k" + std::to_string(i)});
+    pair.right = MakeRecord({"k" + std::to_string(i)});
+    pair.label = data::kMatch;
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+// A trivially-fitted model whose ScorePairs calls back into the serving
+// layer. Both callbacks take locks (registry mutex_, batcher mutex_): if
+// the batcher ran batches under either, this would deadlock; under TSan a
+// lock-order inversion is reported even when timing hides the hang.
+class ReentrantModel : public core::EntityLinkageModel {
+ public:
+  std::string Name() const override { return "ReentrantModel"; }
+
+  Status Fit(const core::MelInputs& /*inputs*/) override { return OkStatus(); }
+
+  StatusOr<std::vector<float>> ScorePairs(data::PairSpan batch) const override {
+    if (service_ != nullptr) {
+      // Rank 2 (batcher mutex) from inside batch execution: legal only
+      // because ExecuteBatch holds no lock.
+      (void)service_->queued_pairs();
+      // Rank 1 (registry mutex) from inside batch execution: taking a
+      // lower rank here is legal for the same reason — execution holds
+      // nothing, so there is no held-lock edge at all.
+      (void)service_->registry().List();
+      (void)service_->registry().Get("reentrant", 1);
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<float>(static_cast<size_t>(batch.size()), 0.5f);
+  }
+
+  int64_t ParameterCount() const override { return 0; }
+
+  void set_service(LinkageService* service) { service_ = service; }
+  int calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  LinkageService* service_ = nullptr;
+  mutable std::atomic<int> calls_{0};
+};
+
+ScoreRequest MakeRequest(int pairs) {
+  ScoreRequest request;
+  request.model = "reentrant";
+  request.version = 1;
+  request.pairs = TinyDataset(pairs);
+  return request;
+}
+
+// Contract 2 in worker mode: models scored by batcher workers may re-enter
+// the registry and the batcher's accessors.
+TEST(DeadlockTest, ModelMayReenterServiceDuringWorkerExecution) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 2;
+  options.batcher.max_batch_delay_ns = 0;  // execute immediately
+  LinkageService service(options);
+  auto model = std::make_shared<ReentrantModel>();
+  model->set_service(&service);
+  ASSERT_TRUE(service.registry().Register("reentrant", 1, model).ok());
+
+  std::vector<std::future<ScoreResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.SubmitAsync(MakeRequest(4)));
+  }
+  for (auto& future : futures) {
+    const ScoreResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.scores.size(), 4u);
+  }
+  EXPECT_GT(model->calls(), 0);
+  service.Shutdown();
+}
+
+// Contract 2 in pump mode: RunOnce executes the batch on the calling
+// thread, also outside the batcher mutex.
+TEST(DeadlockTest, ModelMayReenterServiceDuringPump) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;  // pump mode
+  LinkageService service(options);
+  auto model = std::make_shared<ReentrantModel>();
+  model->set_service(&service);
+  ASSERT_TRUE(service.registry().Register("reentrant", 1, model).ok());
+
+  std::future<ScoreResponse> future = service.SubmitAsync(MakeRequest(3));
+  ASSERT_EQ(service.PumpOnce(), 1);
+  const ScoreResponse response = future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.scores.size(), 3u);
+  EXPECT_EQ(model->calls(), 1);
+}
+
+// Contract 1 under churn: concurrent clients drive the registry->batcher
+// submission path while other threads mutate the registry and the scoring
+// model re-enters both. Every acquisition order that the design permits
+// happens here at once; TSan verifies no two locks are ever held in
+// conflicting order.
+TEST(DeadlockTest, RegistryChurnConcurrentWithReentrantScoring) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 2;
+  options.batcher.max_batch_delay_ns = 0;
+  LinkageService service(options);
+  auto model = std::make_shared<ReentrantModel>();
+  model->set_service(&service);
+  ASSERT_TRUE(service.registry().Register("reentrant", 1, model).ok());
+
+  constexpr int kClientThreads = 4;
+  constexpr int kRequestsPerClient = 16;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClientThreads + 1);
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&service, &ok_count] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ScoreResponse response = service.Score(MakeRequest(2));
+        // Churn may remove the model between resolution attempts; both
+        // outcomes are legal, only deadlock/corruption is not.
+        if (response.status.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+        }
+      }
+    });
+  }
+  // Churn thread: register/remove a second version while clients score.
+  threads.emplace_back([&service, &model] {
+    for (int i = 0; i < 64; ++i) {
+      (void)service.registry().Register("reentrant", 2, model);
+      (void)service.registry().List();
+      (void)service.registry().Remove("reentrant", 2);
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(ok_count.load(), 0);
+  service.Shutdown();
+}
+
+// Shutdown with requests still queued must drain them without the drain
+// path calling out under the batcher mutex (drained requests re-enter the
+// model too, via ExecuteBatch on the shutting-down thread).
+TEST(DeadlockTest, ShutdownDrainsReentrantModelOutsideLock) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;  // queue everything, drain on Shutdown
+  LinkageService service(options);
+  auto model = std::make_shared<ReentrantModel>();
+  model->set_service(&service);
+  ASSERT_TRUE(service.registry().Register("reentrant", 1, model).ok());
+
+  std::vector<std::future<ScoreResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.SubmitAsync(MakeRequest(2)));
+  }
+  service.Shutdown();
+  for (auto& future : futures) {
+    const ScoreResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.scores.size(), 2u);
+  }
+  // The drain coalesces same-model requests, so one call may cover all 8.
+  EXPECT_GE(model->calls(), 1);
+}
+
+}  // namespace
+}  // namespace adamel::serve

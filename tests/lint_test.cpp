@@ -313,6 +313,215 @@ TEST(LintTest, UnknownSuppressedRuleIsItselfAFinding) {
   EXPECT_EQ(findings[0].rule, "bad-suppression");
 }
 
+// -- raw-mutex ----------------------------------------------------------------
+
+TEST(LintTest, FlagsRawStdMutex) {
+  const auto findings = LintLibrary(
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "void f() { std::lock_guard<std::mutex> lock(mu); }\n");
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "raw-mutex");
+  }
+  // Both the include and each std-qualified use are reported.
+  EXPECT_GE(findings.size(), 3u);
+}
+
+TEST(LintTest, FlagsRawConditionVariableAndUniqueLock) {
+  EXPECT_TRUE(HasRule(LintLibrary("std::condition_variable cv;\n"),
+                      "raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f(std::unique_lock<int>& l) { (void)l; }\n"),
+      "raw-mutex"));
+  EXPECT_TRUE(HasRule(LintLibrary("std::shared_mutex smu;\n"), "raw-mutex"));
+}
+
+TEST(LintTest, AnnotatedWrapperTypesPassRawMutex) {
+  // The adamel wrappers are spelled without std:: qualification, so code on
+  // the wrappers is clean even though the type names overlap.
+  const std::string source = R"cpp(
+#include "common/mutex.h"
+class Counter {
+ public:
+  void Add(int d) {
+    MutexLock lock(mutex_);
+    value_ += d;
+  }
+ private:
+  Mutex mutex_;
+  int value_ ADAMEL_GUARDED_BY(mutex_) = 0;
+};
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+TEST(LintTest, CommonDirectoryMayUseRawMutex) {
+  // src/common/mutex.h wraps std::mutex; the option LintTree sets for
+  // src/common/ turns the rule (and the annotation rule) off there.
+  Options options;
+  options.library_code = true;
+  options.raw_mutex_allowed = true;
+  const auto findings = LintSource(
+      "src/common/mutex.h",
+      "#include <mutex>\nclass M { std::mutex mu_; };\n", options, {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, RawMutexIsSuppressible) {
+  const auto findings = LintLibrary(
+      "// adamel-lint: allow-next-line(raw-mutex) -- interop fixture\n"
+      "std::mutex mu;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// -- unannotated-guarded-member ----------------------------------------------
+
+TEST(LintTest, FlagsUnannotatedMemberNextToMutex) {
+  const std::string source = R"cpp(
+#include "common/mutex.h"
+class Cache {
+ private:
+  Mutex mutex_;
+  int hits_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  std::vector<int> entries_;
+};
+)cpp";
+  const auto findings = LintLibrary(source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unannotated-guarded-member");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("entries_"), std::string::npos);
+}
+
+TEST(LintTest, FullyAnnotatedClassPasses) {
+  const std::string source = R"cpp(
+#include "common/mutex.h"
+class Cache {
+ public:
+  int hits() const {
+    MutexLock lock(mutex_);
+    return hits_;
+  }
+ private:
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int hits_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  std::vector<int> entries_ ADAMEL_GUARDED_BY(mutex_);
+  std::atomic<int> epoch_{0};
+  std::vector<std::thread> workers_;
+  static constexpr int kShards = 4;
+};
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+TEST(LintTest, MutexFreeClassNeedsNoAnnotations) {
+  const std::string source = R"cpp(
+class Point {
+ public:
+  int x = 0;
+  int y = 0;
+};
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+TEST(LintTest, UnannotatedGuardedMemberIsSuppressible) {
+  const std::string source = R"cpp(
+#include "common/mutex.h"
+struct Shard {
+  Mutex mutex;
+  // adamel-lint: allow-next-line(unannotated-guarded-member) -- owned by init
+  std::vector<int> table;
+};
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+// -- detached-thread ----------------------------------------------------------
+
+TEST(LintTest, FlagsThreadDetach) {
+  const auto findings = LintLibrary(
+      "void f(std::thread& t) { t.detach(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "detached-thread");
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f(std::thread* t) { t->detach(); }\n"),
+      "detached-thread"));
+}
+
+TEST(LintTest, JoinAndDetachIdentifierAreFine) {
+  EXPECT_TRUE(LintLibrary("void f(std::thread& t) { t.join(); }\n").empty());
+  // A free function or variable named detach is not a member call.
+  EXPECT_TRUE(LintLibrary("int detach = 0; int g() { return detach; }\n")
+                  .empty());
+}
+
+// -- cv-wait-no-predicate -----------------------------------------------------
+
+TEST(LintTest, FlagsPredicatelessWait) {
+  const auto findings = LintLibrary("void f(C& cv, L& l) { cv.wait(l); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cv-wait-no-predicate");
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f(CondVar* cv, Mutex& mu) { cv->Wait(mu); }\n"),
+      "cv-wait-no-predicate"));
+}
+
+TEST(LintTest, WaitWithPredicateIsFine) {
+  const std::string source = R"cpp(
+void f(CondVar& cv, Mutex& mu, bool& ready) {
+  cv.Wait(mu, [&ready]() { return ready; });
+}
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+TEST(LintTest, TimedWaitSlicesAreFine) {
+  // Timed waits re-check their condition in the surrounding loop, so
+  // wait_for / WaitFor with only a duration argument are not flagged.
+  const std::string source = R"cpp(
+void f(CondVar& cv, Mutex& mu) {
+  cv.WaitFor(mu, kSlice);
+}
+)cpp";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
+TEST(LintTest, PredicatelessWaitIsSuppressible) {
+  const auto findings = LintLibrary(
+      "void f(C& cv, L& l) { cv.wait(l); }  "
+      "// adamel-lint: allow(cv-wait-no-predicate) -- fixture\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// -- tokenizer: digit separators ---------------------------------------------
+
+TEST(LintTest, DigitSeparatorLiteralDoesNotDesyncScanner) {
+  // `2'000'000` must scan as one number token; before the pp-number fix the
+  // scanner swallowed the trailing `'` of `1'` and treated the rest of the
+  // file as a character literal, hiding every later violation.
+  const std::string source = R"cpp(
+constexpr long kDelay = 2'000'000;
+int f() { return rand(); }
+)cpp";
+  const auto findings = LintLibrary(source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondeterminism");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, NumberFollowedByCharLiteralScansCorrectly) {
+  // A number immediately followed by a char literal (array index then quote)
+  // must leave the quote to the char-literal scanner.
+  const std::string source = R"cpp(
+bool f(const char* s) { return s[0] == 'x'; }
+int g() { return rand(); }
+)cpp";
+  EXPECT_TRUE(HasRule(LintLibrary(source), "nondeterminism"));
+}
+
 // -- comments and strings are inert ------------------------------------------
 
 TEST(LintTest, IgnoresTokensInCommentsAndStrings) {
@@ -347,7 +556,9 @@ TEST(LintTest, RuleIdListIsStable) {
   for (const char* expected :
        {"nondeterminism", "unchecked-status", "void-cast-status", "raw-new",
         "cout-debug", "include-guard", "banned-identifier", "telemetry-clock",
-        "bad-suppression", "raw-intrinsic"}) {
+        "bad-suppression", "raw-intrinsic", "raw-mutex",
+        "unannotated-guarded-member", "detached-thread",
+        "cv-wait-no-predicate"}) {
     EXPECT_TRUE(std::find(rules.begin(), rules.end(), expected) !=
                 rules.end())
         << expected;

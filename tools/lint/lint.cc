@@ -121,10 +121,23 @@ std::vector<Token> Tokenize(const std::string& text) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t j = i;
-      while (j < n && (IsIdentChar(text[j]) || text[j] == '\'' ||
-                       ((text[j] == '+' || text[j] == '-') && j > i &&
-                        (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
-        ++j;
+      while (j < n) {
+        if (IsIdentChar(text[j]) ||
+            ((text[j] == '+' || text[j] == '-') && j > i &&
+             (text[j - 1] == 'e' || text[j - 1] == 'E'))) {
+          ++j;
+          continue;
+        }
+        // C++14 digit separator: a ' continues the number only when the
+        // next character could continue it too (standard pp-number rule).
+        // Consuming a trailing ' unconditionally would swallow the opening
+        // quote of a char literal that follows the number, flipping quote
+        // parity and desynchronizing every rule for the rest of the file.
+        if (text[j] == '\'' && j + 1 < n && IsIdentChar(text[j + 1])) {
+          ++j;
+          continue;
+        }
+        break;
       }
       tokens.push_back({Token::Kind::kNumber, text.substr(i, j - i), line});
       i = j;
@@ -465,6 +478,282 @@ void CheckRawIntrinsics(const std::vector<Token>& toks,
   }
 }
 
+// Naked standard-library synchronization primitives outside src/common/.
+// All lock-based code must use the annotated adamel::Mutex / MutexLock /
+// CondVar wrappers (common/mutex.h) so guarded members can carry
+// ADAMEL_GUARDED_BY contracts that Clang's -Wthread-safety verifies; a raw
+// std::mutex is invisible to that analysis.
+const std::set<std::string>& RawSyncTypeNames() {
+  static const std::set<std::string> kNames = {
+      "mutex",          "recursive_mutex",
+      "timed_mutex",    "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any"};
+  return kNames;
+}
+
+void CheckRawMutex(const std::vector<Token>& toks, const std::string& path,
+                   const SuppressionMap& supp,
+                   std::vector<Finding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i) || RawSyncTypeNames().count(toks[i].text) == 0) {
+      continue;
+    }
+    const bool std_qualified = i >= 2 && toks[i - 1].text == "::" &&
+                               toks[i - 2].text == "std";
+    // `#include <mutex>` tokenizes as `# include < mutex >`.
+    const bool sync_include = i >= 2 && toks[i - 1].text == "<" &&
+                              toks[i - 2].text == "include";
+    if (std_qualified || sync_include) {
+      Report(findings, supp, path, toks[i].line, "raw-mutex",
+             "'std::" + toks[i].text + "' outside src/common/; use the "
+             "annotated adamel::Mutex/MutexLock/CondVar wrappers from "
+             "common/mutex.h so ADAMEL_GUARDED_BY contracts stay checkable");
+    }
+  }
+}
+
+// `std::thread::detach()`: a detached thread outlives every join point, so
+// shutdown races it against static destruction and TSan loses the ability
+// to see its end-of-life ordering. All threads in this repo are joined.
+void CheckDetachedThread(const std::vector<Token>& toks,
+                         const std::string& path, const SuppressionMap& supp,
+                         std::vector<Finding>* findings) {
+  for (size_t i = 1; i < toks.size(); ++i) {
+    if (IsIdent(toks, i) && toks[i].text == "detach" &&
+        TokIs(toks, i + 1, "(") &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      Report(findings, supp, path, toks[i].line, "detached-thread",
+             "'.detach()' abandons the thread handle; every thread must be "
+             "joined by an owner with a defined shutdown order");
+    }
+  }
+}
+
+// Untimed condition-variable `wait()` without a predicate: spurious wakeups
+// make a bare wait a latent hang/race — the condition must be re-checked.
+// Pass a predicate lambda, or use a timed WaitFor slice in a loop that
+// re-reads the condition (the fake-clock-aware pattern in serve/batcher).
+void CheckCvWaitNoPredicate(const std::vector<Token>& toks,
+                            const std::string& path,
+                            const SuppressionMap& supp,
+                            std::vector<Finding>* findings) {
+  for (size_t i = 1; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i) ||
+        (toks[i].text != "wait" && toks[i].text != "Wait") ||
+        !TokIs(toks, i + 1, "(") ||
+        (toks[i - 1].text != "." && toks[i - 1].text != "->")) {
+      continue;
+    }
+    // Count top-level commas of the argument list; zero means no predicate
+    // argument (`cv.wait(lock)` or `future.wait()`).
+    int depth = 0;
+    int commas = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != Token::Kind::kPunct) {
+        continue;
+      }
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth == 0) {
+          break;
+        }
+      } else if (t == "," && depth == 1) {
+        ++commas;
+      }
+    }
+    if (commas == 0) {
+      Report(findings, supp, path, toks[i].line, "cv-wait-no-predicate",
+             "'" + toks[i].text + "()' without a predicate races its "
+             "condition against spurious wakeups; pass a predicate lambda "
+             "or loop on a timed WaitFor slice");
+    }
+  }
+}
+
+// Classes that declare a mutex member must say what it guards: every other
+// mutable, non-atomic data member needs an ADAMEL_GUARDED_BY /
+// ADAMEL_PT_GUARDED_BY annotation (or a justified suppression). This keeps
+// the GCC-only checkout honest — Clang's -Wthread-safety would reject an
+// access to an unannotated member, but only the Clang CI job runs it.
+void CheckUnannotatedGuardedMembers(const std::vector<Token>& toks,
+                                    const std::string& path,
+                                    const SuppressionMap& supp,
+                                    std::vector<Finding>* findings) {
+  // Declaration-splitting scan: a stack of brace scopes, where class/struct
+  // bodies accumulate their depth-local tokens into `;`-separated member
+  // declarations. Function bodies and nested types push non-accumulating
+  // or fresh scopes; member brace-initializers are consumed inline so
+  // `int x{0};` stays one declaration.
+  struct Scope {
+    bool class_body = false;
+    std::vector<size_t> cur;                 // current declaration tokens
+    std::vector<std::vector<size_t>> decls;  // finalized declarations
+  };
+
+  const auto decl_has = [&](const std::vector<size_t>& decl,
+                            const char* text) {
+    for (size_t idx : decl) {
+      if (toks[idx].text == text) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto decl_has_any = [&](const std::vector<size_t>& decl,
+                                const std::set<std::string>& names) {
+    for (size_t idx : decl) {
+      if (toks[idx].kind == Token::Kind::kIdent &&
+          names.count(toks[idx].text) > 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  static const std::set<std::string> kMutexTypes = {
+      "Mutex", "SpinLock", "mutex", "shared_mutex", "recursive_mutex",
+      "timed_mutex"};
+  // Members that are synchronization primitives, lock-free, or lifecycle
+  // handles with their own discipline — never flagged.
+  static const std::set<std::string> kExemptTypes = {
+      "Mutex",   "SpinLock", "CondVar", "mutex", "shared_mutex",
+      "recursive_mutex", "timed_mutex", "condition_variable",
+      "condition_variable_any", "atomic", "atomic_flag", "thread",
+      "jthread"};
+  static const std::set<std::string> kSkipLeaders = {
+      "using", "typedef", "friend", "static", "const", "constexpr",
+      "enum", "class", "struct", "union", "template", "public", "private",
+      "protected"};
+
+  const auto analyze = [&](const Scope& scope) {
+    bool has_mutex = false;
+    for (const std::vector<size_t>& decl : scope.decls) {
+      if (!decl_has(decl, "(") && decl_has_any(decl, kMutexTypes)) {
+        has_mutex = true;
+        break;
+      }
+    }
+    if (!has_mutex) {
+      return;
+    }
+    for (const std::vector<size_t>& decl : scope.decls) {
+      if (decl.size() < 2 ||
+          decl_has(decl, "ADAMEL_GUARDED_BY") ||
+          decl_has(decl, "ADAMEL_PT_GUARDED_BY")) {
+        continue;
+      }
+      if (decl_has(decl, "(")) {
+        continue;  // member function / constructor / annotated declaration
+      }
+      if (kSkipLeaders.count(toks[decl[0]].text) > 0) {
+        continue;  // type alias, nested type, access label, constant, ...
+      }
+      if (decl_has_any(decl, kExemptTypes)) {
+        continue;
+      }
+      // The member name: last identifier before the initializer (if any).
+      size_t name_idx = 0;
+      int idents = 0;
+      for (size_t idx : decl) {
+        if (toks[idx].text == "=") {
+          break;
+        }
+        if (toks[idx].kind == Token::Kind::kIdent) {
+          name_idx = idx;
+          ++idents;
+        }
+      }
+      if (idents < 2) {
+        continue;  // not a `Type name` data-member shape
+      }
+      Report(findings, supp, path, toks[name_idx].line,
+             "unannotated-guarded-member",
+             "class declares a mutex but member '" + toks[name_idx].text +
+                 "' carries no ADAMEL_GUARDED_BY/ADAMEL_PT_GUARDED_BY "
+                 "annotation; state the lock contract (or suppress with a "
+                 "reason for members with their own synchronization)");
+    }
+  };
+
+  std::vector<Scope> stack(1);  // file scope
+  bool pending_class = false;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    Scope& top = stack.back();
+    if (tok.kind == Token::Kind::kIdent &&
+        (tok.text == "class" || tok.text == "struct" || tok.text == "union")) {
+      pending_class = true;
+    } else if (tok.kind == Token::Kind::kPunct &&
+               (tok.text == "(" || tok.text == ")" || tok.text == ">")) {
+      // `template <class T>`, `void f(struct tm*)`, attribute argument
+      // lists: the keyword did not introduce a class definition.
+      pending_class = false;
+    } else if (tok.kind == Token::Kind::kPunct && tok.text == ";") {
+      if (top.class_body && !top.cur.empty()) {
+        top.decls.push_back(std::move(top.cur));
+        top.cur.clear();
+      }
+      pending_class = false;
+      continue;
+    } else if (tok.kind == Token::Kind::kPunct && tok.text == ":" &&
+               top.class_body && top.cur.size() == 1 &&
+               (toks[top.cur[0]].text == "public" ||
+                toks[top.cur[0]].text == "private" ||
+                toks[top.cur[0]].text == "protected")) {
+      top.cur.clear();
+      continue;
+    } else if (tok.kind == Token::Kind::kPunct && tok.text == "{") {
+      if (top.class_body && !pending_class && !top.cur.empty() &&
+          !decl_has(top.cur, "(") &&
+          kSkipLeaders.count(toks[top.cur[0]].text) == 0) {
+        // Member brace-initializer (`std::atomic<int> x{0};`): consume it
+        // inline so the declaration continues to its terminating ';'.
+        int depth = 1;
+        ++i;
+        while (i < toks.size() && depth > 0) {
+          if (toks[i].kind == Token::Kind::kPunct) {
+            if (toks[i].text == "{") {
+              ++depth;
+            } else if (toks[i].text == "}") {
+              --depth;
+            }
+          }
+          ++i;
+        }
+        --i;  // the for-loop ++ lands just past the closing brace
+        continue;
+      }
+      Scope next;
+      next.class_body = pending_class;
+      top.cur.clear();  // a function/type definition header is not a member
+      pending_class = false;
+      stack.push_back(std::move(next));
+      continue;
+    } else if (tok.kind == Token::Kind::kPunct && tok.text == "}") {
+      if (stack.size() > 1) {
+        Scope closed = std::move(stack.back());
+        stack.pop_back();
+        if (closed.class_body) {
+          if (!closed.cur.empty()) {
+            closed.decls.push_back(std::move(closed.cur));
+          }
+          analyze(closed);
+        }
+      }
+      continue;
+    }
+    if (top.class_body) {
+      top.cur.push_back(i);
+    }
+  }
+}
+
 void CheckBannedIdentifiers(const std::vector<Token>& toks,
                             const std::string& path,
                             const SuppressionMap& supp,
@@ -551,7 +840,8 @@ const std::vector<std::string>& RuleIds() {
       "nondeterminism",  "unchecked-status", "void-cast-status",
       "raw-new",         "cout-debug",       "include-guard",
       "banned-identifier", "telemetry-clock",  "bad-suppression",
-      "raw-intrinsic"};
+      "raw-intrinsic",   "raw-mutex",        "unannotated-guarded-member",
+      "detached-thread", "cv-wait-no-predicate"};
   return kIds;
 }
 
@@ -622,11 +912,17 @@ std::vector<Finding> LintSource(const std::string& path,
   }
   CheckUncheckedStatus(toks, path, supp, status_names, &findings);
   CheckBannedIdentifiers(toks, path, supp, &findings);
+  CheckDetachedThread(toks, path, supp, &findings);
+  CheckCvWaitNoPredicate(toks, path, supp, &findings);
   if (options.library_code) {
     CheckLibraryOnlyRules(toks, path, supp, &findings);
     if (!options.intrinsics_allowed) {
       CheckRawIntrinsics(toks, path, supp, &findings);
     }
+  }
+  if (!options.raw_mutex_allowed) {
+    CheckRawMutex(toks, path, supp, &findings);
+    CheckUnannotatedGuardedMembers(toks, path, supp, &findings);
   }
   if (!options.expected_guard.empty()) {
     CheckIncludeGuard(toks, path, options.expected_guard, supp, &findings);
@@ -678,6 +974,7 @@ std::vector<Finding> LintTree(const std::string& root,
     options.library_code = relpath.rfind("src/", 0) == 0;
     options.obs_clock_allowed = relpath.rfind("src/obs/", 0) == 0;
     options.intrinsics_allowed = relpath.rfind("src/nn/kernels/", 0) == 0;
+    options.raw_mutex_allowed = relpath.rfind("src/common/", 0) == 0;
     if (IsHeader(file)) {
       options.expected_guard = ExpectedIncludeGuard(relpath);
     }

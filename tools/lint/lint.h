@@ -33,6 +33,15 @@ struct Options {
   /// stays behind one runtime-dispatched seam.
   bool intrinsics_allowed = false;
 
+  /// True for files under src/common/ — the annotated Mutex/MutexLock/
+  /// CondVar wrappers (common/mutex.h) live there and are the one place
+  /// allowed to touch `std::mutex` and friends directly. Everywhere else
+  /// the raw-mutex rule demands the wrappers (so every guarded member can
+  /// carry a `ADAMEL_GUARDED_BY` contract that Clang's -Wthread-safety
+  /// checks), and the unannotated-guarded-member rule requires mutex-
+  /// bearing classes to annotate their data members.
+  bool raw_mutex_allowed = false;
+
   /// Expected include-guard macro for a header ("" skips the check).
   std::string expected_guard;
 };
