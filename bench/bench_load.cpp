@@ -84,8 +84,10 @@ LoadFlags ParseLoadFlags(int argc, char** argv) {
 
 struct Setup {
   data::PairDataset test;
+  core::AdamelConfig config;  // primary model's config (candidate reload)
   std::shared_ptr<core::AdamelLinkage> adamel;
   std::shared_ptr<core::AdamelLinkage> lite;
+  std::shared_ptr<core::AdamelLinkage> corrupt;
   std::vector<float> offline_fp32;
   std::vector<float> offline_quant;
   std::vector<float> offline_lite;
@@ -112,6 +114,7 @@ Setup BuildSetup(bool quick) {
   config.latent_dim = 16;
   config.attention_dim = 16;
   config.hidden_dim = 32;
+  setup.config = config;
   setup.adamel = std::make_shared<core::AdamelLinkage>(
       core::AdamelVariant::kBase, config);
   {
@@ -136,6 +139,31 @@ Setup BuildSetup(bool quick) {
       core::AdamelVariant::kBase, lite_config);
   {
     const Status fitted = setup.lite->Fit(inputs);
+    ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  }
+
+  // A deliberately-diverged candidate for the lifecycle rollback phase:
+  // the primary's architecture trained on label-flipped pairs, so its
+  // scores land far outside the golden band and the shadow comparison
+  // must reject it. (An independently-seeded model on the same task
+  // converges to near-identical scores — not a usable "corrupt" stand-in.)
+  data::PairDataset flipped = task.source_train;
+  for (data::LabeledPair& pair : flipped.mutable_pairs()) {
+    if (pair.label == data::kMatch) {
+      pair.label = data::kNonMatch;
+    } else if (pair.label == data::kNonMatch) {
+      pair.label = data::kMatch;
+    }
+  }
+  core::MelInputs flipped_inputs;
+  flipped_inputs.source_train = &flipped;
+  core::AdamelConfig corrupt_config = config;
+  corrupt_config.seed = 13;
+  corrupt_config.epochs = 10;  // long enough to be confidently wrong
+  setup.corrupt = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, corrupt_config);
+  {
+    const Status fitted = setup.corrupt->Fit(flipped_inputs);
     ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
   }
 
@@ -213,6 +241,87 @@ serve::LoadMetrics RunDeterministic(const Setup& setup,
   return loadgen.RunDeterministic(&clock);
 }
 
+struct LifecycleRun {
+  serve::LoadMetrics metrics;
+  serve::LifecycleStats stats;
+};
+
+// Deterministic run with a live model lifecycle attached: at T/2 of the
+// schedule a candidate is staged for "adamel" and the swap plays out UNDER
+// the arrival process — shadow mirrors ride the same queue and charge the
+// same synthetic batch cost as client traffic. With `healthy` the
+// candidate is a checkpoint copy of the incumbent (bitwise-identical
+// scores), so the run must end in exactly one promotion; otherwise the
+// candidate is the label-flip-trained model, whose score deltas blow the
+// golden band, so the run must end in an auto-rollback with zero
+// promotions.
+LifecycleRun RunDeterministicLifecycle(const Setup& setup,
+                                       serve::ArrivalSchedule schedule,
+                                       const LoadFlags& flags, bool healthy,
+                                       const std::string& candidate_path) {
+  serve::LinkageService service(
+      MakeServiceOptions(/*adaptive=*/true, /*workers=*/0));
+  RegisterModels(&service, setup);
+
+  std::shared_ptr<const core::EntityLinkageModel> candidate;
+  if (healthy) {
+    const Status saved = setup.adamel->SaveCheckpoint(candidate_path);
+    ADAMEL_CHECK(saved.ok()) << saved.ToString();
+    auto copy = std::make_unique<core::AdamelLinkage>(
+        core::AdamelVariant::kBase, setup.config);
+    const Status loaded = copy->LoadCheckpoint(candidate_path);
+    ADAMEL_CHECK(loaded.ok()) << loaded.ToString();
+    candidate = std::move(copy);
+  } else {
+    candidate = setup.corrupt;
+  }
+
+  serve::LifecycleOptions lifecycle_options;
+  lifecycle_options.model_name = "adamel";
+  lifecycle_options.shadow_fraction = 0.25;
+  lifecycle_options.min_shadow_requests = 16;
+  lifecycle_options.probation_requests = 32;
+  serve::LifecycleManager lifecycle(&service, lifecycle_options);
+
+  serve::LoadGen loadgen(&service, &setup.test, setup.offline_refs,
+                         MakeLoadOptions(setup, schedule, flags));
+  loadgen.SetLifecycle(&lifecycle);
+  // After a promotion the "adamel" tenants resolve version 2; the healthy
+  // candidate is a checkpoint copy, so version 2's offline reference is
+  // the incumbent's (bitwise). Registering it pins the check to the
+  // version that actually served each response.
+  loadgen.AddVersionReference(/*tenant=*/0, /*version=*/2,
+                              &setup.offline_fp32);
+  loadgen.AddVersionReference(/*tenant=*/1, /*version=*/2,
+                              &setup.offline_quant);
+
+  const int64_t stage_at_ns =
+      static_cast<int64_t>(flags.duration_s * 0.5 * 1e9);
+  struct TickState {
+    int64_t start_ns = -1;
+    bool staged = false;
+  };
+  TickState tick_state;
+  loadgen.SetDeterministicTick(
+      [&](int64_t now_ns) {
+        if (tick_state.start_ns < 0) {
+          tick_state.start_ns = now_ns;
+        }
+        if (!tick_state.staged &&
+            now_ns - tick_state.start_ns >= stage_at_ns) {
+          tick_state.staged = true;
+          const Status staged_status = lifecycle.StageCandidate(candidate);
+          ADAMEL_CHECK(staged_status.ok()) << staged_status.ToString();
+        }
+      });
+
+  obs::ScopedFakeClock clock;
+  LifecycleRun run;
+  run.metrics = loadgen.RunDeterministic(&clock);
+  run.stats = lifecycle.stats();
+  return run;
+}
+
 serve::LoadMetrics RunWallClock(const Setup& setup,
                                 serve::ArrivalSchedule schedule,
                                 const LoadFlags& flags) {
@@ -244,6 +353,22 @@ void EmitRun(std::FILE* out, const char* key, const serve::LoadMetrics& m,
                m.deadline_miss_rate, m.shed_rate,
                m.scores_bitwise_identical ? "true" : "false",
                last ? "" : ",");
+}
+
+// Lifecycle outcome of one run, numbers only (FlatJsonParse-safe).
+void EmitLifecycle(std::FILE* out, const serve::LifecycleStats& s,
+                   bool last) {
+  std::fprintf(out,
+               "      \"lifecycle\": {\"promotions\": %lld, "
+               "\"rollbacks\": %lld, \"swaps\": %lld, "
+               "\"shadow_requests\": %lld, \"shadow_errors\": %lld, "
+               "\"mean_abs_delta\": %.6f, \"final_version\": %d}%s\n",
+               static_cast<long long>(s.promotions),
+               static_cast<long long>(s.rollbacks),
+               static_cast<long long>(s.swaps),
+               static_cast<long long>(s.shadow_requests),
+               static_cast<long long>(s.shadow_errors), s.mean_abs_delta,
+               s.incumbent_version, last ? "" : ",");
 }
 
 void PrintSummary(const char* config, const serve::LoadMetrics& m) {
@@ -290,6 +415,8 @@ int main(int argc, char** argv) {
     serve::LoadMetrics adaptive;
     bool has_wall = false;
     serve::LoadMetrics wall;
+    bool has_lifecycle = false;
+    LifecycleRun lifecycle;
   };
   std::map<std::string, Row> rows;
   for (const serve::ArrivalSchedule schedule : schedules) {
@@ -304,6 +431,29 @@ int main(int argc, char** argv) {
       row.has_wall = true;
       PrintSummary("adaptive", row.wall);
     }
+    // Lifecycle runs: a mid-run hot-swap on the steady schedule (healthy
+    // candidate => must promote), an auto-rollback on the burst schedule
+    // (wrong-model candidate => golden band must reject it under burst
+    // pressure).
+    if (schedule == serve::ArrivalSchedule::kSteady ||
+        schedule == serve::ArrivalSchedule::kBurst) {
+      const bool healthy = schedule == serve::ArrivalSchedule::kSteady;
+      row.lifecycle = RunDeterministicLifecycle(
+          setup, schedule, flags, healthy,
+          options.output_dir + "/lifecycle_candidate.ckpt");
+      row.has_lifecycle = true;
+      PrintSummary("lifecycle", row.lifecycle.metrics);
+      std::fprintf(stderr,
+                   "[load] %-7s lifecycle: promotions %lld, rollbacks %lld, "
+                   "shadows %lld, mean |delta| %.4f, final v%d\n",
+                   serve::ScheduleName(schedule),
+                   static_cast<long long>(row.lifecycle.stats.promotions),
+                   static_cast<long long>(row.lifecycle.stats.rollbacks),
+                   static_cast<long long>(
+                       row.lifecycle.stats.shadow_requests),
+                   row.lifecycle.stats.mean_abs_delta,
+                   row.lifecycle.stats.incumbent_version);
+    }
     rows[serve::ScheduleName(schedule)] = std::move(row);
   }
 
@@ -311,7 +461,9 @@ int main(int argc, char** argv) {
   for (const auto& [name, row] : rows) {
     all_bitwise = all_bitwise && row.fixed.scores_bitwise_identical &&
                   row.adaptive.scores_bitwise_identical &&
-                  (!row.has_wall || row.wall.scores_bitwise_identical);
+                  (!row.has_wall || row.wall.scores_bitwise_identical) &&
+                  (!row.has_lifecycle ||
+                   row.lifecycle.metrics.scores_bitwise_identical);
   }
   // The adaptive controller has to earn its keep where fixed constants
   // hurt: on the burst schedule it must improve p99 or deadline misses
@@ -349,9 +501,14 @@ int main(int argc, char** argv) {
     ++emitted;
     std::fprintf(out, "    \"%s\": {\n", name.c_str());
     EmitRun(out, "det_fixed", row.fixed, /*last=*/false);
-    EmitRun(out, "det_adaptive", row.adaptive, /*last=*/!row.has_wall);
+    EmitRun(out, "det_adaptive", row.adaptive,
+            /*last=*/!row.has_wall && !row.has_lifecycle);
     if (row.has_wall) {
-      EmitRun(out, "wall_adaptive", row.wall, /*last=*/true);
+      EmitRun(out, "wall_adaptive", row.wall, /*last=*/!row.has_lifecycle);
+    }
+    if (row.has_lifecycle) {
+      EmitRun(out, "det_lifecycle", row.lifecycle.metrics, /*last=*/false);
+      EmitLifecycle(out, row.lifecycle.stats, /*last=*/true);
     }
     std::fprintf(out, "    }%s\n", emitted == rows.size() ? "" : ",");
   }
@@ -400,6 +557,25 @@ int main(int argc, char** argv) {
   if (rows.count("burst") > 0) {
     require("burst_adaptive_beats_fixed", 1.0,
             "adaptive batching did not beat fixed constants on burst");
+  }
+  // Lifecycle gates: the healthy mid-run swap on steady must complete as
+  // exactly one promotion (and no rollback); the corrupted candidate under
+  // burst must be auto-rolled-back without ever being published.
+  if (const auto it = rows.find("steady");
+      it != rows.end() && it->second.has_lifecycle) {
+    require("runs/steady/lifecycle/promotions", 1.0,
+            "steady mid-run hot-swap did not promote");
+    require("runs/steady/lifecycle/rollbacks", 0.0,
+            "steady mid-run hot-swap rolled back");
+    require("runs/steady/lifecycle/final_version", 2.0,
+            "steady hot-swap did not land on version 2");
+  }
+  if (const auto it = rows.find("burst");
+      it != rows.end() && it->second.has_lifecycle) {
+    require("runs/burst/lifecycle/promotions", 0.0,
+            "corrupted candidate was promoted under burst");
+    require("runs/burst/lifecycle/rollbacks", 1.0,
+            "corrupted candidate was not auto-rolled-back under burst");
   }
   for (const auto& [name, row] : rows) {
     if (name != "steady") {

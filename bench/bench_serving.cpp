@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "datagen/music_world.h"
 #include "eval/report.h"
 #include "obs/clock.h"
+#include "serve/lifecycle.h"
 #include "serve/service.h"
 
 namespace {
@@ -121,6 +123,97 @@ RunResult RunConfig(const std::shared_ptr<const core::AdamelLinkage>& model,
   return result;
 }
 
+struct HotswapResult {
+  int total_requests = 0;
+  int64_t served_v1 = 0;
+  int64_t served_v2 = 0;
+  serve::LifecycleStats stats;
+  bool bitwise_identical = true;
+};
+
+// Mid-stream hot-swap: one client replays the single-pair stream through
+// the lifecycle facade while the same thread pumps the batcher; at the
+// halfway mark a checkpoint copy of the incumbent is staged as candidate.
+// The shadow comparison must promote it during the stream (the copy is
+// bitwise-identical, so mean |score delta| is exactly 0), every request
+// must complete, the version split must account for every response, and
+// each response must be bitwise equal to the offline scores of the version
+// that served it (identical for both versions here, by construction).
+HotswapResult RunHotswap(const std::shared_ptr<core::AdamelLinkage>& model,
+                         const core::AdamelConfig& config,
+                         const data::PairDataset& test,
+                         const std::vector<float>& offline,
+                         int total_requests,
+                         const std::string& checkpoint_path) {
+  serve::ServiceOptions options;
+  options.batcher.worker_threads = 0;  // pump mode: same-thread drain
+  options.batcher.max_batch_pairs = 512;
+  options.batcher.max_queue_pairs = 1 << 16;
+  serve::LinkageService service(options);
+  {
+    const Status registered = service.registry().Register("adamel", 1, model);
+    ADAMEL_CHECK(registered.ok()) << registered.ToString();
+  }
+
+  const Status saved = model->SaveCheckpoint(checkpoint_path);
+  ADAMEL_CHECK(saved.ok()) << saved.ToString();
+  auto copy = std::make_unique<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  const Status loaded = copy->LoadCheckpoint(checkpoint_path);
+  ADAMEL_CHECK(loaded.ok()) << loaded.ToString();
+  std::shared_ptr<const core::EntityLinkageModel> candidate = std::move(copy);
+
+  serve::LifecycleOptions lifecycle_options;
+  lifecycle_options.model_name = "adamel";
+  lifecycle_options.shadow_fraction = 0.5;
+  lifecycle_options.min_shadow_requests = 8;
+  lifecycle_options.probation_requests = 16;
+  serve::LifecycleManager lifecycle(&service, lifecycle_options);
+
+  HotswapResult result;
+  result.total_requests = total_requests;
+  std::vector<std::future<serve::ScoreResponse>> futures;
+  std::vector<int> indices;
+  futures.reserve(total_requests);
+  indices.reserve(total_requests);
+  for (int r = 0; r < total_requests; ++r) {
+    if (r == total_requests / 2) {
+      const Status staged = lifecycle.StageCandidate(candidate);
+      ADAMEL_CHECK(staged.ok()) << staged.ToString();
+    }
+    const int index = r % test.size();
+    serve::ScoreRequest request;
+    request.model = "adamel";
+    request.pairs = data::PairSpan(test).Subspan(index, 1).ToDataset();
+    futures.push_back(lifecycle.SubmitShadowed(std::move(request)));
+    indices.push_back(index);
+    if (r % 4 == 3) {
+      service.PumpOnce();
+      lifecycle.Tick();
+    }
+  }
+  lifecycle.Tick();
+  while (service.queued_pairs() > 0 || lifecycle.pending_shadows() > 0) {
+    service.PumpOnce();
+    lifecycle.Tick();
+  }
+
+  for (int r = 0; r < total_requests; ++r) {
+    const serve::ScoreResponse response = futures[r].get();
+    if (!response.status.ok() || response.scores.size() != 1 ||
+        response.scores[0] != offline[indices[r]]) {
+      result.bitwise_identical = false;
+    }
+    if (response.served_version == 1) {
+      ++result.served_v1;
+    } else if (response.served_version >= 2) {
+      ++result.served_v2;
+    }
+  }
+  result.stats = lifecycle.stats();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +270,20 @@ int main(int argc, char** argv) {
       RunConfig(model, test, offline_q.value(), 512, clients, total_requests,
                 /*quantized=*/true);
 
+  std::fprintf(stderr, "[serving] hotswap (mid-stream promote)...\n");
+  const HotswapResult hotswap =
+      RunHotswap(model, config, test, offline.value(), total_requests,
+                 options.output_dir + "/serving_candidate.ckpt");
+  std::fprintf(stderr,
+               "[serving] hotswap: promotions %lld, swaps %lld, shadows %lld, "
+               "served v1 %lld / v2 %lld of %d\n",
+               static_cast<long long>(hotswap.stats.promotions),
+               static_cast<long long>(hotswap.stats.swaps),
+               static_cast<long long>(hotswap.stats.shadow_requests),
+               static_cast<long long>(hotswap.served_v1),
+               static_cast<long long>(hotswap.served_v2),
+               hotswap.total_requests);
+
   const double speedup = batch1.requests_per_second > 0.0
                              ? batched.requests_per_second /
                                    batch1.requests_per_second
@@ -185,9 +292,15 @@ int main(int argc, char** argv) {
       batched.requests_per_second > 0.0
           ? quantized.requests_per_second / batched.requests_per_second
           : 0.0;
+  // The hot-swap phase must promote exactly once, serve every request on a
+  // concrete version, and stay bitwise-deterministic throughout the swap.
+  const bool hotswap_ok =
+      hotswap.bitwise_identical && hotswap.stats.promotions == 1 &&
+      hotswap.served_v2 > 0 &&
+      hotswap.served_v1 + hotswap.served_v2 == hotswap.total_requests;
   const bool deterministic =
       batch1.bitwise_identical && batched.bitwise_identical &&
-      quantized.bitwise_identical;
+      quantized.bitwise_identical && hotswap.bitwise_identical;
 
   const std::string path = options.output_dir + "/BENCH_serving.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -225,6 +338,19 @@ int main(int argc, char** argv) {
                quantized.seconds, quantized.requests_per_second,
                static_cast<long long>(quantized.batches),
                static_cast<long long>(quantized.max_batch_pairs));
+  std::fprintf(out,
+               "  \"hotswap\": {\"requests\": %d, \"served_v1\": %lld, "
+               "\"served_v2\": %lld, \"promotions\": %lld, \"swaps\": %lld, "
+               "\"shadow_requests\": %lld, \"mean_abs_delta\": %.6f, "
+               "\"final_version\": %d, \"bitwise_identical\": %s},\n",
+               hotswap.total_requests,
+               static_cast<long long>(hotswap.served_v1),
+               static_cast<long long>(hotswap.served_v2),
+               static_cast<long long>(hotswap.stats.promotions),
+               static_cast<long long>(hotswap.stats.swaps),
+               static_cast<long long>(hotswap.stats.shadow_requests),
+               hotswap.stats.mean_abs_delta, hotswap.stats.incumbent_version,
+               hotswap_ok ? "true" : "false");
   std::fprintf(out, "  \"batched_speedup\": %.2f,\n", speedup);
   std::fprintf(out, "  \"quantized_speedup_vs_fp32\": %.2f,\n",
                quantized_speedup);
@@ -237,6 +363,16 @@ int main(int argc, char** argv) {
   bench::EmitTelemetry(options, "serving");
   if (!deterministic) {
     std::fprintf(stderr, "[serving] FAIL: served scores diverged\n");
+    return 1;
+  }
+  if (!hotswap_ok) {
+    std::fprintf(stderr,
+                 "[serving] FAIL: hotswap phase did not promote cleanly "
+                 "(promotions %lld, v1 %lld, v2 %lld, bitwise %d)\n",
+                 static_cast<long long>(hotswap.stats.promotions),
+                 static_cast<long long>(hotswap.served_v1),
+                 static_cast<long long>(hotswap.served_v2),
+                 hotswap.bitwise_identical ? 1 : 0);
     return 1;
   }
   return 0;

@@ -24,6 +24,11 @@
 #                  and emit BENCH_load.json that FlatJsonParse accepts (the
 #                  binary re-reads its own output and exits nonzero on any
 #                  of these)
+#   4b. lifecycle  lifecycle_test (hot-swap/shadow/rollback conformance)
+#                  plus a bench_load burst smoke whose mid-run corrupted
+#                  candidate must be auto-rolled-back — the live-update
+#                  path end to end (the steady smoke in stage 4 already
+#                  gates the healthy mid-run promotion)
 #   5. scalar      ADAMEL_FORCE_SCALAR=1 full ctest against the tier-1
 #                  build — pins the kernel dispatch to the scalar backend,
 #                  proving nothing depends on SIMD being present and the
@@ -32,7 +37,8 @@
 #                  telemetry, and serving tests (serve_test hammers the
 #                  micro-batcher and registry from concurrent clients;
 #                  deadlock_test exercises the DESIGN.md §8.4 lock-order
-#                  contracts with a model that re-enters the service)
+#                  contracts with a model that re-enters the service;
+#                  lifecycle_test swaps models under concurrent load)
 #   7. notelemetry ADAMEL_TELEMETRY=OFF build, full ctest — proves the
 #                  telemetry macros compile to no-ops and nothing depends
 #                  on them being live
@@ -95,6 +101,12 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_load
 "${BUILD_DIR}/bench/bench_load" --quick --schedule=steady --duration_s=2 \
   --out "${BUILD_DIR}/bench_smoke"
 
+echo "== lifecycle: conformance tests + burst rollback smoke =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target lifecycle_test
+"${BUILD_DIR}/tests/lifecycle_test"
+"${BUILD_DIR}/bench/bench_load" --quick --schedule=burst --duration_s=2 \
+  --out "${BUILD_DIR}/bench_smoke"
+
 echo "== scalar: full ctest with ADAMEL_FORCE_SCALAR=1 =="
 ADAMEL_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -j "${JOBS}"
@@ -104,7 +116,7 @@ cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target parallel_test ops_test obs_test serve_test loadgen_test \
-  deadlock_test
+  deadlock_test lifecycle_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
@@ -113,6 +125,7 @@ echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/serve_test"
 "${TSAN_BUILD_DIR}/tests/loadgen_test"
 "${TSAN_BUILD_DIR}/tests/deadlock_test"
+"${TSAN_BUILD_DIR}/tests/lifecycle_test"
 
 echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
 cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

@@ -703,6 +703,26 @@ StatusOr<std::shared_ptr<TrainedAdamel>> AdamelTrainer::FitImpl(
     ADAMEL_RETURN_IF_ERROR(LoadTrainState(
         checkpoint->path, variant, config_, n, model.get(), &optimizer, &rng,
         &start_epoch, &permutation, &full_history));
+  } else if (checkpoint != nullptr && !checkpoint->warm_start_path.empty()) {
+    // Warm start from a donor model checkpoint: weights only, everything
+    // else (Adam moments, RNG, epoch counter) starts fresh. Only taken when
+    // there is no resumable train state — an interrupted warm-started run
+    // resumes from its own train state, not from the donor again.
+    StatusOr<std::shared_ptr<TrainedAdamel>> donor =
+        TrainedAdamel::LoadFromFile(checkpoint->warm_start_path);
+    if (!donor.ok()) {
+      return donor.status();
+    }
+    if ((*donor)->model().feature_count() != extractor->feature_count()) {
+      return FailedPreconditionError(
+          "warm-start donor '" + checkpoint->warm_start_path + "' has " +
+          std::to_string((*donor)->model().feature_count()) +
+          " features, new data produces " +
+          std::to_string(extractor->feature_count()) +
+          " (schema or feature config differs)");
+    }
+    ADAMEL_RETURN_IF_ERROR(nn::CopyNamedTensors(
+        (*donor)->model().NamedParameters(), model->NamedParameters()));
   }
 
   SourceCentroids centroids;

@@ -112,6 +112,18 @@ struct FitCheckpointOptions {
   /// this call even if `config.epochs` is not reached — simulates an
   /// interrupted job for tests and demos. 0 = train to completion.
   int max_epochs_this_run = 0;
+  /// Warm start: when set (and no resumable train state exists at `path`),
+  /// initial model weights are copied from the `TrainedAdamel` checkpoint at
+  /// this path instead of the seeded random init. Optimizer moments, the RNG
+  /// stream, and the epoch counter still start fresh — this is how a new
+  /// data source fine-tunes from the incumbent serving model, whose train
+  /// state (tied to the *old* dataset size) cannot resume. The donor must
+  /// have the same architecture (feature count and layer shapes);
+  /// `kFailedPrecondition` otherwise. Feature extraction is deterministic
+  /// from (schema, feature mode, embed dim) — hash embeddings, no fitted
+  /// vocabulary — so matching shapes imply the donor's weights are
+  /// meaningful for the new extractor.
+  std::string warm_start_path;
 };
 
 /// Trains AdaMEL per Algorithms 1-3: mini-batch Adam over D_S with, per

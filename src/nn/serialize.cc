@@ -310,6 +310,36 @@ Status ReadNamedTensorsInto(BlobReader* reader,
   return OkStatus();
 }
 
+Status CopyNamedTensors(const std::vector<NamedTensor>& source,
+                        const std::vector<NamedTensor>& targets) {
+  if (source.size() != targets.size()) {
+    return FailedPreconditionError(
+        "parameter count mismatch: donor has " +
+        std::to_string(source.size()) + " tensors, model expects " +
+        std::to_string(targets.size()));
+  }
+  for (size_t i = 0; i < source.size(); ++i) {
+    const auto& [donor_name, donor] = source[i];
+    const auto& [name, target] = targets[i];
+    if (donor_name != name) {
+      return FailedPreconditionError("parameter name mismatch: donor has '" +
+                                     donor_name + "', model expects '" +
+                                     name + "'");
+    }
+    ADAMEL_CHECK(donor.defined() && target.defined());
+    if (donor.rows() != target.rows() || donor.cols() != target.cols()) {
+      std::ostringstream message;
+      message << "tensor shape mismatch for '" << name << "': donor is "
+              << donor.rows() << "x" << donor.cols() << ", model expects "
+              << target.rows() << "x" << target.cols();
+      return FailedPreconditionError(message.str());
+    }
+    Tensor handle = target;  // shared storage: writes through to the model
+    handle.mutable_data() = donor.data();
+  }
+  return OkStatus();
+}
+
 // -- File IO ----------------------------------------------------------------
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {

@@ -114,6 +114,14 @@ void WriteNamedTensors(const std::vector<NamedTensor>& tensors,
 Status ReadNamedTensorsInto(BlobReader* reader,
                             const std::vector<NamedTensor>& targets);
 
+/// Copies `source` values into `targets` in place (shared storage, so
+/// optimizer handles onto the target tensors see the new values). Names and
+/// shapes must match exactly, in order — the warm-start path uses this to
+/// seed a fresh model from a donor checkpoint's weights, and a mismatch
+/// means the donor belongs to a different architecture.
+Status CopyNamedTensors(const std::vector<NamedTensor>& source,
+                        const std::vector<NamedTensor>& targets);
+
 // -- Checkpoint files -------------------------------------------------------
 
 /// First bytes of every checkpoint file.

@@ -108,6 +108,22 @@ const std::vector<double>& FineLatencyBoundsNs() {
   return bounds;
 }
 
+const std::vector<double>& ScoreDeltaBounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> grid;
+    // Geometric grid 1e-6 .. 1, ratio 10^(1/10). Scores are probabilities,
+    // so |delta| <= 1 and the +inf bucket stays empty by construction.
+    const double ratio = std::pow(10.0, 0.1);
+    double bound = 1e-6;
+    while (bound <= 1.0 + 1e-12) {
+      grid.push_back(bound);
+      bound *= ratio;
+    }
+    return grid;
+  }();
+  return bounds;
+}
+
 HistogramSnapshot SnapshotHistogram(std::string_view name,
                                     const Histogram& histogram) {
   HistogramSnapshot snapshot;

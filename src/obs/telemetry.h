@@ -129,6 +129,12 @@ const std::vector<double>& DefaultCountBoundsPow2();
 /// order-of-magnitude telemetry only.
 const std::vector<double>& FineLatencyBoundsNs();
 
+/// Bounds for absolute score deltas (candidate vs incumbent probabilities in
+/// shadow scoring): a geometric grid from 1e-6 to 1 with ~10 buckets per
+/// decade, so the delta histogram resolves both float-noise-level deltas
+/// (~1e-6) and model-divergence-level deltas (~1e-1) on one axis.
+const std::vector<double>& ScoreDeltaBounds();
+
 /// Aggregated durations for one named scope. Cells are striped by
 /// `ThreadIndex() % kStripes` and cache-line aligned, so concurrent scope
 /// exits from pool workers never contend on one line; reads sum the

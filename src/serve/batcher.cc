@@ -58,12 +58,14 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
     ScoreResponse response;
     response.status = InvalidArgumentError("ScoreRequest carries no model");
     response.done_ns = now;
+    response.served_version = item.version;
     promise.set_value(std::move(response));
     return future;
   }
   if (item.pairs.empty()) {
     ScoreResponse response;  // nothing to score: trivially done
     response.done_ns = now;
+    response.served_version = item.version;
     promise.set_value(std::move(response));
     return future;
   }
@@ -74,6 +76,7 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
     response.status =
         DeadlineExceededError("deadline already expired at submission");
     response.done_ns = now;
+    response.served_version = item.version;
     promise.set_value(std::move(response));
     return future;
   }
@@ -85,6 +88,7 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
       response.status =
           FailedPreconditionError("micro-batcher is shut down");
       response.done_ns = now;
+      response.served_version = item.version;
       promise.set_value(std::move(response));
       return future;
     }
@@ -105,6 +109,7 @@ std::future<ScoreResponse> MicroBatcher::Submit(BatchWorkItem item) {
           " in flight, request adds " + std::to_string(item.pairs.size()) +
           ", limit " + std::to_string(options_.max_queue_pairs));
       response.done_ns = now;
+      response.served_version = item.version;
       promise.set_value(std::move(response));
       return future;
     }
@@ -191,6 +196,7 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
   const core::EntityLinkageModel* model = head->item.model.get();
   const data::Schema schema = head->item.pairs.schema();
   const bool quantized = head->item.quantized;
+  const int version = head->item.version;
   // The batch stays open until the delay window closes, the tightest
   // member deadline approaches, or the batch is full — whichever comes
   // first. The close lands `deadline_slack_ns` *before* the tightest
@@ -218,8 +224,13 @@ std::vector<std::unique_ptr<MicroBatcher::Pending>> MicroBatcher::CollectBatch(
     for (auto it = queue_.begin();
          it != queue_.end() && total_pairs < pair_cap;) {
       Pending& candidate = **it;
+      // Version is part of the key even when both versions resolve to the
+      // same model object: during a rollback the incumbent is re-published
+      // under a new version number, and the drain guarantee ("a batch is
+      // scored by exactly one version") is defined over versions.
       if (candidate.item.model.get() == model &&
           candidate.item.quantized == quantized &&
+          candidate.item.version == version &&
           candidate.item.pairs.schema() == schema &&
           total_pairs + candidate.item.pairs.size() <= pair_cap) {
         total_pairs += candidate.item.pairs.size();
@@ -278,6 +289,7 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
           "ns in the serving queue");
       response.queue_ns = queue_ns;
       response.done_ns = start;
+      response.served_version = pending->item.version;
       pending->promise.set_value(std::move(response));
     } else {
       live.push_back(std::move(pending));
@@ -344,6 +356,7 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
       response.batch_pairs = total_pairs;
       response.queue_ns = start - pending->enqueue_ns;
       response.done_ns = done;
+      response.served_version = pending->item.version;
       pending->promise.set_value(std::move(response));
     }
     release_inflight();
@@ -364,11 +377,17 @@ int MicroBatcher::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     response.batch_pairs = total_pairs;
     response.queue_ns = start - pending->enqueue_ns;
     response.done_ns = done;
+    response.served_version = pending->item.version;
     pending->promise.set_value(std::move(response));
     offset += count;
   }
   release_inflight();
   return completed;
+}
+
+void MicroBatcher::RecordFailedSubmission() {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  ADAMEL_COUNTER_ADD("serve.failed", 1);
 }
 
 int MicroBatcher::RunOnce() {

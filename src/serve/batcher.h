@@ -31,6 +31,13 @@ struct BatchWorkItem {
   /// the coalescing key: quantized and fp32 requests never share a batch,
   /// so each request's scores stay independent of its batch-mates' mode.
   bool quantized = false;
+  /// Registry version this request was pinned to at submission. Part of the
+  /// coalescing key: during a hot-swap, requests pinned to the outgoing
+  /// version never share a batch with requests pinned to the incoming one —
+  /// even if both versions point at the same model object (rollback
+  /// re-publishes the incumbent) — so every batch is scored by exactly one
+  /// version and the old version drains, never torn mid-batch.
+  int version = 0;
 };
 
 /// Outcome of one request.
@@ -46,6 +53,10 @@ struct ScoreResponse {
   /// promise was set). Open-loop load measurement subtracts the intended
   /// arrival time from this to get coordinated-omission-free latency.
   int64_t done_ns = 0;
+  /// Registry version that handled (or would have handled) this request —
+  /// copied from `BatchWorkItem::version`. During a hot-swap a client can
+  /// check each response against the offline reference of *its* version.
+  int served_version = 0;
 };
 
 /// Micro-batching knobs.
@@ -92,7 +103,11 @@ struct BatcherStats {
   int64_t rejected = 0;          // refused at admission (queue full)
   int64_t timed_out = 0;         // expired before execution
   int64_t batches = 0;           // coalesced batches executed
-  int64_t failed = 0;            // batches whose ScorePairs returned an error
+  /// Batches whose ScorePairs returned an error, plus requests refused at
+  /// submission by a precondition fast-fail (e.g. quantized scoring
+  /// requested from a model without a quantized twin) — every erroneous
+  /// outcome that is neither a queue-full rejection nor a deadline expiry.
+  int64_t failed = 0;
   int64_t pairs_scored = 0;      // pairs actually scored
   int64_t coalesced_requests = 0;  // requests that shared a batch
   int64_t max_batch_pairs = 0;   // largest batch executed
@@ -128,6 +143,11 @@ class MicroBatcher {
   /// the calling thread, without waiting for a batch window. Returns the
   /// number of requests completed (0 when the queue is empty).
   int RunOnce() ADAMEL_EXCLUDES(mutex_);
+
+  /// Records a request the service refused before it reached `Submit` (a
+  /// precondition fast-fail) under `BatcherStats::failed`, so operational
+  /// stats cover every erroneous outcome, not just failures inside batches.
+  void RecordFailedSubmission();
 
   /// Stops workers and drains every queued request on the calling thread.
   /// Idempotent; also run by the destructor.

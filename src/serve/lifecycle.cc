@@ -1,0 +1,452 @@
+#include "serve/lifecycle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "data/pair_dataset.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+
+namespace adamel::serve {
+
+const char* LifecycleStateName(LifecycleState state) {
+  switch (state) {
+    case LifecycleState::kIdle:
+      return "idle";
+    case LifecycleState::kFineTuning:
+      return "fine_tuning";
+    case LifecycleState::kShadowing:
+      return "shadowing";
+    case LifecycleState::kProbation:
+      return "probation";
+    case LifecycleState::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int StrideFromFraction(double fraction) {
+  const double clamped = std::min(1.0, std::max(1e-6, fraction));
+  return std::max(1, static_cast<int>(std::lround(1.0 / clamped)));
+}
+
+bool Ready(const std::future<ScoreResponse>& future) {
+  return future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+}  // namespace
+
+LifecycleManager::LifecycleManager(LinkageService* service,
+                                   LifecycleOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      shadow_stride_(StrideFromFraction(options_.shadow_fraction)) {
+  ADAMEL_CHECK(service_ != nullptr) << "LifecycleManager needs a service";
+  ADAMEL_CHECK(!options_.model_name.empty())
+      << "LifecycleOptions.model_name must be set";
+  ADAMEL_CHECK(options_.min_shadow_requests > 0)
+      << "min_shadow_requests must be >= 1";
+  ADAMEL_CHECK(options_.probation_requests > 0)
+      << "probation_requests must be >= 1";
+  ADAMEL_CHECK(options_.max_mean_abs_delta > 0.0)
+      << "max_mean_abs_delta must be positive";
+}
+
+LifecycleManager::~LifecycleManager() {
+  if (finetune_thread_.joinable()) {
+    finetune_thread_.join();
+  }
+  // pending_ mirror futures are dropped: the batcher fulfills their
+  // promises on its own drain, and no client response rides on a mirror.
+}
+
+void LifecycleManager::SetState(LifecycleState state) {
+  state_ = state;
+  ADAMEL_GAUGE_SET("serve.lifecycle.state",
+                   static_cast<double>(static_cast<int>(state)));
+}
+
+std::future<ScoreResponse> LifecycleManager::SubmitShadowed(
+    ScoreRequest request) {
+  bool mirror = false;
+  int generation = 0;
+  std::shared_ptr<const core::EntityLinkageModel> incumbent;
+  std::shared_ptr<const core::EntityLinkageModel> candidate;
+  {
+    MutexLock lock(mutex_);
+    if (state_ == LifecycleState::kShadowing && candidate_ != nullptr &&
+        request.model == options_.model_name) {
+      const bool sampled = (shadow_seq_++ % shadow_stride_) == 0;
+      const bool mode_ok =
+          !request.quantized ||
+          (candidate_->SupportsQuantizedScoring() &&
+           incumbent_->SupportsQuantizedScoring());
+      if (sampled && mode_ok) {
+        mirror = true;
+        generation = generation_;
+        incumbent = incumbent_;
+        candidate = candidate_;
+      }
+    }
+  }
+
+  data::PairDataset incumbent_pairs;
+  data::PairDataset candidate_pairs;
+  const bool quantized = request.quantized;
+  if (mirror) {
+    incumbent_pairs = request.pairs;  // copies: the client keeps its own
+    candidate_pairs = request.pairs;
+  }
+
+  std::future<ScoreResponse> client = service_->SubmitAsync(std::move(request));
+
+  if (mirror) {
+    // Mirrors carry no deadline (a comparison should never be truncated by
+    // the client's budget) and negative version tags, so they cannot share
+    // a batch with client traffic even on the same model object.
+    PendingShadow shadow;
+    shadow.submit_ns = obs::NowNanos();
+    shadow.pair_count = incumbent_pairs.size();
+    shadow.generation = generation;
+    shadow.incumbent = service_->SubmitPinned(
+        std::move(incumbent), std::move(incumbent_pairs), /*deadline_ns=*/0,
+        quantized, kShadowIncumbentTag);
+    shadow.candidate = service_->SubmitPinned(
+        std::move(candidate), std::move(candidate_pairs), /*deadline_ns=*/0,
+        quantized, kShadowCandidateTag);
+    ADAMEL_COUNTER_ADD("serve.lifecycle.shadow_submitted", 1);
+    MutexLock lock(mutex_);
+    pending_.push_back(std::move(shadow));
+  }
+  return client;
+}
+
+Status LifecycleManager::StageCandidate(
+    std::shared_ptr<const core::EntityLinkageModel> candidate) {
+  if (candidate == nullptr) {
+    return InvalidArgumentError("cannot stage a null candidate");
+  }
+  StatusOr<ResolvedModel> incumbent =
+      service_->registry().Resolve(options_.model_name, 0);
+  if (!incumbent.ok()) {
+    return FailedPreconditionError(
+        "cannot stage a candidate for '" + options_.model_name +
+        "' before an incumbent is registered: " +
+        incumbent.status().ToString());
+  }
+  MutexLock lock(mutex_);
+  if (state_ != LifecycleState::kIdle &&
+      state_ != LifecycleState::kRolledBack) {
+    return FailedPreconditionError(
+        std::string("cannot stage a candidate while ") +
+        LifecycleStateName(state_));
+  }
+  incumbent_ = std::move(incumbent.value().model);
+  incumbent_version_ = incumbent.value().version;
+  candidate_ = std::move(candidate);
+  ++generation_;
+  shadow_seq_ = 0;
+  delta_sum_ = 0.0;
+  delta_pairs_ = 0;
+  phase_comparisons_ = 0;
+  ADAMEL_COUNTER_ADD("serve.lifecycle.candidates_staged", 1);
+  SetState(LifecycleState::kShadowing);
+  return OkStatus();
+}
+
+Status LifecycleManager::BeginFineTune(const FineTuneSpec& spec,
+                                       bool synchronous) {
+  if (spec.inputs == nullptr) {
+    return InvalidArgumentError("FineTuneSpec.inputs must be set");
+  }
+  if (spec.fit.path.empty()) {
+    return InvalidArgumentError(
+        "FineTuneSpec.fit.path (train-state checkpoint) must be set");
+  }
+  if (spec.candidate_model_path.empty()) {
+    return InvalidArgumentError(
+        "FineTuneSpec.candidate_model_path must be set");
+  }
+  {
+    MutexLock lock(mutex_);
+    if (state_ != LifecycleState::kIdle &&
+        state_ != LifecycleState::kRolledBack) {
+      return FailedPreconditionError(
+          std::string("cannot start a fine-tune while ") +
+          LifecycleStateName(state_));
+    }
+    finetune_done_ = false;
+    finetune_result_ = FineTuneResult{};
+    ++fine_tunes_;
+    SetState(LifecycleState::kFineTuning);
+  }
+  ADAMEL_COUNTER_ADD("serve.lifecycle.fine_tunes", 1);
+  if (finetune_thread_.joinable()) {
+    finetune_thread_.join();  // a previous run absorbed by Tick
+  }
+  if (synchronous) {
+    RunFineTune(spec);
+    AbsorbFineTune();
+    return OkStatus();
+  }
+  finetune_thread_ = std::thread([this, spec] { RunFineTune(spec); });
+  return OkStatus();
+}
+
+void LifecycleManager::RunFineTune(FineTuneSpec spec) {
+  FineTuneResult result;
+  core::AdamelTrainer trainer(spec.config);
+  std::vector<core::EpochStats> history;
+  StatusOr<std::shared_ptr<core::TrainedAdamel>> trained =
+      trainer.FitWithCheckpoint(spec.variant, *spec.inputs, spec.fit,
+                                &history);
+  if (!trained.ok()) {
+    result.status = trained.status();
+  } else if (static_cast<int>(history.size()) < spec.config.epochs) {
+    // max_epochs_this_run stopped the run early (or the process is being
+    // interrupted); the train-state checkpoint at spec.fit.path is intact
+    // and a later BeginFineTune with the same spec resumes it bitwise.
+    result.interrupted = true;
+  } else {
+    result.status = [&]() -> Status {
+      if (spec.enable_quantized) {
+        ADAMEL_RETURN_IF_ERROR((*trained)->EnableQuantizedScoring(
+            data::PairSpan(*spec.inputs->source_train)));
+      }
+      // The servable candidate is loaded back from its own checkpoint, so
+      // what shadows (and may be promoted) is exactly what survives a crash.
+      ADAMEL_RETURN_IF_ERROR(
+          (*trained)->SaveToFile(spec.candidate_model_path));
+      auto linkage =
+          std::make_unique<core::AdamelLinkage>(spec.variant, spec.config);
+      ADAMEL_RETURN_IF_ERROR(
+          linkage->LoadCheckpoint(spec.candidate_model_path));
+      result.candidate = std::move(linkage);
+      return OkStatus();
+    }();
+  }
+  MutexLock lock(mutex_);
+  finetune_result_ = std::move(result);
+  finetune_done_ = true;
+}
+
+void LifecycleManager::AbsorbFineTune() {
+  {
+    MutexLock lock(mutex_);
+    if (state_ != LifecycleState::kFineTuning || !finetune_done_) {
+      return;
+    }
+  }
+  if (finetune_thread_.joinable()) {
+    finetune_thread_.join();
+  }
+  FineTuneResult result;
+  {
+    MutexLock lock(mutex_);
+    result = std::move(finetune_result_);
+    finetune_result_ = FineTuneResult{};
+    finetune_done_ = false;
+    if (!result.status.ok()) {
+      last_error_ = result.status.ToString();
+      ADAMEL_COUNTER_ADD("serve.lifecycle.fine_tune_failures", 1);
+      SetState(LifecycleState::kIdle);
+      return;
+    }
+    if (result.interrupted) {
+      ++fine_tunes_interrupted_;
+      ADAMEL_COUNTER_ADD("serve.lifecycle.fine_tunes_interrupted", 1);
+      SetState(LifecycleState::kIdle);
+      return;
+    }
+    SetState(LifecycleState::kIdle);  // StageCandidate requires kIdle
+  }
+  const Status staged = StageCandidate(std::move(result.candidate));
+  if (!staged.ok()) {
+    MutexLock lock(mutex_);
+    last_error_ = staged.ToString();
+  }
+}
+
+void LifecycleManager::AbsorbShadows() {
+  std::vector<PendingShadow> ready;
+  {
+    MutexLock lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (Ready(it->incumbent) && Ready(it->candidate)) {
+        ready.push_back(std::move(*it));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (PendingShadow& shadow : ready) {
+    const ScoreResponse incumbent = shadow.incumbent.get();
+    const ScoreResponse candidate = shadow.candidate.get();
+    ADAMEL_HISTOGRAM_RECORD_BOUNDS(
+        "serve.lifecycle.shadow_incumbent_ns", obs::FineLatencyBoundsNs(),
+        static_cast<double>(
+            std::max<int64_t>(0, incumbent.done_ns - shadow.submit_ns)));
+    ADAMEL_HISTOGRAM_RECORD_BOUNDS(
+        "serve.lifecycle.shadow_candidate_ns", obs::FineLatencyBoundsNs(),
+        static_cast<double>(
+            std::max<int64_t>(0, candidate.done_ns - shadow.submit_ns)));
+    const bool comparable =
+        incumbent.status.ok() && candidate.status.ok() &&
+        incumbent.scores.size() == candidate.scores.size() &&
+        static_cast<int>(incumbent.scores.size()) == shadow.pair_count;
+    if (!comparable) {
+      MutexLock lock(mutex_);
+      ++shadow_errors_;
+      ADAMEL_COUNTER_ADD("serve.lifecycle.shadow_errors", 1);
+      continue;
+    }
+    double sum = 0.0;
+    for (size_t i = 0; i < incumbent.scores.size(); ++i) {
+      const double delta = std::abs(static_cast<double>(candidate.scores[i]) -
+                                    static_cast<double>(incumbent.scores[i]));
+      sum += delta;
+      ADAMEL_HISTOGRAM_RECORD_BOUNDS("serve.lifecycle.score_delta",
+                                     obs::ScoreDeltaBounds(), delta);
+    }
+    MutexLock lock(mutex_);
+    ++shadow_requests_;
+    shadow_pairs_ += shadow.pair_count;
+    ADAMEL_COUNTER_ADD("serve.lifecycle.shadow_requests", 1);
+    if (shadow.generation == generation_) {
+      delta_sum_ += sum;
+      delta_pairs_ += shadow.pair_count;
+      ++phase_comparisons_;
+      ADAMEL_GAUGE_SET("serve.lifecycle.mean_abs_delta",
+                       delta_pairs_ > 0 ? delta_sum_ / delta_pairs_ : 0.0);
+    }
+  }
+}
+
+void LifecycleManager::MaybeRenderVerdict() {
+  MutexLock lock(mutex_);
+  if (state_ != LifecycleState::kShadowing ||
+      phase_comparisons_ < options_.min_shadow_requests ||
+      delta_pairs_ <= 0) {
+    return;
+  }
+  const double mean = delta_sum_ / static_cast<double>(delta_pairs_);
+  if (mean > options_.max_mean_abs_delta) {
+    // Golden-band violation: the candidate never reaches the registry.
+    ++rollbacks_;
+    candidate_.reset();
+    last_error_ = "candidate rejected: mean |score delta| " +
+                  std::to_string(mean) + " exceeds band " +
+                  std::to_string(options_.max_mean_abs_delta);
+    ADAMEL_COUNTER_ADD("serve.lifecycle.rollbacks", 1);
+    SetState(LifecycleState::kRolledBack);
+    return;
+  }
+  // Promote: atomic hot-swap. Publishing while holding the lifecycle mutex
+  // is safe — lifecycle is rank 0, registry rank 1 (DESIGN.md §8.4).
+  StatusOr<int> version =
+      service_->registry().Publish(options_.model_name, candidate_);
+  if (!version.ok()) {
+    ++rollbacks_;
+    candidate_.reset();
+    last_error_ = version.status().ToString();
+    ADAMEL_COUNTER_ADD("serve.lifecycle.rollbacks", 1);
+    SetState(LifecycleState::kRolledBack);
+    return;
+  }
+  promoted_version_ = version.value();
+  probation_baseline_ = service_->stats();
+  ++promotions_;
+  ++swaps_;
+  ADAMEL_COUNTER_ADD("serve.lifecycle.promotions", 1);
+  ADAMEL_COUNTER_ADD("serve.lifecycle.swaps", 1);
+  SetState(LifecycleState::kProbation);
+}
+
+void LifecycleManager::CheckProbation() {
+  const BatcherStats current = service_->stats();
+  MutexLock lock(mutex_);
+  if (state_ != LifecycleState::kProbation) {
+    return;
+  }
+  const int64_t window_submitted =
+      current.submitted - probation_baseline_.submitted;
+  if (window_submitted < options_.probation_requests) {
+    return;  // window still filling
+  }
+  const int64_t window_missed =
+      current.timed_out - probation_baseline_.timed_out;
+  const double window_rate = static_cast<double>(window_missed) /
+                             static_cast<double>(window_submitted);
+  const double baseline_rate =
+      probation_baseline_.submitted > 0
+          ? static_cast<double>(probation_baseline_.timed_out) /
+                static_cast<double>(probation_baseline_.submitted)
+          : 0.0;
+  ADAMEL_GAUGE_SET("serve.lifecycle.probation_miss_rate", window_rate);
+  if (window_rate > baseline_rate + options_.max_miss_rate_regression) {
+    // Deadline-miss regression: revert by re-publishing the incumbent as
+    // the newest version. The regressed candidate version stays in the
+    // registry (pinned requests drain on it) but stops receiving new
+    // traffic the instant the publish lands.
+    StatusOr<int> version =
+        service_->registry().Publish(options_.model_name, incumbent_);
+    if (version.ok()) {
+      incumbent_version_ = version.value();
+      ++swaps_;
+      ADAMEL_COUNTER_ADD("serve.lifecycle.swaps", 1);
+    } else {
+      last_error_ = version.status().ToString();
+    }
+    ++rollbacks_;
+    candidate_.reset();
+    ADAMEL_COUNTER_ADD("serve.lifecycle.rollbacks", 1);
+    SetState(LifecycleState::kRolledBack);
+    return;
+  }
+  // Probation passed: the candidate is the incumbent now.
+  incumbent_ = candidate_;
+  incumbent_version_ = promoted_version_;
+  candidate_.reset();
+  SetState(LifecycleState::kIdle);
+}
+
+void LifecycleManager::Tick() {
+  AbsorbFineTune();
+  AbsorbShadows();
+  MaybeRenderVerdict();
+  CheckProbation();
+}
+
+int LifecycleManager::pending_shadows() const {
+  MutexLock lock(mutex_);
+  return static_cast<int>(pending_.size());
+}
+
+LifecycleStats LifecycleManager::stats() const {
+  MutexLock lock(mutex_);
+  LifecycleStats stats;
+  stats.state = state_;
+  stats.incumbent_version = incumbent_version_;
+  stats.fine_tunes = fine_tunes_;
+  stats.fine_tunes_interrupted = fine_tunes_interrupted_;
+  stats.shadow_requests = shadow_requests_;
+  stats.shadow_pairs = shadow_pairs_;
+  stats.shadow_errors = shadow_errors_;
+  stats.mean_abs_delta =
+      delta_pairs_ > 0 ? delta_sum_ / static_cast<double>(delta_pairs_) : 0.0;
+  stats.promotions = promotions_;
+  stats.rollbacks = rollbacks_;
+  stats.swaps = swaps_;
+  stats.last_error = last_error_;
+  return stats;
+}
+
+}  // namespace adamel::serve

@@ -1,0 +1,275 @@
+#ifndef ADAMEL_SERVE_LIFECYCLE_H_
+#define ADAMEL_SERVE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/config.h"
+#include "core/linkage_model.h"
+#include "core/trainer.h"
+#include "serve/service.h"
+
+/// Live model lifecycle: warm-start fine-tune -> shadow scoring -> atomic
+/// hot-swap -> probation -> (auto-)rollback.
+///
+/// AdaMEL's core scenario is data sources arriving over time (settings
+/// C2/C3 of the paper): each new source should improve the serving model
+/// without taking the service down or regressing live traffic. The
+/// `LifecycleManager` runs that loop against one registry name:
+///
+///   1. **Fine-tune** (`BeginFineTune`): a background thread trains on the
+///      new-source inputs via `AdamelTrainer::FitWithCheckpoint`,
+///      warm-started from the incumbent's model checkpoint
+///      (`FitCheckpointOptions::warm_start_path`). The train state
+///      checkpoints crash-safely at epoch boundaries, so an interrupted
+///      fine-tune resumes bitwise-identically on the next attempt.
+///   2. **Shadow** (`kShadowing`): a configurable fraction of live traffic
+///      is mirrored — the same pairs are scored by the incumbent *and* the
+///      unpublished candidate (extra mirror requests; the client's own
+///      request is untouched). Per-pair |score delta| and both sides'
+///      latencies land in `serve.lifecycle.*` histograms.
+///   3. **Verdict**: once enough comparisons accumulate, the candidate is
+///      promoted iff the mean |score delta| stays inside the golden band
+///      (the same 2% tolerance the offline golden-metrics suite enforces).
+///      Promotion is `ModelRegistry::Publish`: an atomic hot-swap — new
+///      requests pin to the new version, queued/in-flight requests drain on
+///      the version they were pinned to at submission, and the version in
+///      the batcher's coalescing key guarantees no batch ever mixes
+///      versions. A band violation is an auto-rollback: the candidate is
+///      discarded and never published.
+///   4. **Probation** (`kProbation`): after promotion, the next
+///      `probation_requests` submissions are watched; if the deadline-miss
+///      rate regresses by more than `max_miss_rate_regression` over the
+///      pre-promotion baseline, the incumbent is re-published (a second
+///      atomic swap back) and the promotion is rolled back.
+///
+/// Threading: `SubmitShadowed` and `stats()` are safe from any thread.
+/// `Tick`, `StageCandidate`, and `BeginFineTune` belong to one control
+/// thread (the serving loop). The fine-tune thread is internal and never
+/// touches the service; its result is absorbed by `Tick`. The lifecycle
+/// mutex is rank 0 in the lock hierarchy (DESIGN.md §8.4): it may be held
+/// while acquiring the registry (rank 1), batcher (rank 2), or obs (rank 6)
+/// locks, and nothing that holds those can call back into the lifecycle.
+///
+/// Shadow responses are *mirrors*: the client receives its own response
+/// untouched (same future the service returned), so shadow mode never adds
+/// client-visible latency and a candidate crash or band violation cannot
+/// drop a client request.
+namespace adamel::serve {
+
+/// Rollback state machine (DESIGN.md §12).
+enum class LifecycleState : int {
+  kIdle = 0,     // no candidate in flight
+  kFineTuning,   // background fit running
+  kShadowing,    // candidate mirror-scored against the incumbent
+  kProbation,    // candidate promoted; watching live miss rate
+  kRolledBack,   // last candidate rejected or reverted; ready for the next
+};
+
+/// Stable lowercase name ("idle", "fine_tuning", "shadowing", "probation",
+/// "rolled_back").
+const char* LifecycleStateName(LifecycleState state);
+
+struct LifecycleOptions {
+  /// Registry name this manager owns. All swaps happen under this name.
+  std::string model_name;
+  /// Fraction of `SubmitShadowed` traffic mirrored while shadowing, as a
+  /// deterministic stride (every round(1/fraction)-th request), so a seeded
+  /// replay shadows the same requests. Clamped to (0, 1].
+  double shadow_fraction = 0.25;
+  /// Comparisons required before the promote/rollback verdict.
+  int min_shadow_requests = 32;
+  /// Golden band on the mean per-pair |candidate - incumbent| score delta.
+  /// Matches the offline golden-metrics tolerance (2%): two healthy
+  /// checkpoints of the same roster sit well inside it, a corrupted or
+  /// mis-trained candidate far outside.
+  double max_mean_abs_delta = 0.02;
+  /// Post-promotion probation window, in service submissions.
+  int probation_requests = 64;
+  /// Allowed deadline-miss-rate increase over the pre-promotion baseline
+  /// before probation rolls the swap back.
+  double max_miss_rate_regression = 0.05;
+};
+
+/// Inputs for one warm-start fine-tune on a new source.
+struct FineTuneSpec {
+  core::AdamelVariant variant = core::AdamelVariant::kBase;
+  core::AdamelConfig config;
+  /// Training inputs (new source). Borrowed: must stay alive until `Tick`
+  /// absorbs the fine-tune result.
+  const core::MelInputs* inputs = nullptr;
+  /// Crash-safe train-state checkpoint for *this* fine-tune. Set
+  /// `fit.warm_start_path` to the incumbent's model checkpoint to warm
+  /// start; leave `fit.resume = true` so an interrupted fine-tune resumes
+  /// from its own train state instead of restarting from the donor.
+  core::FitCheckpointOptions fit;
+  /// Where the finished candidate model is saved (`TrainedAdamel`
+  /// checkpoint). The servable candidate is loaded back from this file, so
+  /// what shadows is byte-for-byte what survives a crash after promotion.
+  std::string candidate_model_path;
+  /// Build the candidate's int8 twin, calibrated on `inputs->source_train`,
+  /// so quantized tenants keep working across the swap.
+  bool enable_quantized = false;
+};
+
+/// Plain-value counters, independent of the telemetry build flag (tests
+/// assert on these in ADAMEL_TELEMETRY=OFF builds too).
+struct LifecycleStats {
+  LifecycleState state = LifecycleState::kIdle;
+  /// Version currently treated as the incumbent (0 before the first
+  /// resolve).
+  int incumbent_version = 0;
+  int64_t fine_tunes = 0;              // background fits started
+  int64_t fine_tunes_interrupted = 0;  // stopped early; checkpoint resumable
+  int64_t shadow_requests = 0;  // completed incumbent/candidate comparisons
+  int64_t shadow_pairs = 0;     // pairs covered by those comparisons
+  int64_t shadow_errors = 0;    // mirror requests where either side errored
+  /// Mean per-pair |candidate - incumbent| over the current shadow phase.
+  double mean_abs_delta = 0.0;
+  int64_t promotions = 0;  // candidates published
+  int64_t rollbacks = 0;   // band violations + probation reverts
+  int64_t swaps = 0;       // registry publishes (promotions + reverts)
+  /// Last fine-tune/stage error, empty when none.
+  std::string last_error;
+};
+
+class LifecycleManager {
+ public:
+  /// Coalescing-key version tags for mirror traffic. Negative so mirrors
+  /// can never share a batch with client requests (whose pinned registry
+  /// versions are >= 1) even when they hit the same model object.
+  static constexpr int kShadowIncumbentTag = -1;
+  static constexpr int kShadowCandidateTag = -2;
+
+  /// `service` must outlive the manager.
+  LifecycleManager(LinkageService* service, LifecycleOptions options);
+
+  /// Joins the fine-tune thread. Un-absorbed mirror futures are dropped —
+  /// their promises are still fulfilled by the batcher's drain, and no
+  /// client response rides on a mirror.
+  ~LifecycleManager();
+
+  LifecycleManager(const LifecycleManager&) = delete;
+  LifecycleManager& operator=(const LifecycleManager&) = delete;
+
+  /// Facade over `LinkageService::SubmitAsync`: submits the client request
+  /// unchanged and returns its future. While shadowing, every stride-th
+  /// request is additionally mirrored to the incumbent and the candidate
+  /// (deadline-free, so a comparison is never truncated by the client's
+  /// budget). Quantized requests are only mirrored when the candidate
+  /// supports quantized scoring.
+  std::future<ScoreResponse> SubmitShadowed(ScoreRequest request);
+
+  /// Enters shadow mode with an already-built candidate (the fine-tune path
+  /// calls this internally; tests and benches use it to stage e.g. a
+  /// checkpoint-loaded model). Requires a registered incumbent and state
+  /// kIdle or kRolledBack.
+  Status StageCandidate(
+      std::shared_ptr<const core::EntityLinkageModel> candidate);
+
+  /// Starts a warm-start fine-tune on a background thread (state ->
+  /// kFineTuning). With `synchronous` the fit runs inline and the result is
+  /// absorbed before returning — for deterministic fake-clock tests where a
+  /// real thread would race the clock. The spec's `inputs` must stay alive
+  /// until the result is absorbed by `Tick`.
+  Status BeginFineTune(const FineTuneSpec& spec, bool synchronous = false);
+
+  /// Drives the state machine: absorbs completed mirror comparisons, joins
+  /// a finished fine-tune (staging its candidate), renders the shadow
+  /// verdict once `min_shadow_requests` comparisons are in, and checks the
+  /// probation window. Call from the serving loop (after `PumpOnce` in pump
+  /// mode, or periodically with worker threads). Never blocks on scoring.
+  void Tick();
+
+  /// Mirror comparisons submitted but not yet absorbed by `Tick`.
+  int pending_shadows() const;
+
+  LifecycleStats stats() const;
+
+  const LifecycleOptions& options() const { return options_; }
+
+ private:
+  /// One mirrored request: the same pairs scored by both sides.
+  struct PendingShadow {
+    std::future<ScoreResponse> incumbent;
+    std::future<ScoreResponse> candidate;
+    int64_t submit_ns = 0;
+    int pair_count = 0;
+    /// Shadow phase this mirror belongs to; stale mirrors (verdict already
+    /// rendered, or a newer candidate staged) still record histograms but
+    /// never count toward a verdict.
+    int generation = 0;
+  };
+
+  /// Outcome of the background fit, handed from the fine-tune thread to
+  /// `Tick` under `mutex_`.
+  struct FineTuneResult {
+    Status status;
+    std::shared_ptr<const core::EntityLinkageModel> candidate;  // null if
+                                                                // interrupted
+    bool interrupted = false;
+  };
+
+  void RunFineTune(FineTuneSpec spec);
+  void AbsorbFineTune() ADAMEL_EXCLUDES(mutex_);
+  void AbsorbShadows() ADAMEL_EXCLUDES(mutex_);
+  void MaybeRenderVerdict() ADAMEL_EXCLUDES(mutex_);
+  void CheckProbation() ADAMEL_EXCLUDES(mutex_);
+  void SetState(LifecycleState state) ADAMEL_REQUIRES(mutex_);
+
+  // Const pointer set at construction; LinkageService has its own locking.
+  // adamel-lint: allow-next-line(unannotated-guarded-member) -- see above
+  LinkageService* const service_;
+  const LifecycleOptions options_;
+  const int shadow_stride_;
+
+  /// Rank 0 (DESIGN.md §8.4): held while calling into the registry/batcher
+  /// (ranks 1-2), never acquired by them.
+  mutable Mutex mutex_;
+  LifecycleState state_ ADAMEL_GUARDED_BY(mutex_) = LifecycleState::kIdle;
+  std::shared_ptr<const core::EntityLinkageModel> incumbent_
+      ADAMEL_GUARDED_BY(mutex_);
+  std::shared_ptr<const core::EntityLinkageModel> candidate_
+      ADAMEL_GUARDED_BY(mutex_);
+  int incumbent_version_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int promoted_version_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int generation_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t shadow_seq_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  std::deque<PendingShadow> pending_ ADAMEL_GUARDED_BY(mutex_);
+
+  // Current-phase comparison accumulators (reset by StageCandidate).
+  double delta_sum_ ADAMEL_GUARDED_BY(mutex_) = 0.0;
+  int64_t delta_pairs_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t phase_comparisons_ ADAMEL_GUARDED_BY(mutex_) = 0;
+
+  // Probation baseline: batcher stats snapshotted at promotion.
+  BatcherStats probation_baseline_ ADAMEL_GUARDED_BY(mutex_);
+
+  // Fine-tune thread handoff.
+  std::thread finetune_thread_;  // control-thread only (start/join)
+  bool finetune_done_ ADAMEL_GUARDED_BY(mutex_) = false;
+  FineTuneResult finetune_result_ ADAMEL_GUARDED_BY(mutex_);
+
+  // Totals (LifecycleStats).
+  int64_t fine_tunes_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t fine_tunes_interrupted_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t shadow_requests_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t shadow_pairs_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t shadow_errors_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t promotions_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t rollbacks_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  int64_t swaps_ ADAMEL_GUARDED_BY(mutex_) = 0;
+  std::string last_error_ ADAMEL_GUARDED_BY(mutex_);
+};
+
+}  // namespace adamel::serve
+
+#endif  // ADAMEL_SERVE_LIFECYCLE_H_

@@ -178,12 +178,30 @@ ScoreRequest LoadGen::MakeRequest(const RequestEvent& event,
   return request;
 }
 
+void LoadGen::AddVersionReference(int tenant, int version,
+                                  const std::vector<float>* scores) {
+  ADAMEL_CHECK(tenant >= 0 &&
+               tenant < static_cast<int>(options_.tenants.size()))
+      << "tenant out of range";
+  ADAMEL_CHECK(scores != nullptr &&
+               static_cast<int>(scores->size()) == dataset_->size())
+      << "version reference must cover the full dataset";
+  version_refs_[std::make_pair(tenant, version)] = scores;
+}
+
 void LoadGen::Absorb(const RequestEvent& event, const ScoreResponse& response,
                      int64_t latency_ns, LoadMetrics* metrics,
                      obs::Histogram* latency_hist) const {
   if (response.status.ok()) {
     ++metrics->completed;
-    const std::vector<float>& offline = *offline_per_tenant_[event.tenant];
+    // During a hot-swap, responses served by different versions are checked
+    // against *their* version's offline scores; versions without a
+    // registered reference use the tenant default.
+    const auto ref = version_refs_.find(
+        std::make_pair(event.tenant, response.served_version));
+    const std::vector<float>& offline = ref != version_refs_.end()
+                                            ? *ref->second
+                                            : *offline_per_tenant_[event.tenant];
     bool identical =
         static_cast<int>(response.scores.size()) == event.pair_count;
     for (int j = 0; identical && j < event.pair_count; ++j) {
@@ -276,10 +294,33 @@ LoadMetrics LoadGen::RunDeterministic(obs::ScopedFakeClock* clock) {
     }
   };
 
+  // One pump + synthetic-cost charge; shared by the main loop and the
+  // post-schedule shadow drain.
   BatcherStats last = service_->stats();
+  const auto pump_and_charge = [&] {
+    service_->PumpOnce();
+    const BatcherStats stats = service_->stats();
+    const int64_t cost =
+        options_.det_batch_overhead_ns * (stats.batches - last.batches) +
+        options_.det_pair_cost_ns * (stats.pairs_scored - last.pairs_scored);
+    last = stats;
+    if (cost > 0) {
+      clock->Advance(cost);
+    }
+  };
+  const auto submit = [&](const RequestEvent& event) {
+    ScoreRequest request = MakeRequest(event, start_ns);
+    return lifecycle_ != nullptr
+               ? lifecycle_->SubmitShadowed(std::move(request))
+               : service_->SubmitAsync(std::move(request));
+  };
+
   size_t next = 0;
   while (next < schedule_.size() || !outstanding.empty()) {
     const int64_t now = clock->now_ns();
+    if (det_tick_) {
+      det_tick_(now);
+    }
     // 1) Submit every arrival due by now. An arrival that fell inside the
     // previous batch's synthetic cost window is submitted late — exactly
     // what a busy single-threaded server would observe — but its deadline
@@ -287,29 +328,29 @@ LoadMetrics LoadGen::RunDeterministic(obs::ScopedFakeClock* clock) {
     bool submitted = false;
     while (next < schedule_.size() &&
            start_ns + schedule_[next].arrival_ns <= now) {
-      outstanding.push_back(
-          {next, service_->SubmitAsync(MakeRequest(schedule_[next],
-                                                   start_ns))});
+      outstanding.push_back({next, submit(schedule_[next])});
       ++next;
       submitted = true;
     }
     if (submitted) {
       absorb_ready(now);  // sheds / expired-at-submit resolve inline
     }
-    // 2) Drain one batch and charge its synthetic fake-time cost.
+    // 2) Drain one batch and charge its synthetic fake-time cost. Shadow
+    // mirrors submitted by the lifecycle ride the same queue, so their
+    // batches cost fake time exactly like client traffic.
     if (service_->queued_pairs() > 0) {
-      service_->PumpOnce();
-      const BatcherStats stats = service_->stats();
-      const int64_t cost =
-          options_.det_batch_overhead_ns * (stats.batches - last.batches) +
-          options_.det_pair_cost_ns *
-              (stats.pairs_scored - last.pairs_scored);
-      last = stats;
-      if (cost > 0) {
-        clock->Advance(cost);
-      }
+      pump_and_charge();
       absorb_ready(clock->now_ns());
+      if (lifecycle_ != nullptr) {
+        lifecycle_->Tick();
+      }
       continue;
+    }
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Tick();
+      if (service_->queued_pairs() > 0) {
+        continue;  // the tick staged work (e.g. new shadow mirrors)
+      }
     }
     // 3) Idle: jump the clock to the next arrival.
     if (next < schedule_.size()) {
@@ -321,6 +362,18 @@ LoadMetrics LoadGen::RunDeterministic(obs::ScopedFakeClock* clock) {
         << outstanding.size() << " requests never resolved";
   }
 
+  // The schedule is drained; finish any shadow mirrors still in flight so
+  // the lifecycle can render its verdict before the run ends.
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Tick();
+    while (service_->queued_pairs() > 0 || lifecycle_->pending_shadows() > 0) {
+      if (service_->queued_pairs() > 0) {
+        pump_and_charge();
+      }
+      lifecycle_->Tick();
+    }
+  }
+
   Finalize(static_cast<double>(clock->now_ns() - start_ns) * 1e-9,
            latency_hist, &metrics);
   return metrics;
@@ -330,6 +383,9 @@ LoadMetrics LoadGen::RunWallClock(int client_threads) {
   ADAMEL_CHECK(service_->batcher_options().worker_threads > 0)
       << "wall-clock mode requires service worker threads";
   ADAMEL_CHECK(client_threads > 0) << "need >= 1 client thread";
+  ADAMEL_CHECK(lifecycle_ == nullptr)
+      << "lifecycle runs are deterministic-mode only (clients would have to "
+         "tick the lifecycle concurrently)";
 
   obs::Histogram latency_hist(obs::FineLatencyBoundsNs());
   LoadMetrics metrics;

@@ -2,14 +2,18 @@
 #define ADAMEL_SERVE_LOADGEN_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "data/pair_dataset.h"
 #include "obs/clock.h"
 #include "obs/telemetry.h"
+#include "serve/lifecycle.h"
 #include "serve/service.h"
 
 /// Open-loop sustained-load generator for the serving engine.
@@ -161,6 +165,33 @@ class LoadGen {
 
   const std::vector<RequestEvent>& schedule() const { return schedule_; }
 
+  /// Registers the offline reference for a specific registry version of a
+  /// tenant's model. During a mid-run hot-swap, each response is checked
+  /// bitwise against the reference of the version that actually served it
+  /// (`ScoreResponse::served_version`); versions without a registered
+  /// reference fall back to the tenant's default (constructor) reference.
+  /// `scores` must cover the full dataset and outlive the run.
+  void AddVersionReference(int tenant, int version,
+                           const std::vector<float>* scores);
+
+  /// Routes deterministic-mode submissions through
+  /// `LifecycleManager::SubmitShadowed` and ticks the lifecycle every event
+  /// -loop iteration, so hot-swaps, shadow scoring, and rollbacks happen
+  /// *under load* inside the replayable fake-clock run. After the schedule
+  /// drains, remaining shadow mirrors are pumped to completion (their
+  /// synthetic batch cost still advances the fake clock). Wall-clock mode
+  /// does not support a lifecycle (its clients would need to tick it
+  /// concurrently); `RunWallClock` refuses when one is set.
+  void SetLifecycle(LifecycleManager* lifecycle) { lifecycle_ = lifecycle; }
+
+  /// Deterministic-mode hook invoked once per event-loop iteration with the
+  /// current fake time. Benches use it to stage a candidate or start a
+  /// fine-tune at a chosen point of the schedule (e.g. T/2). Must not
+  /// advance the clock.
+  void SetDeterministicTick(std::function<void(int64_t now_ns)> hook) {
+    det_tick_ = std::move(hook);
+  }
+
  private:
   /// Classifies one response into the metrics and records its latency.
   void Absorb(const RequestEvent& event, const ScoreResponse& response,
@@ -178,6 +209,10 @@ class LoadGen {
   LinkageService* service_;
   const data::PairDataset* dataset_;
   std::vector<const std::vector<float>*> offline_per_tenant_;
+  /// (tenant, served_version) -> full-dataset offline reference.
+  std::map<std::pair<int, int>, const std::vector<float>*> version_refs_;
+  LifecycleManager* lifecycle_ = nullptr;
+  std::function<void(int64_t)> det_tick_;
   LoadGenOptions options_;
   std::vector<RequestEvent> schedule_;
 };

@@ -68,6 +68,15 @@ Status ModelRegistry::LoadFromCheckpoint(
 
 StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
     const std::string& name, int version) const {
+  StatusOr<ResolvedModel> resolved = Resolve(name, version);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  return std::move(resolved.value().model);
+}
+
+StatusOr<ResolvedModel> ModelRegistry::Resolve(const std::string& name,
+                                               int version) const {
   MutexLock lock(mutex_);
   if (version > 0) {
     const auto it = models_.find(std::make_pair(name, version));
@@ -75,7 +84,7 @@ StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
       return NotFoundError("no model '" + name + "' version " +
                            std::to_string(version) + " in the registry");
     }
-    return it->second;
+    return ResolvedModel{it->second, version};
   }
   // version 0: highest registered version of `name`. The map orders keys by
   // (name, version), so the entry just before upper_bound(name, +inf) is the
@@ -89,7 +98,37 @@ StatusOr<std::shared_ptr<const core::EntityLinkageModel>> ModelRegistry::Get(
   if (prev->first.first != name) {
     return NotFoundError("no model '" + name + "' in the registry");
   }
-  return prev->second;
+  return ResolvedModel{prev->second, prev->first.second};
+}
+
+StatusOr<int> ModelRegistry::Publish(
+    const std::string& name,
+    std::shared_ptr<const core::EntityLinkageModel> model) {
+  if (model == nullptr) {
+    return InvalidArgumentError("cannot publish a null model as '" + name +
+                                "'");
+  }
+  if (name.empty()) {
+    return InvalidArgumentError("model name must be non-empty");
+  }
+  MutexLock lock(mutex_);
+  // Next version = highest existing version of `name` + 1, computed and
+  // inserted under one lock hold so concurrent publishers never race to the
+  // same version number and a reader never observes a gap.
+  int next_version = 1;
+  const auto it = models_.upper_bound(
+      std::make_pair(name, std::numeric_limits<int>::max()));
+  if (it != models_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->first.first == name) {
+      next_version = prev->first.second + 1;
+    }
+  }
+  models_.emplace(std::make_pair(name, next_version), std::move(model));
+  ADAMEL_GAUGE_SET("serve.registry.models",
+                   static_cast<double>(models_.size()));
+  ADAMEL_COUNTER_ADD("serve.registry.publishes", 1);
+  return next_version;
 }
 
 bool ModelRegistry::Remove(const std::string& name, int version) {

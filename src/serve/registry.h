@@ -21,6 +21,14 @@ struct ModelInfo {
   std::string model_kind;  // the model's display Name()
 };
 
+/// A `ModelRegistry::Resolve` result: the model plus the concrete version it
+/// resolved to (never 0 — a `version == 0` lookup reports the actual latest
+/// version, so the caller can pin work to it).
+struct ResolvedModel {
+  std::shared_ptr<const core::EntityLinkageModel> model;
+  int version = 0;
+};
+
 /// Warm model registry: fitted `EntityLinkageModel`s keyed by (name,
 /// version), handed out as shared const pointers so in-flight requests keep
 /// a model alive across `Remove`/re-`Add`. All methods are thread-safe; the
@@ -50,6 +58,29 @@ class ModelRegistry {
   /// registered version of `name`. Unknown keys are `NotFoundError`.
   StatusOr<std::shared_ptr<const core::EntityLinkageModel>> Get(
       const std::string& name, int version = 0) const;
+
+  /// `Get` that also reports which concrete version a `version == 0` lookup
+  /// resolved to. The service pins each request to the resolved version at
+  /// submission, which is what makes a `Publish` hot-swap atomic from the
+  /// batcher's point of view: requests admitted before the swap carry the
+  /// old version (and batch only with each other), requests after carry the
+  /// new one.
+  StatusOr<ResolvedModel> Resolve(const std::string& name,
+                                  int version = 0) const;
+
+  /// Atomic hot-swap: registers `model` as the next version of `name`
+  /// (highest existing version + 1, or 1 when `name` is new) and returns
+  /// that version. From the instant this returns, `version == 0` lookups
+  /// resolve to the new model; in-flight and queued requests keep scoring on
+  /// the version they were pinned to at submission, so the old version
+  /// drains without ever sharing a batch with the new one.
+  ///
+  /// This is the *only* sanctioned way to change which model serves a name:
+  /// `adamel_lint` (rule `registry-publish`) restricts call sites to
+  /// `src/serve/lifecycle*`, where promotion is gated on shadow comparison
+  /// and rollback re-publishes the incumbent rather than deleting versions.
+  StatusOr<int> Publish(const std::string& name,
+                        std::shared_ptr<const core::EntityLinkageModel> model);
 
   /// Removes one entry; returns false when it was not present.
   bool Remove(const std::string& name, int version);

@@ -11,22 +11,24 @@ LinkageService::LinkageService(ServiceOptions options)
     : batcher_(options.batcher) {}
 
 std::future<ScoreResponse> LinkageService::SubmitAsync(ScoreRequest request) {
-  StatusOr<std::shared_ptr<const core::EntityLinkageModel>> model =
-      registry_.Get(request.model, request.version);
-  if (!model.ok()) {
+  StatusOr<ResolvedModel> resolved =
+      registry_.Resolve(request.model, request.version);
+  if (!resolved.ok()) {
     std::promise<ScoreResponse> promise;
     std::future<ScoreResponse> future = promise.get_future();
     ScoreResponse response;
-    response.status = model.status();
+    response.status = resolved.status();
     promise.set_value(std::move(response));
     return future;
   }
   BatchWorkItem item;
-  item.model = std::move(model).value();
+  item.model = std::move(resolved.value().model);
   if (request.quantized && !item.model->SupportsQuantizedScoring()) {
     // Fail at submission, not mid-batch: the caller learns immediately that
     // this model has no quantized twin instead of poisoning a coalesced
-    // batch's execution.
+    // batch's execution. Still an erroneous outcome — counted under
+    // BatcherStats::failed like any other non-reject, non-timeout error.
+    batcher_.RecordFailedSubmission();
     std::promise<ScoreResponse> promise;
     std::future<ScoreResponse> future = promise.get_future();
     ScoreResponse response;
@@ -34,12 +36,31 @@ std::future<ScoreResponse> LinkageService::SubmitAsync(ScoreRequest request) {
         "model '" + request.model +
         "' does not support quantized scoring; submit with quantized=false "
         "or enable quantized scoring before registering");
+    response.served_version = resolved.value().version;
     promise.set_value(std::move(response));
     return future;
   }
   item.pairs = std::move(request.pairs);
   item.deadline_ns = request.deadline_ns;
   item.quantized = request.quantized;
+  // Pin the request to the concrete version it resolved to: from here on a
+  // registry Publish (hot-swap) cannot retarget it, and the version rides in
+  // the coalescing key so pre-swap and post-swap requests never share a
+  // batch.
+  item.version = resolved.value().version;
+  return batcher_.Submit(std::move(item));
+}
+
+std::future<ScoreResponse> LinkageService::SubmitPinned(
+    std::shared_ptr<const core::EntityLinkageModel> model,
+    data::PairDataset pairs, int64_t deadline_ns, bool quantized,
+    int version_tag) {
+  BatchWorkItem item;
+  item.model = std::move(model);
+  item.pairs = std::move(pairs);
+  item.deadline_ns = deadline_ns;
+  item.quantized = quantized;
+  item.version = version_tag;
   return batcher_.Submit(std::move(item));
 }
 

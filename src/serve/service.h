@@ -59,6 +59,17 @@ class LinkageService {
   /// and expired deadlines resolve it immediately with a typed error.
   std::future<ScoreResponse> SubmitAsync(ScoreRequest request);
 
+  /// Submits work pinned to an explicit model object, bypassing registry
+  /// resolution. The lifecycle manager uses this to shadow-score a
+  /// *candidate* that is deliberately not registered yet (registration is
+  /// the promotion), tagging the work with a version id for the coalescing
+  /// key. `version_tag` should not collide with a live registry version of
+  /// the same model object; the lifecycle uses negative tags for shadows.
+  std::future<ScoreResponse> SubmitPinned(
+      std::shared_ptr<const core::EntityLinkageModel> model,
+      data::PairDataset pairs, int64_t deadline_ns, bool quantized,
+      int version_tag);
+
   /// Blocking convenience wrapper around `SubmitAsync`. Only valid with
   /// `worker_threads > 0` (in pump mode it would wait forever).
   ScoreResponse Score(ScoreRequest request);

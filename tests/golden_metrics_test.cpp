@@ -270,6 +270,72 @@ TEST(GoldenMetricsTest, PerturbedHyperparameterEscapesTolerance) {
             kTolerance);
 }
 
+// Mean per-pair |candidate - incumbent| over the golden test set — the
+// exact statistic the serving lifecycle's shadow phase accumulates before
+// its promote/rollback verdict.
+double ShadowMeanAbsDelta(const std::vector<float>& incumbent,
+                          const std::vector<float>& candidate) {
+  EXPECT_EQ(incumbent.size(), candidate.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < incumbent.size(); ++i) {
+    sum += std::abs(static_cast<double>(candidate[i]) -
+                    static_cast<double>(incumbent[i]));
+  }
+  return incumbent.empty() ? 0.0 : sum / static_cast<double>(incumbent.size());
+}
+
+// Shadow-comparison fixture for the live lifecycle: a candidate is
+// promoted iff its mean |score delta| against the incumbent stays inside
+// the same 2% band this suite uses for offline metrics
+// (LifecycleOptions::max_mean_abs_delta defaults to kTolerance). Both
+// sides of that verdict must be reachable: a checkpoint round-trip of the
+// flagship — the healthy-upgrade stand-in — sits at exactly 0, and a
+// deliberately mis-trained candidate (different init, truncated schedule)
+// lands far outside. If either assertion fails, the serving band and the
+// offline band have drifted apart and one of them is lying.
+TEST(GoldenMetricsTest, ShadowComparisonBandSeparatesHealthyFromCorrupt) {
+  const datagen::MelTask task = MakeGoldenTask();
+  core::MelInputs inputs;
+  inputs.source_train = &task.source_train;
+  inputs.target_unlabeled = &task.target_unlabeled;
+  inputs.support = &task.support;
+
+  auto incumbent = bench::MakeModel("AdaMEL-hyb", 42, GoldenAdamelConfig(),
+                                    GoldenBaselineConfig());
+  ASSERT_NE(incumbent, nullptr);
+  const Status fitted = incumbent->Fit(inputs);
+  ASSERT_TRUE(fitted.ok()) << fitted.ToString();
+  const std::vector<float> incumbent_scores =
+      incumbent->ScorePairs(task.test).value();
+
+  // Healthy candidate: the incumbent's checkpoint loaded into a fresh
+  // model. Scores are bitwise identical, so the shadow delta is 0.
+  const std::string path =
+      ::testing::TempDir() + "/golden_shadow_roundtrip.ckpt";
+  ASSERT_TRUE(incumbent->SaveCheckpoint(path).ok());
+  auto healthy = bench::MakeModel("AdaMEL-hyb", 42, GoldenAdamelConfig(),
+                                  GoldenBaselineConfig());
+  ASSERT_TRUE(healthy->LoadCheckpoint(path).ok());
+  const std::vector<float> healthy_scores =
+      healthy->ScorePairs(task.test).value();
+  EXPECT_EQ(healthy_scores, incumbent_scores);
+  EXPECT_LE(ShadowMeanAbsDelta(incumbent_scores, healthy_scores),
+            kTolerance);
+
+  // Corrupted candidate: different seed and a truncated schedule. Must
+  // fail the band — otherwise shadow mode would wave through a model that
+  // never converged.
+  core::AdamelConfig corrupted_config = GoldenAdamelConfig();
+  corrupted_config.epochs = 1;
+  auto corrupted = bench::MakeModel("AdaMEL-hyb", 7, corrupted_config,
+                                    GoldenBaselineConfig());
+  const Status corrupted_fitted = corrupted->Fit(inputs);
+  ASSERT_TRUE(corrupted_fitted.ok()) << corrupted_fitted.ToString();
+  EXPECT_GT(ShadowMeanAbsDelta(incumbent_scores,
+                               corrupted->ScorePairs(task.test).value()),
+            kTolerance);
+}
+
 }  // namespace
 }  // namespace adamel
 

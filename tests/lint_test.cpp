@@ -458,6 +458,43 @@ TEST(LintTest, JoinAndDetachIdentifierAreFine) {
                   .empty());
 }
 
+// -- registry-publish ---------------------------------------------------------
+
+TEST(LintTest, FlagsDirectRegistryPublish) {
+  const auto findings = LintLibrary(
+      "void f(ModelRegistry& r, M m) { r.Publish(\"adamel\", m); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "registry-publish");
+  EXPECT_TRUE(HasRule(
+      LintLibrary(
+          "void f(ModelRegistry* r, M m) { r->Publish(\"adamel\", m); }\n"),
+      "registry-publish"));
+}
+
+TEST(LintTest, PublishDefinitionAndLifecycleCallerAreFine) {
+  // The method's own qualified definition is not a member call.
+  EXPECT_TRUE(
+      LintLibrary("StatusOr<int> ModelRegistry::Publish(const std::string& "
+                  "name, M model) { return 1; }\n")
+          .empty());
+  // src/serve/lifecycle* is the sanctioned caller (LintTree sets the flag).
+  Options options;
+  options.library_code = true;
+  options.registry_publish_allowed = true;
+  EXPECT_TRUE(
+      LintSource("src/serve/lifecycle.cc",
+                 "void f(ModelRegistry& r, M m) { r.Publish(\"a\", m); }\n",
+                 options, {})
+          .empty());
+}
+
+TEST(LintTest, RegistryPublishIsSuppressible) {
+  const std::string source =
+      "// adamel-lint: allow-next-line(registry-publish) -- test harness\n"
+      "void f(ModelRegistry& r, M m) { r.Publish(\"a\", m); }\n";
+  EXPECT_TRUE(LintLibrary(source).empty());
+}
+
 // -- cv-wait-no-predicate -----------------------------------------------------
 
 TEST(LintTest, FlagsPredicatelessWait) {
@@ -558,7 +595,7 @@ TEST(LintTest, RuleIdListIsStable) {
         "cout-debug", "include-guard", "banned-identifier", "telemetry-clock",
         "bad-suppression", "raw-intrinsic", "raw-mutex",
         "unannotated-guarded-member", "detached-thread",
-        "cv-wait-no-predicate"}) {
+        "cv-wait-no-predicate", "registry-publish"}) {
     EXPECT_TRUE(std::find(rules.begin(), rules.end(), expected) !=
                 rules.end())
         << expected;

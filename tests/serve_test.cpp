@@ -121,6 +121,45 @@ TEST(ModelRegistryTest, RegisterGetLatestRemove) {
   EXPECT_EQ(registry.Get("m").value().get(), v1.get());
 }
 
+TEST(ModelRegistryTest, ResolveReportsConcreteVersion) {
+  ModelRegistry registry;
+  std::shared_ptr<const core::EntityLinkageModel> v1 = TrainToyLinkage(1);
+  std::shared_ptr<const core::EntityLinkageModel> v3 = TrainToyLinkage(2);
+  ASSERT_TRUE(registry.Register("m", 1, v1).ok());
+  ASSERT_TRUE(registry.Register("m", 3, v3).ok());
+
+  // Version 0 resolves to the latest and reports which version that is —
+  // the number callers pin requests (and offline references) to.
+  StatusOr<ResolvedModel> latest = registry.Resolve("m");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().model.get(), v3.get());
+  EXPECT_EQ(latest.value().version, 3);
+
+  StatusOr<ResolvedModel> pinned = registry.Resolve("m", 1);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned.value().model.get(), v1.get());
+  EXPECT_EQ(pinned.value().version, 1);
+  EXPECT_EQ(registry.Resolve("m", 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, PublishAllocatesNextVersionAtomically) {
+  ModelRegistry registry;
+  std::shared_ptr<const core::EntityLinkageModel> model = TrainToyLinkage(1);
+  // First publish on an empty name starts at 1.
+  StatusOr<int> first = registry.Publish("m", model);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1);
+  // Publishing after a sparse Register continues from the highest version.
+  ASSERT_TRUE(registry.Register("m", 7, model).ok());
+  StatusOr<int> next = registry.Publish("m", model);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 8);
+  EXPECT_EQ(registry.Resolve("m").value().version, 8);
+  EXPECT_EQ(registry.Publish("m", nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ModelRegistryTest, LatestDoesNotBleedAcrossNames) {
   // "a" has a high version; Get("b", 0) must not pick it up via the
   // upper_bound scan.
@@ -557,6 +596,57 @@ TEST(LinkageServiceTest, PumpModeScoresMatchOffline) {
   EXPECT_EQ(future.get().scores, offline);
 }
 
+// Regression: deterministic pump mode composed with the adaptive
+// controller. Under a backlog deeper than `max_batch_pairs` the effective
+// pair cap widens toward `adaptive_max_batch_pairs`, so the same three
+// requests drain in two batches instead of three — with scores still
+// bitwise the offline reference. Pinned by exact batch counts so a change
+// to the controller's widening rule fails loudly here.
+TEST(LinkageServiceTest, PumpModeWithAdaptiveControllerWidensBatches) {
+  obs::ScopedFakeClock clock;
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(34);
+  const data::PairDataset test = ToyDataset(300, 35);
+  const std::vector<float> offline = model->ScorePairs(test).value();
+
+  const auto run = [&](bool adaptive) -> std::pair<int64_t, bool> {
+    ServiceOptions options;
+    options.batcher.worker_threads = 0;
+    options.batcher.max_batch_pairs = 128;
+    options.batcher.adaptive = adaptive;
+    options.batcher.adaptive_max_batch_pairs = 256;
+    LinkageService service(options);
+    ADAMEL_CHECK(service.registry().Register("adamel", 1, model).ok());
+
+    std::vector<std::future<ScoreResponse>> futures;
+    for (int i = 0; i < 3; ++i) {
+      ScoreRequest request;
+      request.model = "adamel";
+      request.pairs = Slice(test, 100 * i, 100);
+      futures.push_back(service.SubmitAsync(std::move(request)));
+    }
+    while (service.PumpOnce() > 0) {
+    }
+    bool bitwise = true;
+    for (int i = 0; i < 3; ++i) {
+      const ScoreResponse response = futures[i].get();
+      ADAMEL_CHECK(response.status.ok()) << response.status.ToString();
+      const std::vector<float> expected(offline.begin() + 100 * i,
+                                        offline.begin() + 100 * (i + 1));
+      bitwise = bitwise && response.scores == expected;
+    }
+    return {service.stats().batches, bitwise};
+  };
+
+  const std::pair<int64_t, bool> fixed = run(/*adaptive=*/false);
+  const std::pair<int64_t, bool> adaptive = run(/*adaptive=*/true);
+  // Fixed cap 128: each 100-pair request runs alone. Adaptive with a
+  // 300-pair backlog: cap widens to 256, so 100+100 coalesce, then 100.
+  EXPECT_EQ(fixed.first, 3);
+  EXPECT_EQ(adaptive.first, 2);
+  EXPECT_TRUE(fixed.second);
+  EXPECT_TRUE(adaptive.second);
+}
+
 TEST(LinkageServiceTest, WorkerThreadsServeBitwiseIdenticalScores) {
   std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(24);
   const data::PairDataset test = ToyDataset(40, 25);
@@ -667,6 +757,10 @@ TEST(LinkageServiceTest, QuantizedWithoutSupportFailsFastAtSubmission) {
   EXPECT_EQ(service.SubmitAsync(std::move(request)).get().status.code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(service.stats().submitted, 0);
+  // A precondition fast-fail is an erroneous outcome, not a silent drop:
+  // it must land in `failed` so the offered = completed + missed + shed +
+  // failed accounting identity holds for load metrics.
+  EXPECT_EQ(service.stats().failed, 1);
 }
 
 // TSan concurrency suite: N client threads hammer M models through one

@@ -532,6 +532,28 @@ void CheckDetachedThread(const std::vector<Token>& toks,
   }
 }
 
+// Direct `registry.Publish(...)` / `registry->Publish(...)` calls outside
+// the lifecycle subsystem: publishing is a hot-swap with drain, shadow, and
+// rollback semantics, and `LifecycleManager` is the one owner of that
+// protocol. A bare Publish bypasses the golden-band verdict and the
+// probation rollback. Matches only member-call receivers (`.`/`->`), so
+// the method's own definition (`ModelRegistry::Publish`) is not flagged.
+void CheckRegistryPublish(const std::vector<Token>& toks,
+                          const std::string& path, const SuppressionMap& supp,
+                          std::vector<Finding>* findings) {
+  for (size_t i = 1; i < toks.size(); ++i) {
+    if (IsIdent(toks, i) && toks[i].text == "Publish" &&
+        TokIs(toks, i + 1, "(") &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      Report(findings, supp, path, toks[i].line, "registry-publish",
+             "direct ModelRegistry::Publish bypasses the lifecycle's "
+             "shadow/rollback protocol; route swaps through "
+             "serve::LifecycleManager (only src/serve/lifecycle* may "
+             "publish)");
+    }
+  }
+}
+
 // Untimed condition-variable `wait()` without a predicate: spurious wakeups
 // make a bare wait a latent hang/race — the condition must be re-checked.
 // Pass a predicate lambda, or use a timed WaitFor slice in a loop that
@@ -841,7 +863,7 @@ const std::vector<std::string>& RuleIds() {
       "raw-new",         "cout-debug",       "include-guard",
       "banned-identifier", "telemetry-clock",  "bad-suppression",
       "raw-intrinsic",   "raw-mutex",        "unannotated-guarded-member",
-      "detached-thread", "cv-wait-no-predicate"};
+      "detached-thread", "cv-wait-no-predicate", "registry-publish"};
   return kIds;
 }
 
@@ -914,6 +936,9 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckBannedIdentifiers(toks, path, supp, &findings);
   CheckDetachedThread(toks, path, supp, &findings);
   CheckCvWaitNoPredicate(toks, path, supp, &findings);
+  if (!options.registry_publish_allowed) {
+    CheckRegistryPublish(toks, path, supp, &findings);
+  }
   if (options.library_code) {
     CheckLibraryOnlyRules(toks, path, supp, &findings);
     if (!options.intrinsics_allowed) {
@@ -975,6 +1000,9 @@ std::vector<Finding> LintTree(const std::string& root,
     options.obs_clock_allowed = relpath.rfind("src/obs/", 0) == 0;
     options.intrinsics_allowed = relpath.rfind("src/nn/kernels/", 0) == 0;
     options.raw_mutex_allowed = relpath.rfind("src/common/", 0) == 0;
+    options.registry_publish_allowed =
+        relpath.rfind("src/serve/lifecycle", 0) == 0 ||
+        relpath.rfind("src/serve/registry", 0) == 0;
     if (IsHeader(file)) {
       options.expected_guard = ExpectedIncludeGuard(relpath);
     }

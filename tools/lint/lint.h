@@ -42,6 +42,13 @@ struct Options {
   /// bearing classes to annotate their data members.
   bool raw_mutex_allowed = false;
 
+  /// True for src/serve/lifecycle* (and the registry's own files) — the
+  /// lifecycle manager is the one sanctioned caller of
+  /// `ModelRegistry::Publish`, because publishing is a hot-swap that must
+  /// go through the shadow/golden-band/rollback protocol. Everywhere else
+  /// the registry-publish rule flags `.Publish(` / `->Publish(` calls.
+  bool registry_publish_allowed = false;
+
   /// Expected include-guard macro for a header ("" skips the check).
   std::string expected_guard;
 };
