@@ -1,0 +1,401 @@
+// Million-entity gallery benchmark for src/gallery + serving search.
+//
+// Renders a synthetic multi-source world into ~1M records (4 sources x 250k
+// entities; --quick: 20k records), streams them into a `gallery::Gallery`
+// in chunks, then measures:
+//
+//   - enroll throughput (records/second) and total index build time,
+//   - Save/Load wall time through the CRC32 checkpoint container, with the
+//     loaded index verified bitwise against the in-memory one,
+//   - recall@64 of bucket-probed Search against the exhaustive int8 oracle
+//     on a verification subset of re-rendered queries,
+//   - steady-state Search queries/second,
+//   - end-to-end SearchAsync (probe + micro-batched re-rank) with every
+//     served score checked bitwise against offline ScorePairs.
+//
+// Writes <out>/BENCH_gallery.json (numbers/booleans only) and then — the
+// self-gate — re-reads the file with obs::FlatJsonParse and fails unless
+// the parsed values clear the acceptance thresholds: recall@64 >= 0.95,
+// queries_per_second > 0, bitwise flags set, and (full mode) >= 1M records.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "data/record.h"
+#include "datagen/world.h"
+#include "eval/report.h"
+#include "gallery/gallery.h"
+#include "nn/serialize.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace adamel;
+
+constexpr int kRecallQueries = 100;
+constexpr int kRecallK = 64;
+constexpr int kQpsQueries = 200;
+constexpr int kRerankQueries = 16;
+
+datagen::World MakeWorld(bool quick, uint64_t seed) {
+  datagen::WorldConfig config;
+  config.num_entities = quick ? 5000 : 250000;
+  // 16 entities per family x 4 sources = 64 records that genuinely relate
+  // to each query, so the exhaustive oracle's top-64 measures retrieval of
+  // real neighbours rather than the n-gram noise floor of the synthetic
+  // vocabulary.
+  config.family_size = 16;
+  config.seed = seed;
+  datagen::AttributeSpec name;
+  name.name = "name";
+  name.kind = datagen::AttributeKind::kEntityName;
+  datagen::AttributeSpec family;
+  family.name = "performer";
+  family.kind = datagen::AttributeKind::kFamilyName;
+  datagen::AttributeSpec category;
+  category.name = "genre";
+  category.kind = datagen::AttributeKind::kCategory;
+  category.category_cardinality = 50;
+  category.vocab_seed = 3;
+  datagen::AttributeSpec year;
+  year.name = "year";
+  year.kind = datagen::AttributeKind::kNumeric;
+  datagen::AttributeSpec title;
+  title.name = "page_title";
+  title.kind = datagen::AttributeKind::kComposite;
+  title.filler_tokens = 2;
+  title.vocab_seed = 5;
+  config.attributes = {name, family, category, year, title};
+  datagen::World world(std::move(config));
+  for (int s = 0; s < 4; ++s) {
+    datagen::SourceProfile profile;
+    profile.name = "site" + std::to_string(s);
+    profile.decoration_vocab_seed = 100 + s;
+    std::vector<datagen::AttributeRendering> renderings(5);
+    renderings[0].abbrev_prob = 0.05 * s;
+    renderings[0].typo_prob = 0.02;
+    renderings[2].missing_prob = 0.1;
+    renderings[4].decoration_prob = 0.2;
+    profile.attributes = std::move(renderings);
+    world.AddSource(profile);
+  }
+  return world;
+}
+
+// The enrolled population: every entity rendered once per source.
+std::vector<data::Record> RenderAll(const datagen::World& world, Rng* rng) {
+  std::vector<data::Record> records;
+  records.reserve(static_cast<size_t>(world.num_entities()) * 4);
+  for (int e = 0; e < world.num_entities(); ++e) {
+    for (const std::string& site : world.source_names()) {
+      records.push_back(world.Render(e, site, rng));
+    }
+  }
+  return records;
+}
+
+double Seconds(int64_t start_ns) {
+  return static_cast<double>(obs::NowNanos() - start_ns) * 1e-9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  bench::WarnIfError(eval::EnsureDirectory(options.output_dir),
+                     "creating output directory " + options.output_dir);
+
+  // --- Build the record stream.
+  std::fprintf(stderr, "[gallery] rendering world (%s)...\n",
+               options.quick ? "quick" : "full");
+  const datagen::World world = MakeWorld(options.quick, /*seed=*/77);
+  Rng render_rng(78);
+  const std::vector<data::Record> records = RenderAll(world, &render_rng);
+  std::fprintf(stderr, "[gallery] %zu records over %d entities\n",
+               records.size(), world.num_entities());
+
+  gallery::GalleryOptions gallery_options;
+  gallery_options.embedding.dim = 128;
+  gallery_options.num_shards = 16;
+  auto gallery_or =
+      gallery::Gallery::Create(world.schema(), gallery_options);
+  ADAMEL_CHECK(gallery_or.ok()) << gallery_or.status().ToString();
+  std::unique_ptr<gallery::Gallery> gallery = std::move(gallery_or).value();
+
+  // --- Phase 1: streaming enrollment, chunked like a real feed.
+  const int64_t chunk = 50000;
+  const int64_t enroll_start = obs::NowNanos();
+  const data::RecordSpan all(records);
+  for (int64_t offset = 0; offset < all.size(); offset += chunk) {
+    const int64_t count = std::min<int64_t>(chunk, all.size() - offset);
+    const Status enrolled = gallery->Enroll(all.Subspan(offset, count));
+    ADAMEL_CHECK(enrolled.ok()) << enrolled.ToString();
+    std::fprintf(stderr, "[gallery] enrolled %lld / %lld\r",
+                 static_cast<long long>(offset + count),
+                 static_cast<long long>(all.size()));
+  }
+  const double enroll_seconds = Seconds(enroll_start);
+  const double enroll_rate =
+      enroll_seconds > 0.0 ? static_cast<double>(records.size()) /
+                                 enroll_seconds
+                           : 0.0;
+  std::fprintf(stderr, "\n[gallery] enroll: %.1fs (%.0f records/s)\n",
+               enroll_seconds, enroll_rate);
+
+  // --- Phase 2: persistence round trip, timed both ways.
+  const std::string index_path = options.output_dir + "/gallery.idx";
+  const int64_t save_start = obs::NowNanos();
+  const Status saved = gallery->Save(index_path);
+  ADAMEL_CHECK(saved.ok()) << saved.ToString();
+  const double save_seconds = Seconds(save_start);
+  const int64_t load_start = obs::NowNanos();
+  auto loaded_or = gallery::Gallery::Load(index_path);
+  ADAMEL_CHECK(loaded_or.ok()) << loaded_or.status().ToString();
+  const std::unique_ptr<gallery::Gallery> loaded =
+      std::move(loaded_or).value();
+  const double load_seconds = Seconds(load_start);
+  std::fprintf(stderr, "[gallery] save %.1fs, load %.1fs\n", save_seconds,
+               load_seconds);
+
+  // --- Verification queries: enrolled entities re-rendered with a fresh
+  // rng, so surface forms differ (typos, abbreviations, decorations) while
+  // ground truth is known to be in the gallery.
+  Rng query_rng(79);
+  const int verify_queries =
+      options.quick ? kRecallQueries / 2 : kRecallQueries;
+  std::vector<data::Record> queries;
+  queries.reserve(static_cast<size_t>(verify_queries) + kQpsQueries);
+  const int stride = std::max(1, world.num_entities() /
+                                     (verify_queries + kQpsQueries));
+  for (int q = 0; q < verify_queries + kQpsQueries; ++q) {
+    const int entity = (q * stride) % world.num_entities();
+    queries.push_back(world.Render(entity, "site0", &query_rng));
+  }
+
+  // --- Phase 3: recall@64 of the bucket probe vs the exhaustive oracle,
+  // and bitwise agreement between the in-memory and the loaded index.
+  int recall_found = 0;
+  int recall_total = 0;
+  bool load_bitwise = true;
+  for (int q = 0; q < verify_queries; ++q) {
+    const auto probed = gallery->Search(queries[q], kRecallK);
+    const auto oracle = gallery->SearchExhaustive(queries[q], kRecallK);
+    ADAMEL_CHECK(probed.ok()) << probed.status().ToString();
+    ADAMEL_CHECK(oracle.ok()) << oracle.status().ToString();
+    std::vector<int64_t> probed_indices;
+    for (const gallery::Candidate& hit : probed.value()) {
+      probed_indices.push_back(hit.index);
+    }
+    std::sort(probed_indices.begin(), probed_indices.end());
+    for (const gallery::Candidate& want : oracle.value()) {
+      ++recall_total;
+      recall_found += std::binary_search(probed_indices.begin(),
+                                         probed_indices.end(), want.index)
+                          ? 1
+                          : 0;
+    }
+    const auto reloaded = loaded->Search(queries[q], kRecallK);
+    ADAMEL_CHECK(reloaded.ok()) << reloaded.status().ToString();
+    if (reloaded.value().size() != probed.value().size()) {
+      load_bitwise = false;
+    } else {
+      for (size_t i = 0; i < probed.value().size(); ++i) {
+        if (reloaded.value()[i].index != probed.value()[i].index ||
+            reloaded.value()[i].score != probed.value()[i].score) {
+          load_bitwise = false;
+        }
+      }
+    }
+  }
+  const double recall =
+      recall_total > 0
+          ? static_cast<double>(recall_found) / recall_total
+          : 0.0;
+  std::fprintf(stderr, "[gallery] recall@%d = %.4f (%d/%d), load bitwise %s\n",
+               kRecallK, recall, recall_found, recall_total,
+               load_bitwise ? "yes" : "NO");
+
+  // --- Phase 4: steady-state probe throughput.
+  const int64_t qps_start = obs::NowNanos();
+  for (int q = 0; q < kQpsQueries; ++q) {
+    const auto hits =
+        gallery->Search(queries[verify_queries + q], kRecallK);
+    ADAMEL_CHECK(hits.ok()) << hits.status().ToString();
+  }
+  const double qps_seconds = Seconds(qps_start);
+  const double qps = qps_seconds > 0.0 ? kQpsQueries / qps_seconds : 0.0;
+  std::fprintf(stderr, "[gallery] %.1f queries/s (k=%d)\n", qps, kRecallK);
+
+  // --- Phase 5: served search. Train a small AdaMEL re-ranker on pairs
+  // from this world, serve the gallery behind SearchAsync, and check every
+  // served score bitwise against offline ScorePairs on the same pair.
+  std::fprintf(stderr, "[gallery] training re-ranker...\n");
+  datagen::PairSamplingOptions sampling;
+  sampling.left_sources = {"site0", "site1"};
+  sampling.right_sources = {"site2", "site3"};
+  sampling.positives = options.quick ? 150 : 300;
+  sampling.negatives = options.quick ? 150 : 300;
+  Rng pair_rng(80);
+  const data::PairDataset train =
+      datagen::SamplePairs(world, sampling, &pair_rng);
+  core::AdamelConfig config;
+  config.epochs = options.quick ? 1 : 2;
+  config.seed = 81;
+  config.embed_dim = 24;
+  config.latent_dim = 16;
+  config.attention_dim = 16;
+  config.hidden_dim = 32;
+  auto model = std::make_shared<core::AdamelLinkage>(
+      core::AdamelVariant::kBase, config);
+  core::MelInputs inputs;
+  inputs.source_train = &train;
+  {
+    const Status fitted = model->Fit(inputs);
+    ADAMEL_CHECK(fitted.ok()) << fitted.ToString();
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.batcher.worker_threads = 0;  // pump mode: deterministic
+  service_options.batcher.max_batch_pairs = 512;
+  service_options.batcher.max_queue_pairs = 1 << 16;
+  service_options.gallery =
+      std::shared_ptr<const gallery::Gallery>(std::move(gallery));
+  serve::LinkageService service(service_options);
+  {
+    const Status registered = service.registry().Register("adamel", 1, model);
+    ADAMEL_CHECK(registered.ok()) << registered.ToString();
+  }
+
+  bool serve_bitwise = true;
+  int served_candidates = 0;
+  const int64_t serve_start = obs::NowNanos();
+  for (int q = 0; q < kRerankQueries; ++q) {
+    serve::SearchRequest request;
+    request.model = "adamel";
+    request.query = queries[q];
+    request.k = 10;
+    request.probe_k = kRecallK;
+    std::future<serve::SearchResponse> future =
+        service.SearchAsync(std::move(request));
+    while (service.queued_pairs() > 0) {
+      service.PumpOnce();
+    }
+    const serve::SearchResponse response = future.get();
+    ADAMEL_CHECK(response.status.ok()) << response.status.ToString();
+    served_candidates += static_cast<int>(response.candidates.size());
+    for (const gallery::Candidate& candidate : response.candidates) {
+      data::PairDataset offline_pair(service.gallery()->schema());
+      data::LabeledPair pair;
+      pair.left = queries[q];
+      const auto record = service.gallery()->GetRecord(candidate.index);
+      ADAMEL_CHECK(record.ok()) << record.status().ToString();
+      pair.right = record.value();
+      offline_pair.Add(std::move(pair));
+      const auto offline = model->ScorePairs(offline_pair);
+      ADAMEL_CHECK(offline.ok()) << offline.status().ToString();
+      if (candidate.score != offline.value()[0]) {
+        serve_bitwise = false;
+      }
+    }
+  }
+  const double serve_seconds = Seconds(serve_start);
+  std::fprintf(stderr,
+               "[gallery] served %d searches (%d candidates) in %.2fs, "
+               "bitwise %s\n",
+               kRerankQueries, served_candidates, serve_seconds,
+               serve_bitwise ? "yes" : "NO");
+
+  // --- Emit results (numbers/booleans only: the self-gate re-parses this
+  // file with the flat JSON reader, which rejects string values).
+  const std::string path = options.output_dir + "/BENCH_gallery.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"quick\": %s,\n", options.quick ? "true" : "false");
+  std::fprintf(out, "  \"records_enrolled\": %lld,\n",
+               static_cast<long long>(records.size()));
+  std::fprintf(out, "  \"entities\": %d,\n", world.num_entities());
+  std::fprintf(out, "  \"embedding_dim\": %d,\n",
+               gallery_options.embedding.dim);
+  std::fprintf(out, "  \"num_shards\": %d,\n", gallery_options.num_shards);
+  std::fprintf(out, "  \"enroll_seconds\": %.3f,\n", enroll_seconds);
+  std::fprintf(out, "  \"enroll_records_per_second\": %.1f,\n", enroll_rate);
+  std::fprintf(out, "  \"save_seconds\": %.3f,\n", save_seconds);
+  std::fprintf(out, "  \"load_seconds\": %.3f,\n", load_seconds);
+  std::fprintf(out, "  \"load_search_bitwise_identical\": %s,\n",
+               load_bitwise ? "true" : "false");
+  std::fprintf(out, "  \"recall_at_64\": %.6f,\n", recall);
+  std::fprintf(out, "  \"recall_queries\": %d,\n", verify_queries);
+  std::fprintf(out, "  \"queries_per_second\": %.2f,\n", qps);
+  std::fprintf(out, "  \"search_k\": %d,\n", kRecallK);
+  std::fprintf(out, "  \"serve_searches\": %d,\n", kRerankQueries);
+  std::fprintf(out, "  \"serve_candidates\": %d,\n", served_candidates);
+  std::fprintf(out, "  \"serve_scores_bitwise_identical\": %s\n",
+               serve_bitwise ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s (recall@%d %.4f, %.1f qps)\n", path.c_str(), kRecallK,
+              recall, qps);
+  bench::EmitTelemetry(options, "gallery");
+
+  // --- Self-gate on the re-parsed artifact, not on in-memory state: the
+  // numbers a reader of BENCH_gallery.json sees are the numbers gated on.
+  const StatusOr<std::string> written = nn::ReadFileToString(path);
+  ADAMEL_CHECK(written.ok()) << written.status().ToString();
+  const StatusOr<std::map<std::string, double>> parsed =
+      obs::FlatJsonParse(written.value());
+  ADAMEL_CHECK(parsed.ok()) << parsed.status().ToString();
+  const std::map<std::string, double>& values = parsed.value();
+  bool pass = true;
+  const auto gate = [&](const std::string& key, bool ok,
+                        const std::string& requirement) {
+    if (!ok) {
+      std::fprintf(stderr, "[gallery] FAIL: %s (%s = %.6f)\n",
+                   requirement.c_str(), key.c_str(),
+                   values.count(key) ? values.at(key) : -1.0);
+      pass = false;
+    }
+  };
+  gate("recall_at_64",
+       values.count("recall_at_64") && values.at("recall_at_64") >= 0.95,
+       "recall@64 >= 0.95 vs exhaustive oracle");
+  gate("queries_per_second",
+       values.count("queries_per_second") &&
+           values.at("queries_per_second") > 0.0,
+       "positive search throughput");
+  gate("serve_scores_bitwise_identical",
+       values.count("serve_scores_bitwise_identical") &&
+           values.at("serve_scores_bitwise_identical") == 1.0,
+       "served search scores bitwise identical to offline ScorePairs");
+  gate("load_search_bitwise_identical",
+       values.count("load_search_bitwise_identical") &&
+           values.at("load_search_bitwise_identical") == 1.0,
+       "loaded index answers searches bitwise identically");
+  if (!options.quick) {
+    gate("records_enrolled",
+         values.count("records_enrolled") &&
+             values.at("records_enrolled") >= 1000000.0,
+         "full run enrolls at least one million records");
+  }
+  if (!pass) {
+    return 1;
+  }
+  std::fprintf(stderr, "[gallery] all gates passed\n");
+  return 0;
+}

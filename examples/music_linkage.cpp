@@ -43,7 +43,8 @@ int main() {
                              "name_native_language"};
   blocking.min_shared_tokens = 1;
   const std::vector<data::CandidatePair> candidates =
-      data::GenerateCandidates(feed, world.schema(), tokenizer, blocking);
+      data::GenerateCandidates(feed, world.schema(), tokenizer, blocking)
+          .value();
   const double all_pairs =
       static_cast<double>(feed.size()) * (feed.size() - 1) / 2.0;
   std::printf("Blocking: %zu candidates (%.2f%% of %.0f possible pairs)\n",

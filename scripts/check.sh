@@ -29,6 +29,12 @@
 #                  candidate must be auto-rolled-back — the live-update
 #                  path end to end (the steady smoke in stage 4 already
 #                  gates the healthy mid-run promotion)
+#   4c. gallery    bench_gallery --quick smoke: enroll/search candidate
+#                  index must hold recall@64 >= 0.95 vs the exhaustive
+#                  oracle, round-trip bitwise through save/load, and serve
+#                  SearchAsync scores bitwise identical to offline
+#                  ScorePairs (the binary re-parses its own JSON and exits
+#                  nonzero on any gate failure)
 #   5. scalar      ADAMEL_FORCE_SCALAR=1 full ctest against the tier-1
 #                  build — pins the kernel dispatch to the scalar backend,
 #                  proving nothing depends on SIMD being present and the
@@ -44,7 +50,9 @@
 #                  on them being live
 #   8. asan        AddressSanitizer build; serialization/checkpoint tests
 #                  (the code that parses untrusted bytes from disk) plus
-#                  kernels_test (hand-vectorized loads/stores and packing)
+#                  kernels_test (hand-vectorized loads/stores and packing),
+#                  gallery_test, and the corruption sweeps over checkpoint
+#                  and gallery index files
 #   9. ubsan       UndefinedBehaviorSanitizer build (-fno-sanitize-recover),
 #                  full ctest
 #  10. debug       ADAMEL_DEBUG_CHECKS=ON build, full ctest — enables the
@@ -107,6 +115,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target lifecycle_test
 "${BUILD_DIR}/bench/bench_load" --quick --schedule=burst --duration_s=2 \
   --out "${BUILD_DIR}/bench_smoke"
 
+echo "== gallery: bench_gallery --quick smoke (recall + bitwise gates) =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_gallery
+"${BUILD_DIR}/bench/bench_gallery" --quick --out "${BUILD_DIR}/bench_smoke"
+
 echo "== scalar: full ctest with ADAMEL_FORCE_SCALAR=1 =="
 ADAMEL_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -j "${JOBS}"
@@ -116,7 +128,7 @@ cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target parallel_test ops_test obs_test serve_test loadgen_test \
-  deadlock_test lifecycle_test
+  deadlock_test lifecycle_test gallery_test
 
 echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/parallel_test"
@@ -126,6 +138,7 @@ echo "== tsan: run parallel tests =="
 "${TSAN_BUILD_DIR}/tests/loadgen_test"
 "${TSAN_BUILD_DIR}/tests/deadlock_test"
 "${TSAN_BUILD_DIR}/tests/lifecycle_test"
+"${TSAN_BUILD_DIR}/tests/gallery_test"
 
 echo "== notelemetry: configure + build (ADAMEL_TELEMETRY=OFF) =="
 cmake -B "${NOTELEMETRY_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
@@ -139,12 +152,15 @@ echo "== asan: configure + build serialization tests =="
 cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \
   -DADAMEL_SANITIZE=address
 cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}" \
-  --target serialize_test checkpoint_test kernels_test
+  --target serialize_test checkpoint_test kernels_test gallery_test \
+  corruption_test
 
 echo "== asan: run serialization + kernel tests =="
 "${ASAN_BUILD_DIR}/tests/serialize_test"
 "${ASAN_BUILD_DIR}/tests/checkpoint_test"
 "${ASAN_BUILD_DIR}/tests/kernels_test"
+"${ASAN_BUILD_DIR}/tests/gallery_test"
+"${ASAN_BUILD_DIR}/tests/corruption_test"
 
 echo "== ubsan: configure + build =="
 cmake -B "${UBSAN_BUILD_DIR}" -S "${REPO_ROOT}" -G Ninja \

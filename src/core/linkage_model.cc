@@ -1,7 +1,5 @@
 #include "core/linkage_model.h"
 
-#include "common/check.h"
-
 namespace adamel::core {
 
 Status ValidateMelInputs(const MelInputs& inputs, bool need_target,
@@ -36,15 +34,6 @@ Status ValidateMelInputs(const MelInputs& inputs, bool need_target,
     }
   }
   return OkStatus();
-}
-
-// adamel-lint: allow-next-line(banned-identifier) -- deprecated shim definition
-std::vector<float> EntityLinkageModel::PredictScores(
-    const data::PairDataset& dataset) const {
-  StatusOr<std::vector<float>> scores = ScorePairs(dataset);
-  ADAMEL_CHECK(scores.ok()) << Name()
-                            << "::ScorePairs: " << scores.status().ToString();
-  return std::move(scores).value();
 }
 
 }  // namespace adamel::core

@@ -50,12 +50,6 @@ class EntityLinkageModel {
   virtual StatusOr<std::vector<float>> ScorePairs(
       data::PairSpan batch) const = 0;
 
-  /// Deprecated pre-`ScorePairs` name, kept for one PR as a thin shim.
-  /// Dies on scoring errors (the legacy contract). `adamel_lint` bans new
-  /// call sites under the banned-identifier rule.
-  // adamel-lint: allow-next-line(banned-identifier) -- deprecated shim decl
-  std::vector<float> PredictScores(const data::PairDataset& dataset) const;
-
   /// Number of learnable parameters (Section 4.5 / 5.5 comparison).
   virtual int64_t ParameterCount() const = 0;
 

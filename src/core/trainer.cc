@@ -430,12 +430,6 @@ std::vector<float> TrainedAdamel::ScorePairs(data::PairSpan batch) const {
   return scores;
 }
 
-// adamel-lint: allow-next-line(banned-identifier) -- deprecated shim definition
-std::vector<float> TrainedAdamel::Predict(
-    const data::PairDataset& dataset) const {
-  return ScorePairs(dataset);
-}
-
 Status TrainedAdamel::EnableQuantizedScoring(data::PairSpan calibration) {
   if (calibration.empty()) {
     return InvalidArgumentError("quantization calibration span is empty");

@@ -31,11 +31,6 @@ class TrainedAdamel {
   /// concurrent requests without changing their scores.
   std::vector<float> ScorePairs(data::PairSpan batch) const;
 
-  /// Deprecated pre-`ScorePairs` name, kept for one PR as a thin shim
-  /// (`adamel_lint` bans new call sites).
-  // adamel-lint: allow-next-line(banned-identifier) -- deprecated shim decl
-  std::vector<float> Predict(const data::PairDataset& dataset) const;
-
   /// Attention vector f(x_i) per pair — the transferable knowledge K. Used
   /// by the adaptation visualization (Figure 7) and attention analysis
   /// (Table 4).

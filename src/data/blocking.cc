@@ -9,8 +9,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/check.h"
 #include "common/parallel.h"
+#include "common/status.h"
 
 namespace adamel::data {
 namespace {
@@ -21,20 +21,54 @@ constexpr int64_t kPostingGrain = 64;
 
 }  // namespace
 
-std::vector<CandidatePair> GenerateCandidates(
-    const std::vector<Record>& records, const Schema& schema,
-    const text::Tokenizer& tokenizer, const BlockingOptions& options) {
-  // Resolve key attribute indices.
+StatusOr<std::vector<int>> ResolveKeyAttributes(
+    const Schema& schema, const std::vector<std::string>& key_attributes) {
   std::vector<int> key_indices;
-  if (options.key_attributes.empty()) {
+  if (key_attributes.empty()) {
+    key_indices.reserve(schema.size());
     for (int i = 0; i < schema.size(); ++i) {
       key_indices.push_back(i);
     }
-  } else {
-    for (const std::string& name : options.key_attributes) {
-      const int index = schema.IndexOf(name);
-      ADAMEL_CHECK_GE(index, 0) << "unknown blocking attribute " << name;
-      key_indices.push_back(index);
+    return key_indices;
+  }
+  key_indices.reserve(key_attributes.size());
+  for (const std::string& name : key_attributes) {
+    const int index = schema.IndexOf(name);
+    if (index < 0) {
+      return InvalidArgumentError(
+          "unknown key attribute '" + name +
+          "'; the schema has no such attribute (a silent empty candidate "
+          "list would hide the typo)");
+    }
+    key_indices.push_back(index);
+  }
+  return key_indices;
+}
+
+StatusOr<std::vector<CandidatePair>> GenerateCandidates(
+    RecordSpan records, const Schema& schema, const text::Tokenizer& tokenizer,
+    const BlockingOptions& options) {
+  // Validate up front, before any parallel work: every failure mode is a
+  // typed error the caller can branch on, not a crash or an empty result.
+  if (records.empty()) {
+    return InvalidArgumentError(
+        "GenerateCandidates: empty record list (candidate generation over "
+        "nothing is almost always a wiring bug; pass the records)");
+  }
+  StatusOr<std::vector<int>> key_indices_or =
+      ResolveKeyAttributes(schema, options.key_attributes);
+  if (!key_indices_or.ok()) {
+    return key_indices_or.status();
+  }
+  const std::vector<int>& key_indices = key_indices_or.value();
+  const int n = static_cast<int>(records.size());
+  for (int r = 0; r < n; ++r) {
+    if (static_cast<int>(records[r].values.size()) != schema.size()) {
+      return InvalidArgumentError(
+          "GenerateCandidates: record " + std::to_string(r) + " ('" +
+          records[r].id + "') has " + std::to_string(records[r].values.size()) +
+          " values but the schema has " + std::to_string(schema.size()) +
+          " attributes");
     }
   }
 
@@ -42,12 +76,9 @@ std::vector<CandidatePair> GenerateCandidates(
   // set is written by exactly one chunk, so the loop parallelizes cleanly;
   // the document-frequency map is then filled serially from the finished
   // sets (cheap relative to tokenization).
-  const int n = static_cast<int>(records.size());
   std::vector<std::set<std::string>> record_tokens(n);
   ParallelFor(0, n, kTokenizeGrain, [&](int64_t lo, int64_t hi) {
     for (int r = static_cast<int>(lo); r < hi; ++r) {
-      ADAMEL_CHECK_EQ(static_cast<int>(records[r].values.size()),
-                      schema.size());
       for (int attr : key_indices) {
         for (std::string& token :
              tokenizer.Tokenize(records[r].values[attr])) {

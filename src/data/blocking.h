@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "data/record.h"
 #include "text/tokenizer.h"
 
@@ -35,9 +36,24 @@ struct CandidatePair {
 /// "techniques such as blocking or hashing are normally applied to merge the
 /// candidate entities"); used by the end-to-end examples to avoid the
 /// quadratic all-pairs comparison.
-std::vector<CandidatePair> GenerateCandidates(
-    const std::vector<Record>& records, const Schema& schema,
-    const text::Tokenizer& tokenizer, const BlockingOptions& options = {});
+///
+/// Status-first: an empty record list, a `key_attributes` name absent from
+/// `schema`, or a record whose value count disagrees with `schema` is a
+/// typed `kInvalidArgument` — never a silent empty result. The returned
+/// list is a total order (shared tokens descending, then (left, right)
+/// ascending) before the greedy `max_candidates_per_record` cap is applied,
+/// so the cap's survivors are deterministic at any thread count and across
+/// hash-map iteration orders.
+StatusOr<std::vector<CandidatePair>> GenerateCandidates(
+    RecordSpan records, const Schema& schema, const text::Tokenizer& tokenizer,
+    const BlockingOptions& options = {});
+
+/// Resolves a key-attribute name list against `schema`: empty means "all
+/// attributes in schema order"; any unknown name is `kInvalidArgument`.
+/// Shared by token blocking and the gallery index so both surfaces report
+/// a misspelled attribute the same way.
+StatusOr<std::vector<int>> ResolveKeyAttributes(
+    const Schema& schema, const std::vector<std::string>& key_attributes);
 
 }  // namespace adamel::data
 

@@ -1,0 +1,16 @@
+#include "data/candidate_source.h"
+
+#include <utility>
+
+namespace adamel::data {
+
+TokenBlockingSource::TokenBlockingSource(text::Tokenizer tokenizer,
+                                         BlockingOptions options)
+    : tokenizer_(std::move(tokenizer)), options_(std::move(options)) {}
+
+StatusOr<std::vector<CandidatePair>> TokenBlockingSource::CandidatePairs(
+    RecordSpan records, const Schema& schema) const {
+  return GenerateCandidates(records, schema, tokenizer_, options_);
+}
+
+}  // namespace adamel::data

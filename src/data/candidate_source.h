@@ -1,0 +1,64 @@
+#ifndef ADAMEL_DATA_CANDIDATE_SOURCE_H_
+#define ADAMEL_DATA_CANDIDATE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/blocking.h"
+#include "data/record.h"
+#include "text/tokenizer.h"
+
+namespace adamel::data {
+
+/// Abstract candidate generation: given a record list, propose the pairs
+/// worth scoring with the full AdaMEL model. The paper (Section 2) assumes
+/// "techniques such as blocking or hashing are normally applied to merge the
+/// candidate entities" before pairwise scoring; this interface is that seam.
+/// Implementations:
+///
+///   - `TokenBlockingSource` (here): offline token-overlap blocking over the
+///     whole record list at once.
+///   - `gallery::GalleryCandidateSource` (src/gallery): enrolls the records
+///     into a quantized sharded index and probes it per record — the same
+///     machinery that serves million-entity `Search` traffic online.
+///
+/// Both are interchangeable behind this Status-first contract: invalid
+/// inputs (empty record list, schema mismatches, unknown key attributes)
+/// are typed `kInvalidArgument` errors, never silent empty output, and the
+/// returned pairs are deterministic for a given input (left < right,
+/// duplicate-free, stable order at any thread count).
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+
+  /// Human-readable implementation name for logs and bench output.
+  virtual std::string Name() const = 0;
+
+  /// Proposes candidate pairs among `records` (indices into the span,
+  /// left < right).
+  virtual StatusOr<std::vector<CandidatePair>> CandidatePairs(
+      RecordSpan records, const Schema& schema) const = 0;
+};
+
+/// Offline token-overlap blocking behind the `CandidateSource` contract:
+/// a thin adapter over `GenerateCandidates`.
+class TokenBlockingSource : public CandidateSource {
+ public:
+  explicit TokenBlockingSource(text::Tokenizer tokenizer,
+                               BlockingOptions options = {});
+
+  std::string Name() const override { return "token-blocking"; }
+  StatusOr<std::vector<CandidatePair>> CandidatePairs(
+      RecordSpan records, const Schema& schema) const override;
+
+  const BlockingOptions& options() const { return options_; }
+
+ private:
+  text::Tokenizer tokenizer_;
+  BlockingOptions options_;
+};
+
+}  // namespace adamel::data
+
+#endif  // ADAMEL_DATA_CANDIDATE_SOURCE_H_

@@ -1,6 +1,7 @@
 #ifndef ADAMEL_DATA_RECORD_H_
 #define ADAMEL_DATA_RECORD_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,35 @@ struct Record {
   bool IsMissing(int attribute_index) const {
     return values[attribute_index].empty();
   }
+};
+
+/// Non-owning view over a contiguous run of `Record`s — the enrollment
+/// currency of the gallery (`Gallery::Enroll`) and the input of every
+/// `CandidateSource`. Implicitly constructible from a `std::vector<Record>`,
+/// mirroring `PairSpan` over `PairDataset`; the span itself is a pointer and
+/// a count, cheap to pass by value. The viewed records must outlive it.
+class RecordSpan {
+ public:
+  RecordSpan() = default;
+  /// Views a whole record list (implicit by design: vectors are spans).
+  RecordSpan(const std::vector<Record>& records)  // NOLINT(runtime/explicit)
+      : data_(records.data()), size_(static_cast<int64_t>(records.size())) {}
+  RecordSpan(const Record* data, int64_t size) : data_(data), size_(size) {}
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Record& operator[](int64_t index) const { return data_[index]; }
+  const Record* begin() const { return data_; }
+  const Record* end() const { return data_ + size_; }
+
+  /// Views the half-open sub-range [offset, offset + count).
+  RecordSpan Subspan(int64_t offset, int64_t count) const {
+    return RecordSpan(data_ + offset, count);
+  }
+
+ private:
+  const Record* data_ = nullptr;
+  int64_t size_ = 0;
 };
 
 /// Returns the union schema of `a` and `b`, preserving `a`'s order and

@@ -1,0 +1,681 @@
+#include "gallery/gallery.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/parallel.h"
+#include "data/blocking.h"
+#include "nn/quantize.h"
+#include "nn/serialize.h"
+#include "obs/telemetry.h"
+
+namespace adamel::gallery {
+namespace {
+
+// Records per parallel-encode chunk: tokenize + embed + quantize is the
+// dominant per-record cost, so modest chunks keep the pool busy without
+// scheduling overhead.
+constexpr int64_t kEncodeGrain = 16;
+
+// Bumped on any incompatible change to the gallery's section payloads (the
+// container has its own independent version).
+constexpr uint32_t kGalleryFormatVersion = 1;
+
+constexpr char kMetaSection[] = "gallery/meta";
+
+std::string ShardSectionName(int shard) {
+  return "gallery/shard_" + std::to_string(shard);
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Total order over hits: best score first, then stable gallery index so
+// equal-scoring records (e.g. exact duplicates) rank deterministically.
+bool BetterCandidate(const Candidate& a, const Candidate& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.index < b.index;
+}
+
+void SortTruncate(std::vector<Candidate>* hits, int k) {
+  if (static_cast<int>(hits->size()) > k) {
+    std::partial_sort(hits->begin(), hits->begin() + k, hits->end(),
+                      BetterCandidate);
+    hits->resize(static_cast<size_t>(k));
+  } else {
+    std::sort(hits->begin(), hits->end(), BetterCandidate);
+  }
+}
+
+// Every deserialization defect is data loss: the file existed and parsed as
+// far as it parsed, so the bytes are unusable, not merely absent.
+Status CorruptIndex(const std::string& message) {
+  return DataLossError("gallery index: " + message);
+}
+
+Status CorruptIndex(const std::string& message, const Status& cause) {
+  return DataLossError("gallery index: " + message + ": " + cause.ToString());
+}
+
+}  // namespace
+
+Gallery::Gallery(data::Schema schema, GalleryOptions options,
+                 std::vector<int> key_indices)
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      key_indices_(std::move(key_indices)),
+      tokenizer_(options_.tokenizer),
+      embedding_(options_.embedding) {
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+StatusOr<std::unique_ptr<Gallery>> Gallery::Create(data::Schema schema,
+                                                   GalleryOptions options) {
+  if (schema.size() == 0) {
+    return InvalidArgumentError("Gallery::Create: empty schema");
+  }
+  if (options.num_shards < 1) {
+    return InvalidArgumentError(
+        "Gallery::Create: num_shards must be >= 1, got " +
+        std::to_string(options.num_shards));
+  }
+  if (options.embedding.dim < 1) {
+    return InvalidArgumentError(
+        "Gallery::Create: embedding dim must be >= 1, got " +
+        std::to_string(options.embedding.dim));
+  }
+  if (options.max_bucket_postings < 0) {
+    return InvalidArgumentError(
+        "Gallery::Create: max_bucket_postings must be >= 0 (0 = unlimited)");
+  }
+  StatusOr<std::vector<int>> key_indices =
+      data::ResolveKeyAttributes(schema, options.key_attributes);
+  if (!key_indices.ok()) {
+    return key_indices.status();
+  }
+  // adamel-lint: allow-next-line(raw-new) -- private ctor, make_unique cannot
+  return std::unique_ptr<Gallery>(new Gallery(
+      std::move(schema), std::move(options), std::move(key_indices).value()));
+}
+
+int Gallery::ShardOf(const std::string& id) const {
+  return static_cast<int>(Fnv1a64(id) %
+                          static_cast<uint64_t>(options_.num_shards));
+}
+
+Gallery::Encoded Gallery::Encode(const data::Record& record) const {
+  std::vector<std::string> all_tokens;
+  std::set<std::string> unique_tokens;
+  for (int attr : key_indices_) {
+    for (std::string& token : tokenizer_.Tokenize(record.values[attr])) {
+      unique_tokens.insert(token);
+      all_tokens.push_back(std::move(token));
+    }
+  }
+  // Unit-norm token-sum embedding, so the int8 dot of two codes approximates
+  // cosine similarity (EmbedTokens already returns the fixed normalized
+  // missing vector for token-free records).
+  std::vector<float> embedding = embedding_.EmbedTokens(all_tokens);
+  text::L2Normalize(&embedding);
+  nn::QuantizedVector quantized =
+      nn::QuantizeVector(embedding.data(), options_.embedding.dim);
+  Encoded encoded;
+  encoded.scale = quantized.scale;
+  encoded.code = std::move(quantized.q);
+  encoded.tokens.assign(unique_tokens.begin(), unique_tokens.end());
+  return encoded;
+}
+
+Status Gallery::Enroll(data::RecordSpan records) {
+  return EnrollAssigningIndices(records).status();
+}
+
+StatusOr<std::vector<int64_t>> Gallery::EnrollAssigningIndices(
+    data::RecordSpan records) {
+  // Validate the whole span before mutating anything, so a failed Enroll
+  // leaves the gallery exactly as it was.
+  const int64_t n = records.size();
+  for (int64_t r = 0; r < n; ++r) {
+    if (static_cast<int>(records[r].values.size()) != schema_.size()) {
+      return InvalidArgumentError(
+          "Gallery::Enroll: record " + std::to_string(r) + " ('" +
+          records[r].id + "') has " + std::to_string(records[r].values.size()) +
+          " values but the gallery schema has " +
+          std::to_string(schema_.size()) + " attributes");
+    }
+  }
+
+  // Encoding is pure per-record work — parallelize it; appends below are
+  // serial in span order, so the resulting gallery does not depend on the
+  // thread count.
+  std::vector<Encoded> encoded(static_cast<size_t>(n));
+  ParallelFor(0, n, kEncodeGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      encoded[static_cast<size_t>(r)] = Encode(records[r]);
+    }
+  });
+
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    const data::Record& record = records[r];
+    Encoded& enc = encoded[static_cast<size_t>(r)];
+    const int shard_id = ShardOf(record.id);
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    MutexLock lock(shard.mutex);
+    const int32_t slot = static_cast<int32_t>(shard.ids.size());
+    shard.ids.push_back(record.id);
+    shard.scales.push_back(enc.scale);
+    shard.codes.insert(shard.codes.end(), enc.code.begin(), enc.code.end());
+    if (options_.store_records) {
+      shard.records.push_back(record);
+    }
+    for (const std::string& token : enc.tokens) {
+      Bucket& bucket = shard.buckets[token];
+      if (bucket.overflowed) {
+        continue;
+      }
+      bucket.postings.push_back(slot);
+      if (options_.max_bucket_postings > 0 &&
+          static_cast<int>(bucket.postings.size()) >
+              options_.max_bucket_postings) {
+        // The token matches a large fraction of the gallery — a streaming
+        // stop word. Drop the bucket for good; probes skip it.
+        bucket.overflowed = true;
+        bucket.postings.clear();
+        bucket.postings.shrink_to_fit();
+        ADAMEL_COUNTER_ADD("gallery.buckets_overflowed", 1);
+      }
+    }
+    indices[static_cast<size_t>(r)] =
+        static_cast<int64_t>(slot) * options_.num_shards + shard_id;
+    size_.fetch_add(1, std::memory_order_release);
+  }
+  ADAMEL_COUNTER_ADD("gallery.enrolled", static_cast<double>(n));
+  ADAMEL_GAUGE_SET("gallery.size", static_cast<double>(size()));
+  return indices;
+}
+
+void Gallery::ScoreSlots(const Shard& shard, int shard_id,
+                         const std::vector<int32_t>& slots,
+                         const Encoded& encoded,
+                         std::vector<Candidate>* hits) const {
+  const int dim = options_.embedding.dim;
+  hits->reserve(hits->size() + slots.size());
+  for (int32_t slot : slots) {
+    const int8_t* code =
+        shard.codes.data() + static_cast<size_t>(slot) * dim;
+    const int32_t dot = nn::DotS8(code, encoded.code.data(), dim);
+    Candidate hit;
+    hit.index = static_cast<int64_t>(slot) * options_.num_shards + shard_id;
+    hit.id = shard.ids[static_cast<size_t>(slot)];
+    hit.score = static_cast<float>(dot) *
+                (shard.scales[static_cast<size_t>(slot)] * encoded.scale);
+    hits->push_back(std::move(hit));
+  }
+}
+
+StatusOr<Gallery::Encoded> Gallery::ValidateAndEncodeQuery(
+    const data::Record& query, int k) const {
+  if (k < 1) {
+    return InvalidArgumentError("Gallery::Search: k must be >= 1, got " +
+                                std::to_string(k));
+  }
+  if (static_cast<int>(query.values.size()) != schema_.size()) {
+    return InvalidArgumentError(
+        "Gallery::Search: query ('" + query.id + "') has " +
+        std::to_string(query.values.size()) +
+        " values but the gallery schema has " + std::to_string(schema_.size()) +
+        " attributes");
+  }
+  return Encode(query);
+}
+
+StatusOr<std::vector<Candidate>> Gallery::Search(const data::Record& query,
+                                                 int k) const {
+  StatusOr<Encoded> encoded_or = ValidateAndEncodeQuery(query, k);
+  if (!encoded_or.ok()) {
+    return encoded_or.status();
+  }
+  const Encoded& encoded = encoded_or.value();
+
+  // Each shard probes and ranks independently (its own lock, its own local
+  // top-k); locals are merged in fixed shard order, so the result is
+  // deterministic at any thread count.
+  const int num_shards = options_.num_shards;
+  std::vector<std::vector<Candidate>> per_shard(
+      static_cast<size_t>(num_shards));
+  int64_t probed = 0;
+  ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const Shard& shard = *shards_[static_cast<size_t>(s)];
+      std::vector<int32_t> slots;
+      std::vector<Candidate> local;
+      {
+        MutexLock lock(shard.mutex);
+        for (const std::string& token : encoded.tokens) {
+          const auto it = shard.buckets.find(token);
+          if (it == shard.buckets.end() || it->second.overflowed) {
+            continue;
+          }
+          slots.insert(slots.end(), it->second.postings.begin(),
+                       it->second.postings.end());
+        }
+        std::sort(slots.begin(), slots.end());
+        slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+        ScoreSlots(shard, static_cast<int>(s), slots, encoded, &local);
+      }
+      SortTruncate(&local, k);
+      per_shard[static_cast<size_t>(s)] = std::move(local);
+    }
+  });
+
+  std::vector<Candidate> merged;
+  for (std::vector<Candidate>& local : per_shard) {
+    probed += static_cast<int64_t>(local.size());
+    merged.insert(merged.end(), std::make_move_iterator(local.begin()),
+                  std::make_move_iterator(local.end()));
+  }
+  SortTruncate(&merged, k);
+  ADAMEL_COUNTER_ADD("gallery.searches", 1);
+  ADAMEL_COUNTER_ADD("gallery.search_hits", static_cast<double>(probed));
+  return merged;
+}
+
+StatusOr<std::vector<Candidate>> Gallery::SearchExhaustive(
+    const data::Record& query, int k) const {
+  StatusOr<Encoded> encoded_or = ValidateAndEncodeQuery(query, k);
+  if (!encoded_or.ok()) {
+    return encoded_or.status();
+  }
+  const Encoded& encoded = encoded_or.value();
+
+  const int num_shards = options_.num_shards;
+  std::vector<std::vector<Candidate>> per_shard(
+      static_cast<size_t>(num_shards));
+  ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const Shard& shard = *shards_[static_cast<size_t>(s)];
+      std::vector<Candidate> local;
+      {
+        MutexLock lock(shard.mutex);
+        std::vector<int32_t> slots(shard.ids.size());
+        for (size_t i = 0; i < slots.size(); ++i) {
+          slots[i] = static_cast<int32_t>(i);
+        }
+        ScoreSlots(shard, static_cast<int>(s), slots, encoded, &local);
+      }
+      SortTruncate(&local, k);
+      per_shard[static_cast<size_t>(s)] = std::move(local);
+    }
+  });
+
+  std::vector<Candidate> merged;
+  for (std::vector<Candidate>& local : per_shard) {
+    merged.insert(merged.end(), std::make_move_iterator(local.begin()),
+                  std::make_move_iterator(local.end()));
+  }
+  SortTruncate(&merged, k);
+  return merged;
+}
+
+StatusOr<data::Record> Gallery::GetRecord(int64_t index) const {
+  if (!options_.store_records) {
+    return FailedPreconditionError(
+        "Gallery::GetRecord: gallery was built with store_records = false");
+  }
+  if (index < 0) {
+    return NotFoundError("Gallery::GetRecord: no record at index " +
+                         std::to_string(index));
+  }
+  const int shard_id = static_cast<int>(index % options_.num_shards);
+  const int64_t slot = index / options_.num_shards;
+  const Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  MutexLock lock(shard.mutex);
+  if (slot >= static_cast<int64_t>(shard.records.size())) {
+    return NotFoundError("Gallery::GetRecord: no record at index " +
+                         std::to_string(index));
+  }
+  return shard.records[static_cast<size_t>(slot)];
+}
+
+std::string Gallery::Serialize() const {
+  nn::CheckpointWriter writer;
+
+  nn::BlobWriter meta;
+  meta.WriteU32(kGalleryFormatVersion);
+  meta.WriteU32(static_cast<uint32_t>(schema_.size()));
+  for (const std::string& attribute : schema_.attributes()) {
+    meta.WriteString(attribute);
+  }
+  meta.WriteU32(static_cast<uint32_t>(options_.key_attributes.size()));
+  for (const std::string& name : options_.key_attributes) {
+    meta.WriteString(name);
+  }
+  meta.WriteBool(options_.tokenizer.lowercase);
+  meta.WriteBool(options_.tokenizer.split_punctuation);
+  meta.WriteI32(options_.tokenizer.crop_size);
+  meta.WriteI32(options_.embedding.dim);
+  meta.WriteI32(options_.embedding.min_ngram);
+  meta.WriteI32(options_.embedding.max_ngram);
+  meta.WriteI32(options_.embedding.buckets);
+  meta.WriteU64(options_.embedding.seed);
+  meta.WriteI32(options_.num_shards);
+  meta.WriteI32(options_.max_bucket_postings);
+  meta.WriteBool(options_.store_records);
+  meta.WriteU64(static_cast<uint64_t>(size()));
+  writer.AddSection(kMetaSection, meta.TakeBuffer());
+
+  const int dim = options_.embedding.dim;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = *shards_[static_cast<size_t>(s)];
+    nn::BlobWriter blob;
+    MutexLock lock(shard.mutex);
+    const uint64_t count = shard.ids.size();
+    blob.WriteU64(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      blob.WriteString(shard.ids[i]);
+      blob.WriteF32(shard.scales[i]);
+    }
+    blob.WriteRaw(std::string_view(
+        reinterpret_cast<const char*>(shard.codes.data()),
+        static_cast<size_t>(count) * dim));
+    blob.WriteBool(options_.store_records);
+    if (options_.store_records) {
+      for (const data::Record& record : shard.records) {
+        blob.WriteString(record.id);
+        blob.WriteString(record.source);
+        blob.WriteString(record.entity_id);
+        blob.WriteU32(static_cast<uint32_t>(record.values.size()));
+        for (const std::string& value : record.values) {
+          blob.WriteString(value);
+        }
+      }
+    }
+    // Buckets in sorted token order, so Serialize() is a pure function of
+    // the logical gallery content (not of hash-map iteration order) and
+    // enroll-save-load-save round trips are bitwise stable.
+    std::map<std::string, const Bucket*> ordered;
+    for (const auto& [token, bucket] : shard.buckets) {
+      ordered.emplace(token, &bucket);
+    }
+    blob.WriteU64(ordered.size());
+    for (const auto& [token, bucket] : ordered) {
+      blob.WriteString(token);
+      blob.WriteBool(bucket->overflowed);
+      blob.WriteU64(bucket->postings.size());
+      for (int32_t slot : bucket->postings) {
+        blob.WriteI32(slot);
+      }
+    }
+    writer.AddSection(ShardSectionName(s), blob.TakeBuffer());
+  }
+  return writer.Serialize();
+}
+
+Status Gallery::Save(const std::string& path) const {
+  return nn::AtomicWriteFile(path, Serialize());
+}
+
+// Deserialize-local: any failed payload read is kDataLoss by contract, so
+// wrap the reader's own (kInvalidArgument) truncation errors.
+#define GALLERY_READ_OR_CORRUPT(expr)                     \
+  do {                                                    \
+    const Status _status = (expr);                        \
+    if (!_status.ok()) {                                  \
+      return CorruptIndex("unreadable payload", _status); \
+    }                                                     \
+  } while (0)
+
+StatusOr<std::unique_ptr<Gallery>> Gallery::Deserialize(std::string bytes) {
+  StatusOr<nn::CheckpointReader> reader_or =
+      nn::CheckpointReader::Parse(std::move(bytes));
+  if (!reader_or.ok()) {
+    return CorruptIndex("container rejected", reader_or.status());
+  }
+  const nn::CheckpointReader& reader = reader_or.value();
+  if (!reader.HasSection(kMetaSection)) {
+    return CorruptIndex("missing section '" + std::string(kMetaSection) + "'");
+  }
+  StatusOr<nn::BlobReader> meta_or = reader.Section(kMetaSection);
+  if (!meta_or.ok()) {
+    return CorruptIndex("meta section unreadable", meta_or.status());
+  }
+  nn::BlobReader meta = std::move(meta_or).value();
+
+  uint32_t format_version = 0;
+  GALLERY_READ_OR_CORRUPT(meta.ReadU32(&format_version));
+  if (format_version != kGalleryFormatVersion) {
+    return CorruptIndex("unsupported gallery format version " +
+                        std::to_string(format_version));
+  }
+  uint32_t attribute_count = 0;
+  GALLERY_READ_OR_CORRUPT(meta.ReadU32(&attribute_count));
+  if (attribute_count == 0 || attribute_count > (1u << 20)) {
+    return CorruptIndex("implausible schema attribute count " +
+                        std::to_string(attribute_count));
+  }
+  std::vector<std::string> attributes(attribute_count);
+  for (uint32_t i = 0; i < attribute_count; ++i) {
+    GALLERY_READ_OR_CORRUPT(meta.ReadString(&attributes[i]));
+  }
+  GalleryOptions options;
+  uint32_t key_count = 0;
+  GALLERY_READ_OR_CORRUPT(meta.ReadU32(&key_count));
+  if (key_count > attribute_count) {
+    return CorruptIndex("more key attributes than schema attributes");
+  }
+  options.key_attributes.resize(key_count);
+  for (uint32_t i = 0; i < key_count; ++i) {
+    GALLERY_READ_OR_CORRUPT(meta.ReadString(&options.key_attributes[i]));
+  }
+  GALLERY_READ_OR_CORRUPT(meta.ReadBool(&options.tokenizer.lowercase));
+  GALLERY_READ_OR_CORRUPT(meta.ReadBool(&options.tokenizer.split_punctuation));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.tokenizer.crop_size));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.embedding.dim));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.embedding.min_ngram));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.embedding.max_ngram));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.embedding.buckets));
+  GALLERY_READ_OR_CORRUPT(meta.ReadU64(&options.embedding.seed));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.num_shards));
+  GALLERY_READ_OR_CORRUPT(meta.ReadI32(&options.max_bucket_postings));
+  GALLERY_READ_OR_CORRUPT(meta.ReadBool(&options.store_records));
+  uint64_t total = 0;
+  GALLERY_READ_OR_CORRUPT(meta.ReadU64(&total));
+  if (!meta.AtEnd()) {
+    return CorruptIndex("trailing bytes after meta section");
+  }
+  if (options.num_shards < 1 || options.num_shards > (1 << 16)) {
+    return CorruptIndex("implausible shard count " +
+                        std::to_string(options.num_shards));
+  }
+
+  StatusOr<std::unique_ptr<Gallery>> gallery_or =
+      Create(data::Schema(std::move(attributes)), std::move(options));
+  if (!gallery_or.ok()) {
+    // The container framing was fine but the encoded configuration is not a
+    // valid gallery — the file is unusable, not merely mis-addressed.
+    return CorruptIndex("invalid stored configuration",
+                        gallery_or.status());
+  }
+  std::unique_ptr<Gallery> gallery = std::move(gallery_or).value();
+  const GalleryOptions& opts = gallery->options_;
+  const int dim = opts.embedding.dim;
+
+  uint64_t loaded = 0;
+  for (int s = 0; s < opts.num_shards; ++s) {
+    const std::string section = ShardSectionName(s);
+    if (!reader.HasSection(section)) {
+      return CorruptIndex("missing section '" + section + "'");
+    }
+    StatusOr<nn::BlobReader> blob_or = reader.Section(section);
+    if (!blob_or.ok()) {
+      return CorruptIndex("section '" + section + "' unreadable",
+                          blob_or.status());
+    }
+    nn::BlobReader blob = std::move(blob_or).value();
+    Shard& shard = *gallery->shards_[static_cast<size_t>(s)];
+    MutexLock lock(shard.mutex);
+    uint64_t count = 0;
+    GALLERY_READ_OR_CORRUPT(blob.ReadU64(&count));
+    if (count > total) {
+      return CorruptIndex("shard " + std::to_string(s) + " claims " +
+                          std::to_string(count) + " records but the gallery "
+                          "holds " + std::to_string(total) + " in total");
+    }
+    shard.ids.resize(count);
+    shard.scales.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      GALLERY_READ_OR_CORRUPT(blob.ReadString(&shard.ids[i]));
+      GALLERY_READ_OR_CORRUPT(blob.ReadF32(&shard.scales[i]));
+    }
+    std::string_view code_bytes;
+    GALLERY_READ_OR_CORRUPT(
+        blob.ReadRaw(static_cast<size_t>(count) * dim, &code_bytes));
+    shard.codes.resize(code_bytes.size());
+    std::memcpy(shard.codes.data(), code_bytes.data(), code_bytes.size());
+    bool has_records = false;
+    GALLERY_READ_OR_CORRUPT(blob.ReadBool(&has_records));
+    if (has_records != opts.store_records) {
+      return CorruptIndex("shard " + std::to_string(s) +
+                          " record payload disagrees with store_records");
+    }
+    if (has_records) {
+      shard.records.resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        data::Record& record = shard.records[i];
+        GALLERY_READ_OR_CORRUPT(blob.ReadString(&record.id));
+        GALLERY_READ_OR_CORRUPT(blob.ReadString(&record.source));
+        GALLERY_READ_OR_CORRUPT(blob.ReadString(&record.entity_id));
+        uint32_t value_count = 0;
+        GALLERY_READ_OR_CORRUPT(blob.ReadU32(&value_count));
+        if (static_cast<int>(value_count) != gallery->schema_.size()) {
+          return CorruptIndex("stored record value count disagrees with "
+                              "the stored schema");
+        }
+        record.values.resize(value_count);
+        for (uint32_t v = 0; v < value_count; ++v) {
+          GALLERY_READ_OR_CORRUPT(blob.ReadString(&record.values[v]));
+        }
+      }
+    }
+    uint64_t bucket_count = 0;
+    GALLERY_READ_OR_CORRUPT(blob.ReadU64(&bucket_count));
+    for (uint64_t b = 0; b < bucket_count; ++b) {
+      std::string token;
+      GALLERY_READ_OR_CORRUPT(blob.ReadString(&token));
+      Bucket bucket;
+      GALLERY_READ_OR_CORRUPT(blob.ReadBool(&bucket.overflowed));
+      uint64_t postings = 0;
+      GALLERY_READ_OR_CORRUPT(blob.ReadU64(&postings));
+      if (postings > count) {
+        return CorruptIndex("bucket '" + token + "' claims more postings "
+                            "than the shard has records");
+      }
+      bucket.postings.resize(postings);
+      for (uint64_t p = 0; p < postings; ++p) {
+        GALLERY_READ_OR_CORRUPT(blob.ReadI32(&bucket.postings[p]));
+        if (bucket.postings[p] < 0 ||
+            static_cast<uint64_t>(bucket.postings[p]) >= count) {
+          return CorruptIndex("bucket '" + token + "' posting out of range");
+        }
+      }
+      if (!shard.buckets.emplace(std::move(token), std::move(bucket)).second) {
+        return CorruptIndex("duplicate bucket token in shard " +
+                            std::to_string(s));
+      }
+    }
+    if (!blob.AtEnd()) {
+      return CorruptIndex("trailing bytes in section '" + section + "'");
+    }
+    loaded += count;
+  }
+  if (loaded != total) {
+    return CorruptIndex("shards hold " + std::to_string(loaded) +
+                        " records but the meta section claims " +
+                        std::to_string(total));
+  }
+  gallery->size_.store(static_cast<int64_t>(loaded),
+                       std::memory_order_release);
+  return gallery;
+}
+
+#undef GALLERY_READ_OR_CORRUPT
+
+StatusOr<std::unique_ptr<Gallery>> Gallery::Load(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return NotFoundError("no gallery index file at '" + path + "'");
+  }
+  StatusOr<std::string> bytes = nn::ReadFileToString(path);
+  if (!bytes.ok()) {
+    // The file exists but cannot be read whole — unusable bytes, same
+    // taxonomy as the registry's checkpoint handling.
+    return CorruptIndex("cannot read '" + path + "'", bytes.status());
+  }
+  StatusOr<std::unique_ptr<Gallery>> gallery =
+      Deserialize(std::move(bytes).value());
+  if (!gallery.ok()) {
+    ADAMEL_COUNTER_ADD("gallery.load_failures", 1);
+  }
+  return gallery;
+}
+
+StatusOr<std::vector<Candidate>> RerankCandidates(
+    const core::EntityLinkageModel& model, const Gallery& gallery,
+    const data::Record& query, std::vector<Candidate> candidates, int k) {
+  if (k < 1) {
+    return InvalidArgumentError("RerankCandidates: k must be >= 1, got " +
+                                std::to_string(k));
+  }
+  if (candidates.empty()) {
+    return candidates;
+  }
+  data::PairDataset pairs(gallery.schema());
+  for (const Candidate& candidate : candidates) {
+    StatusOr<data::Record> record = gallery.GetRecord(candidate.index);
+    if (!record.ok()) {
+      return record.status();
+    }
+    data::LabeledPair pair;
+    pair.left = query;
+    pair.right = std::move(record).value();
+    pair.label = data::kUnlabeled;
+    pairs.Add(std::move(pair));
+  }
+  StatusOr<std::vector<float>> scores = model.ScorePairs(pairs);
+  if (!scores.ok()) {
+    return scores.status();
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].score = scores.value()[i];
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.index < b.index;
+            });
+  if (static_cast<int>(candidates.size()) > k) {
+    candidates.resize(static_cast<size_t>(k));
+  }
+  return candidates;
+}
+
+}  // namespace adamel::gallery

@@ -1,0 +1,205 @@
+#ifndef ADAMEL_GALLERY_GALLERY_H_
+#define ADAMEL_GALLERY_GALLERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/linkage_model.h"
+#include "data/record.h"
+#include "text/embedding.h"
+#include "text/tokenizer.h"
+
+namespace adamel::gallery {
+
+/// Knobs for a `Gallery`.
+struct GalleryOptions {
+  /// Attributes (by name) whose tokens key the inverted buckets and feed the
+  /// record embedding; empty = all schema attributes. Unknown names are a
+  /// `kInvalidArgument` at `Gallery::Create`.
+  std::vector<std::string> key_attributes;
+  /// Tokenization of attribute values (same machinery as offline blocking).
+  text::TokenizerOptions tokenizer;
+  /// Hashed character-n-gram embedding of the key attributes' tokens. The
+  /// record code is the L2-normalized token-sum, quantized to int8.
+  text::EmbeddingOptions embedding;
+  /// Independent lock domains for concurrent Enroll/Search. Records hash to
+  /// a shard by id, so enrollment spreads across locks.
+  int num_shards = 16;
+  /// A token bucket growing past this many postings is dropped from the
+  /// index (the streaming analogue of blocking's document-frequency stop
+  /// words): such a token matches a large fraction of the gallery and is
+  /// weakly discriminative, and scanning it would dominate probe cost.
+  /// 0 = unlimited.
+  int max_bucket_postings = 1 << 16;
+  /// Keep full records for re-ranking (`GetRecord`, `RerankCandidates`,
+  /// serving's SearchAsync). Off saves memory when only index probes are
+  /// needed.
+  bool store_records = true;
+};
+
+/// One search hit: the enrolled record's stable gallery index, its id, and a
+/// score — index similarity (`Search`/`SearchExhaustive`: int8-dot cosine,
+/// higher is closer) or a match probability in [0,1] after re-ranking.
+struct Candidate {
+  int64_t index = -1;
+  std::string id;
+  float score = 0.0f;
+};
+
+/// A persistent, sharded candidate index over enrolled entity records — the
+/// enroll-gallery / 1:N-search architecture (OpenBR's shape) in front of the
+/// AdaMEL scorer. Records stream in via `Enroll`; each is embedded (hashed
+/// char-n-gram token sum, L2-normalized), quantized to an int8 code with a
+/// per-record symmetric scale (`nn::QuantizeVector`), and posted into
+/// inverted token buckets. `Search` probes the query's token buckets and
+/// ranks the union by exact int8 dot-product similarity — integer
+/// accumulation, so scores are bitwise deterministic across thread counts
+/// and kernel backends. `SearchExhaustive` ranks every enrolled record with
+/// the same scoring, making measured recall@k isolate bucket-pruning loss.
+///
+/// Thread safety: `Enroll` and `Search` may run concurrently from any
+/// threads. Shard mutexes are leaf-rank (DESIGN.md §8.4): at most one is
+/// held at a time and no code is called out to under one.
+///
+/// Persistence: `Save`/`Load` go through the CRC32 checkpoint container
+/// (enforced repo-wide by the `raw-index-io` lint rule), so a gallery file
+/// is magic-tagged, versioned, per-section checksummed, and written
+/// crash-safely. `Load` maps failures onto the registry's taxonomy: missing
+/// file = `kNotFound`; anything else wrong with the bytes — container parse
+/// failure, missing section, internal inconsistency — is `kDataLoss`, never
+/// a silently wrong index.
+class Gallery {
+ public:
+  /// Validates `schema`/`options` (non-empty schema, known key attributes,
+  /// positive shard count and embedding dim) and builds an empty gallery.
+  static StatusOr<std::unique_ptr<Gallery>> Create(data::Schema schema,
+                                                   GalleryOptions options);
+
+  /// Streams `records` into the index. Every record must carry exactly
+  /// `schema().size()` values (`kInvalidArgument` otherwise; the gallery is
+  /// unchanged on error). Embeddings are computed in parallel (pure
+  /// per-record work), appends are ordered, so a single-threaded call
+  /// sequence yields an identical gallery at any thread count.
+  Status Enroll(data::RecordSpan records);
+
+  /// Like `Enroll`, additionally reporting the gallery index assigned to
+  /// each record of the span, in order. `GalleryCandidateSource` uses this
+  /// to translate search hits back to caller-side record positions.
+  StatusOr<std::vector<int64_t>> EnrollAssigningIndices(
+      data::RecordSpan records);
+
+  /// Top-`k` enrolled records by quantized-code similarity among those
+  /// sharing at least one indexed (non-overflowed) token bucket with
+  /// `query`. Ties break by ascending gallery index, so results are a total
+  /// order. Fewer than `k` hits is not an error; an empty gallery yields an
+  /// empty list.
+  StatusOr<std::vector<Candidate>> Search(const data::Record& query,
+                                          int k) const;
+
+  /// Top-`k` by the same scoring over *every* enrolled record (no bucket
+  /// pruning) — the recall baseline and the correctness oracle for
+  /// `Search`.
+  StatusOr<std::vector<Candidate>> SearchExhaustive(const data::Record& query,
+                                                    int k) const;
+
+  /// The enrolled record at `index` (as returned in `Candidate::index`).
+  /// `kNotFound` for an unknown index, `kFailedPrecondition` when the
+  /// gallery was built with `store_records = false`.
+  StatusOr<data::Record> GetRecord(int64_t index) const;
+
+  /// Number of enrolled records.
+  int64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  const data::Schema& schema() const { return schema_; }
+  const GalleryOptions& options() const { return options_; }
+
+  /// Serializes the full index (codes, buckets, records) into checkpoint-
+  /// container bytes / writes them crash-safely to `path`.
+  std::string Serialize() const;
+  Status Save(const std::string& path) const;
+
+  /// Rebuilds a gallery from `Serialize` bytes. Any defect — bad container
+  /// framing, CRC mismatch, missing section, count mismatch, out-of-range
+  /// posting — is `kDataLoss`.
+  static StatusOr<std::unique_ptr<Gallery>> Deserialize(std::string bytes);
+
+  /// Reads `path` and deserializes: `kNotFound` when the file is missing,
+  /// `kDataLoss` for anything else wrong with it.
+  static StatusOr<std::unique_ptr<Gallery>> Load(const std::string& path);
+
+ private:
+  /// One inverted-index bucket: postings are slot numbers within the owning
+  /// shard. An overflowed bucket has been dropped (postings freed) and
+  /// ignores both new postings and probes.
+  struct Bucket {
+    std::vector<int32_t> postings;
+    bool overflowed = false;
+  };
+
+  /// One lock domain. Shard mutexes are leaf-rank: nothing else is acquired
+  /// while one is held.
+  struct Shard {
+    mutable Mutex mutex;
+    std::vector<std::string> ids ADAMEL_GUARDED_BY(mutex);
+    std::vector<float> scales ADAMEL_GUARDED_BY(mutex);
+    /// ids.size() * dim int8 codes, row-major per slot.
+    std::vector<int8_t> codes ADAMEL_GUARDED_BY(mutex);
+    std::vector<data::Record> records ADAMEL_GUARDED_BY(mutex);
+    std::unordered_map<std::string, Bucket> buckets ADAMEL_GUARDED_BY(mutex);
+  };
+
+  /// Embedding + unique indexed tokens of one record's key attributes.
+  struct Encoded {
+    float scale = 1.0f;
+    std::vector<int8_t> code;
+    std::vector<std::string> tokens;  // sorted unique
+  };
+
+  Gallery(data::Schema schema, GalleryOptions options,
+          std::vector<int> key_indices);
+
+  /// Tokenizes + embeds + quantizes one record (pure; lock-free).
+  Encoded Encode(const data::Record& record) const;
+
+  /// Shard owning records with this id.
+  int ShardOf(const std::string& id) const;
+
+  /// Scores `encoded` against shard-local candidate `slots`, appending
+  /// (score, global index, id) hits to `hits`.
+  void ScoreSlots(const Shard& shard, int shard_id,
+                  const std::vector<int32_t>& slots, const Encoded& encoded,
+                  std::vector<Candidate>* hits) const
+      ADAMEL_REQUIRES(shard.mutex);
+
+  StatusOr<Encoded> ValidateAndEncodeQuery(const data::Record& query,
+                                           int k) const;
+
+  data::Schema schema_;
+  GalleryOptions options_;
+  std::vector<int> key_indices_;
+  text::Tokenizer tokenizer_;
+  text::HashTextEmbedding embedding_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> size_{0};
+};
+
+/// Re-ranks index candidates with the full AdaMEL scorer: builds
+/// (query, candidate-record) pairs, scores them through
+/// `model.ScorePairs` — the same single entry point serving uses, so
+/// re-rank scores here are bitwise comparable to `SearchAsync` — and
+/// returns the top `k` by match probability (ties by ascending index).
+/// Requires `store_records`; candidate indices must be valid.
+StatusOr<std::vector<Candidate>> RerankCandidates(
+    const core::EntityLinkageModel& model, const Gallery& gallery,
+    const data::Record& query, std::vector<Candidate> candidates, int k);
+
+}  // namespace adamel::gallery
+
+#endif  // ADAMEL_GALLERY_GALLERY_H_

@@ -1,0 +1,80 @@
+#include "gallery/gallery_source.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace adamel::gallery {
+
+GalleryCandidateSource::GalleryCandidateSource(GallerySourceOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<std::vector<data::CandidatePair>>
+GalleryCandidateSource::CandidatePairs(data::RecordSpan records,
+                                       const data::Schema& schema) const {
+  if (records.empty()) {
+    return InvalidArgumentError(
+        "GalleryCandidateSource: records must be non-empty");
+  }
+  if (options_.probe_k < 1) {
+    return InvalidArgumentError(
+        "GalleryCandidateSource: probe_k must be >= 1, got " +
+        std::to_string(options_.probe_k));
+  }
+  // The gallery here is a throwaway probe structure; the caller keeps the
+  // records, so storing copies would only double memory.
+  GalleryOptions gallery_options = options_.gallery;
+  gallery_options.store_records = false;
+  StatusOr<std::unique_ptr<Gallery>> gallery_or =
+      Gallery::Create(schema, std::move(gallery_options));
+  if (!gallery_or.ok()) {
+    return gallery_or.status();
+  }
+  Gallery& gallery = *gallery_or.value();
+  StatusOr<std::vector<int64_t>> indices_or =
+      gallery.EnrollAssigningIndices(records);
+  if (!indices_or.ok()) {
+    return indices_or.status();
+  }
+  const std::vector<int64_t>& indices = indices_or.value();
+  std::unordered_map<int64_t, int> position_of;
+  position_of.reserve(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    position_of.emplace(indices[r], static_cast<int>(r));
+  }
+
+  // Probe one extra neighbor since every record finds itself at rank one
+  // (self-similarity is maximal by construction).
+  std::set<std::pair<int, int>> seen;
+  for (int64_t r = 0; r < records.size(); ++r) {
+    StatusOr<std::vector<Candidate>> hits_or =
+        gallery.Search(records[r], options_.probe_k + 1);
+    if (!hits_or.ok()) {
+      return hits_or.status();
+    }
+    for (const Candidate& hit : hits_or.value()) {
+      const int other = position_of.at(hit.index);
+      if (other == static_cast<int>(r)) {
+        continue;
+      }
+      seen.emplace(std::min<int>(static_cast<int>(r), other),
+                   std::max<int>(static_cast<int>(r), other));
+    }
+  }
+
+  std::vector<data::CandidatePair> result;
+  result.reserve(seen.size());
+  for (const auto& [left, right] : seen) {
+    data::CandidatePair pair;
+    pair.left = left;
+    pair.right = right;
+    // Index probes rank by embedding similarity, not token overlap; the
+    // overlap count is simply not computed on this path.
+    pair.shared_tokens = 0;
+    result.push_back(pair);
+  }
+  return result;
+}
+
+}  // namespace adamel::gallery

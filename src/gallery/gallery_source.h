@@ -1,0 +1,51 @@
+#ifndef ADAMEL_GALLERY_GALLERY_SOURCE_H_
+#define ADAMEL_GALLERY_GALLERY_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/candidate_source.h"
+#include "gallery/gallery.h"
+
+namespace adamel::gallery {
+
+/// Knobs for `GalleryCandidateSource`.
+struct GallerySourceOptions {
+  /// Gallery construction (key attributes, tokenizer, embedding, shards).
+  GalleryOptions gallery;
+  /// Neighbors probed per record; a pair is emitted when either record ranks
+  /// in the other's top `probe_k` (so the relation is symmetric by
+  /// construction before dedup).
+  int probe_k = 64;
+};
+
+/// `data::CandidateSource` backed by the gallery index: enrolls the whole
+/// span into a throwaway in-memory gallery, then probes it once per record
+/// and emits the deduplicated union of top-`probe_k` neighbor pairs.
+///
+/// This is the approximate, embedding-similarity counterpart of
+/// `data::TokenBlockingSource`: the same call sites — datagen, examples,
+/// evaluation sweeps — can swap one for the other behind the
+/// `CandidateSource` interface and compare candidate quality on equal
+/// footing. Like all sources it is deterministic, returns each unordered
+/// pair once with `left < right`, and reports malformed input as
+/// `kInvalidArgument`.
+class GalleryCandidateSource : public data::CandidateSource {
+ public:
+  explicit GalleryCandidateSource(GallerySourceOptions options = {});
+
+  std::string Name() const override { return "gallery-index"; }
+
+  StatusOr<std::vector<data::CandidatePair>> CandidatePairs(
+      data::RecordSpan records, const data::Schema& schema) const override;
+
+  const GallerySourceOptions& options() const { return options_; }
+
+ private:
+  GallerySourceOptions options_;
+};
+
+}  // namespace adamel::gallery
+
+#endif  // ADAMEL_GALLERY_GALLERY_SOURCE_H_

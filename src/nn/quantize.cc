@@ -48,6 +48,22 @@ QuantizedGemmB QuantizeForGemm(const float* w, int k, int n) {
   return out;
 }
 
+QuantizedVector QuantizeVector(const float* x, int64_t n) {
+  QuantizedVector out;
+  out.scale = SymmetricScale(MaxAbs(x, n));
+  out.q.resize(static_cast<size_t>(n));
+  kernels::Active().quantize_s8(x, 1.0f / out.scale, out.q.data(), n);
+  return out;
+}
+
+int32_t DotS8(const int8_t* a, const int8_t* b, int64_t n) {
+  int32_t acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
 void QuantizedGemm(const float* a, int m, int k, float a_scale,
                    const QuantizedGemmB& b, const float* bias, float* c) {
   ADAMEL_CHECK_EQ(k, b.k) << "QuantizedGemm inner dimensions";

@@ -39,6 +39,24 @@ float SymmetricScale(float maxabs);
 /// Quantizes and packs `w` (k x n row-major) for the int8 GEMM B slot.
 QuantizedGemmB QuantizeForGemm(const float* w, int k, int n);
 
+/// One vector quantized to int8 with its own symmetric scale — the
+/// per-record "code" format of the gallery index (src/gallery). Dequant:
+/// float ~= q[i] * scale.
+struct QuantizedVector {
+  float scale = 1.0f;
+  std::vector<int8_t> q;
+};
+
+/// Quantizes `n` floats with a per-vector symmetric scale (the same
+/// round-to-nearest-even + clamp scheme as the GEMM operands, via the
+/// kernel backend's quantize_s8 — bitwise identical on every backend).
+QuantizedVector QuantizeVector(const float* x, int64_t n);
+
+/// int32 dot product of two int8 codes. Integer accumulation is exact, so
+/// similarity scores built on it (dot * scale_a * scale_b) are bitwise
+/// deterministic regardless of thread count or kernel backend.
+int32_t DotS8(const int8_t* a, const int8_t* b, int64_t n);
+
 /// C(m x n, float) = A(m x k, float) * Bq, dequantized with
 /// a_scale * Bq.scale, plus optional `bias` (length n, may be null).
 /// A is quantized row-wise with the fixed `a_scale` (calibrated offline).

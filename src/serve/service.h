@@ -3,10 +3,14 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "data/pair_dataset.h"
+#include "data/record.h"
+#include "gallery/gallery.h"
 #include "serve/batcher.h"
 #include "serve/registry.h"
 
@@ -30,9 +34,53 @@ struct ScoreRequest {
   bool quantized = false;
 };
 
+/// One 1:N search request: probe the service's gallery for candidates, then
+/// re-rank them with a registered model.
+struct SearchRequest {
+  /// Registry name of the re-ranking model.
+  std::string model;
+  /// Registry version; 0 resolves to the latest registered version.
+  int version = 0;
+  /// The probe record; must carry exactly one value per gallery schema
+  /// attribute.
+  data::Record query;
+  /// Results returned after re-ranking.
+  int k = 10;
+  /// Index candidates probed before re-ranking (the recall/latency knob;
+  /// must be >= k to be useful, >= 1 to be valid).
+  int probe_k = 64;
+  /// Absolute `obs::NowNanos()` deadline for the re-rank batch; 0 = none.
+  int64_t deadline_ns = 0;
+  /// Re-rank through the model's int8-quantized path (same contract as
+  /// `ScoreRequest::quantized`).
+  bool quantized = false;
+};
+
+/// Response to a `SearchRequest`.
+struct SearchResponse {
+  Status status;
+  /// Top `k` gallery records by model score (match probability), ties by
+  /// ascending gallery index. Fewer than `k` when the index probe surfaced
+  /// fewer candidates; empty on error or when nothing matched the probe.
+  std::vector<gallery::Candidate> candidates;
+  /// Pairs in the coalesced re-rank batch (diagnostics; 0 when the probe
+  /// came back empty and no batch was needed).
+  int batch_pairs = 0;
+  /// Absolute `obs::NowNanos()` at which the re-rank response was fulfilled.
+  int64_t done_ns = 0;
+  /// Registry version that re-ranked (or would have re-ranked) the probe.
+  int served_version = 0;
+};
+
 /// Knobs for a `LinkageService`.
 struct ServiceOptions {
   BatcherOptions batcher;
+  /// Candidate index backing `SearchAsync`. Fixed at construction; the
+  /// gallery is internally synchronized, so the owner may keep enrolling
+  /// through its own non-const handle while the service searches. A service
+  /// built without one rejects searches with `kFailedPrecondition`. Must be
+  /// built with `store_records = true` — re-ranking needs the full records.
+  std::shared_ptr<const gallery::Gallery> gallery;
 };
 
 /// Online linkage scoring: a warm `ModelRegistry` in front of a
@@ -74,6 +122,19 @@ class LinkageService {
   /// `worker_threads > 0` (in pump mode it would wait forever).
   ScoreResponse Score(ScoreRequest request);
 
+  /// 1:N entity search: resolves the model (fail-fast `kNotFound`), probes
+  /// the construction-time gallery for the query's `probe_k` nearest index
+  /// candidates, and re-ranks them through the micro-batcher with the same
+  /// `ScorePairs` entry point offline scoring uses — so each candidate's
+  /// returned score is bitwise identical to scoring that (query, record)
+  /// pair offline on the same model. The returned future is deferred: it
+  /// resolves when the underlying batch response is ready (in pump mode,
+  /// call `PumpOnce()` before `get()`).
+  std::future<SearchResponse> SearchAsync(SearchRequest request);
+
+  /// The candidate index this service probes, or nullptr.
+  const gallery::Gallery* gallery() const { return gallery_.get(); }
+
   /// Pump mode (worker_threads == 0): executes one batch on the calling
   /// thread. Returns the number of requests completed.
   int PumpOnce() { return batcher_.RunOnce(); }
@@ -90,6 +151,8 @@ class LinkageService {
  private:
   ModelRegistry registry_;
   MicroBatcher batcher_;
+  /// Set at construction, never reassigned — readable without a lock.
+  std::shared_ptr<const gallery::Gallery> gallery_;
 };
 
 }  // namespace adamel::serve

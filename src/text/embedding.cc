@@ -206,4 +206,18 @@ float CosineSimilarity(const std::vector<float>& a,
   return static_cast<float>(dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
 }
 
+void L2Normalize(std::vector<float>* v) {
+  double norm_sq = 0.0;
+  for (float x : *v) {
+    norm_sq += static_cast<double>(x) * x;
+  }
+  if (norm_sq <= 0.0) {
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : *v) {
+    x *= inv;
+  }
+}
+
 }  // namespace adamel::text

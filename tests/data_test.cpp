@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "data/blocking.h"
+#include "data/candidate_source.h"
 #include "data/csv.h"
 #include "data/pair_dataset.h"
 #include "data/record.h"
@@ -319,7 +320,7 @@ TEST(BlockingTest, FindsSharedTokenCandidates) {
   BlockingOptions options;
   options.max_token_frequency = 0.9;  // tiny corpus: keep df-2 tokens
   const auto candidates =
-      GenerateCandidates(records, schema, tokenizer, options);
+      GenerateCandidates(records, schema, tokenizer, options).value();
   ASSERT_EQ(candidates.size(), 1u);
   EXPECT_EQ(candidates[0].left, 0);
   EXPECT_EQ(candidates[0].right, 1);
@@ -338,6 +339,7 @@ TEST(BlockingTest, StopWordsExcluded) {
   BlockingOptions options;
   options.max_token_frequency = 0.3;
   EXPECT_TRUE(GenerateCandidates(records, schema, tokenizer, options)
+                  .value()
                   .empty());
 }
 
@@ -351,6 +353,7 @@ TEST(BlockingTest, MinSharedTokensFilters) {
   BlockingOptions options;
   options.min_shared_tokens = 2;
   EXPECT_TRUE(GenerateCandidates(records, schema, tokenizer, options)
+                  .value()
                   .empty());
 }
 
@@ -366,7 +369,7 @@ TEST(BlockingTest, PerRecordCapRespected) {
   options.max_token_frequency = 1.1;  // keep even the shared token
   options.max_candidates_per_record = 2;
   const auto candidates =
-      GenerateCandidates(records, schema, tokenizer, options);
+      GenerateCandidates(records, schema, tokenizer, options).value();
   std::vector<int> per_record(20, 0);
   for (const auto& c : candidates) {
     ++per_record[c.left];
@@ -375,6 +378,95 @@ TEST(BlockingTest, PerRecordCapRespected) {
   for (int count : per_record) {
     EXPECT_LE(count, 2);
   }
+}
+
+TEST(BlockingTest, EmptyRecordListIsInvalidArgument) {
+  const Schema schema({"title"});
+  const std::vector<Record> records;
+  const auto candidates =
+      GenerateCandidates(records, schema, text::Tokenizer(), BlockingOptions{});
+  ASSERT_FALSE(candidates.ok());
+  EXPECT_EQ(candidates.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockingTest, UnknownKeyAttributeIsInvalidArgument) {
+  const Schema schema({"title"});
+  const std::vector<Record> records = {MakeRecord("0", "a", {"abbey road"})};
+  BlockingOptions options;
+  options.key_attributes = {"no_such_attribute"};
+  const auto candidates =
+      GenerateCandidates(records, schema, text::Tokenizer(), options);
+  ASSERT_FALSE(candidates.ok());
+  EXPECT_EQ(candidates.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(candidates.status().message().find("no_such_attribute"),
+            std::string::npos);
+}
+
+TEST(BlockingTest, MalformedRecordIsInvalidArgument) {
+  const Schema schema({"title", "artist"});
+  std::vector<Record> records = {MakeRecord("0", "a", {"abbey road", "x"}),
+                                 MakeRecord("1", "b", {"only one value"})};
+  const auto candidates =
+      GenerateCandidates(records, schema, text::Tokenizer(), BlockingOptions{});
+  ASSERT_FALSE(candidates.ok());
+  EXPECT_EQ(candidates.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockingTest, PerRecordCapIsDeterministic) {
+  // Every record shares one token, so the cap must choose; the choice is
+  // part of the API contract (most shared tokens first, then lowest pair).
+  const Schema schema({"title"});
+  std::vector<Record> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(MakeRecord(std::to_string(i), "s",
+                                 {"sharedtok uniq" + std::to_string(i)}));
+  }
+  BlockingOptions options;
+  options.max_token_frequency = 1.1;
+  options.max_candidates_per_record = 3;
+  const auto first =
+      GenerateCandidates(records, schema, text::Tokenizer(), options).value();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto again =
+        GenerateCandidates(records, schema, text::Tokenizer(), options).value();
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].left, first[i].left);
+      EXPECT_EQ(again[i].right, first[i].right);
+    }
+  }
+}
+
+// ------------------------------------------------------ candidate sources
+
+TEST(CandidateSourceTest, TokenBlockingSourceMatchesGenerateCandidates) {
+  const Schema schema({"title"});
+  std::vector<Record> records = {
+      MakeRecord("0", "a", {"abbey road remaster"}),
+      MakeRecord("1", "b", {"abbey road original"}),
+      MakeRecord("2", "c", {"completely different thing"}),
+  };
+  BlockingOptions options;
+  options.max_token_frequency = 0.9;
+  const TokenBlockingSource source{text::Tokenizer(), options};
+  EXPECT_EQ(source.Name(), "token-blocking");
+  const auto via_source = source.CandidatePairs(records, schema).value();
+  const auto direct =
+      GenerateCandidates(records, schema, text::Tokenizer(), options).value();
+  ASSERT_EQ(via_source.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_source[i].left, direct[i].left);
+    EXPECT_EQ(via_source[i].right, direct[i].right);
+    EXPECT_EQ(via_source[i].shared_tokens, direct[i].shared_tokens);
+  }
+}
+
+TEST(CandidateSourceTest, PropagatesValidationErrors) {
+  const TokenBlockingSource source{text::Tokenizer()};
+  const std::vector<Record> records;
+  const auto result = source.CandidatePairs(records, Schema({"title"}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -265,21 +265,53 @@ TEST(LintTest, FlagsBannedIdentifiers) {
       "banned-identifier"));
 }
 
-TEST(LintTest, FlagsDeprecatedScoringNames) {
-  // The old scoring entry points are flagged even as member calls, so
-  // migrated code cannot quietly reintroduce them.
+// -- raw-index-io ------------------------------------------------------------
+
+TEST(LintTest, FlagsRawFileStreamsInLibraryCode) {
   EXPECT_TRUE(HasRule(
-      LintLibrary("float f(M& m, D& d) { return m.Predict(d)[0]; }\n"),
-      "banned-identifier"));
+      LintLibrary("void f() { std::ofstream out(\"index.bin\"); }\n"),
+      "raw-index-io"));
   EXPECT_TRUE(HasRule(
-      LintLibrary("float f(M* m, D& d) { return m->PredictScores(d)[0]; }\n"),
-      "banned-identifier"));
+      LintLibrary("void f() { std::ifstream in(\"index.bin\"); }\n"),
+      "raw-index-io"));
+  EXPECT_TRUE(HasRule(LintLibrary("#include <fstream>\n"), "raw-index-io"));
+  EXPECT_TRUE(HasRule(
+      LintLibrary("void f() { fopen(\"index.bin\", \"wb\"); }\n"),
+      "raw-index-io"));
 }
 
-TEST(LintTest, DeprecatedScoringNamesAreSuppressible) {
+TEST(LintTest, RawFileIoAllowedInSanctionedImplementations) {
+  // The checkpoint container itself (src/nn/serialize*) and the other
+  // sanctioned low-level IO files carry raw_file_io_allowed; the rule must
+  // stay quiet there but every other rule still applies.
+  Options options;
+  options.library_code = true;
+  options.raw_file_io_allowed = true;
+  const std::set<std::string> no_names;
+  EXPECT_TRUE(LintSource("src/nn/serialize.cc",
+                         "void f() { std::ifstream in(\"ckpt\"); }\n", options,
+                         no_names)
+                  .empty());
+  EXPECT_TRUE(HasRule(LintSource("src/nn/serialize.cc",
+                                 "int f() { return rand(); }\n", options,
+                                 no_names),
+                      "nondeterminism"));
+}
+
+TEST(LintTest, RawFileIoNotFlaggedOutsideLibraryCode) {
+  // Benches and examples may write ad-hoc files (e.g. BENCH_*.json).
+  Options options;
+  const std::set<std::string> no_names;
+  EXPECT_TRUE(LintSource("bench/bench_fixture.cpp",
+                         "void f() { fopen(\"out.json\", \"w\"); }\n", options,
+                         no_names)
+                  .empty());
+}
+
+TEST(LintTest, RawFileIoIsSuppressible) {
   const auto findings = LintLibrary(
-      "// adamel-lint: allow-next-line(banned-identifier) -- shim fixture\n"
-      "float f(M& m, D& d) { return m.Predict(d)[0]; }\n");
+      "// adamel-lint: allow-next-line(raw-index-io) -- fixture\n"
+      "void f() { std::ofstream out(\"x\"); }\n");
   EXPECT_TRUE(findings.empty());
 }
 
@@ -586,6 +618,23 @@ int AlsoNot(Status s);
   EXPECT_EQ(names.count("ParseInts"), 1u);
   EXPECT_EQ(names.count("NotAStatus"), 0u);
   EXPECT_EQ(names.count("AlsoNot"), 0u);
+}
+
+TEST(LintTest, CollectsVoidNamesForOverloadAmbiguity) {
+  // `Status Save(path)` on one class and `void Save(BlobWriter*)` on
+  // another share a name; LintTree drops such names from the checked set
+  // so the void calls are not false-flagged as discarded Statuses.
+  const std::string header = R"cpp(
+Status Save(const std::string& path);
+void Save(nn::BlobWriter* writer);
+void Reset();
+Status WriteFile(const std::string& path);
+)cpp";
+  std::set<std::string> void_names;
+  CollectVoidNames(header, &void_names);
+  EXPECT_EQ(void_names.count("Save"), 1u);
+  EXPECT_EQ(void_names.count("Reset"), 1u);
+  EXPECT_EQ(void_names.count("WriteFile"), 0u);
 }
 
 TEST(LintTest, RuleIdListIsStable) {

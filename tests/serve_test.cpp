@@ -18,6 +18,7 @@
 #include "baselines/tler.h"
 #include "common/rng.h"
 #include "core/trainer.h"
+#include "gallery/gallery.h"
 #include "nn/serialize.h"
 #include "obs/clock.h"
 #include "serve/batcher.h"
@@ -862,6 +863,168 @@ TEST(FitValidationTest, ScoreBeforeFitIsFailedPrecondition) {
   const core::AdamelLinkage unfitted(core::AdamelVariant::kBase);
   EXPECT_EQ(unfitted.ScorePairs(ToyDataset(3, 30)).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------ 1:N search
+
+data::Record GalleryRecord(int i, const std::string& key) {
+  data::Record record;
+  record.id = "gal" + std::to_string(i);
+  record.source = "gallery";
+  record.values = {key, "noise" + std::to_string(i % 4)};
+  return record;
+}
+
+// Enrolled population sharing the key vocabulary of ToyDataset, so trained
+// toy models produce meaningful re-rank scores.
+std::shared_ptr<const gallery::Gallery> BuildToyGallery(
+    std::vector<data::Record>* out_records) {
+  gallery::GalleryOptions options;
+  options.embedding.dim = 32;
+  options.num_shards = 4;
+  auto built =
+      gallery::Gallery::Create(data::Schema({"key", "noise"}), options)
+          .value();
+  std::vector<data::Record> records;
+  for (int i = 0; i < 40; ++i) {
+    records.push_back(GalleryRecord(i, "key" + std::to_string(i % 20)));
+  }
+  ADAMEL_CHECK(built->Enroll(records).ok());
+  if (out_records != nullptr) {
+    *out_records = std::move(records);
+  }
+  return std::shared_ptr<const gallery::Gallery>(std::move(built));
+}
+
+TEST(SearchAsyncTest, WithoutGalleryIsFailedPrecondition) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  LinkageService service(options);
+  EXPECT_EQ(service.gallery(), nullptr);
+  SearchRequest request;
+  request.model = "adamel";
+  request.query = GalleryRecord(0, "key1");
+  EXPECT_EQ(service.SearchAsync(std::move(request)).get().status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SearchAsyncTest, UnknownModelFailsFastWithNotFound) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  options.gallery = BuildToyGallery(nullptr);
+  LinkageService service(options);
+  SearchRequest request;
+  request.model = "nope";
+  request.query = GalleryRecord(0, "key1");
+  EXPECT_EQ(service.SearchAsync(std::move(request)).get().status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SearchAsyncTest, ValidatesKAgainstProbeK) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  options.gallery = BuildToyGallery(nullptr);
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, TrainToyLinkage(61))
+                  .ok());
+  SearchRequest request;
+  request.model = "adamel";
+  request.query = GalleryRecord(0, "key1");
+  request.k = 10;
+  request.probe_k = 5;  // probe fewer than we return: nonsensical
+  EXPECT_EQ(service.SearchAsync(std::move(request)).get().status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SearchAsyncTest, EmptyProbeResolvesImmediatelyWithoutABatch) {
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;  // pump mode, and we never pump
+  options.gallery = BuildToyGallery(nullptr);
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, TrainToyLinkage(62))
+                  .ok());
+  SearchRequest request;
+  request.model = "adamel";
+  // Neither attribute shares a token with any enrolled record, so the index
+  // probe comes back empty and no batch is ever submitted.
+  request.query = GalleryRecord(0, "zzzunique");
+  request.query.values[1] = "qqqunique";
+  const SearchResponse response = service.SearchAsync(std::move(request)).get();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.candidates.empty());
+  EXPECT_EQ(response.batch_pairs, 0);
+  EXPECT_EQ(response.served_version, 1);
+}
+
+TEST(SearchAsyncTest, ServedScoresAreBitwiseIdenticalToOfflineScorePairs) {
+  std::vector<data::Record> enrolled;
+  std::shared_ptr<const gallery::Gallery> gal = BuildToyGallery(&enrolled);
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(63);
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 0;
+  options.gallery = gal;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 3, model).ok());
+
+  SearchRequest request;
+  request.model = "adamel";
+  request.query = GalleryRecord(999, "key7");
+  request.k = 5;
+  request.probe_k = 16;
+  const data::Record query = request.query;
+  std::future<SearchResponse> future = service.SearchAsync(std::move(request));
+  EXPECT_EQ(service.PumpOnce(), 1);
+  const SearchResponse response = future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_FALSE(response.candidates.empty());
+  ASSERT_LE(response.candidates.size(), 5u);
+  EXPECT_EQ(response.served_version, 3);
+  EXPECT_GT(response.batch_pairs, 0);
+
+  for (size_t i = 0; i < response.candidates.size(); ++i) {
+    const gallery::Candidate& candidate = response.candidates[i];
+    if (i > 0) {
+      EXPECT_GE(response.candidates[i - 1].score, candidate.score);
+    }
+    // The bitwise contract: the served score equals scoring this exact
+    // (query, enrolled record) pair through ScorePairs offline.
+    data::PairDataset offline(gal->schema());
+    data::LabeledPair pair;
+    pair.left = query;
+    pair.right = gal->GetRecord(candidate.index).value();
+    offline.Add(std::move(pair));
+    EXPECT_EQ(candidate.score, model->ScorePairs(offline).value()[0])
+        << "candidate " << i << " (" << candidate.id << ")";
+  }
+}
+
+TEST(SearchAsyncTest, WorkerModeSearchesConcurrently) {
+  std::vector<data::Record> enrolled;
+  std::shared_ptr<const gallery::Gallery> gal = BuildToyGallery(&enrolled);
+  std::shared_ptr<const core::AdamelLinkage> model = TrainToyLinkage(64);
+
+  ServiceOptions options;
+  options.batcher.worker_threads = 2;
+  options.gallery = gal;
+  LinkageService service(options);
+  ASSERT_TRUE(service.registry().Register("adamel", 1, model).ok());
+
+  std::vector<std::future<SearchResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    SearchRequest request;
+    request.model = "adamel";
+    request.query = GalleryRecord(100 + i, "key" + std::to_string(i % 20));
+    request.k = 3;
+    request.probe_k = 8;
+    futures.push_back(service.SearchAsync(std::move(request)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const SearchResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok())
+        << "search " << i << ": " << response.status.ToString();
+    EXPECT_LE(response.candidates.size(), 3u);
+  }
 }
 
 }  // namespace

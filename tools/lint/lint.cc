@@ -296,14 +296,6 @@ const std::set<std::string>& BannedCallNames() {
   return kNames;
 }
 
-// Names removed from the scoring API; the shims stay for one release, but
-// new call sites must use the replacement. Unlike BannedCallNames these are
-// methods, so member-access calls are flagged too.
-const std::set<std::string>& DeprecatedCallNames() {
-  static const std::set<std::string> kNames = {"Predict", "PredictScores"};
-  return kNames;
-}
-
 void Report(std::vector<Finding>* findings, const SuppressionMap& supp,
             const std::string& path, int line, const std::string& rule,
             std::string message) {
@@ -474,6 +466,57 @@ void CheckRawIntrinsics(const std::vector<Token>& toks,
       Report(findings, supp, path, toks[i].line, "raw-intrinsic",
              "'<" + name + ".h>' is an intrinsics header; only "
              "src/nn/kernels/ may include it");
+    }
+  }
+}
+
+// Raw byte-level file IO in library code. Persistent artifacts — model
+// checkpoints and gallery index files alike — must go through the CRC32
+// checkpoint container (nn::CheckpointWriter/CheckpointReader with
+// AtomicWriteFile / ReadFileToString), so every file on disk is
+// magic-tagged, versioned, per-section checksummed, and written
+// crash-safely. A bare std::ofstream (or fopen/fwrite) produces bytes no
+// reader can validate: a truncated or bit-flipped file would load as
+// garbage instead of a typed kDataLoss. Only the sanctioned low-level IO
+// implementations (the container itself, CSV import/export, telemetry
+// export, eval reports) may touch streams directly.
+void CheckRawFileIo(const std::vector<Token>& toks, const std::string& path,
+                    const SuppressionMap& supp,
+                    std::vector<Finding>* findings) {
+  static const std::set<std::string> kStreamTypes = {"ifstream", "ofstream",
+                                                     "fstream"};
+  static const std::set<std::string> kCstdioCalls = {"fopen", "freopen",
+                                                     "fwrite", "fread"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks, i)) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    if (kStreamTypes.count(name) > 0) {
+      Report(findings, supp, path, toks[i].line, "raw-index-io",
+             "'std::" + name + "' is raw file IO in library code; persist "
+             "through the CRC32 checkpoint container "
+             "(nn::CheckpointWriter/Reader, AtomicWriteFile, "
+             "ReadFileToString) so index/checkpoint bytes are validated on "
+             "load");
+      continue;
+    }
+    // `#include <fstream>` tokenizes as `# include < fstream >`.
+    if (name == "include" && TokIs(toks, i + 1, "<") &&
+        TokIs(toks, i + 2, "fstream")) {
+      Report(findings, supp, path, toks[i].line, "raw-index-io",
+             "'<fstream>' include in library code; route file IO through "
+             "the checkpoint container instead");
+      continue;
+    }
+    const bool member_access =
+        i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (!member_access && TokIs(toks, i + 1, "(") &&
+        kCstdioCalls.count(name) > 0) {
+      Report(findings, supp, path, toks[i].line, "raw-index-io",
+             "'" + name + "()' is raw file IO in library code; persist "
+             "through the CRC32 checkpoint container so bytes on disk are "
+             "checksummed and crash-safe");
     }
   }
 }
@@ -791,11 +834,6 @@ void CheckBannedIdentifiers(const std::vector<Token>& toks,
              "'" + toks[i].text + "()' is on the banned-identifier list "
              "(unsafe or non-reentrant)");
     }
-    if (DeprecatedCallNames().count(toks[i].text) > 0) {
-      Report(findings, supp, path, toks[i].line, "banned-identifier",
-             "'" + toks[i].text + "()' is deprecated; call ScorePairs() "
-             "instead");
-    }
   }
 }
 
@@ -863,7 +901,8 @@ const std::vector<std::string>& RuleIds() {
       "raw-new",         "cout-debug",       "include-guard",
       "banned-identifier", "telemetry-clock",  "bad-suppression",
       "raw-intrinsic",   "raw-mutex",        "unannotated-guarded-member",
-      "detached-thread", "cv-wait-no-predicate", "registry-publish"};
+      "detached-thread", "cv-wait-no-predicate", "registry-publish",
+      "raw-index-io"};
   return kIds;
 }
 
@@ -920,6 +959,17 @@ void CollectStatusNames(const std::string& contents,
   }
 }
 
+void CollectVoidNames(const std::string& contents,
+                      std::set<std::string>* names) {
+  const std::vector<Token> toks = Tokenize(contents);
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (IsIdent(toks, i) && toks[i].text == "void" && IsIdent(toks, i + 1) &&
+        TokIs(toks, i + 2, "(")) {
+      names->insert(toks[i + 1].text);
+    }
+  }
+}
+
 std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& contents,
                                 const Options& options,
@@ -943,6 +993,9 @@ std::vector<Finding> LintSource(const std::string& path,
     CheckLibraryOnlyRules(toks, path, supp, &findings);
     if (!options.intrinsics_allowed) {
       CheckRawIntrinsics(toks, path, supp, &findings);
+    }
+    if (!options.raw_file_io_allowed) {
+      CheckRawFileIo(toks, path, supp, &findings);
     }
   }
   if (!options.raw_mutex_allowed) {
@@ -982,12 +1035,20 @@ std::vector<Finding> LintTree(const std::string& root,
   }
   std::sort(files.begin(), files.end());
 
-  // Pass 1: learn the Status-returning API surface from every header.
+  // Pass 1: learn the Status-returning API surface from every header. A
+  // name that also has a void-returning declaration somewhere in the tree
+  // is ambiguous under name-based checking and is dropped from the set.
   std::set<std::string> status_names;
+  std::set<std::string> void_names;
   for (const fs::path& file : files) {
     if (IsHeader(file)) {
-      CollectStatusNames(ReadFileOrEmpty(file), &status_names);
+      const std::string contents = ReadFileOrEmpty(file);
+      CollectStatusNames(contents, &status_names);
+      CollectVoidNames(contents, &void_names);
     }
+  }
+  for (const std::string& name : void_names) {
+    status_names.erase(name);
   }
 
   // Pass 2: lint every file with location-derived options.
@@ -1003,6 +1064,11 @@ std::vector<Finding> LintTree(const std::string& root,
     options.registry_publish_allowed =
         relpath.rfind("src/serve/lifecycle", 0) == 0 ||
         relpath.rfind("src/serve/registry", 0) == 0;
+    options.raw_file_io_allowed =
+        relpath.rfind("src/nn/serialize", 0) == 0 ||
+        relpath.rfind("src/data/csv", 0) == 0 ||
+        relpath.rfind("src/obs/export", 0) == 0 ||
+        relpath.rfind("src/eval/report", 0) == 0;
     if (IsHeader(file)) {
       options.expected_guard = ExpectedIncludeGuard(relpath);
     }

@@ -42,6 +42,17 @@ struct Options {
   /// bearing classes to annotate their data members.
   bool raw_mutex_allowed = false;
 
+  /// True for the sanctioned low-level IO implementations (the checkpoint
+  /// container src/nn/serialize*, CSV import/export src/data/csv*,
+  /// telemetry export src/obs/export*, eval reports src/eval/report*) —
+  /// the only library files allowed to touch `std::ifstream`/`ofstream`/
+  /// `fopen` directly. Everywhere else in src/ — the gallery index above
+  /// all — the raw-index-io rule demands persistence through the CRC32
+  /// checkpoint container (nn::CheckpointWriter/Reader, AtomicWriteFile),
+  /// so bytes on disk are always magic-tagged, versioned, checksummed, and
+  /// written crash-safely.
+  bool raw_file_io_allowed = false;
+
   /// True for src/serve/lifecycle* (and the registry's own files) — the
   /// lifecycle manager is the one sanctioned caller of
   /// `ModelRegistry::Publish`, because publishing is a hot-swap that must
@@ -68,6 +79,15 @@ std::string ExpectedIncludeGuard(const std::string& relpath);
 /// The unchecked-status rule flags discarded calls to these names.
 void CollectStatusNames(const std::string& contents,
                         std::set<std::string>* names);
+
+/// Scans a header's contents for declarations returning `void` and adds the
+/// declared names to `names`. LintTree subtracts these from the collected
+/// Status names: a name with both a Status-returning and a void overload in
+/// the tree (e.g. `Status Save(const std::string&)` on one class vs `void
+/// Save(nn::BlobWriter*)` on another) cannot be checked by name without
+/// false-flagging the void calls.
+void CollectVoidNames(const std::string& contents,
+                      std::set<std::string>* names);
 
 /// Token-scans one translation unit and returns every rule violation.
 ///
